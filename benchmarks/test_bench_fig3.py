@@ -1,0 +1,126 @@
+"""Bench: Fig. 3 — replica hit rate vs replica count, per trust subgraph.
+
+Paper curves (hit rate % at 10 replicas, reading the figures):
+
+    Fig. 3(a) baseline:            community ~27, node-degree ~8.5 (flat
+                                   beyond 2 replicas), random ~8, clust ~4
+    Fig. 3(b) double-coauthorship: community ~35-40 (best)
+    Fig. 3(c) number-of-authors:   community ~60, node-degree close behind
+
+Shape asserted per panel: curves rise with replica count; community node
+degree wins (or ties node-degree on the number-of-authors panel, as the
+paper observes); clustering coefficient is the worst non-random metric or
+indistinguishable from random. Across panels: the trusted subgraphs reach
+hit rates at least as high as the baseline (the paper's headline
+observation that trust-pruned networks are better hit-rate targets).
+
+The timed portion regenerates one full panel sweep (4 algorithms x 10
+replica counts x 100 runs) — the unit of work behind each subfigure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.casestudy import CaseStudyConfig, run_case_study
+from repro.social.trust import BaselineTrust
+
+PAPER_AT_10 = {
+    "baseline": {"community-node-degree": 27.0, "node-degree": 8.5,
+                 "random": 8.0, "clustering-coefficient": 4.0},
+    "double-coauthorship": {"community-node-degree": 37.0},
+    "number-of-authors": {"community-node-degree": 60.0, "node-degree": 58.0},
+}
+
+
+def _print_panel(panel):
+    print(f"\nFig. 3 — {panel.subgraph.name} (hit rate %, replicas 1..10)")
+    for name, curve in panel.curves.items():
+        series = " ".join(f"{v:5.1f}" for v in curve.mean_hit_rate_pct)
+        paper = PAPER_AT_10.get(panel.subgraph.name, {}).get(name)
+        suffix = f"   [paper@10 ~ {paper}]" if paper is not None else ""
+        print(f"  {name:<24} {series}{suffix}")
+
+
+def _assert_panel_shape(panel, *, community_must_win=True):
+    curves = panel.curves
+    comm = curves["community-node-degree"]
+    rand = curves["random"]
+    clus = curves["clustering-coefficient"]
+    deg = curves["node-degree"]
+
+    # hit rate grows with replica budget for every algorithm
+    for curve in curves.values():
+        assert curve.final >= curve.at(1) - 1.0
+    # community-node-degree beats random decisively
+    assert comm.final > rand.final
+    # community >= node degree (paper: equal on the number-of-authors panel)
+    if community_must_win:
+        assert comm.final >= deg.final - 1.0
+    # clustering coefficient is a bad placement metric: never meaningfully
+    # better than random at the full budget
+    assert clus.final <= rand.final + 6.0
+    # and far below the winner
+    assert clus.final < comm.final
+
+
+class TestFig3:
+    def test_fig3a_baseline(self, benchmark, study_result):
+        panel = benchmark.pedantic(
+            study_result.panel, args=("baseline",), rounds=1, iterations=1
+        )
+        _print_panel(panel)
+        _assert_panel_shape(panel)
+        assert panel.best_algorithm() == "community-node-degree"
+
+    def test_fig3b_double_coauthorship(self, benchmark, study_result):
+        panel = benchmark.pedantic(
+            study_result.panel, args=("double-coauthorship",), rounds=1, iterations=1
+        )
+        _print_panel(panel)
+        _assert_panel_shape(panel)
+        assert panel.best_algorithm() == "community-node-degree"
+
+    def test_fig3c_number_of_authors(self, benchmark, study_result):
+        panel = benchmark.pedantic(
+            study_result.panel, args=("number-of-authors",), rounds=1, iterations=1
+        )
+        _print_panel(panel)
+        # paper: "the hit ratio of community election and node degree are
+        # similar" on this panel
+        _assert_panel_shape(panel, community_must_win=False)
+
+    def test_cross_panel_ordering(self, benchmark, study_result):
+        """Trusted subgraphs reach hit rates >= the baseline's (paper's
+        headline: 'an increase in overall hit rate for each subgraph')."""
+        finals = benchmark.pedantic(
+            lambda: {
+                p.subgraph.name: p.curves["community-node-degree"].final
+                for p in study_result.subgraphs
+            },
+            rounds=1,
+            iterations=1,
+        )
+        print("\ncommunity-node-degree @10 replicas:", {k: round(v, 1) for k, v in finals.items()})
+        assert finals["double-coauthorship"] >= finals["baseline"] - 1.0
+        assert finals["number-of-authors"] >= finals["baseline"] - 1.0
+
+    def test_bench_one_panel_sweep(self, benchmark, corpus_and_seed):
+        """Time the unit of work behind one Fig. 3 subfigure: a full
+        baseline-panel sweep at the paper's 100 runs."""
+        corpus, seed_author = corpus_and_seed
+        config = CaseStudyConfig(n_runs=100)
+
+        result = benchmark.pedantic(
+            run_case_study,
+            args=(corpus, seed_author),
+            kwargs={
+                "config": config,
+                "heuristics": [BaselineTrust()],
+                "seed": 123,
+            },
+            rounds=1,
+            iterations=1,
+        )
+        assert len(result.subgraphs) == 1

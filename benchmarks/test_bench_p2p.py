@@ -1,0 +1,97 @@
+"""Bench: centralized vs decentralized replica discovery (Section V-B).
+
+The paper chooses centralized allocation servers "to enable more efficient
+discovery of replicas" over a fully decentralized P2P design. This bench
+quantifies the trade-off on the trusted community: place replicas with the
+paper's winning algorithm, then resolve every member's lookup
+
+* centrally (one catalog query, always succeeds while a replica lives),
+* via TTL-bounded social flooding over gossip indexes (TTL 1..4).
+
+Asserted: decentralized success rises with TTL and gossip radius but even
+TTL 4 spends orders of magnitude more messages than the single catalog
+query — the paper's stated justification for starting centralized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.content import segment_dataset
+from repro.cdn.p2p import index_from_server
+from repro.cdn.placement import CommunityNodeDegreePlacement
+from repro.cdn.storage import StorageRepository
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.social.ego import ego_corpus
+from repro.social.trust import MaxAuthorsTrust
+
+
+def _build(corpus_and_seed):
+    corpus, seed_author = corpus_and_seed
+    ego = ego_corpus(corpus, seed_author, hops=3)
+    # the sparse small-publication trust graph: discovery actually has to
+    # travel here (the dense consortium islands trivialize flooding)
+    sub = MaxAuthorsTrust(5).prune(ego, seed=seed_author)
+    comp = sorted(sub.graph.connected_components()[0])
+    graph = sub.graph.subgraph(comp[:300])
+    server = AllocationServer(graph, CommunityNodeDegreePlacement(), seed=3)
+    for a in graph.nodes():
+        server.register_repository(
+            AuthorId(a), StorageRepository(NodeId(f"n-{a}"), 10**9)
+        )
+    owner = sorted(graph.nodes())[0]
+    ds = segment_dataset(DatasetId("d"), AuthorId(owner), 10**6)
+    server.publish_dataset(ds, n_replicas=3)
+    return graph, server, ds.segments[0].segment_id
+
+
+def test_discovery_tradeoff(benchmark, corpus_and_seed):
+    graph, server, seg = benchmark.pedantic(
+        _build, args=(corpus_and_seed,), rounds=1, iterations=1
+    )
+    members = sorted(graph.nodes())
+
+    # centralized: every lookup succeeds with one catalog query
+    central_ok = 0
+    for a in members:
+        try:
+            server.resolve(seg, AuthorId(a))
+            central_ok += 1
+        except Exception:
+            pass
+    central_rate = central_ok / len(members)
+
+    print(f"\ndiscovery trade-off ({len(members)} members, 3 replicas)")
+    print(f"  centralized: success {100 * central_rate:.0f}%, 1 query per lookup")
+    print(f"  {'gossip':>7} {'ttl':>4} {'success %':>10} {'mean msgs':>10}")
+
+    rows = {}
+    for gossip_rounds in (0, 1):
+        index = index_from_server(server, gossip_rounds=gossip_rounds)
+        for ttl in (1, 2, 3, 4):
+            results = [
+                index.lookup(AuthorId(a), seg, ttl=ttl) for a in members
+            ]
+            ok = np.mean([r.found for r in results])
+            msgs = np.mean([r.messages for r in results])
+            rows[(gossip_rounds, ttl)] = (float(ok), float(msgs))
+            print(f"  {gossip_rounds:>7} {ttl:>4} {100 * ok:>10.0f} {msgs:>10.1f}")
+
+    assert central_rate == 1.0
+    # success monotone in TTL and gossip radius
+    for g in (0, 1):
+        succ = [rows[(g, t)][0] for t in (1, 2, 3, 4)]
+        assert all(b >= a - 1e-9 for a, b in zip(succ, succ[1:]))
+    for t in (1, 2, 3, 4):
+        assert rows[(1, t)][0] >= rows[(0, t)][0] - 1e-9
+    # with gossip and a generous TTL the decentralized design mostly works
+    assert rows[(1, 4)][0] > 0.8
+    # but short-TTL lookups miss replicas the catalog would always find
+    assert rows[(0, 1)][0] < central_rate
+    # flooding without gossip costs many messages per lookup vs the single
+    # centralized catalog query; neighbor gossip (the DOSN "social cache"
+    # model) recovers most of that cost
+    assert rows[(0, 4)][1] > 5.0
+    assert rows[(1, 4)][1] < rows[(0, 4)][1]

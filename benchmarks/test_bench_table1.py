@@ -1,0 +1,58 @@
+"""Bench: Table I — nodes / publications / edges of the trust subgraphs.
+
+Paper values (DBLP ego network of K. Chard, 2009-2011, 3 hops):
+
+    baseline             2335 nodes   1163 pubs   17973 edges
+    double-coauthorship   811 nodes    881 pubs    5123 edges
+    number-of-authors     604 nodes    435 pubs    1988 edges
+
+Shape asserted here (the synthetic corpus reproduces structure, not exact
+counts): all three rows strictly positive; nodes/edges strictly shrink
+from the baseline; double-coauthorship retains a minority of nodes while
+keeping a disproportionate share of edges (the dense repeat clusters);
+number-of-authors keeps the smallest node set.
+"""
+
+from __future__ import annotations
+
+from repro.social.trust import paper_trust_heuristics
+
+PAPER_ROWS = {
+    "baseline": (2335, 1163, 17973),
+    "double-coauthorship": (811, 881, 5123),
+    "number-of-authors": (604, 435, 1988),
+}
+
+
+def _compute_rows(ego, seed_author):
+    return [h.prune(ego, seed=seed_author).table_row() for h in paper_trust_heuristics()]
+
+
+def test_table1(benchmark, ego, corpus_and_seed):
+    _, seed_author = corpus_and_seed
+    rows = benchmark.pedantic(
+        _compute_rows, args=(ego, seed_author), rounds=1, iterations=1
+    )
+
+    print("\nTable I  (name, nodes, publications, edges)")
+    print(f"{'graph':<22} {'paper':>24} {'measured':>24}")
+    by_name = {}
+    for name, nodes, pubs, edges in rows:
+        by_name[name] = (nodes, pubs, edges)
+        print(f"{name:<22} {str(PAPER_ROWS[name]):>24} {str((nodes, pubs, edges)):>24}")
+
+    base = by_name["baseline"]
+    double = by_name["double-coauthorship"]
+    nauth = by_name["number-of-authors"]
+
+    # strictly shrinking rows
+    assert base[0] > double[0] > 0 and base[0] > nauth[0] > 0
+    assert base[2] > double[2] > 0 and base[2] > nauth[2] > 0
+    assert base[1] >= double[1] > 0 and base[1] > nauth[1] > 0
+    # paper shape: double keeps a minority of nodes (~35% in the paper)
+    assert double[0] / base[0] < 0.6
+    # ... number-of-authors keeps the smallest node set (~26% in the paper)
+    assert nauth[0] <= double[0]
+    # ... and edge counts collapse faster than node counts for both prunings
+    assert double[2] / base[2] < double[0] / base[0]
+    assert nauth[2] / base[2] < nauth[0] / base[0]

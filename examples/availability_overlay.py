@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Availability overlays (paper Section V-D / My3): placing replicas where
+uptime windows overlap.
+
+A globally distributed community follows office-hours (diurnal) uptime in
+different time zones. This example builds the availability-overlap graph
+the paper describes — nodes connected when their uptime coincides, edges
+weighted by transfer characteristics — selects a lowest-cost covering
+replica set, and compares the expected access availability against a
+random selection of the same size.
+
+Run:  python examples/availability_overlay.py
+"""
+
+import numpy as np
+
+from repro.cdn.overlay import (
+    build_availability_graph,
+    expected_access_availability,
+    select_cover,
+)
+from repro.ids import NodeId
+from repro.rng import make_rng
+from repro.sim.availability import Diurnal
+from repro.sim.network import random_geography
+
+
+def main() -> None:
+    rng = make_rng(7)
+    nodes = [NodeId(f"site-{i}") for i in range(40)]
+    network = random_geography(nodes, seed=3, n_clusters=6)
+    availability = Diurnal(duty_hours=9.0, seed=11)
+
+    print("Building the availability-overlap graph (40 sites, 9h/day each,"
+          " per-site time zones)...")
+    graph = build_availability_graph(
+        nodes, availability, network=network, min_overlap=0.02
+    )
+    print(f"  {graph.number_of_nodes()} nodes, {graph.number_of_edges()} "
+          f"overlap edges")
+
+    selection = select_cover(graph, budget=6)
+    print(f"\nLowest-cost cover with 6 replicas: {list(selection.selected)}")
+    print(f"  coverage: {100 * selection.coverage:.0f}% of sites, "
+          f"total edge cost {selection.total_cost:.1f}")
+
+    overlay_av = np.array([
+        expected_access_availability(graph, selection, n) for n in nodes
+    ])
+
+    # baseline: random 6-site selection, averaged over 20 draws
+    rand_scores = []
+    for _ in range(20):
+        picks = tuple(rng.choice(len(nodes), size=6, replace=False))
+        from repro.cdn.overlay import OverlaySelection
+
+        rand_sel = OverlaySelection(
+            selected=tuple(nodes[i] for i in picks),
+            assignment={},
+            uncovered=frozenset(),
+            total_cost=0.0,
+        )
+        rand_scores.append(
+            np.mean([
+                expected_access_availability(graph, rand_sel, n) for n in nodes
+            ])
+        )
+
+    print("\nExpected access availability (probability a site can reach a")
+    print("replica while it is online):")
+    print(f"  overlay-selected replicas: mean {overlay_av.mean():.3f}, "
+          f"min {overlay_av.min():.3f}")
+    print(f"  random replicas (20 draws): mean {np.mean(rand_scores):.3f}")
+    print(f"\nThe overlay cover beats random selection by "
+          f"{100 * (overlay_av.mean() - np.mean(rand_scores)):.1f} points "
+          f"on average — the paper's motivation for availability graphs.")
+
+
+if __name__ == "__main__":
+    main()

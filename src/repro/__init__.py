@@ -1,0 +1,166 @@
+"""repro — a reproduction of "A Social Content Delivery Network for
+Scientific Cooperation: Vision, Design, and Architecture" (SC 2012).
+
+The library has three layers:
+
+* **Social substrate** (:mod:`repro.social`) — publication corpora,
+  coauthorship graphs, trust heuristics/models, graph metrics, and a
+  synthetic DBLP-style corpus generator.
+* **S-CDN** (:mod:`repro.cdn`, :mod:`repro.middleware`, :mod:`repro.sim`,
+  :mod:`repro.metrics`, :class:`repro.SCDN`) — the paper's architecture as
+  a working simulated system: storage repositories, allocation servers,
+  placement algorithms, a transfer client, social middleware, and the two
+  metric suites of Section V-E.
+* **Case study** (:mod:`repro.casestudy`) — the Section VI experiment:
+  Table I and all three Fig. 3 panels.
+
+Quickstart::
+
+    from repro import generate_corpus, run_case_study, table1_rows
+
+    corpus, seed_author = generate_corpus(seed=42)
+    result = run_case_study(corpus, seed_author, seed=7)
+    for row in table1_rows(result):
+        print(row)
+"""
+
+from .errors import (
+    ReproError,
+    ConfigurationError,
+    GraphError,
+    PlacementError,
+    StorageError,
+    CapacityError,
+    CatalogError,
+    TransferError,
+    AuthenticationError,
+    AuthorizationError,
+    SimulationError,
+    WorkloadError,
+)
+from .ids import (
+    AuthorId,
+    PublicationId,
+    NodeId,
+    DatasetId,
+    SegmentId,
+    ReplicaId,
+    TransferId,
+)
+from .rng import make_rng, spawn
+from .social import (
+    Author,
+    Publication,
+    Corpus,
+    CoauthorshipGraph,
+    build_coauthorship_graph,
+    CorpusConfig,
+    DBLPStyleCorpusGenerator,
+    generate_corpus,
+    ego_network,
+    TrustHeuristic,
+    BaselineTrust,
+    MinCoauthorshipTrust,
+    MaxAuthorsTrust,
+    paper_trust_heuristics,
+    TrustModel,
+    graph_summary,
+)
+from .social.ego import ego_corpus
+from .cdn import (
+    Dataset,
+    DataSegment,
+    Replica,
+    segment_dataset,
+    ReplicaCatalog,
+    StorageRepository,
+    TransferClient,
+    AllocationServer,
+    CDNClient,
+    ReplicationPolicy,
+    PlacementAlgorithm,
+    get_placement,
+    paper_placements,
+    all_placements,
+)
+from .casestudy import (
+    CaseStudyConfig,
+    CaseStudyResult,
+    run_case_study,
+    table1_rows,
+    HitRateEvaluator,
+)
+from .metrics import (
+    MetricsCollector,
+    compute_cdn_metrics,
+    compute_social_metrics,
+)
+from .scdn import SCDN, SCDNConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GraphError",
+    "PlacementError",
+    "StorageError",
+    "CapacityError",
+    "CatalogError",
+    "TransferError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "SimulationError",
+    "WorkloadError",
+    "AuthorId",
+    "PublicationId",
+    "NodeId",
+    "DatasetId",
+    "SegmentId",
+    "ReplicaId",
+    "TransferId",
+    "make_rng",
+    "spawn",
+    "Author",
+    "Publication",
+    "Corpus",
+    "CoauthorshipGraph",
+    "build_coauthorship_graph",
+    "CorpusConfig",
+    "DBLPStyleCorpusGenerator",
+    "generate_corpus",
+    "ego_corpus",
+    "ego_network",
+    "TrustHeuristic",
+    "BaselineTrust",
+    "MinCoauthorshipTrust",
+    "MaxAuthorsTrust",
+    "paper_trust_heuristics",
+    "TrustModel",
+    "graph_summary",
+    "Dataset",
+    "DataSegment",
+    "Replica",
+    "segment_dataset",
+    "ReplicaCatalog",
+    "StorageRepository",
+    "TransferClient",
+    "AllocationServer",
+    "CDNClient",
+    "ReplicationPolicy",
+    "PlacementAlgorithm",
+    "get_placement",
+    "paper_placements",
+    "all_placements",
+    "CaseStudyConfig",
+    "CaseStudyResult",
+    "run_case_study",
+    "table1_rows",
+    "HitRateEvaluator",
+    "MetricsCollector",
+    "compute_cdn_metrics",
+    "compute_social_metrics",
+    "SCDN",
+    "SCDNConfig",
+    "__version__",
+]

@@ -1,0 +1,250 @@
+"""The full Section VI experiment runner: Table I + Fig. 3.
+
+``run_case_study`` wires the whole pipeline:
+
+1. extract the 3-hop ego corpus around the seed author,
+2. split temporally (2009-2010 train / 2011 test),
+3. build each trust subgraph from the *training* window,
+4. for each placement algorithm and replica count 1..10, place replicas
+   ``n_runs`` times (fresh RNG per run, as the paper does "each of the
+   experiments has been run 100 times to account for randomness"),
+5. score each placement with the hit-rate evaluator and average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId
+from ..rng import SeedLike, make_rng, spawn
+from ..social.ego import ego_corpus
+from ..social.records import Corpus
+from ..social.trust import TrustHeuristic, TrustedSubgraph, paper_trust_heuristics
+from ..cdn.placement.base import PlacementAlgorithm
+from ..cdn.placement import (  # noqa: F401 - imports register the algorithms
+    paper_placements,
+)
+from .hitrate import HitRateEvaluator
+from .splits import TemporalSplit, split_corpus
+
+
+@dataclass(frozen=True)
+class CaseStudyConfig:
+    """Parameters of the case-study sweep (defaults = the paper's).
+
+    ``placement_window`` selects which graph placement algorithms see:
+
+    * ``"complete"`` (default, the paper's Section VI-A reading): trust
+      heuristics prune the *complete* 2009-2011 ego graph — the graphs
+      Table I describes — and placement runs on that graph. The 2009-2010
+      "training" window then matters only through the pruning heuristics'
+      temporal statistics; 2011 publications supply the evaluation units
+      and their authors' adjacency.
+    * ``"train"``: placement sees only the graph built from training-window
+      publications (strict no-leakage variant; a DESIGN.md section 5
+      sensitivity check). Replicas outside the evaluation graph are
+      dropped before scoring.
+    """
+
+    hops: int = 3
+    train_years: Tuple[int, int] = (2009, 2010)
+    test_years: Tuple[int, int] = (2011, 2011)
+    replica_counts: Tuple[int, ...] = tuple(range(1, 11))
+    n_runs: int = 100
+    hit_max_hops: int = 1
+    placement_window: str = "complete"
+
+    def __post_init__(self) -> None:
+        if self.hops < 0:
+            raise ConfigurationError("hops must be >= 0")
+        if not self.replica_counts or any(c < 1 for c in self.replica_counts):
+            raise ConfigurationError("replica_counts must be positive")
+        if self.n_runs < 1:
+            raise ConfigurationError("n_runs must be >= 1")
+        if self.hit_max_hops < 0:
+            raise ConfigurationError("hit_max_hops must be >= 0")
+        if self.placement_window not in ("complete", "train"):
+            raise ConfigurationError(
+                f"placement_window must be 'complete' or 'train', "
+                f"got {self.placement_window!r}"
+            )
+
+
+@dataclass(frozen=True)
+class AlgorithmCurve:
+    """One Fig. 3 line: an algorithm's hit rate across replica counts.
+
+    Arrays are indexed like ``replica_counts``.
+    """
+
+    algorithm: str
+    replica_counts: Tuple[int, ...]
+    mean_hit_rate_pct: np.ndarray
+    std_hit_rate_pct: np.ndarray
+    mean_hops: np.ndarray
+
+    def at(self, n_replicas: int) -> float:
+        """Mean hit-rate (pct) at a given replica count."""
+        try:
+            i = self.replica_counts.index(n_replicas)
+        except ValueError:
+            raise ConfigurationError(
+                f"replica count {n_replicas} was not swept"
+            ) from None
+        return float(self.mean_hit_rate_pct[i])
+
+    @property
+    def final(self) -> float:
+        """Mean hit-rate (pct) at the largest swept replica count."""
+        return float(self.mean_hit_rate_pct[-1])
+
+    @property
+    def gain_after(self) -> Dict[int, float]:
+        """Marginal hit-rate gain when adding each replica (pct points)."""
+        gains: Dict[int, float] = {}
+        for i in range(1, len(self.replica_counts)):
+            gains[self.replica_counts[i]] = float(
+                self.mean_hit_rate_pct[i] - self.mean_hit_rate_pct[i - 1]
+            )
+        return gains
+
+
+@dataclass(frozen=True)
+class SubgraphResult:
+    """One Fig. 3 panel: every algorithm's curve on one trust subgraph."""
+
+    subgraph: TrustedSubgraph
+    curves: Dict[str, AlgorithmCurve]
+
+    def curve(self, algorithm: str) -> AlgorithmCurve:
+        """Curve of one algorithm by name."""
+        try:
+            return self.curves[algorithm]
+        except KeyError:
+            raise ConfigurationError(
+                f"no curve for {algorithm!r}; have {sorted(self.curves)}"
+            ) from None
+
+    def best_algorithm(self, n_replicas: Optional[int] = None) -> str:
+        """Name of the winning algorithm (at ``n_replicas`` or the final count)."""
+        def score(name: str) -> float:
+            c = self.curves[name]
+            return c.at(n_replicas) if n_replicas is not None else c.final
+
+        return max(sorted(self.curves), key=score)
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    """Everything Section VI reports: Table I rows + Fig. 3 panels."""
+
+    seed_author: AuthorId
+    config: CaseStudyConfig
+    split: TemporalSplit
+    subgraphs: List[SubgraphResult]
+
+    def panel(self, subgraph_name: str) -> SubgraphResult:
+        """One Fig. 3 panel by trust-subgraph name."""
+        for s in self.subgraphs:
+            if s.subgraph.name == subgraph_name:
+                return s
+        raise ConfigurationError(
+            f"no subgraph {subgraph_name!r}; have {[s.subgraph.name for s in self.subgraphs]}"
+        )
+
+
+def table1_rows(result: CaseStudyResult) -> List[Tuple[str, int, int, int]]:
+    """Table I: ``(name, nodes, publications, edges)`` per trust subgraph."""
+    return [s.subgraph.table_row() for s in result.subgraphs]
+
+
+def run_case_study(
+    corpus: Corpus,
+    seed_author: AuthorId,
+    *,
+    config: Optional[CaseStudyConfig] = None,
+    heuristics: Optional[Sequence[TrustHeuristic]] = None,
+    placements: Optional[Sequence[PlacementAlgorithm]] = None,
+    seed: SeedLike = 0,
+) -> CaseStudyResult:
+    """Run the full case study on ``corpus``.
+
+    Parameters
+    ----------
+    corpus:
+        The full publication corpus (ego extraction happens inside).
+    seed_author:
+        The ego seed (the paper's "Kyle Chard" node).
+    config:
+        Sweep parameters; defaults to the paper's.
+    heuristics:
+        Trust heuristics; defaults to the paper's three (Table I order).
+    placements:
+        Placement algorithms; defaults to the paper's four.
+    seed:
+        Master RNG seed; each (subgraph, algorithm, count, run) cell gets
+        an independent child stream.
+    """
+    cfg = config or CaseStudyConfig()
+    heuristics = list(heuristics) if heuristics is not None else paper_trust_heuristics()
+    placements = list(placements) if placements is not None else paper_placements()
+    if not heuristics or not placements:
+        raise ConfigurationError("need at least one heuristic and one placement")
+    master = make_rng(seed)
+
+    ego = ego_corpus(corpus, seed_author, hops=cfg.hops)
+    split = split_corpus(ego, train_years=cfg.train_years, test_years=cfg.test_years)
+
+    results: List[SubgraphResult] = []
+    for heuristic in heuristics:
+        # Table I graph: the heuristic applied to the complete ego corpus.
+        sub = heuristic.prune(ego, seed=seed_author)
+        # Evaluation units: test-window publications that survive the
+        # heuristic (an untrusted mega-collaboration in 2011 is not a
+        # collaboration the trust graph is meant to serve).
+        test = sub.corpus.filter_years(*cfg.test_years)
+        evaluator = HitRateEvaluator(sub.graph, test, max_hops=cfg.hit_max_hops)
+
+        if cfg.placement_window == "train":
+            place_graph = heuristic.prune(split.train, seed=seed_author).graph
+        else:
+            place_graph = sub.graph
+        eval_members = set(sub.graph.nx)
+
+        curves: Dict[str, AlgorithmCurve] = {}
+        for algo in placements:
+            means, stds, hop_means = [], [], []
+            for count in cfg.replica_counts:
+                rates = np.empty(cfg.n_runs, dtype=np.float64)
+                hops = np.empty(cfg.n_runs, dtype=np.float64)
+                for run, rng in enumerate(spawn(master, cfg.n_runs)):
+                    chosen = algo.select(place_graph, count, rng=rng)
+                    if cfg.placement_window == "train":
+                        chosen = [a for a in chosen if a in eval_members]
+                    if chosen:
+                        r = evaluator.evaluate(chosen)
+                        rates[run] = r.hit_rate_pct
+                        hops[run] = r.mean_hops
+                    else:  # every pick fell outside the evaluation graph
+                        rates[run] = 0.0
+                        hops[run] = np.inf
+                means.append(rates.mean())
+                stds.append(rates.std())
+                finite = hops[np.isfinite(hops)]
+                hop_means.append(finite.mean() if finite.size else np.inf)
+            curves[algo.name] = AlgorithmCurve(
+                algorithm=algo.name,
+                replica_counts=cfg.replica_counts,
+                mean_hit_rate_pct=np.asarray(means),
+                std_hit_rate_pct=np.asarray(stds),
+                mean_hops=np.asarray(hop_means),
+            )
+        results.append(SubgraphResult(subgraph=sub, curves=curves))
+
+    return CaseStudyResult(
+        seed_author=seed_author, config=cfg, split=split, subgraphs=results
+    )

@@ -1,0 +1,191 @@
+"""Replica hit-rate evaluation (paper Section VI-B).
+
+Definitions, quoted from the paper and encoded here:
+
+* A **hit** is "an author with a direct link to a replica (hop=1)"; we
+  also count authors who *host* a replica (hop=0) as hits.
+* A **miss** is an author without a direct link. "We report misses only
+  when the author exists in the subgraph; misses for authors that are not
+  in the subgraph are constant across algorithms" — reported misses cover
+  in-subgraph authors only, so the default ``hit_rate`` denominator is the
+  in-graph units. Out-of-graph units are tracked separately and exposed as
+  ``raw_hit_rate`` (the "reduce the overall hit ratio" variant).
+* Evaluation units are (test publication, author) pairs over test-year
+  publications "coauthored by at least one author in the subgraph".
+
+The evaluator precomputes, per subgraph, a dense test-unit count vector
+and a boolean adjacency matrix, so scoring one placement is two numpy
+operations — this is the hot loop of the 100-run Fig. 3 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import GraphError, PlacementError
+from ..ids import AuthorId
+from ..social.graph import CoauthorshipGraph
+from ..social.records import Corpus
+
+
+@dataclass(frozen=True, slots=True)
+class HitRateResult:
+    """Hit-rate of one placement.
+
+    Attributes
+    ----------
+    hits / total_units:
+        Units hit and total units (in-graph + out-of-graph).
+    in_graph_units / out_graph_units:
+        Denominator decomposition; out-of-graph units are constant misses.
+    mean_hops:
+        Mean hop distance from in-graph unit authors to the nearest
+        replica (unreachable authors excluded); a sensitivity metric the
+        paper does not report but DESIGN.md section 5 calls for.
+    """
+
+    hits: int
+    total_units: int
+    in_graph_units: int
+    out_graph_units: int
+    mean_hops: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over in-graph units (the paper's reported ratio)."""
+        return self.hits / self.in_graph_units if self.in_graph_units else 0.0
+
+    @property
+    def raw_hit_rate(self) -> float:
+        """Hits over all units including constant out-of-graph misses."""
+        return self.hits / self.total_units if self.total_units else 0.0
+
+    @property
+    def hit_rate_pct(self) -> float:
+        """Hit rate in percent — the paper's Fig. 3 y-axis."""
+        return 100.0 * self.hit_rate
+
+
+class HitRateEvaluator:
+    """Precomputed evaluator for one (subgraph, test corpus) pair.
+
+    Parameters
+    ----------
+    graph:
+        The trusted training subgraph on which replicas are placed.
+    test:
+        Test-window corpus; only publications with at least one author in
+        ``graph`` contribute units.
+    max_hops:
+        Hop threshold counting as a hit (paper: 1).
+    """
+
+    def __init__(
+        self,
+        graph: CoauthorshipGraph,
+        test: Corpus,
+        *,
+        max_hops: int = 1,
+    ) -> None:
+        if max_hops < 0:
+            raise GraphError(f"max_hops must be >= 0, got {max_hops}")
+        self.graph = graph
+        self.max_hops = max_hops
+        self._index = graph.node_index()
+        n = graph.n_nodes
+
+        members = set(self._index)
+        unit_counts = np.zeros(n, dtype=np.int64)
+        out_units = 0
+        relevant = 0
+        for pub in test:
+            if not (pub.authors & members):
+                continue
+            relevant += 1
+            for author in pub.authors:
+                idx = self._index.get(author)
+                if idx is None:
+                    out_units += 1
+                else:
+                    unit_counts[idx] += 1
+        self._unit_counts = unit_counts
+        self._out_units = out_units
+        self._n_test_pubs = relevant
+        self._adj = graph.adjacency_matrix() if n else np.zeros((0, 0), bool)
+
+    @property
+    def n_test_publications(self) -> int:
+        """Test publications with at least one subgraph author."""
+        return self._n_test_pubs
+
+    @property
+    def total_units(self) -> int:
+        """All evaluation units (in-graph + out-of-graph)."""
+        return int(self._unit_counts.sum()) + self._out_units
+
+    def coverage_mask(self, replicas: Sequence[AuthorId]) -> np.ndarray:
+        """Boolean mask of nodes within ``max_hops`` of any replica."""
+        n = self.graph.n_nodes
+        mask = np.zeros(n, dtype=bool)
+        idx = [self._index[r] for r in replicas if r in self._index]
+        unknown = [r for r in replicas if r not in self._index]
+        if unknown:
+            raise PlacementError(
+                f"replicas outside the subgraph: {unknown[:5]}"
+            )
+        mask[idx] = True
+        frontier = mask.copy()
+        for _ in range(self.max_hops):
+            if not frontier.any():
+                break
+            reached = self._adj[frontier].any(axis=0)
+            frontier = reached & ~mask
+            mask |= reached
+        return mask
+
+    def evaluate(self, replicas: Sequence[AuthorId]) -> HitRateResult:
+        """Score one placement.
+
+        Raises
+        ------
+        PlacementError
+            If ``replicas`` is empty or contains authors outside the graph.
+        """
+        if not replicas:
+            raise PlacementError("cannot evaluate an empty placement")
+        mask = self.coverage_mask(replicas)
+        hits = int(self._unit_counts[mask].sum())
+        in_units = int(self._unit_counts.sum())
+
+        # mean hop distance from unit authors to nearest replica (BFS rings)
+        n = self.graph.n_nodes
+        dist = np.full(n, -1, dtype=np.int64)
+        ring = np.zeros(n, dtype=bool)
+        idx = [self._index[r] for r in replicas]
+        ring[idx] = True
+        dist[ring] = 0
+        d = 0
+        seen = ring.copy()
+        while ring.any():
+            nxt = self._adj[ring].any(axis=0) & ~seen
+            d += 1
+            dist[nxt] = d
+            seen |= nxt
+            ring = nxt
+        reachable = (dist >= 0) & (self._unit_counts > 0)
+        if reachable.any():
+            weights = self._unit_counts[reachable].astype(np.float64)
+            mean_hops = float((dist[reachable] * weights).sum() / weights.sum())
+        else:
+            mean_hops = float("inf")
+
+        return HitRateResult(
+            hits=hits,
+            total_units=in_units + self._out_units,
+            in_graph_units=in_units,
+            out_graph_units=self._out_units,
+            mean_hops=mean_hops,
+        )

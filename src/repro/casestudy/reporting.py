@@ -1,0 +1,160 @@
+"""Rendering helpers for case-study results.
+
+Turns :class:`~repro.casestudy.experiment.CaseStudyResult` objects into
+markdown tables, CSV series, and terminal ASCII charts — the formats a
+user needs to drop reproduction numbers into a paper, a notebook, or a
+shell session.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .experiment import AlgorithmCurve, CaseStudyResult, SubgraphResult, table1_rows
+
+
+def table1_markdown(result: CaseStudyResult) -> str:
+    """Render Table I as a GitHub-flavoured markdown table."""
+    lines = [
+        "| graph | nodes | publications | edges |",
+        "|---|---|---|---|",
+    ]
+    for name, nodes, pubs, edges in table1_rows(result):
+        lines.append(f"| {name} | {nodes} | {pubs} | {edges} |")
+    return "\n".join(lines)
+
+
+def panel_markdown(panel: SubgraphResult, *, decimals: int = 1) -> str:
+    """Render one Fig. 3 panel as a markdown table (algorithms x counts)."""
+    counts = next(iter(panel.curves.values())).replica_counts
+    header = "| algorithm | " + " | ".join(str(c) for c in counts) + " |"
+    sep = "|---" * (len(counts) + 1) + "|"
+    lines = [header, sep]
+    for name in sorted(panel.curves):
+        curve = panel.curves[name]
+        cells = " | ".join(f"{v:.{decimals}f}" for v in curve.mean_hit_rate_pct)
+        lines.append(f"| {name} | {cells} |")
+    return "\n".join(lines)
+
+
+def curves_csv(panel: SubgraphResult) -> str:
+    """Render one panel as CSV: ``algorithm,replicas,mean,std`` rows."""
+    lines = ["algorithm,replicas,mean_hit_rate_pct,std_hit_rate_pct"]
+    for name in sorted(panel.curves):
+        curve = panel.curves[name]
+        for i, count in enumerate(curve.replica_counts):
+            lines.append(
+                f"{name},{count},{curve.mean_hit_rate_pct[i]:.4f},"
+                f"{curve.std_hit_rate_pct[i]:.4f}"
+            )
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    panel: SubgraphResult,
+    *,
+    height: int = 12,
+    algorithms: Optional[Sequence[str]] = None,
+    max_pct: Optional[float] = None,
+) -> str:
+    """Render a panel as a terminal scatter chart (one symbol per algorithm).
+
+    The x axis is the replica count, the y axis the mean hit-rate percent.
+    Overlapping points show the later algorithm's symbol.
+    """
+    if height < 3:
+        raise ConfigurationError("height must be >= 3")
+    names = list(algorithms) if algorithms is not None else sorted(panel.curves)
+    for n in names:
+        if n not in panel.curves:
+            raise ConfigurationError(f"unknown algorithm {n!r}")
+    symbols = "ox+*#@%&"
+    counts = next(iter(panel.curves.values())).replica_counts
+    top = max_pct
+    if top is None:
+        top = max(
+            float(panel.curves[n].mean_hit_rate_pct.max()) for n in names
+        )
+        top = max(top, 1.0)
+
+    # grid[row][col], row 0 = top
+    width = len(counts)
+    grid = [[" "] * width for _ in range(height)]
+    for k, name in enumerate(names):
+        curve = panel.curves[name]
+        sym = symbols[k % len(symbols)]
+        for col, v in enumerate(curve.mean_hit_rate_pct):
+            frac = min(1.0, max(0.0, float(v) / top))
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = sym
+
+    lines = [f"{panel.subgraph.name}: hit rate % vs replicas (top = {top:.0f}%)"]
+    for r, row in enumerate(grid):
+        y = top * (height - 1 - r) / (height - 1)
+        lines.append(f"{y:5.1f} | " + " ".join(row))
+    lines.append("      +" + "--" * width)
+    lines.append("        " + " ".join(str(c)[-1] for c in counts))
+    legend = "  ".join(
+        f"{symbols[k % len(symbols)]}={name}" for k, name in enumerate(names)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def result_to_dict(result: CaseStudyResult) -> dict:
+    """Serialize a case-study result to a JSON-ready dict.
+
+    Captures everything EXPERIMENTS.md needs: configuration, Table I rows,
+    and every curve's mean/std series. (One-way: rerun the experiment to
+    get live objects back — results are cheap to regenerate from seeds.)
+    """
+    return {
+        "format": "repro-case-study",
+        "version": 1,
+        "seed_author": str(result.seed_author),
+        "config": {
+            "hops": result.config.hops,
+            "train_years": list(result.config.train_years),
+            "test_years": list(result.config.test_years),
+            "replica_counts": list(result.config.replica_counts),
+            "n_runs": result.config.n_runs,
+            "hit_max_hops": result.config.hit_max_hops,
+            "placement_window": result.config.placement_window,
+        },
+        "table1": [
+            {"graph": name, "nodes": nodes, "publications": pubs, "edges": edges}
+            for name, nodes, pubs, edges in table1_rows(result)
+        ],
+        "panels": [
+            {
+                "graph": panel.subgraph.name,
+                "curves": {
+                    name: {
+                        "replica_counts": list(curve.replica_counts),
+                        "mean_hit_rate_pct": [float(v) for v in curve.mean_hit_rate_pct],
+                        "std_hit_rate_pct": [float(v) for v in curve.std_hit_rate_pct],
+                        "mean_hops": [
+                            None if not (v == v) or v == float("inf") else float(v)
+                            for v in curve.mean_hops
+                        ],
+                    }
+                    for name, curve in panel.curves.items()
+                },
+            }
+            for panel in result.subgraphs
+        ],
+    }
+
+
+def summary_text(result: CaseStudyResult) -> str:
+    """One-paragraph text summary of a case-study run."""
+    parts: List[str] = []
+    for panel in result.subgraphs:
+        best = panel.best_algorithm()
+        final = panel.curves[best].final
+        parts.append(
+            f"{panel.subgraph.name}: {panel.subgraph.n_nodes} nodes, "
+            f"winner {best} at {final:.1f}% ({result.config.n_runs} runs)"
+        )
+    return "; ".join(parts)

@@ -1,0 +1,67 @@
+"""Temporal train/test splitting of a corpus.
+
+The paper: "we use the years 2009 and 2010 as a training set to identify
+locations for CDN replica placement ... we then use publications from 2011
+of any author in the subgraph to determine how available datasets are".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..social.records import Corpus
+
+
+@dataclass(frozen=True)
+class TemporalSplit:
+    """A train/test partition of a corpus by year.
+
+    Attributes
+    ----------
+    train:
+        Publications inside the training window (placement input).
+    test:
+        Publications inside the test window (hit-rate evaluation input).
+    train_years / test_years:
+        The inclusive windows used.
+    """
+
+    train: Corpus
+    test: Corpus
+    train_years: Tuple[int, int]
+    test_years: Tuple[int, int]
+
+
+def split_corpus(
+    corpus: Corpus,
+    *,
+    train_years: Tuple[int, int] = (2009, 2010),
+    test_years: Tuple[int, int] = (2011, 2011),
+) -> TemporalSplit:
+    """Split ``corpus`` into temporal train/test windows.
+
+    The windows must not overlap (a publication used to place replicas
+    must not also score them).
+
+    Raises
+    ------
+    ConfigurationError
+        On inverted or overlapping windows, or an empty training window.
+    """
+    t0, t1 = train_years
+    e0, e1 = test_years
+    if t0 > t1 or e0 > e1:
+        raise ConfigurationError("year windows must be (start <= end)")
+    if not (t1 < e0 or e1 < t0):
+        raise ConfigurationError(
+            f"train {train_years} and test {test_years} windows overlap"
+        )
+    train = corpus.filter_years(t0, t1)
+    test = corpus.filter_years(e0, e1)
+    if len(train) == 0:
+        raise ConfigurationError(f"no publications in training window {train_years}")
+    return TemporalSplit(
+        train=train, test=test, train_years=train_years, test_years=test_years
+    )

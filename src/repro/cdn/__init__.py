@@ -1,0 +1,97 @@
+"""The S-CDN core: content model, storage, placement, allocation, transfer.
+
+This subpackage implements the paper's Section V architecture as a working
+(simulated) system:
+
+* :mod:`repro.cdn.content` — datasets, segments, replicas.
+* :mod:`repro.cdn.catalog` — the replica catalog maintained by allocation
+  servers.
+* :mod:`repro.cdn.storage` — user-contributed storage repositories,
+  partitioned into a CDN-managed replica volume and user space.
+* :mod:`repro.cdn.placement` — replica placement algorithms (the paper's
+  four plus the extensions Section V-D suggests).
+* :mod:`repro.cdn.transfer` — a simulated GlobusTransfer-like mover.
+* :mod:`repro.cdn.allocation` — allocation servers: placement, discovery,
+  demand-driven re-replication, migration.
+* :mod:`repro.cdn.client` — the per-researcher CDN client.
+* :mod:`repro.cdn.replication` — redundancy policies and failure repair.
+* :mod:`repro.cdn.partitioning` — social data partitioning.
+"""
+
+from .content import Dataset, DataSegment, Replica, ReplicaState, segment_dataset
+from .catalog import ReplicaCatalog
+from .storage import StorageRepository, RepositoryStats
+from .transfer import TransferClient, TransferRequest, TransferResult
+from .placement import (
+    PlacementAlgorithm,
+    RandomPlacement,
+    NodeDegreePlacement,
+    CommunityNodeDegreePlacement,
+    ClusteringCoefficientPlacement,
+    BetweennessPlacement,
+    PageRankPlacement,
+    GreedyCoveragePlacement,
+    DominatingSetPlacement,
+    GeoSocialPlacement,
+    get_placement,
+    paper_placements,
+    all_placements,
+)
+from .allocation import AllocationServer
+from .client import CDNClient
+from .replication import ReplicationPolicy, RedundancyReport
+from .partitioning import SocialPartitioner, PartitionAssignment
+from .overlay import (
+    build_availability_graph,
+    select_cover,
+    OverlaySelection,
+    expected_access_availability,
+)
+from .consistency import ReplicaVersionTracker, UpdatePropagator, WriteRecord
+from .p2p import GossipIndex, LookupResult, index_from_server
+from .server_group import AllocationServerGroup, CatalogSnapshot
+
+__all__ = [
+    "Dataset",
+    "DataSegment",
+    "Replica",
+    "ReplicaState",
+    "segment_dataset",
+    "ReplicaCatalog",
+    "StorageRepository",
+    "RepositoryStats",
+    "TransferClient",
+    "TransferRequest",
+    "TransferResult",
+    "PlacementAlgorithm",
+    "RandomPlacement",
+    "NodeDegreePlacement",
+    "CommunityNodeDegreePlacement",
+    "ClusteringCoefficientPlacement",
+    "BetweennessPlacement",
+    "PageRankPlacement",
+    "GreedyCoveragePlacement",
+    "DominatingSetPlacement",
+    "GeoSocialPlacement",
+    "get_placement",
+    "paper_placements",
+    "all_placements",
+    "AllocationServer",
+    "CDNClient",
+    "ReplicationPolicy",
+    "RedundancyReport",
+    "SocialPartitioner",
+    "PartitionAssignment",
+    "build_availability_graph",
+    "select_cover",
+    "OverlaySelection",
+    "expected_access_availability",
+    "ReplicaVersionTracker",
+    "UpdatePropagator",
+    "WriteRecord",
+    "GossipIndex",
+    "LookupResult",
+    "index_from_server",
+    "AllocationServerGroup",
+    "CatalogSnapshot",
+]

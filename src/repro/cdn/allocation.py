@@ -1,0 +1,472 @@
+"""Allocation servers (paper Section V-B).
+
+"One or more allocation servers act as catalogs for global datasets ...
+together they maintain a list of current replicas and place, move, update,
+and maintain replicas." Their three tasks, all implemented here:
+
+1. **Selection of replicas and data allocation** — placement algorithms
+   run over the trusted social graph restricted to registered hosts.
+2. **Data discovery and transfer management** — ``resolve`` finds the
+   best servable replica for a requester (closest by social hops, online,
+   tie-broken by load).
+3. **General CDN management** — availability-driven state transitions,
+   demand-driven re-replication of hot segments, and migration of replicas
+   off departing nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import CatalogError, ConfigurationError, PlacementError
+from ..ids import AuthorId, DatasetId, NodeId, SegmentId
+from ..rng import SeedLike, make_rng, spawn
+from ..social.ego import hop_distances
+from ..social.graph import CoauthorshipGraph
+from .catalog import ReplicaCatalog
+from .content import Dataset, Replica, ReplicaState
+from .partitioning import PartitionAssignment
+from .placement.base import PlacementAlgorithm
+from .storage import StorageRepository
+
+
+@dataclass(frozen=True, slots=True)
+class ResolvedReplica:
+    """Outcome of a discovery query: the chosen replica and its social
+    distance from the requester (None when the requester is outside the
+    graph or disconnected from every replica host)."""
+
+    replica: Replica
+    social_hops: Optional[int]
+
+
+class AllocationServer:
+    """A centralized allocation server over one Social Cloud.
+
+    Parameters
+    ----------
+    graph:
+        The (trusted) coauthorship graph — the CDN overlay's social fabric.
+        Placement and proximity queries run on it.
+    placement:
+        Replica placement algorithm used at publish time.
+    seed:
+        RNG seed; placement randomness derives from it.
+
+    Notes
+    -----
+    Storage hosts are researchers: a repository registered for author ``a``
+    gets node id equal to ``a`` unless an explicit node id was chosen when
+    constructing the repository. The mapping author -> node is kept by the
+    server.
+    """
+
+    def __init__(
+        self,
+        graph: CoauthorshipGraph,
+        placement: PlacementAlgorithm,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        self.graph = graph
+        self.placement = placement
+        self.catalog = ReplicaCatalog()
+        self._rng = make_rng(seed)
+        self._repos: Dict[NodeId, StorageRepository] = {}
+        self._node_of_author: Dict[AuthorId, NodeId] = {}
+        self._author_of_node: Dict[NodeId, AuthorId] = {}
+        self._offline: Set[NodeId] = set()
+        self._dataset_budget: Dict[DatasetId, int] = {}
+        self._hop_cache: Dict[AuthorId, Dict[AuthorId, int]] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register_repository(
+        self, author: AuthorId, repository: StorageRepository
+    ) -> NodeId:
+        """Register a researcher's storage contribution.
+
+        The author must be a member of the social graph — the paper's trust
+        boundary: only community members may host replicas.
+        """
+        if author not in self.graph:
+            raise ConfigurationError(
+                f"author {author!r} is not in the trusted social graph"
+            )
+        if author in self._node_of_author:
+            raise ConfigurationError(f"author {author!r} already contributed a repository")
+        node = repository.node_id
+        if node in self._repos:
+            raise ConfigurationError(f"node {node!r} already registered")
+        self._repos[node] = repository
+        self._node_of_author[author] = node
+        self._author_of_node[node] = author
+        return node
+
+    def repository(self, node: NodeId) -> StorageRepository:
+        """Look up a registered repository."""
+        try:
+            return self._repos[node]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node!r}") from None
+
+    def node_of(self, author: AuthorId) -> NodeId:
+        """Node id of an author's repository."""
+        try:
+            return self._node_of_author[author]
+        except KeyError:
+            raise ConfigurationError(f"author {author!r} has no repository") from None
+
+    def author_of(self, node: NodeId) -> AuthorId:
+        """Author hosting a node."""
+        try:
+            return self._author_of_node[node]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node!r}") from None
+
+    def registered_authors(self) -> List[AuthorId]:
+        """Authors that contributed repositories."""
+        return list(self._node_of_author)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of registered storage nodes."""
+        return len(self._repos)
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def node_offline(self, node: NodeId, *, at: float = 0.0) -> int:
+        """Mark a node offline; its replicas become STALE. Returns count."""
+        if node not in self._repos:
+            raise ConfigurationError(f"unknown node {node!r}")
+        self._offline.add(node)
+        n = 0
+        for rep in self.catalog.replicas_on_node(node):
+            if rep.state is ReplicaState.ACTIVE:
+                self.catalog.mark_stale(rep.replica_id)
+                n += 1
+        return n
+
+    def node_online(self, node: NodeId, *, at: float = 0.0) -> int:
+        """Mark a node online again; STALE replicas with intact data reactivate."""
+        if node not in self._repos:
+            raise ConfigurationError(f"unknown node {node!r}")
+        self._offline.discard(node)
+        repo = self._repos[node]
+        n = 0
+        for rep in self.catalog.replicas_on_node(node):
+            if rep.state is ReplicaState.STALE and repo.hosts_segment(rep.segment_id):
+                self.catalog.activate(rep.replica_id)
+                n += 1
+        return n
+
+    def is_online(self, node: NodeId) -> bool:
+        """Whether a registered node is currently online."""
+        if node not in self._repos:
+            raise ConfigurationError(f"unknown node {node!r}")
+        return node not in self._offline
+
+    # ------------------------------------------------------------------
+    # placement / publication
+    # ------------------------------------------------------------------
+    def _host_subgraph(self) -> CoauthorshipGraph:
+        """The social graph restricted to authors with online repositories."""
+        hosts = [
+            a
+            for a, n in self._node_of_author.items()
+            if n not in self._offline
+        ]
+        if not hosts:
+            raise PlacementError("no online repositories registered")
+        return self.graph.subgraph(hosts)
+
+    def publish_dataset(
+        self,
+        dataset: Dataset,
+        *,
+        n_replicas: int = 3,
+        at: float = 0.0,
+    ) -> List[Replica]:
+        """Register a dataset and place ``n_replicas`` replicas of each segment.
+
+        Placement runs once per dataset over the host subgraph; every
+        segment is replicated to the same hosts (segment-level scattering
+        is the partitioner's job, see :mod:`repro.cdn.partitioning`).
+        Hosts whose replica partition cannot fit a segment are skipped in
+        favor of the next-ranked host. Publication is atomic: if any
+        segment cannot be placed at least once, everything is rolled back
+        and the dataset is not registered.
+        """
+        self.catalog.register_dataset(dataset)
+        self._dataset_budget[dataset.dataset_id] = n_replicas
+        replicas: List[Replica] = []
+        try:
+            hosts_graph = self._host_subgraph()
+            budget = min(n_replicas, hosts_graph.n_nodes)
+            # ask for extra candidates so capacity-skips can be back-filled
+            want = min(hosts_graph.n_nodes, max(budget * 3, budget + 4))
+            (rng,) = spawn(self._rng, 1)
+            candidates = self.placement.select(hosts_graph, want, rng=rng)
+
+            for segment in dataset.segments:
+                placed = 0
+                for author in candidates:
+                    if placed >= budget:
+                        break
+                    node = self._node_of_author[author]
+                    repo = self._repos[node]
+                    if repo.hosts_segment(segment.segment_id):
+                        continue
+                    if not repo.can_host(segment.size_bytes):
+                        continue
+                    repo.store_replica(segment.segment_id, segment.size_bytes)
+                    rep = self.catalog.create_replica(
+                        segment.segment_id, node, created_at=at, state=ReplicaState.ACTIVE
+                    )
+                    replicas.append(rep)
+                    placed += 1
+                if placed == 0:
+                    raise PlacementError(
+                        f"no registered host could store segment {segment.segment_id} "
+                        f"({segment.size_bytes} bytes)"
+                    )
+        except PlacementError:
+            self._rollback_publication(dataset, replicas)
+            raise
+        return replicas
+
+    def _rollback_publication(self, dataset: Dataset, replicas: List[Replica]) -> None:
+        """Undo a partially placed publication: free storage, retire
+        replicas, unregister the dataset."""
+        for rep in replicas:
+            repo = self._repos[rep.node_id]
+            if repo.hosts_segment(rep.segment_id):
+                repo.evict_replica(rep.segment_id)
+            self.catalog.retire(rep.replica_id)
+        self._dataset_budget.pop(dataset.dataset_id, None)
+        self.catalog.unregister_dataset(dataset.dataset_id)
+
+    def publish_dataset_partitioned(
+        self,
+        dataset: Dataset,
+        assignment: "PartitionAssignment",
+        *,
+        extra_replicas: int = 0,
+        at: float = 0.0,
+    ) -> List[Replica]:
+        """Publish a dataset with socially partitioned segment placement.
+
+        Each segment's primary replica goes to the host its community
+        partition suggests (Section V-D second stage: "assign data
+        segments to replicas based on usage records and social
+        information"); ``extra_replicas`` additional copies per segment
+        are then placed by the configured placement algorithm for
+        redundancy.
+
+        Hosts suggested by the assignment must have registered
+        repositories; segments whose suggested host lacks capacity fall
+        back to placement-chosen hosts.
+        """
+        self.catalog.register_dataset(dataset)
+        self._dataset_budget[dataset.dataset_id] = 1 + extra_replicas
+        replicas: List[Replica] = []
+        try:
+            hosts_graph = self._host_subgraph()
+            (rng,) = spawn(self._rng, 1)
+            fallback = self.placement.select(
+                hosts_graph, min(hosts_graph.n_nodes, extra_replicas + 4), rng=rng
+            )
+            for segment in dataset.segments:
+                host_author = assignment.host_of_segment.get(segment.segment_id)
+                candidates: List[AuthorId] = []
+                if host_author is not None:
+                    candidates.append(host_author)
+                candidates.extend(a for a in fallback if a != host_author)
+                placed = False
+                for author in candidates:
+                    node = self._node_of_author.get(author)
+                    if node is None or node in self._offline:
+                        continue
+                    repo = self._repos[node]
+                    if repo.hosts_segment(segment.segment_id) or not repo.can_host(
+                        segment.size_bytes
+                    ):
+                        continue
+                    repo.store_replica(segment.segment_id, segment.size_bytes)
+                    replicas.append(
+                        self.catalog.create_replica(
+                            segment.segment_id,
+                            node,
+                            created_at=at,
+                            state=ReplicaState.ACTIVE,
+                        )
+                    )
+                    placed = True
+                    break
+                if not placed:
+                    raise PlacementError(
+                        f"no registered host could store segment {segment.segment_id}"
+                    )
+        except PlacementError:
+            self._rollback_publication(dataset, replicas)
+            raise
+        if extra_replicas:
+            replicas.extend(self.repair(at=at))
+        return replicas
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def _hops_from(self, requester: AuthorId) -> Dict[AuthorId, int]:
+        if requester not in self._hop_cache:
+            if requester in self.graph:
+                self._hop_cache[requester] = hop_distances(self.graph, {requester})
+            else:
+                self._hop_cache[requester] = {}
+        return self._hop_cache[requester]
+
+    def resolve(self, segment_id: SegmentId, requester: AuthorId) -> ResolvedReplica:
+        """Find the best servable replica of a segment for ``requester``.
+
+        Selection: online hosts only, ordered by social hop distance from
+        the requester (unknown distance sorts last), then by load (fewest
+        reads served), then node id for determinism. Records the access on
+        the chosen replica (the demand signal).
+
+        Raises
+        ------
+        CatalogError
+            If no servable replica exists.
+        """
+        reps = [
+            r
+            for r in self.catalog.replicas_of_segment(segment_id, servable_only=True)
+            if r.node_id not in self._offline
+        ]
+        if not reps:
+            raise CatalogError(f"no servable replica of {segment_id}")
+        hops = self._hops_from(requester)
+
+        def sort_key(r: Replica) -> Tuple[int, int, str]:
+            author = self._author_of_node[r.node_id]
+            d = hops.get(author, 10**9)
+            return (d, self._repos[r.node_id].stats().reads_served, str(r.node_id))
+
+        best = min(reps, key=sort_key)
+        best.touch()
+        self._repos[best.node_id].read_segment(segment_id)
+        author = self._author_of_node[best.node_id]
+        d = hops.get(author)
+        return ResolvedReplica(replica=best, social_hops=d)
+
+    # ------------------------------------------------------------------
+    # management: repair, demand, migration
+    # ------------------------------------------------------------------
+    def under_replicated(self) -> List[Tuple[SegmentId, int]]:
+        """Segments below their dataset's replica budget, counting only
+        replicas on online hosts."""
+        out: List[Tuple[SegmentId, int]] = []
+        for ds in self.catalog.datasets():
+            budget = self._dataset_budget.get(ds.dataset_id, 1)
+            for seg in ds.segments:
+                live = [
+                    r
+                    for r in self.catalog.replicas_of_segment(
+                        seg.segment_id, servable_only=True
+                    )
+                    if r.node_id not in self._offline
+                ]
+                if len(live) < budget:
+                    out.append((seg.segment_id, len(live)))
+        out.sort(key=lambda t: (t[1], t[0]))
+        return out
+
+    def repair(self, *, at: float = 0.0) -> List[Replica]:
+        """Re-replicate every under-replicated segment onto new hosts.
+
+        New hosts are chosen by the placement algorithm over online hosts
+        not already holding the segment. Segments with zero live replicas
+        are unrecoverable (data loss) and are skipped — they surface in
+        :meth:`under_replicated` output for the metrics layer.
+        """
+        created: List[Replica] = []
+        for segment_id, live in self.under_replicated():
+            if live == 0:
+                continue  # unrecoverable without a live source
+            segment = self.catalog.segment(segment_id)
+            budget = self._dataset_budget.get(segment.dataset_id, 1)
+            need = budget - live
+            holders = self.catalog.nodes_hosting(segment_id)
+            eligible = [
+                a
+                for a, n in self._node_of_author.items()
+                if n not in self._offline and n not in holders
+            ]
+            if not eligible:
+                continue
+            sub = self.graph.subgraph(eligible)
+            (rng,) = spawn(self._rng, 1)
+            try:
+                picks = self.placement.select(sub, min(need * 2 + 2, sub.n_nodes), rng=rng)
+            except PlacementError:
+                continue
+            placed = 0
+            for author in picks:
+                if placed >= need:
+                    break
+                node = self._node_of_author[author]
+                repo = self._repos[node]
+                if repo.hosts_segment(segment_id) or not repo.can_host(segment.size_bytes):
+                    continue
+                repo.store_replica(segment_id, segment.size_bytes)
+                created.append(
+                    self.catalog.create_replica(
+                        segment_id, node, created_at=at, state=ReplicaState.ACTIVE
+                    )
+                )
+                placed += 1
+        return created
+
+    def hot_segments(self, threshold: int) -> List[Tuple[SegmentId, int]]:
+        """Segments whose total replica access count reaches ``threshold``,
+        hottest first (demand signal for re-replication)."""
+        totals: Dict[SegmentId, int] = {}
+        for rep in self.catalog.iter_replicas():
+            totals[rep.segment_id] = totals.get(rep.segment_id, 0) + rep.access_count
+        out = [(s, c) for s, c in totals.items() if c >= threshold]
+        out.sort(key=lambda t: (-t[1], t[0]))
+        return out
+
+    def scale_hot(self, threshold: int, *, extra: int = 1, at: float = 0.0) -> List[Replica]:
+        """Raise the budget of hot segments' datasets by ``extra`` and repair.
+
+        Implements "ensuring availability by increasing the number of
+        replicas needed based on demand" (Section V-B).
+        """
+        if extra < 1:
+            raise ConfigurationError(f"extra must be >= 1, got {extra}")
+        touched: Set[DatasetId] = set()
+        for seg_id, _count in self.hot_segments(threshold):
+            ds_id = self.catalog.segment(seg_id).dataset_id
+            if ds_id not in touched:
+                self._dataset_budget[ds_id] = self._dataset_budget.get(ds_id, 1) + extra
+                touched.add(ds_id)
+        if not touched:
+            return []
+        return self.repair(at=at)
+
+    def migrate_node(self, node: NodeId, *, at: float = 0.0) -> List[Replica]:
+        """Handle a permanent departure: retire the node's replicas, free its
+        storage, and re-replicate elsewhere. Returns the new replicas."""
+        if node not in self._repos:
+            raise ConfigurationError(f"unknown node {node!r}")
+        repo = self._repos[node]
+        for rep in self.catalog.replicas_on_node(node):
+            self.catalog.retire(rep.replica_id)
+            if repo.hosts_segment(rep.segment_id):
+                repo.evict_replica(rep.segment_id)
+        self._offline.add(node)
+        return self.repair(at=at)

@@ -1,0 +1,168 @@
+"""The per-researcher CDN client (paper Section V-A).
+
+"The CDN client is a lightweight server that is configured with the user's
+social network credentials to interact with the CDN. It also manages the
+contributed storage repository and monitors system statistics ... The
+client also acts as a proxy to the contributed repository to perform tasks
+such as initiating data transfers between replicas."
+
+The client implements the read path: local replica partition first, then
+the user-space cache, then discovery via the allocation server plus a
+third-party transfer into user space. It accumulates the per-user counters
+the metrics layer aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CapacityError, CatalogError, TransferError
+from ..ids import AuthorId, DatasetId, NodeId, SegmentId
+from .allocation import AllocationServer
+from .storage import StorageRepository
+from .transfer import TransferClient, TransferRequest
+
+
+@dataclass(slots=True)
+class ClientStats:
+    """Per-client counters."""
+
+    requests: int = 0
+    local_hits: int = 0
+    cache_hits: int = 0
+    remote_fetches: int = 0
+    failed: int = 0
+    bytes_fetched: int = 0
+    total_fetch_time_s: float = 0.0
+    hop_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def one_hop_hit_ratio(self) -> float:
+        """Fraction of requests served locally or from a 1-hop replica —
+        the paper's Fig. 3 "hit" notion applied to the live system."""
+        if self.requests == 0:
+            return 0.0
+        near = self.local_hits + self.cache_hits + self.hop_histogram.get(0, 0) + self.hop_histogram.get(1, 0)
+        return near / self.requests
+
+    @property
+    def mean_fetch_time_s(self) -> float:
+        """Mean remote fetch duration (0.0 with no fetches)."""
+        if self.remote_fetches == 0:
+            return 0.0
+        return self.total_fetch_time_s / self.remote_fetches
+
+
+@dataclass(frozen=True, slots=True)
+class AccessOutcome:
+    """Result of one segment access through the client."""
+
+    segment_id: SegmentId
+    source: str  # "replica-partition" | "user-cache" | "remote"
+    social_hops: Optional[int]
+    duration_s: float
+    ok: bool
+
+
+class CDNClient:
+    """Read-path client bound to one researcher and their repository."""
+
+    def __init__(
+        self,
+        author: AuthorId,
+        repository: StorageRepository,
+        server: AllocationServer,
+        transfer: TransferClient,
+    ) -> None:
+        self.author = author
+        self.repository = repository
+        self.server = server
+        self.transfer = transfer
+        self.stats = ClientStats()
+
+    def _cache_name(self, segment_id: SegmentId) -> str:
+        return f"cache:{segment_id}"
+
+    def access_segment(self, segment_id: SegmentId) -> AccessOutcome:
+        """Access one segment: local partition, then cache, then remote fetch.
+
+        Remote fetches land in the user partition as a cache file; when the
+        partition lacks room, least-recently-fetched cache entries are
+        evicted first (plain FIFO over cache files). A failed transfer or
+        missing replica yields ``ok=False``.
+        """
+        self.stats.requests += 1
+        # 1. CDN-managed replica partition (the user hosts this segment)
+        if self.repository.hosts_segment(segment_id):
+            self.repository.read_segment(segment_id)
+            self.stats.local_hits += 1
+            return AccessOutcome(segment_id, "replica-partition", 0, 0.0, True)
+        # 2. previously fetched copy in user space
+        if self.repository.has_user_file(self._cache_name(segment_id)):
+            self.stats.cache_hits += 1
+            return AccessOutcome(segment_id, "user-cache", 0, 0.0, True)
+        # 3. remote: discover and transfer
+        try:
+            resolved = self.server.resolve(segment_id, self.author)
+        except CatalogError:
+            self.stats.failed += 1
+            return AccessOutcome(segment_id, "remote", None, 0.0, False)
+        segment = self.server.catalog.segment(segment_id)
+        request = TransferRequest(
+            segment_id=segment_id,
+            source=resolved.replica.node_id,
+            dest=self.repository.node_id,
+            size_bytes=segment.size_bytes,
+        )
+        try:
+            result = self.transfer.execute(request)
+        except TransferError:
+            self.stats.failed += 1
+            return AccessOutcome(segment_id, "remote", resolved.social_hops, 0.0, False)
+        if not result.ok:
+            self.stats.failed += 1
+            return AccessOutcome(
+                segment_id, "remote", resolved.social_hops, result.duration_s, False
+            )
+        self._cache_store(segment_id, segment.size_bytes)
+        self.stats.remote_fetches += 1
+        self.stats.bytes_fetched += segment.size_bytes
+        self.stats.total_fetch_time_s += result.duration_s
+        if resolved.social_hops is not None:
+            h = resolved.social_hops
+            self.stats.hop_histogram[h] = self.stats.hop_histogram.get(h, 0) + 1
+        return AccessOutcome(
+            segment_id, "remote", resolved.social_hops, result.duration_s, True
+        )
+
+    def access_dataset(self, dataset_id: DatasetId) -> List[AccessOutcome]:
+        """Access every segment of a dataset, in order."""
+        dataset = self.server.catalog.dataset(dataset_id)
+        return [self.access_segment(seg.segment_id) for seg in dataset.segments]
+
+    def _cache_store(self, segment_id: SegmentId, size_bytes: int) -> None:
+        """Cache a fetched segment in user space, evicting old entries as needed."""
+        name = self._cache_name(segment_id)
+        if size_bytes > self.repository.user_quota_bytes:
+            return  # larger than the whole partition: stream-only access
+        while True:
+            try:
+                self.repository.put_user_file(name, size_bytes)
+                return
+            except CapacityError:
+                victims = [
+                    f
+                    for f in self._cache_files()
+                    if f != name
+                ]
+                if not victims:
+                    return  # user's own files occupy the space; don't evict those
+                self.repository.delete_user_file(victims[0])
+
+    def _cache_files(self) -> List[str]:
+        return [f for f in self.repository.user_files() if f.startswith("cache:")]
+
+    def report_stats(self) -> ClientStats:
+        """Stats snapshot reported to allocation servers."""
+        return self.stats

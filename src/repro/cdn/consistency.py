@@ -1,0 +1,206 @@
+"""Replica versioning and update propagation (eventual consistency).
+
+The paper adopts My3's model for replica maintenance: "updates propagate
+amongst replicas until profiles are eventually consistent". Scientific
+datasets change too — a re-run analysis overwrites a derived dataset — so
+the S-CDN needs the same machinery:
+
+* :class:`ReplicaVersionTracker` — per-replica version numbers for every
+  segment, with staleness queries;
+* :class:`UpdatePropagator` — drives propagation over the simulation
+  engine: a write lands on one replica, then spreads to its peers with
+  per-link delays; replicas offline at propagation time are caught up by
+  periodic anti-entropy rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import CatalogError, ConfigurationError
+from ..ids import NodeId, SegmentId
+from ..sim.engine import SimulationEngine
+from .allocation import AllocationServer
+from .transfer import TransferClient, TransferRequest
+
+
+@dataclass(frozen=True, slots=True)
+class WriteRecord:
+    """One accepted write: the segment reached ``version`` at ``time``."""
+
+    segment_id: SegmentId
+    version: int
+    time: float
+    origin: NodeId
+
+
+class ReplicaVersionTracker:
+    """Tracks the latest committed version of each segment and the version
+    each hosting node currently serves."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[SegmentId, int] = {}
+        self._node_version: Dict[Tuple[SegmentId, NodeId], int] = {}
+        self.history: List[WriteRecord] = []
+
+    def latest_version(self, segment_id: SegmentId) -> int:
+        """Newest committed version (0 = never written)."""
+        return self._latest.get(segment_id, 0)
+
+    def node_version(self, segment_id: SegmentId, node: NodeId) -> int:
+        """Version currently served by ``node`` (0 = original/never synced)."""
+        return self._node_version.get((segment_id, node), 0)
+
+    def commit_write(
+        self, segment_id: SegmentId, origin: NodeId, *, at: float = 0.0
+    ) -> WriteRecord:
+        """Record a new write landing on ``origin``; bumps the version."""
+        version = self.latest_version(segment_id) + 1
+        self._latest[segment_id] = version
+        self._node_version[(segment_id, origin)] = version
+        record = WriteRecord(
+            segment_id=segment_id, version=version, time=at, origin=origin
+        )
+        self.history.append(record)
+        return record
+
+    def apply_update(self, segment_id: SegmentId, node: NodeId, version: int) -> bool:
+        """Deliver ``version`` to ``node``; returns True if it advanced the
+        node (stale deliveries are ignored — last-writer-wins)."""
+        key = (segment_id, node)
+        if version > self._node_version.get(key, 0):
+            self._node_version[key] = version
+            return True
+        return False
+
+    def is_stale(self, segment_id: SegmentId, node: NodeId) -> bool:
+        """Whether ``node`` serves an outdated version of the segment."""
+        return self.node_version(segment_id, node) < self.latest_version(segment_id)
+
+    def stale_nodes(self, segment_id: SegmentId, nodes: Set[NodeId]) -> Set[NodeId]:
+        """Subset of ``nodes`` serving outdated versions."""
+        return {n for n in nodes if self.is_stale(segment_id, n)}
+
+
+class UpdatePropagator:
+    """Propagates writes across a segment's replicas over the engine.
+
+    Parameters
+    ----------
+    server:
+        The allocation server (catalog + liveness).
+    transfer:
+        The simulated mover; its estimated durations become propagation
+        delays.
+    engine:
+        The simulation engine propagation events are scheduled on.
+    anti_entropy_interval_s:
+        Period of the background reconciliation sweep that catches up
+        replicas which were offline when an update was pushed. ``None``
+        disables anti-entropy (updates then only reach online replicas).
+    """
+
+    def __init__(
+        self,
+        server: AllocationServer,
+        transfer: TransferClient,
+        engine: SimulationEngine,
+        *,
+        anti_entropy_interval_s: Optional[float] = 6 * 3600.0,
+    ) -> None:
+        if anti_entropy_interval_s is not None and anti_entropy_interval_s <= 0:
+            raise ConfigurationError("anti_entropy_interval_s must be positive")
+        self.server = server
+        self.transfer = transfer
+        self.engine = engine
+        self.tracker = ReplicaVersionTracker()
+        self.propagated = 0
+        self.anti_entropy_syncs = 0
+        if anti_entropy_interval_s is not None:
+            engine.every(
+                anti_entropy_interval_s,
+                lambda e: self.anti_entropy(at=e.now),
+                label="anti-entropy",
+            )
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write(self, segment_id: SegmentId, origin: NodeId) -> WriteRecord:
+        """Accept a write at ``origin`` and push it to every online peer.
+
+        Raises
+        ------
+        CatalogError
+            If ``origin`` does not host a servable replica of the segment.
+        """
+        holders = self.server.catalog.nodes_hosting(segment_id)
+        if origin not in holders:
+            raise CatalogError(
+                f"{origin} does not host a servable replica of {segment_id}"
+            )
+        record = self.tracker.commit_write(
+            segment_id, origin, at=self.engine.now
+        )
+        segment = self.server.catalog.segment(segment_id)
+        for peer in sorted(holders - {origin}):
+            if not self.server.is_online(peer):
+                continue  # anti-entropy will catch it up
+            delay = self.transfer.estimate_duration(
+                TransferRequest(
+                    segment_id=segment_id,
+                    source=origin,
+                    dest=peer,
+                    size_bytes=segment.size_bytes,
+                )
+            )
+            self.engine.schedule_in(
+                delay,
+                lambda e, p=peer, v=record.version: self._deliver(segment_id, p, v),
+                label=f"propagate:{segment_id}",
+            )
+        return record
+
+    def _deliver(self, segment_id: SegmentId, node: NodeId, version: int) -> None:
+        if not self.server.is_online(node):
+            return  # went down mid-flight; anti-entropy recovers it
+        if self.tracker.apply_update(segment_id, node, version):
+            self.propagated += 1
+
+    # ------------------------------------------------------------------
+    # reconciliation
+    # ------------------------------------------------------------------
+    def anti_entropy(self, *, at: float = 0.0) -> int:
+        """One reconciliation sweep: push the latest version to every stale,
+        online replica. Returns the number of replicas caught up."""
+        fixed = 0
+        for ds in self.server.catalog.datasets():
+            for segment in ds.segments:
+                seg_id = segment.segment_id
+                latest = self.tracker.latest_version(seg_id)
+                if latest == 0:
+                    continue
+                holders = self.server.catalog.nodes_hosting(seg_id)
+                for node in sorted(self.tracker.stale_nodes(seg_id, holders)):
+                    if not self.server.is_online(node):
+                        continue
+                    if self.tracker.apply_update(seg_id, node, latest):
+                        fixed += 1
+                        self.anti_entropy_syncs += 1
+        return fixed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_consistent(self, segment_id: SegmentId) -> bool:
+        """Whether every servable replica serves the latest version."""
+        holders = self.server.catalog.nodes_hosting(segment_id)
+        return not self.tracker.stale_nodes(segment_id, holders)
+
+    def staleness(self, segment_id: SegmentId) -> float:
+        """Fraction of servable replicas behind the latest version."""
+        holders = self.server.catalog.nodes_hosting(segment_id)
+        if not holders:
+            return 0.0
+        return len(self.tracker.stale_nodes(segment_id, holders)) / len(holders)

@@ -1,0 +1,195 @@
+"""Content model: datasets, segments, and replicas.
+
+The paper's S-CDN stores *research datasets* (e.g. MRI studies) that may be
+partitioned into *segments* ("data segments are assigned to replicas based
+on usage records and social information", Section V-D). A *replica* is one
+copy of a segment hosted on a specific storage repository.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId, DatasetId, NodeId, ReplicaId, SegmentId, validate_id
+
+
+@dataclass(frozen=True, slots=True)
+class DataSegment:
+    """One contiguous piece of a dataset.
+
+    Attributes
+    ----------
+    segment_id:
+        Globally unique id (``<dataset>:seg<k>`` by convention).
+    dataset_id:
+        Owning dataset.
+    index:
+        Position within the dataset (0-based).
+    size_bytes:
+        Segment size.
+    """
+
+    segment_id: SegmentId
+    dataset_id: DatasetId
+    index: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        validate_id(self.segment_id, kind="segment_id")
+        validate_id(self.dataset_id, kind="dataset_id")
+        if self.index < 0:
+            raise ConfigurationError(f"segment index must be >= 0, got {self.index}")
+        if self.size_bytes <= 0:
+            raise ConfigurationError(
+                f"segment size must be positive, got {self.size_bytes}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Dataset:
+    """A logical dataset shared through the S-CDN.
+
+    Attributes
+    ----------
+    dataset_id:
+        Unique id.
+    owner:
+        The researcher who published the dataset into the CDN.
+    size_bytes:
+        Total payload size.
+    segments:
+        Ordered segments; their sizes sum to ``size_bytes``.
+    project:
+        Optional project/collaboration tag used by access-control policies.
+    """
+
+    dataset_id: DatasetId
+    owner: AuthorId
+    size_bytes: int
+    segments: Tuple[DataSegment, ...]
+    project: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_id(self.dataset_id, kind="dataset_id")
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"dataset size must be positive, got {self.size_bytes}")
+        if not self.segments:
+            raise ConfigurationError(f"dataset {self.dataset_id} has no segments")
+        total = sum(s.size_bytes for s in self.segments)
+        if total != self.size_bytes:
+            raise ConfigurationError(
+                f"dataset {self.dataset_id}: segment sizes sum to {total}, "
+                f"expected {self.size_bytes}"
+            )
+        for i, seg in enumerate(self.segments):
+            if seg.dataset_id != self.dataset_id:
+                raise ConfigurationError(
+                    f"segment {seg.segment_id} belongs to {seg.dataset_id}, "
+                    f"not {self.dataset_id}"
+                )
+            if seg.index != i:
+                raise ConfigurationError(
+                    f"dataset {self.dataset_id}: segment {i} has index {seg.index}"
+                )
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments."""
+        return len(self.segments)
+
+    def segment(self, index: int) -> DataSegment:
+        """Return the segment at ``index``."""
+        try:
+            return self.segments[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"dataset {self.dataset_id} has no segment {index}"
+            ) from None
+
+
+class ReplicaState(enum.Enum):
+    """Lifecycle of a replica.
+
+    ``PENDING`` — placement decided, data transfer in flight.
+    ``ACTIVE``  — data present and servable.
+    ``STALE``   — host was offline or the copy failed an integrity check;
+                  not servable until repaired.
+    ``RETIRED`` — deliberately removed (migration, eviction).
+    """
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    STALE = "stale"
+    RETIRED = "retired"
+
+
+@dataclass(slots=True)
+class Replica:
+    """One copy of a segment hosted on a storage repository.
+
+    Mutable: the allocation server drives ``state`` transitions and the
+    access counter feeds demand-driven re-replication.
+    """
+
+    replica_id: ReplicaId
+    segment_id: SegmentId
+    node_id: NodeId
+    created_at: float = 0.0
+    state: ReplicaState = ReplicaState.PENDING
+    access_count: int = 0
+
+    def __post_init__(self) -> None:
+        validate_id(self.replica_id, kind="replica_id")
+        validate_id(self.segment_id, kind="segment_id")
+        validate_id(self.node_id, kind="node_id")
+
+    @property
+    def servable(self) -> bool:
+        """Whether the replica can currently serve reads."""
+        return self.state is ReplicaState.ACTIVE
+
+    def touch(self) -> None:
+        """Record one access (demand signal for re-replication)."""
+        self.access_count += 1
+
+
+def segment_dataset(
+    dataset_id: DatasetId,
+    owner: AuthorId,
+    size_bytes: int,
+    *,
+    n_segments: int = 1,
+    project: Optional[str] = None,
+) -> Dataset:
+    """Create a dataset split into ``n_segments`` near-equal segments.
+
+    The last segment absorbs the remainder so sizes always sum exactly.
+    """
+    if n_segments < 1:
+        raise ConfigurationError(f"n_segments must be >= 1, got {n_segments}")
+    if size_bytes < n_segments:
+        raise ConfigurationError(
+            f"cannot split {size_bytes} bytes into {n_segments} non-empty segments"
+        )
+    base = size_bytes // n_segments
+    segments: List[DataSegment] = []
+    for i in range(n_segments):
+        size = base if i < n_segments - 1 else size_bytes - base * (n_segments - 1)
+        segments.append(
+            DataSegment(
+                segment_id=SegmentId(f"{dataset_id}:seg{i}"),
+                dataset_id=dataset_id,
+                index=i,
+                size_bytes=size,
+            )
+        )
+    return Dataset(
+        dataset_id=dataset_id,
+        owner=owner,
+        size_bytes=size_bytes,
+        segments=tuple(segments),
+        project=project,
+    )

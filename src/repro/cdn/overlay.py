@@ -1,0 +1,228 @@
+"""Availability-overlap overlay graphs (paper Section V-D, first stage).
+
+"Novel availability graphs, as used in My3, can then be used to select
+additional replicas required to create a highly available and high
+performance network ... a graph can be constructed that has edges between
+nodes if the availability of two nodes overlaps, and a 'distance'
+weighting assigned to each edge that describes the transfer
+characteristics of the connection. When allocating replicas, we can then
+select a subset of nodes that cover the entire graph with the lowest-cost
+edges."
+
+This module builds exactly that graph from any
+:class:`~repro.sim.availability.AvailabilityModel` and (optionally) a
+:class:`~repro.sim.network.NetworkModel`, and selects a covering replica
+set greedily by cost-effectiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..ids import NodeId
+from ..sim.availability import DAY_S, AvailabilityModel, Diurnal
+from ..sim.network import NetworkModel
+
+#: Reference payload used to turn a link into a scalar "distance" (100 MB,
+#: the paper's raw MRI session size).
+REFERENCE_PAYLOAD_BYTES = 100 * 10**6
+
+
+def pairwise_overlap(
+    model: AvailabilityModel,
+    a: NodeId,
+    b: NodeId,
+    *,
+    samples: int = 48,
+    horizon_s: float = DAY_S,
+) -> float:
+    """Fraction of the horizon during which both nodes are online.
+
+    Uses :meth:`Diurnal.overlap` exactly when available; otherwise samples
+    ``samples`` instants over ``[0, horizon_s)``.
+    """
+    if isinstance(model, Diurnal):
+        return model.overlap(a, b)
+    if samples < 1 or horizon_s <= 0:
+        raise ConfigurationError("need samples >= 1 and horizon_s > 0")
+    step = horizon_s / samples
+    both = sum(
+        model.is_online(a, (i + 0.5) * step) and model.is_online(b, (i + 0.5) * step)
+        for i in range(samples)
+    )
+    return both / samples
+
+
+def build_availability_graph(
+    nodes: Sequence[NodeId],
+    model: AvailabilityModel,
+    *,
+    network: Optional[NetworkModel] = None,
+    min_overlap: float = 0.05,
+    samples: int = 48,
+) -> nx.Graph:
+    """Build the availability-overlap graph over ``nodes``.
+
+    Edges connect node pairs whose availability overlap is at least
+    ``min_overlap``. Edge attributes:
+
+    * ``overlap`` — fraction of time both endpoints are up;
+    * ``distance`` — transfer time of the reference payload over the pair's
+      link (1.0 when no network model is given);
+    * ``cost`` — ``distance / overlap``: the expected effort to move data
+      between the pair, inflated when their uptime rarely coincides.
+    """
+    if not nodes:
+        raise ConfigurationError("need at least one node")
+    if not 0.0 <= min_overlap <= 1.0:
+        raise ConfigurationError("min_overlap must be in [0, 1]")
+    g = nx.Graph()
+    g.add_nodes_from(nodes)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            ov = pairwise_overlap(model, a, b, samples=samples)
+            if ov < min_overlap or ov <= 0.0:
+                continue
+            if network is not None:
+                distance = network.link(a, b).transfer_time(REFERENCE_PAYLOAD_BYTES)
+            else:
+                distance = 1.0
+            g.add_edge(a, b, overlap=ov, distance=distance, cost=distance / ov)
+    return g
+
+
+@dataclass(frozen=True)
+class OverlaySelection:
+    """Result of covering the availability graph with replica hosts.
+
+    Attributes
+    ----------
+    selected:
+        Chosen replica hosts, in pick order.
+    assignment:
+        Map of every covered node -> its cheapest selected host.
+    uncovered:
+        Nodes with no qualifying edge to any selected host (isolated in
+        the availability graph, or budget exhausted).
+    total_cost:
+        Sum of assignment edge costs (selected hosts cost 0 for
+        themselves).
+    """
+
+    selected: Tuple[NodeId, ...]
+    assignment: Dict[NodeId, NodeId]
+    uncovered: frozenset
+    total_cost: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of nodes covered (selected nodes cover themselves)."""
+        n = len(self.assignment) + len(self.uncovered)
+        return len(self.assignment) / n if n else 1.0
+
+
+def select_cover(
+    graph: nx.Graph,
+    *,
+    budget: Optional[int] = None,
+) -> OverlaySelection:
+    """Greedy lowest-cost cover of the availability graph.
+
+    Repeatedly picks the node whose selection most reduces the total
+    assignment cost (covering itself at zero cost and every neighbor at
+    its edge ``cost``), until every node is covered or ``budget`` picks
+    are spent. This is the classic greedy facility-location heuristic on
+    the paper's "lowest-cost edges" objective.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise ConfigurationError("cannot cover an empty graph")
+    if budget is not None and budget < 1:
+        raise ConfigurationError("budget must be >= 1")
+
+    INF = float("inf")
+    best_cost: Dict[NodeId, float] = {n: INF for n in nodes}
+    best_host: Dict[NodeId, Optional[NodeId]] = {n: None for n in nodes}
+    selected: List[NodeId] = []
+    # isolated nodes have no availability overlap with anyone: a replica
+    # there serves nobody (the node is never up with a peer), so they are
+    # neither candidates nor coverable — they surface as `uncovered`
+    candidates = [n for n in nodes if graph.degree(n) > 0]
+    remaining = set(candidates)
+
+    # Phase 1 covers every coverable node. With an explicit budget, the
+    # remaining picks keep reducing the total assignment cost (classic
+    # greedy facility location) — extra replicas where overlap is thin.
+    # Without a budget, selection stops at full coverage (otherwise the
+    # cost-only objective would degenerate to selecting every node).
+    max_picks = budget if budget is not None else len(nodes)
+    improve_after_cover = budget is not None
+    while len(selected) < max_picks and (remaining or improve_after_cover):
+        best_candidate = None
+        best_saving = 0.0
+        for cand in candidates:
+            if cand in selected:
+                continue
+            saving = 0.0
+            if best_cost[cand] == INF:
+                saving += 1e9  # covering an uncovered node dominates
+            elif best_cost[cand] > 0:
+                saving += best_cost[cand]
+            for nbr in graph.neighbors(cand):
+                cost = graph.edges[cand, nbr]["cost"]
+                current = best_cost[nbr]
+                if current == INF:
+                    saving += 1e9 / (1.0 + cost)
+                elif cost < current:
+                    saving += current - cost
+            if saving > best_saving:
+                best_candidate, best_saving = cand, saving
+        if best_candidate is None or best_saving <= 1e-12:
+            break  # nothing left to cover and no cost left to save
+        selected.append(best_candidate)
+        best_cost[best_candidate] = 0.0
+        best_host[best_candidate] = best_candidate
+        remaining.discard(best_candidate)
+        for nbr in graph.neighbors(best_candidate):
+            cost = graph.edges[best_candidate, nbr]["cost"]
+            if cost < best_cost[nbr]:
+                best_cost[nbr] = cost
+                best_host[nbr] = best_candidate
+                remaining.discard(nbr)
+
+    assignment = {n: h for n, h in best_host.items() if h is not None}
+    uncovered = frozenset(n for n in nodes if best_host[n] is None)
+    total = sum(best_cost[n] for n in assignment)
+    return OverlaySelection(
+        selected=tuple(selected),
+        assignment=assignment,
+        uncovered=uncovered,
+        total_cost=total,
+    )
+
+
+def expected_access_availability(
+    graph: nx.Graph,
+    selection: OverlaySelection,
+    node: NodeId,
+) -> float:
+    """Probability that ``node`` can reach a selected host while online.
+
+    For a selected node this is 1.0 (local replica). Otherwise it is the
+    complement of every selected neighbor being down during the node's
+    uptime: ``1 - prod(1 - overlap(node, host))`` over selected neighbors.
+    """
+    if node not in graph:
+        raise ConfigurationError(f"unknown node {node!r}")
+    if node in selection.selected:
+        return 1.0
+    miss = 1.0
+    for host in selection.selected:
+        if graph.has_edge(node, host):
+            miss *= 1.0 - graph.edges[node, host]["overlap"]
+    return 1.0 - miss

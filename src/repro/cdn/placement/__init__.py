@@ -1,0 +1,45 @@
+"""Replica placement algorithms (paper Sections V-D and VI-A).
+
+The paper evaluates four algorithms — Random, Node Degree, Community Node
+Degree, and Clustering Coefficient — and suggests several more signals
+(betweenness, centrality, availability graphs). All are implemented here
+behind a single :class:`PlacementAlgorithm` interface and a name registry.
+"""
+
+from .base import (
+    PlacementAlgorithm,
+    get_placement,
+    register_placement,
+    paper_placements,
+    all_placements,
+    placement_names,
+)
+from .random_placement import RandomPlacement
+from .degree import NodeDegreePlacement
+from .community_degree import CommunityNodeDegreePlacement
+from .clustering import ClusteringCoefficientPlacement
+from .betweenness import BetweennessPlacement
+from .pagerank import PageRankPlacement
+from .greedy_coverage import GreedyCoveragePlacement
+from .dominating_set import DominatingSetPlacement
+from .geo_social import GeoSocialPlacement
+from .weighted_degree import WeightedDegreePlacement
+
+__all__ = [
+    "PlacementAlgorithm",
+    "get_placement",
+    "register_placement",
+    "paper_placements",
+    "all_placements",
+    "placement_names",
+    "RandomPlacement",
+    "NodeDegreePlacement",
+    "CommunityNodeDegreePlacement",
+    "ClusteringCoefficientPlacement",
+    "BetweennessPlacement",
+    "PageRankPlacement",
+    "GreedyCoveragePlacement",
+    "DominatingSetPlacement",
+    "GeoSocialPlacement",
+    "WeightedDegreePlacement",
+]

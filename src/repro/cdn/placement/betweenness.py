@@ -1,0 +1,40 @@
+"""Betweenness-centrality placement — an extension the paper proposes.
+
+Section V-D: "graph theory metrics such as centrality, clustering
+coefficient, and node betweenness can be used to determine nodes that are
+important within a network". Betweenness favors bridge nodes between
+communities, which intuitively serve many shortest paths; the
+``ablation-placement`` bench compares it against the paper's four.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ids import AuthorId
+from ...rng import SeedLike, make_rng, spawn
+from ...social.graph import CoauthorshipGraph
+from ...social.metrics import betweenness
+from .base import PlacementAlgorithm, ranked_by_score, register_placement
+
+
+class BetweennessPlacement(PlacementAlgorithm):
+    """Top-``n`` nodes by betweenness centrality (pivot-sampled on large graphs)."""
+
+    name = "betweenness"
+
+    def select(
+        self,
+        graph: CoauthorshipGraph,
+        n_replicas: int,
+        *,
+        rng: SeedLike = None,
+    ) -> List[AuthorId]:
+        self._validate(graph, n_replicas)
+        gen = make_rng(rng)
+        score_rng, tie_rng = spawn(gen, 2)
+        scores = betweenness(graph, seed=score_rng)
+        return ranked_by_score(graph, scores, n_replicas, tie_rng)
+
+
+register_placement("betweenness", BetweennessPlacement)

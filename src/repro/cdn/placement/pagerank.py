@@ -1,0 +1,42 @@
+"""PageRank placement — an extension weighting repeat collaboration.
+
+PageRank over the publication-count-weighted coauthorship graph rewards
+nodes that prolific, well-connected collaborators repeatedly publish with
+— a proxy for the paper's "proven trust" that a plain degree count lacks
+(an 86-author paper inflates degree 85 ways but spreads rank thin).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ids import AuthorId
+from ...rng import SeedLike, make_rng
+from ...social.graph import CoauthorshipGraph
+from ...social.metrics import pagerank_scores
+from .base import PlacementAlgorithm, ranked_by_score, register_placement
+
+
+class PageRankPlacement(PlacementAlgorithm):
+    """Top-``n`` nodes by (optionally weighted) PageRank."""
+
+    name = "pagerank"
+
+    def __init__(self, *, alpha: float = 0.85, weighted: bool = True) -> None:
+        self.alpha = alpha
+        self.weighted = weighted
+
+    def select(
+        self,
+        graph: CoauthorshipGraph,
+        n_replicas: int,
+        *,
+        rng: SeedLike = None,
+    ) -> List[AuthorId]:
+        self._validate(graph, n_replicas)
+        gen = make_rng(rng)
+        scores = pagerank_scores(graph, alpha=self.alpha, weighted=self.weighted)
+        return ranked_by_score(graph, scores, n_replicas, gen)
+
+
+register_placement("pagerank", PageRankPlacement)

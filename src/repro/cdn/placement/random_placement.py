@@ -1,0 +1,33 @@
+"""Random placement — the paper's algorithm 1 and the evaluation baseline."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...ids import AuthorId
+from ...rng import SeedLike, choice_without_replacement, make_rng
+from ...social.graph import CoauthorshipGraph
+from .base import PlacementAlgorithm, register_placement
+
+
+class RandomPlacement(PlacementAlgorithm):
+    """Replicas are assigned to nodes uniformly at random,
+    "irrespective of any other factors" (paper Section VI-A)."""
+
+    name = "random"
+
+    def select(
+        self,
+        graph: CoauthorshipGraph,
+        n_replicas: int,
+        *,
+        rng: SeedLike = None,
+    ) -> List[AuthorId]:
+        self._validate(graph, n_replicas)
+        gen = make_rng(rng)
+        nodes = list(graph.nx.nodes())
+        k = min(n_replicas, len(nodes))
+        return choice_without_replacement(gen, nodes, k)
+
+
+register_placement("random", RandomPlacement)

@@ -1,0 +1,146 @@
+"""Redundancy policies and failure repair (paper Sections V-B, V-E).
+
+The allocation server exposes the repair primitives; this module packages
+them into a *policy* driven by the simulation engine: periodic audits that
+keep every segment at its redundancy target as nodes churn, plus a report
+type summarizing the redundancy health the paper's metrics section asks
+about ("whether the current level(s) of redundancy and replication are
+necessary or insufficient").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..ids import SegmentId
+from ..sim.engine import SimulationEngine
+from .allocation import AllocationServer
+
+
+@dataclass(frozen=True, slots=True)
+class RedundancyReport:
+    """Snapshot of catalog redundancy health.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the audit.
+    n_segments:
+        Segments tracked.
+    mean_redundancy / min_redundancy:
+        Live-replica statistics over segments.
+    under_replicated:
+        Segments below their dataset budget.
+    lost:
+        Segments with zero live replicas (unrecoverable until a host
+        returns).
+    repaired:
+        Replicas created by the audit that produced this report.
+    """
+
+    time: float
+    n_segments: int
+    mean_redundancy: float
+    min_redundancy: int
+    under_replicated: int
+    lost: int
+    repaired: int
+
+
+class ReplicationPolicy:
+    """Periodic redundancy audits against an allocation server.
+
+    Parameters
+    ----------
+    server:
+        The allocation server to audit.
+    audit_interval_s:
+        Period of the audit when attached to an engine.
+    hot_threshold:
+        If set, each audit also scales datasets whose segments accumulated
+        at least this many accesses since the start (demand-driven
+        replication). ``None`` disables demand scaling.
+    """
+
+    def __init__(
+        self,
+        server: AllocationServer,
+        *,
+        audit_interval_s: float = 3600.0,
+        hot_threshold: Optional[int] = None,
+    ) -> None:
+        if audit_interval_s <= 0:
+            raise ConfigurationError("audit_interval_s must be positive")
+        if hot_threshold is not None and hot_threshold < 1:
+            raise ConfigurationError("hot_threshold must be >= 1 (or None)")
+        self.server = server
+        self.audit_interval_s = audit_interval_s
+        self.hot_threshold = hot_threshold
+        self.reports: List[RedundancyReport] = []
+
+    def audit(self, *, at: float = 0.0) -> RedundancyReport:
+        """Run one audit: repair under-replication (and hot scaling), report."""
+        repaired = len(self.server.repair(at=at))
+        if self.hot_threshold is not None:
+            repaired += len(self.server.scale_hot(self.hot_threshold, at=at))
+        report = self.snapshot(at=at, repaired=repaired)
+        self.reports.append(report)
+        return report
+
+    def snapshot(self, *, at: float = 0.0, repaired: int = 0) -> RedundancyReport:
+        """Measure redundancy health without repairing anything."""
+        catalog = self.server.catalog
+        redundancies: List[int] = []
+        under = self.server.under_replicated()
+        for ds in catalog.datasets():
+            for seg in ds.segments:
+                live = [
+                    r
+                    for r in catalog.replicas_of_segment(seg.segment_id, servable_only=True)
+                    if self.server.is_online(r.node_id)
+                ]
+                redundancies.append(len(live))
+        arr = np.asarray(redundancies, dtype=np.int64) if redundancies else np.zeros(0, np.int64)
+        return RedundancyReport(
+            time=at,
+            n_segments=len(redundancies),
+            mean_redundancy=float(arr.mean()) if arr.size else 0.0,
+            min_redundancy=int(arr.min()) if arr.size else 0,
+            under_replicated=len(under),
+            lost=int((arr == 0).sum()) if arr.size else 0,
+            repaired=repaired,
+        )
+
+    def attach(self, engine: SimulationEngine) -> None:
+        """Schedule periodic audits on ``engine`` (first after one interval)."""
+
+        def tick(e: SimulationEngine) -> None:
+            self.audit(at=e.now)
+
+        engine.every(self.audit_interval_s, tick, label="replication-audit")
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def redundancy_timeline(self) -> List[Tuple[float, float]]:
+        """(time, mean_redundancy) over all recorded audits."""
+        return [(r.time, r.mean_redundancy) for r in self.reports]
+
+    def stability(self) -> float:
+        """1 - coefficient-of-variation of mean redundancy across audits.
+
+        The paper lists *stability* among CDN metrics; a CDN whose
+        redundancy level stays flat under churn scores near 1.0.
+        Returns 1.0 with fewer than two audits.
+        """
+        if len(self.reports) < 2:
+            return 1.0
+        means = np.asarray([r.mean_redundancy for r in self.reports])
+        mu = means.mean()
+        if mu == 0:
+            return 0.0
+        return float(max(0.0, 1.0 - means.std() / mu))

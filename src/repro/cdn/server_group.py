@@ -1,0 +1,185 @@
+"""Allocation server groups: redundancy for the catalog itself.
+
+"One or more allocation servers act as catalogs for global datasets (for a
+particular Social Cloud); together they maintain a list of current
+replicas" (Section V-B). A single :class:`AllocationServer` is a single
+point of failure; this module adds the "or more": a primary serving all
+requests, standbys holding periodically synced snapshots of the dataset
+registry, and a failover path that rebuilds the live replica catalog from
+*client reports* — the paper's own recovery channel ("system and usage
+statistics are sent to allocation servers"), since the repositories
+themselves always know what they host.
+
+What survives a failover:
+
+* every dataset registered before the last snapshot sync (including its
+  replica budget), with replicas rediscovered from repository contents;
+* nothing registered after the last sync — those datasets must be
+  re-published, exactly the gap a real deployment would tune with its
+  sync interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId, DatasetId, NodeId
+from ..rng import SeedLike, make_rng, spawn
+from ..social.graph import CoauthorshipGraph
+from .allocation import AllocationServer
+from .content import Dataset, ReplicaState
+from .placement.base import PlacementAlgorithm
+from .storage import StorageRepository
+
+
+@dataclass(frozen=True)
+class CatalogSnapshot:
+    """A standby's view of the primary: datasets + budgets, as of ``time``."""
+
+    time: float
+    datasets: Tuple[Dataset, ...]
+    budgets: Dict[DatasetId, int]
+
+
+class AllocationServerGroup:
+    """A primary allocation server plus snapshot-synced standbys.
+
+    All CDN traffic flows through :attr:`primary`. ``sync()`` refreshes
+    the standby snapshot; ``fail_primary()`` destroys the primary and
+    promotes a standby, rebuilding replica state from repository contents.
+
+    Parameters
+    ----------
+    graph, placement, seed:
+        Forwarded to each :class:`AllocationServer` incarnation.
+    n_standbys:
+        Number of snapshot-holding standbys (>= 1).
+    """
+
+    def __init__(
+        self,
+        graph: CoauthorshipGraph,
+        placement: PlacementAlgorithm,
+        *,
+        n_standbys: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_standbys < 1:
+            raise ConfigurationError("need at least one standby")
+        self.graph = graph
+        self.placement = placement
+        self._rng = make_rng(seed)
+        (server_seed,) = spawn(self._rng, 1)
+        self.primary = AllocationServer(graph, placement, seed=server_seed)
+        self.n_standbys = n_standbys
+        self._snapshots: List[CatalogSnapshot] = [
+            CatalogSnapshot(time=0.0, datasets=(), budgets={})
+            for _ in range(n_standbys)
+        ]
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    # replication of the catalog
+    # ------------------------------------------------------------------
+    def sync(self, *, at: float = 0.0) -> CatalogSnapshot:
+        """Refresh every standby's snapshot from the primary."""
+        snapshot = CatalogSnapshot(
+            time=at,
+            datasets=tuple(self.primary.catalog.datasets()),
+            budgets=dict(self.primary._dataset_budget),
+        )
+        self._snapshots = [snapshot for _ in range(self.n_standbys)]
+        return snapshot
+
+    def snapshot_age(self, *, now: float) -> float:
+        """Seconds since the standbys last synced."""
+        return now - self._snapshots[0].time
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+    def fail_primary(self, *, at: float = 0.0) -> AllocationServer:
+        """Kill the primary and promote a standby.
+
+        The promoted server re-registers every repository (the machines
+        are still there), restores dataset metadata from its snapshot, and
+        rebuilds the replica catalog by scanning repository contents — the
+        client-report channel. Returns the new primary.
+        """
+        old = self.primary
+        repositories: Dict[AuthorId, StorageRepository] = {
+            old.author_of(node): old.repository(node)
+            for node in [old.node_of(a) for a in old.registered_authors()]
+        }
+        offline = {
+            old.node_of(a)
+            for a in old.registered_authors()
+            if not old.is_online(old.node_of(a))
+        }
+        snapshot = self._snapshots[0]
+
+        (server_seed,) = spawn(self._rng, 1)
+        new = AllocationServer(self.graph, self.placement, seed=server_seed)
+        for author, repo in repositories.items():
+            new.register_repository(author, repo)
+        for node in offline:
+            new.node_offline(node, at=at)
+
+        known_segments = set()
+        for dataset in snapshot.datasets:
+            new.catalog.register_dataset(dataset)
+            new._dataset_budget[dataset.dataset_id] = snapshot.budgets.get(
+                dataset.dataset_id, 1
+            )
+            known_segments.update(s.segment_id for s in dataset.segments)
+
+        # rebuild replica state from what repositories actually hold
+        recovered = 0
+        for author, repo in repositories.items():
+            node = new.node_of(author)
+            for seg_id in sorted(repo.hosted_segments()):
+                if seg_id not in known_segments:
+                    continue  # orphan data from an unsynced dataset
+                state = (
+                    ReplicaState.ACTIVE
+                    if node not in offline
+                    else ReplicaState.STALE
+                )
+                new.catalog.create_replica(seg_id, node, created_at=at, state=state)
+                recovered += 1
+
+        self.primary = new
+        self.failovers += 1
+        return new
+
+    # ------------------------------------------------------------------
+    # conveniences: forward the hot-path API to the primary
+    # ------------------------------------------------------------------
+    def publish_dataset(self, dataset: Dataset, **kwargs):
+        """Publish through the current primary (see
+        :meth:`AllocationServer.publish_dataset`)."""
+        return self.primary.publish_dataset(dataset, **kwargs)
+
+    def resolve(self, segment_id, requester):
+        """Resolve through the current primary."""
+        return self.primary.resolve(segment_id, requester)
+
+    def register_repository(self, author: AuthorId, repository: StorageRepository):
+        """Register through the current primary."""
+        return self.primary.register_repository(author, repository)
+
+    def orphaned_segments(self) -> List[str]:
+        """Segment ids present on repositories but unknown to the catalog —
+        data published after the last sync and lost in a failover."""
+        known = set()
+        for ds in self.primary.catalog.datasets():
+            known.update(str(s.segment_id) for s in ds.segments)
+        orphans = set()
+        for author in self.primary.registered_authors():
+            repo = self.primary.repository(self.primary.node_of(author))
+            for seg in repo.hosted_segments():
+                if str(seg) not in known:
+                    orphans.add(str(seg))
+        return sorted(orphans)

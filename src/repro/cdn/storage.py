@@ -1,0 +1,235 @@
+"""User-contributed storage repositories (paper Section V-A).
+
+Each researcher "allocates a folder on their hard disk or storage server".
+When registered with the CDN the folder is partitioned into a CDN-managed
+*replica volume* (read-only to the user, not user-deletable) and general
+*user space*. The repository tracks capacity, per-partition usage, and the
+QoS statistics (uptime, served bytes) the client reports to allocation
+servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import CapacityError, ConfigurationError, StorageError
+from ..ids import NodeId, SegmentId, validate_id
+
+
+@dataclass(frozen=True, slots=True)
+class RepositoryStats:
+    """Snapshot of a repository's usage and service counters."""
+
+    capacity_bytes: int
+    replica_quota_bytes: int
+    replica_used_bytes: int
+    user_used_bytes: int
+    n_replicas: int
+    n_user_files: int
+    bytes_served: int
+    reads_served: int
+
+    @property
+    def replica_free_bytes(self) -> int:
+        """Free space in the replica partition."""
+        return self.replica_quota_bytes - self.replica_used_bytes
+
+    @property
+    def user_free_bytes(self) -> int:
+        """Free space in the user partition."""
+        return (self.capacity_bytes - self.replica_quota_bytes) - self.user_used_bytes
+
+
+class StorageRepository:
+    """A partitioned, capacity-bounded storage contribution.
+
+    Parameters
+    ----------
+    node_id:
+        The CDN node identity of this repository.
+    capacity_bytes:
+        Total contributed capacity.
+    replica_quota:
+        Fraction of capacity reserved for the CDN-managed replica
+        partition (the rest is user space). The paper's model partitions a
+        shared folder "for transparent usage as a replica and also as
+        general storage for the user".
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        capacity_bytes: int,
+        *,
+        replica_quota: float = 0.5,
+    ) -> None:
+        validate_id(node_id, kind="node_id")
+        if capacity_bytes <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity_bytes}")
+        if not 0.0 < replica_quota <= 1.0:
+            raise ConfigurationError(
+                f"replica_quota must be in (0, 1], got {replica_quota}"
+            )
+        self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
+        self.replica_quota_bytes = int(capacity_bytes * replica_quota)
+        self._replica_blobs: Dict[SegmentId, int] = {}
+        self._user_files: Dict[str, int] = {}
+        self._bytes_served = 0
+        self._reads_served = 0
+
+    # ------------------------------------------------------------------
+    # replica partition (CDN-managed)
+    # ------------------------------------------------------------------
+    @property
+    def replica_used_bytes(self) -> int:
+        """Bytes currently held in the replica partition."""
+        return sum(self._replica_blobs.values())
+
+    @property
+    def replica_free_bytes(self) -> int:
+        """Free bytes in the replica partition."""
+        return self.replica_quota_bytes - self.replica_used_bytes
+
+    def can_host(self, size_bytes: int) -> bool:
+        """Whether the replica partition has room for ``size_bytes``."""
+        return size_bytes <= self.replica_free_bytes
+
+    def store_replica(self, segment_id: SegmentId, size_bytes: int) -> None:
+        """Place segment data in the replica partition.
+
+        Raises
+        ------
+        CapacityError
+            If the partition lacks room.
+        StorageError
+            If the segment is already hosted.
+        """
+        if size_bytes <= 0:
+            raise ConfigurationError(f"size must be positive, got {size_bytes}")
+        if segment_id in self._replica_blobs:
+            raise StorageError(f"{self.node_id} already hosts segment {segment_id}")
+        if not self.can_host(size_bytes):
+            raise CapacityError(
+                f"{self.node_id}: replica partition full "
+                f"({self.replica_free_bytes} free, {size_bytes} requested)"
+            )
+        self._replica_blobs[segment_id] = size_bytes
+
+    def evict_replica(self, segment_id: SegmentId) -> int:
+        """Remove a segment from the replica partition; returns freed bytes.
+
+        Only the CDN (allocation server / replication policy) calls this —
+        the paper specifies the replica volume is read-only to the user.
+        """
+        try:
+            return self._replica_blobs.pop(segment_id)
+        except KeyError:
+            raise StorageError(
+                f"{self.node_id} does not host segment {segment_id}"
+            ) from None
+
+    def hosts_segment(self, segment_id: SegmentId) -> bool:
+        """Whether the replica partition holds ``segment_id``."""
+        return segment_id in self._replica_blobs
+
+    def hosted_segments(self) -> Set[SegmentId]:
+        """Ids of every segment in the replica partition."""
+        return set(self._replica_blobs)
+
+    def read_segment(self, segment_id: SegmentId) -> int:
+        """Serve a read of a hosted segment; returns its size in bytes.
+
+        Updates the served counters that feed the repository's QoS stats.
+        """
+        try:
+            size = self._replica_blobs[segment_id]
+        except KeyError:
+            raise StorageError(
+                f"{self.node_id} does not host segment {segment_id}"
+            ) from None
+        self._bytes_served += size
+        self._reads_served += 1
+        return size
+
+    def delete_from_replica_partition(self, segment_id: SegmentId) -> None:
+        """User-initiated delete of replica data — always refused.
+
+        The paper: data in the replica partition "are accessible as a
+        read-only volume by the user; they are therefore not able to be
+        deleted as the volume is managed by the CDN".
+        """
+        raise StorageError(
+            f"replica partition of {self.node_id} is read-only to the user; "
+            f"cannot delete {segment_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # user partition
+    # ------------------------------------------------------------------
+    @property
+    def user_quota_bytes(self) -> int:
+        """Size of the user partition."""
+        return self.capacity_bytes - self.replica_quota_bytes
+
+    @property
+    def user_used_bytes(self) -> int:
+        """Bytes in the user partition."""
+        return sum(self._user_files.values())
+
+    @property
+    def user_free_bytes(self) -> int:
+        """Free bytes in the user partition."""
+        return self.user_quota_bytes - self.user_used_bytes
+
+    def put_user_file(self, name: str, size_bytes: int) -> None:
+        """Write (or overwrite) a file in user space."""
+        if size_bytes <= 0:
+            raise ConfigurationError(f"size must be positive, got {size_bytes}")
+        current = self._user_files.get(name, 0)
+        if size_bytes - current > self.user_free_bytes:
+            raise CapacityError(
+                f"{self.node_id}: user partition full "
+                f"({self.user_free_bytes} free, {size_bytes - current} more requested)"
+            )
+        self._user_files[name] = size_bytes
+
+    def delete_user_file(self, name: str) -> int:
+        """Delete a user file; returns freed bytes."""
+        try:
+            return self._user_files.pop(name)
+        except KeyError:
+            raise StorageError(f"{self.node_id}: no user file {name!r}") from None
+
+    def has_user_file(self, name: str) -> bool:
+        """Whether user space contains ``name``."""
+        return name in self._user_files
+
+    def user_files(self) -> List[str]:
+        """Names of all user-space files, in insertion order."""
+        return list(self._user_files)
+
+    def user_file_size(self, name: str) -> int:
+        """Size of a user file."""
+        try:
+            return self._user_files[name]
+        except KeyError:
+            raise StorageError(f"{self.node_id}: no user file {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> RepositoryStats:
+        """Snapshot of usage and service counters (reported to allocation
+        servers by the CDN client)."""
+        return RepositoryStats(
+            capacity_bytes=self.capacity_bytes,
+            replica_quota_bytes=self.replica_quota_bytes,
+            replica_used_bytes=self.replica_used_bytes,
+            user_used_bytes=self.user_used_bytes,
+            n_replicas=len(self._replica_blobs),
+            n_user_files=len(self._user_files),
+            bytes_served=self._bytes_served,
+            reads_served=self._reads_served,
+        )

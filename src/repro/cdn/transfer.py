@@ -1,0 +1,143 @@
+"""Simulated third-party transfer client (GlobusTransfer stand-in).
+
+The paper designs the system around GlobusTransfer: "a high performance,
+secure, and reliable third-party transfer mechanism". This module provides
+the same interface contract against the simulated network: submit a
+transfer between two nodes, get a duration (latency + bandwidth drain) and
+an outcome. Reliability is modeled with a per-transfer failure probability
+and automatic retries, mirroring Globus's checksum-and-retry behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError, TransferError
+from ..ids import NodeId, SegmentId, TransferId
+from ..rng import SeedLike, make_rng
+from ..sim.network import NetworkModel
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRequest:
+    """A third-party transfer order: move a segment from ``source`` to ``dest``."""
+
+    segment_id: SegmentId
+    source: NodeId
+    dest: NodeId
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"size must be positive, got {self.size_bytes}")
+
+
+@dataclass(frozen=True, slots=True)
+class TransferResult:
+    """Outcome of a transfer.
+
+    ``duration_s`` covers all attempts, including failed ones (each failed
+    attempt costs its full would-be duration before the retry, a pessimistic
+    but simple model).
+    """
+
+    transfer_id: TransferId
+    request: TransferRequest
+    ok: bool
+    duration_s: float
+    attempts: int
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """Payload bits over total duration (0 if failed or instantaneous)."""
+        if not self.ok or self.duration_s <= 0:
+            return 0.0
+        return 8.0 * self.request.size_bytes / self.duration_s
+
+
+class TransferClient:
+    """Executes transfer requests against a :class:`NetworkModel`.
+
+    Parameters
+    ----------
+    network:
+        Link model supplying latency/bandwidth.
+    failure_prob:
+        Probability that any single attempt fails (checksum mismatch,
+        connection reset...).
+    max_attempts:
+        Attempts before the transfer is abandoned.
+    seed:
+        RNG seed for failure draws.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        *,
+        failure_prob: float = 0.0,
+        max_attempts: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        if not 0.0 <= failure_prob < 1.0:
+            raise ConfigurationError(f"failure_prob must be in [0, 1), got {failure_prob}")
+        if max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.network = network
+        self.failure_prob = failure_prob
+        self.max_attempts = max_attempts
+        self._rng = make_rng(seed)
+        self._counter = itertools.count()
+        self.completed: List[TransferResult] = []
+
+    def estimate_duration(self, request: TransferRequest) -> float:
+        """Single-attempt duration for ``request`` (no failures)."""
+        link = self.network.link(request.source, request.dest)
+        return link.transfer_time(request.size_bytes)
+
+    def execute(self, request: TransferRequest) -> TransferResult:
+        """Run the transfer synchronously; retries up to ``max_attempts``.
+
+        Raises
+        ------
+        TransferError
+            If either endpoint is not in the network.
+        """
+        if request.source not in self.network:
+            raise TransferError(f"source node {request.source} not in network")
+        if request.dest not in self.network:
+            raise TransferError(f"dest node {request.dest} not in network")
+        single = self.estimate_duration(request)
+        total = 0.0
+        attempts = 0
+        ok = False
+        while attempts < self.max_attempts:
+            attempts += 1
+            total += single
+            if self._rng.random() >= self.failure_prob:
+                ok = True
+                break
+        result = TransferResult(
+            transfer_id=TransferId(f"t-{next(self._counter)}"),
+            request=request,
+            ok=ok,
+            duration_s=total,
+            attempts=attempts,
+        )
+        self.completed.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def total_bytes_moved(self) -> int:
+        """Payload bytes of all successful transfers."""
+        return sum(r.request.size_bytes for r in self.completed if r.ok)
+
+    def success_ratio(self) -> float:
+        """Fraction of transfers that eventually succeeded (1.0 when idle)."""
+        if not self.completed:
+            return 1.0
+        return sum(1 for r in self.completed if r.ok) / len(self.completed)

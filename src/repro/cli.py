@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Subcommands::
+
+    repro generate  --out corpus.json [--seed N]     synthesize a corpus
+    repro table1    [--corpus F] [--seed-author A]   Table I rows
+    repro fig2      [--corpus F]                     topology summaries
+    repro fig3      [--corpus F] [--runs N]          hit-rate curves
+    repro simulate  [--members N] [--days D]         live S-CDN metrics
+
+All subcommands accept ``--corpus`` (a JSON file from ``repro generate``
+or :func:`repro.social.io.save_corpus`); without it a synthetic corpus is
+generated on the fly (``--seed`` controls it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from .ids import AuthorId
+from .social import generate_corpus
+from .social.io import load_corpus, save_corpus
+from .social.metrics import graph_summary
+from .social.records import Corpus
+from .social.trust import paper_trust_heuristics
+from .social.ego import ego_corpus
+from .casestudy import CaseStudyConfig, run_case_study, table1_rows
+
+
+def _get_corpus(args) -> Tuple[Corpus, AuthorId]:
+    if args.corpus:
+        corpus = load_corpus(args.corpus)
+        if not args.seed_author:
+            raise SystemExit("--seed-author is required with --corpus")
+        seed_author = AuthorId(args.seed_author)
+        if seed_author not in corpus.author_ids:
+            raise SystemExit(f"seed author {seed_author!r} not in corpus")
+        return corpus, seed_author
+    corpus, seed_author = generate_corpus(seed=args.seed)
+    if args.seed_author:
+        seed_author = AuthorId(args.seed_author)
+    return corpus, seed_author
+
+
+def cmd_generate(args) -> int:
+    """`repro generate`: synthesize a corpus and save it as JSON."""
+    corpus, seed_author = generate_corpus(seed=args.seed)
+    save_corpus(corpus, args.out)
+    print(f"wrote {len(corpus)} publications / {len(corpus.author_ids)} authors "
+          f"to {args.out} (ego seed: {seed_author})")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    """`repro table1`: print the Table I rows of the trust subgraphs."""
+    corpus, seed_author = _get_corpus(args)
+    ego = ego_corpus(corpus, seed_author, hops=args.hops)
+    print(f"{'graph':<22} {'nodes':>7} {'pubs':>7} {'edges':>8}")
+    for h in paper_trust_heuristics():
+        name, nodes, pubs, edges = h.prune(ego, seed=seed_author).table_row()
+        print(f"{name:<22} {nodes:>7} {pubs:>7} {edges:>8}")
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    """`repro fig2`: print topology summaries per trust subgraph."""
+    corpus, seed_author = _get_corpus(args)
+    ego = ego_corpus(corpus, seed_author, hops=args.hops)
+    header = ("graph", "nodes", "edges", "islands", "span", "mean_deg")
+    print(("{:<22}" + "{:>9}" * 5).format(*header))
+    for h in paper_trust_heuristics():
+        sub = h.prune(ego, seed=seed_author)
+        s = graph_summary(sub.graph)
+        print(f"{sub.name:<22}{s.n_nodes:>9}{s.n_edges:>9}{s.n_islands:>9}"
+              f"{s.max_span:>9}{s.mean_degree:>9.2f}")
+    return 0
+
+
+def cmd_fig3(args) -> int:
+    """`repro fig3`: run the placement sweep and print hit-rate curves."""
+    from .casestudy.reporting import ascii_chart, curves_csv
+
+    corpus, seed_author = _get_corpus(args)
+    config = CaseStudyConfig(n_runs=args.runs, hops=args.hops)
+    result = run_case_study(corpus, seed_author, config=config, seed=args.study_seed)
+    for panel in result.subgraphs:
+        if args.csv:
+            print(curves_csv(panel))
+            continue
+        print(f"\n{panel.subgraph.name} (hit rate %, replicas "
+              f"{config.replica_counts[0]}..{config.replica_counts[-1]})")
+        for name, curve in panel.curves.items():
+            series = " ".join(f"{v:5.1f}" for v in curve.mean_hit_rate_pct)
+            print(f"  {name:<24} {series}")
+        print(f"  winner: {panel.best_algorithm()}")
+        if args.chart:
+            print(ascii_chart(panel))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """`repro simulate`: run a live S-CDN and print both metric suites."""
+    from .metrics import compute_cdn_metrics, compute_social_metrics
+    from .scdn import SCDN, SCDNConfig
+    from .social.trust import MinCoauthorshipTrust
+
+    corpus, seed_author = _get_corpus(args)
+    ego = ego_corpus(corpus, seed_author, hops=2)
+    trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
+    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed)
+    members = [AuthorId(a) for a in sorted(trusted.graph.nodes())[: args.members]]
+    for m in members:
+        net.join(m)
+    for i, owner in enumerate(members[: max(1, args.members // 5)]):
+        net.publish(owner, f"data-{i}", 10_000_000, n_segments=2)
+    horizon = args.days * 86_400.0
+    # simple periodic traffic
+    import itertools
+
+    cycle = itertools.cycle(members)
+
+    def traffic(e):
+        a = next(cycle)
+        try:
+            net.access(a, "data-0")
+        except Exception:
+            pass
+
+    net.engine.every(horizon / (10 * len(members)), traffic)
+    net.engine.run(until=horizon)
+    net.sync_usage()
+    cdn = compute_cdn_metrics(net.collector, horizon_s=horizon)
+    social = compute_social_metrics(net.collector)
+    print(f"members={len(members)} requests={cdn.n_requests}")
+    print(f"availability={cdn.availability:.3f} "
+          f"success={cdn.request_success_ratio:.3f} "
+          f"mean_rt={cdn.mean_response_time_s:.2f}s")
+    print(f"exchanges={social.n_exchanges} "
+          f"volume={social.transaction_volume_bytes / 1e6:.1f}MB "
+          f"freeriders={social.freerider_ratio:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the `repro` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S-CDN reproduction toolkit (Chard et al., SC 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, seed_author=True):
+        p.add_argument("--corpus", help="corpus JSON file (default: synthesize)")
+        p.add_argument("--seed", type=int, default=42, help="corpus seed")
+        if seed_author:
+            p.add_argument("--seed-author", help="ego seed author id")
+        p.add_argument("--hops", type=int, default=3, help="ego network hops")
+
+    p = sub.add_parser("generate", help="synthesize a corpus to JSON")
+    p.add_argument("--out", required=True)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("table1", help="Table I rows")
+    common(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig2", help="Fig. 2 topology summaries")
+    common(p)
+    p.set_defaults(func=cmd_fig2)
+
+    p = sub.add_parser("fig3", help="Fig. 3 hit-rate curves")
+    common(p)
+    p.add_argument("--runs", type=int, default=25)
+    p.add_argument("--study-seed", type=int, default=7)
+    p.add_argument("--chart", action="store_true", help="ASCII chart per panel")
+    p.add_argument("--csv", action="store_true", help="CSV output instead of tables")
+    p.set_defaults(func=cmd_fig3)
+
+    p = sub.add_parser("simulate", help="run a live S-CDN and print metrics")
+    common(p)
+    p.add_argument("--members", type=int, default=20)
+    p.add_argument("--days", type=float, default=1.0)
+    p.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point. Library errors exit with a clean message (code 2)."""
+    from .errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class GraphError(ReproError):
+    """An operation on a social graph failed (missing node, empty graph...)."""
+
+
+class PlacementError(ReproError):
+    """A replica placement algorithm could not produce a valid placement."""
+
+
+class StorageError(ReproError):
+    """A storage repository operation failed (capacity, unknown segment...)."""
+
+
+class CapacityError(StorageError):
+    """A storage repository does not have room for the requested data."""
+
+
+class CatalogError(ReproError):
+    """A replica catalog lookup or mutation failed."""
+
+
+class TransferError(ReproError):
+    """A (simulated) data transfer failed."""
+
+
+class AuthenticationError(ReproError):
+    """A principal could not be authenticated against the social platform."""
+
+
+class AuthorizationError(ReproError):
+    """An authenticated principal is not permitted to perform an action."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation engine was used incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured or driven incorrectly."""

@@ -1,0 +1,104 @@
+"""Typed identifiers used across the library.
+
+All identifiers are plain ``str`` subclasses (zero runtime cost, hashable,
+JSON-friendly) but give type checkers and readers a way to tell an author
+id from a dataset id. Construction helpers validate the format so malformed
+ids fail fast at the boundary instead of deep inside a placement algorithm.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator
+
+from .errors import ConfigurationError
+
+_ID_RE = re.compile(r"^[A-Za-z0-9_.:\-]+$")
+
+
+class AuthorId(str):
+    """Identifier of an author / researcher (a node in the social graph)."""
+
+    __slots__ = ()
+
+
+class PublicationId(str):
+    """Identifier of a publication in a corpus."""
+
+    __slots__ = ()
+
+
+class NodeId(str):
+    """Identifier of a CDN node (storage repository host).
+
+    In the case study a CDN node is hosted by a researcher, so ``NodeId``
+    values frequently mirror :class:`AuthorId` values; they are distinct
+    types because an S-CDN deployment may include non-author nodes
+    (e.g. institutional allocation servers).
+    """
+
+    __slots__ = ()
+
+
+class DatasetId(str):
+    """Identifier of a logical dataset managed by the CDN."""
+
+    __slots__ = ()
+
+
+class SegmentId(str):
+    """Identifier of a data segment (a partition of a dataset)."""
+
+    __slots__ = ()
+
+
+class ReplicaId(str):
+    """Identifier of one replica of a segment on a specific node."""
+
+    __slots__ = ()
+
+
+class TransferId(str):
+    """Identifier of a (simulated) data transfer."""
+
+    __slots__ = ()
+
+
+def validate_id(value: str, *, kind: str = "identifier") -> str:
+    """Validate that ``value`` is a well-formed identifier.
+
+    Parameters
+    ----------
+    value:
+        Candidate identifier.
+    kind:
+        Human-readable name used in error messages.
+
+    Returns
+    -------
+    str
+        ``value`` unchanged.
+
+    Raises
+    ------
+    ConfigurationError
+        If the identifier is empty or contains characters outside
+        ``[A-Za-z0-9_.:-]``.
+    """
+    if not isinstance(value, str) or not value:
+        raise ConfigurationError(f"{kind} must be a non-empty string, got {value!r}")
+    if not _ID_RE.match(value):
+        raise ConfigurationError(
+            f"{kind} {value!r} contains invalid characters (allowed: [A-Za-z0-9_.:-])"
+        )
+    return value
+
+
+def id_sequence(prefix: str, *, start: int = 0) -> Iterator[str]:
+    """Yield an infinite sequence of ids ``prefix-0, prefix-1, ...``.
+
+    Useful for deterministic id assignment in generators and simulations.
+    """
+    validate_id(prefix, kind="id prefix")
+    return (f"{prefix}-{i}" for i in itertools.count(start))

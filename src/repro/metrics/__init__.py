@@ -1,0 +1,21 @@
+"""Measurement (paper Section V-E).
+
+Two metric suites: CDN quality (availability, scalability, reliability,
+redundancy, response time, stability) and social/collaborative performance
+(request acceptance rate, data exchanges, immediacy of allocation,
+exchange success ratio, freerider ratio, transaction volume, resource
+abundance, geographic distribution). :class:`MetricsCollector` ingests the
+event stream of a simulated S-CDN and produces both reports.
+"""
+
+from .collector import MetricsCollector
+from .cdn_metrics import CDNMetricsReport, compute_cdn_metrics
+from .social_metrics import SocialMetricsReport, compute_social_metrics
+
+__all__ = [
+    "MetricsCollector",
+    "CDNMetricsReport",
+    "compute_cdn_metrics",
+    "SocialMetricsReport",
+    "compute_social_metrics",
+]

@@ -1,0 +1,122 @@
+"""CDN quality metrics (paper Section V-E, first suite).
+
+"To measure the performance of a CDN the following metrics are typically
+observed: availability, scalability, reliability, redundancy, response
+time, stability."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .collector import MetricsCollector
+
+
+@dataclass(frozen=True, slots=True)
+class CDNMetricsReport:
+    """The six CDN metrics over one simulation horizon.
+
+    Attributes
+    ----------
+    availability:
+        Mean observed node availability, weighted equally per node.
+    request_success_ratio:
+        Reliability: fraction of requests that did not fail.
+    mean_response_time_s / p95_response_time_s:
+        Response time over successful requests (local hits cost 0).
+    mean_redundancy:
+        Mean servable replicas per segment, averaged over redundancy
+        snapshots supplied by the replication policy.
+    stability:
+        1 - coefficient of variation of redundancy across snapshots
+        (1.0 = flat under churn).
+    scalability_slope:
+        Response-time sensitivity to load: the slope of a least-squares
+        fit of request duration against cumulative request count,
+        normalized by the mean duration. ~0 means adding load did not
+        degrade latency over the run.
+    n_requests:
+        Total requests observed.
+    """
+
+    availability: float
+    request_success_ratio: float
+    mean_response_time_s: float
+    p95_response_time_s: float
+    mean_redundancy: float
+    stability: float
+    scalability_slope: float
+    n_requests: int
+
+
+def compute_cdn_metrics(
+    collector: MetricsCollector,
+    *,
+    horizon_s: float,
+    redundancy_snapshots: Optional[List[float]] = None,
+) -> CDNMetricsReport:
+    """Compute the CDN metric suite from a collector's event stream.
+
+    Parameters
+    ----------
+    collector:
+        The event stream.
+    horizon_s:
+        Simulation horizon over which availability is measured.
+    redundancy_snapshots:
+        Mean-redundancy samples over time (e.g. from
+        :class:`~repro.cdn.replication.ReplicationPolicy` reports); the
+        redundancy and stability entries are 0.0/1.0 when omitted.
+    """
+    if horizon_s <= 0:
+        raise ConfigurationError("horizon_s must be positive")
+
+    nodes = sorted(collector.capacity) or sorted(
+        {e.node for e in collector.node_states}
+    )
+    if nodes:
+        availability = float(
+            np.mean([collector.observed_availability(n, horizon_s) for n in nodes])
+        )
+    else:
+        availability = 1.0
+
+    requests = collector.requests
+    n_requests = len(requests)
+    ok = [r for r in requests if r.outcome != "failed"]
+    success_ratio = len(ok) / n_requests if n_requests else 1.0
+
+    durations = np.asarray([r.duration_s for r in ok], dtype=np.float64)
+    mean_rt = float(durations.mean()) if durations.size else 0.0
+    p95_rt = float(np.percentile(durations, 95)) if durations.size else 0.0
+
+    if redundancy_snapshots:
+        snaps = np.asarray(redundancy_snapshots, dtype=np.float64)
+        mean_red = float(snaps.mean())
+        mu = snaps.mean()
+        stability = float(max(0.0, 1.0 - snaps.std() / mu)) if mu > 0 else 0.0
+    else:
+        mean_red = 0.0
+        stability = 1.0
+
+    # scalability: does response time grow with cumulative load?
+    if durations.size >= 2 and mean_rt > 0:
+        x = np.arange(durations.size, dtype=np.float64)
+        slope = float(np.polyfit(x, durations, 1)[0]) / mean_rt
+    else:
+        slope = 0.0
+
+    return CDNMetricsReport(
+        availability=availability,
+        request_success_ratio=success_ratio,
+        mean_response_time_s=mean_rt,
+        p95_response_time_s=p95_rt,
+        mean_redundancy=mean_red,
+        stability=stability,
+        scalability_slope=slope,
+        n_requests=n_requests,
+    )

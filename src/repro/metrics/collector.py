@@ -1,0 +1,163 @@
+"""Event-stream metrics collection.
+
+The collector is the S-CDN's flight recorder: components report requests,
+allocation offers, transfers, and node state changes as they happen;
+reports are computed afterwards by :mod:`repro.metrics.cdn_metrics` and
+:mod:`repro.metrics.social_metrics`. Storing the raw events (rather than
+pre-aggregated counters) keeps new metrics computable without re-running
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId, NodeId, SegmentId
+
+
+@dataclass(frozen=True, slots=True)
+class RequestEvent:
+    """A user data request and its outcome."""
+
+    time: float
+    requester: AuthorId
+    segment_id: SegmentId
+    outcome: Literal["local", "near", "remote", "failed"]
+    social_hops: Optional[int]
+    duration_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationOfferEvent:
+    """The CDN asked a participant to host a replica (paper: "requests from
+    the CDN's overlay management algorithms ... accepted by storage
+    participants")."""
+
+    time: float
+    node: NodeId
+    segment_id: SegmentId
+    accepted: bool
+    response_delay_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class ExchangeEvent:
+    """One data exchange (replica-to-user or replica-to-replica transfer)."""
+
+    time: float
+    source: NodeId
+    dest: NodeId
+    segment_id: SegmentId
+    size_bytes: int
+    ok: bool
+    duration_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class NodeStateEvent:
+    """A node joined/left/came online/went offline."""
+
+    time: float
+    node: NodeId
+    state: Literal["online", "offline", "joined", "departed"]
+
+
+class MetricsCollector:
+    """Accumulates S-CDN events for post-hoc metric computation."""
+
+    def __init__(self) -> None:
+        self.requests: List[RequestEvent] = []
+        self.offers: List[AllocationOfferEvent] = []
+        self.exchanges: List[ExchangeEvent] = []
+        self.node_states: List[NodeStateEvent] = []
+        #: per-node contributed capacity (bytes) for abundance metrics
+        self.capacity: Dict[NodeId, int] = {}
+        #: per-node used replica bytes at last report
+        self.used: Dict[NodeId, int] = {}
+        #: per-node geographic region label (for distribution metrics)
+        self.region: Dict[NodeId, str] = {}
+        #: per-node served vs consumed counters (freerider detection)
+        self.bytes_served: Dict[NodeId, int] = {}
+        self.bytes_consumed: Dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------
+    # event ingestion
+    # ------------------------------------------------------------------
+    def record_request(self, event: RequestEvent) -> None:
+        """Record a user data request."""
+        self.requests.append(event)
+
+    def record_offer(self, event: AllocationOfferEvent) -> None:
+        """Record a hosting offer and its accept/decline."""
+        if event.response_delay_s < 0:
+            raise ConfigurationError("response_delay_s must be >= 0")
+        self.offers.append(event)
+
+    def record_exchange(self, event: ExchangeEvent) -> None:
+        """Record a data exchange; updates served/consumed tallies."""
+        self.exchanges.append(event)
+        if event.ok:
+            self.bytes_served[event.source] = (
+                self.bytes_served.get(event.source, 0) + event.size_bytes
+            )
+            self.bytes_consumed[event.dest] = (
+                self.bytes_consumed.get(event.dest, 0) + event.size_bytes
+            )
+
+    def record_node_state(self, event: NodeStateEvent) -> None:
+        """Record a node lifecycle transition."""
+        self.node_states.append(event)
+
+    def register_node(
+        self,
+        node: NodeId,
+        *,
+        capacity_bytes: int,
+        region: str = "unknown",
+    ) -> None:
+        """Declare a node's contribution (capacity + region)."""
+        if capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        self.capacity[node] = capacity_bytes
+        self.region[node] = region
+
+    def report_usage(self, node: NodeId, used_bytes: int) -> None:
+        """Update a node's replica-partition usage snapshot."""
+        if node not in self.capacity:
+            raise ConfigurationError(f"node {node!r} not registered")
+        if used_bytes < 0:
+            raise ConfigurationError("used_bytes must be >= 0")
+        self.used[node] = used_bytes
+
+    # ------------------------------------------------------------------
+    # derived per-node availability from state events
+    # ------------------------------------------------------------------
+    def observed_availability(self, node: NodeId, horizon_s: float) -> float:
+        """Fraction of [0, horizon) the node was online, from state events.
+
+        Nodes are assumed online from t=0 until their first event. Returns
+        1.0 for nodes with no recorded transitions.
+        """
+        if horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+        events = sorted(
+            (e for e in self.node_states if e.node == node), key=lambda e: e.time
+        )
+        online = True
+        last = 0.0
+        up = 0.0
+        for e in events:
+            if e.time >= horizon_s:
+                break
+            if e.state in ("offline", "departed") and online:
+                up += e.time - last
+                online = False
+                last = e.time
+            elif e.state in ("online", "joined") and not online:
+                online = True
+                last = e.time
+        if online:
+            up += horizon_s - last
+        return min(1.0, up / horizon_s)

@@ -1,0 +1,119 @@
+"""Social / collaborative metrics (paper Section V-E, second suite).
+
+The paper proposes: request acceptance rate, number of data exchanges,
+immediacy of allocation, ratio of successful to unsuccessful exchanges,
+ratio of freeriders to producers/consumers, transaction volume, ratio of
+allocated to unallocated resources, and ratio of scarce to abundant
+resource locations. All eight are computed here from the collector's
+event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .collector import MetricsCollector
+
+
+@dataclass(frozen=True, slots=True)
+class SocialMetricsReport:
+    """The paper's eight social metrics.
+
+    Attributes
+    ----------
+    acceptance_rate:
+        Fraction of hosting offers participants accepted.
+    n_exchanges:
+        Count of data exchanges undertaken.
+    immediacy_s:
+        Mean response delay of *accepted* offers — "how fast (on average)
+        are participants at accepting requests from the CDN".
+    exchange_success_ratio:
+        Successful / total exchanges.
+    freerider_ratio:
+        Freeriders / participants, where a freerider consumed data but
+        served none.
+    transaction_volume_bytes:
+        Total bytes moved by successful exchanges ("network usage").
+    allocated_ratio:
+        Allocated / contributed replica capacity across nodes.
+    scarce_location_ratio:
+        Fraction of regions whose free capacity per node is below half the
+        global mean — "whether resource provisions are well geographically
+        distributed".
+    """
+
+    acceptance_rate: float
+    n_exchanges: int
+    immediacy_s: float
+    exchange_success_ratio: float
+    freerider_ratio: float
+    transaction_volume_bytes: int
+    allocated_ratio: float
+    scarce_location_ratio: float
+
+
+def compute_social_metrics(collector: MetricsCollector) -> SocialMetricsReport:
+    """Compute the social metric suite from a collector's event stream."""
+    offers = collector.offers
+    if offers:
+        accepted = [o for o in offers if o.accepted]
+        acceptance = len(accepted) / len(offers)
+        immediacy = (
+            float(np.mean([o.response_delay_s for o in accepted])) if accepted else 0.0
+        )
+    else:
+        acceptance = 1.0
+        immediacy = 0.0
+
+    exchanges = collector.exchanges
+    n_ex = len(exchanges)
+    ok_ex = [e for e in exchanges if e.ok]
+    ex_ratio = len(ok_ex) / n_ex if n_ex else 1.0
+    volume = sum(e.size_bytes for e in ok_ex)
+
+    participants = set(collector.capacity) | set(collector.bytes_served) | set(
+        collector.bytes_consumed
+    )
+    freeriders = {
+        n
+        for n in participants
+        if collector.bytes_consumed.get(n, 0) > 0
+        and collector.bytes_served.get(n, 0) == 0
+    }
+    freerider_ratio = len(freeriders) / len(participants) if participants else 0.0
+
+    total_capacity = sum(collector.capacity.values())
+    total_used = sum(collector.used.get(n, 0) for n in collector.capacity)
+    allocated_ratio = total_used / total_capacity if total_capacity else 0.0
+
+    # geographic scarcity: free capacity per node, by region
+    by_region: Dict[str, list] = {}
+    for node, cap in collector.capacity.items():
+        free = cap - collector.used.get(node, 0)
+        by_region.setdefault(collector.region.get(node, "unknown"), []).append(free)
+    if by_region:
+        region_means = {r: float(np.mean(v)) for r, v in by_region.items()}
+        global_mean = float(np.mean(list(region_means.values())))
+        if global_mean > 0:
+            scarce = sum(1 for m in region_means.values() if m < 0.5 * global_mean)
+            scarce_ratio = scarce / len(region_means)
+        else:
+            scarce_ratio = 0.0
+    else:
+        scarce_ratio = 0.0
+
+    return SocialMetricsReport(
+        acceptance_rate=acceptance,
+        n_exchanges=n_ex,
+        immediacy_s=immediacy,
+        exchange_success_ratio=ex_ratio,
+        freerider_ratio=freerider_ratio,
+        transaction_volume_bytes=volume,
+        allocated_ratio=allocated_ratio,
+        scarce_location_ratio=scarce_ratio,
+    )

@@ -1,0 +1,35 @@
+"""Social middleware (paper Section V-C).
+
+"The social middleware adds a layer of abstraction between users and the
+S-CDN ... and provides authentication and authorization for the platform."
+It leverages the social network twice: credentials come from the platform
+(:mod:`repro.middleware.auth`), sessions bind actions to a social identity
+(:mod:`repro.middleware.session`), and authorization derives from social
+relationships and trust (:mod:`repro.middleware.policy`).
+"""
+
+from .auth import SocialNetworkPlatform, Credential
+from .session import Session, SessionManager
+from .policy import (
+    AccessDecision,
+    AccessPolicy,
+    OwnerPolicy,
+    ProjectMembershipPolicy,
+    SocialProximityPolicy,
+    TrustThresholdPolicy,
+    PolicyStack,
+)
+
+__all__ = [
+    "SocialNetworkPlatform",
+    "Credential",
+    "Session",
+    "SessionManager",
+    "AccessDecision",
+    "AccessPolicy",
+    "OwnerPolicy",
+    "ProjectMembershipPolicy",
+    "SocialProximityPolicy",
+    "TrustThresholdPolicy",
+    "PolicyStack",
+]

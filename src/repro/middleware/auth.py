@@ -1,0 +1,123 @@
+"""Simulated social network platform: identity and relationships.
+
+The paper's S-CDN "authenticates users ... through the social network's
+authentication and authorization mechanisms" — i.e. the platform is the
+identity provider. This module models that provider: user registration
+with a shared-secret credential, authentication producing opaque tokens,
+and relationship queries backed by the coauthorship graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import secrets
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..errors import AuthenticationError, ConfigurationError
+from ..ids import AuthorId
+from ..social.graph import CoauthorshipGraph
+
+
+@dataclass(frozen=True, slots=True)
+class Credential:
+    """A user's platform credential (username = author id + secret)."""
+
+    author: AuthorId
+    secret: str
+
+    def __post_init__(self) -> None:
+        if not self.secret:
+            raise ConfigurationError("credential secret must be non-empty")
+
+
+def _digest(secret: str) -> str:
+    return hashlib.sha256(secret.encode()).hexdigest()
+
+
+class SocialNetworkPlatform:
+    """The identity + relationship oracle a Social Cloud builds on.
+
+    Parameters
+    ----------
+    graph:
+        The social graph; only its members can register, and relationship
+        queries are answered from it. The paper's trust premise: the
+        platform's digitally encoded relationships bound the collaboration.
+    """
+
+    def __init__(self, graph: CoauthorshipGraph) -> None:
+        self.graph = graph
+        self._secrets: Dict[AuthorId, str] = {}
+        self._token_owner: Dict[str, AuthorId] = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # registration / authentication
+    # ------------------------------------------------------------------
+    def register_user(self, author: AuthorId, secret: str) -> Credential:
+        """Register a graph member with the platform."""
+        if author not in self.graph:
+            raise AuthenticationError(
+                f"{author!r} is not a member of the social graph"
+            )
+        if author in self._secrets:
+            raise AuthenticationError(f"{author!r} is already registered")
+        if not secret:
+            raise ConfigurationError("secret must be non-empty")
+        self._secrets[author] = _digest(secret)
+        return Credential(author=author, secret=secret)
+
+    def is_registered(self, author: AuthorId) -> bool:
+        """Whether an author has registered with the platform."""
+        return author in self._secrets
+
+    def authenticate(self, credential: Credential) -> str:
+        """Verify a credential and mint an opaque session token.
+
+        Raises
+        ------
+        AuthenticationError
+            On unknown users or wrong secrets.
+        """
+        stored = self._secrets.get(credential.author)
+        if stored is None:
+            raise AuthenticationError(f"unknown user {credential.author!r}")
+        if stored != _digest(credential.secret):
+            raise AuthenticationError(f"bad secret for {credential.author!r}")
+        token = f"tok-{next(self._counter)}-{secrets.token_hex(8)}"
+        self._token_owner[token] = credential.author
+        return token
+
+    def whoami(self, token: str) -> AuthorId:
+        """Resolve a token back to its author.
+
+        Raises
+        ------
+        AuthenticationError
+            For unknown or revoked tokens.
+        """
+        try:
+            return self._token_owner[token]
+        except KeyError:
+            raise AuthenticationError("invalid or revoked token") from None
+
+    def revoke(self, token: str) -> None:
+        """Invalidate a token (idempotent)."""
+        self._token_owner.pop(token, None)
+
+    # ------------------------------------------------------------------
+    # relationship queries
+    # ------------------------------------------------------------------
+    def are_connected(self, a: AuthorId, b: AuthorId) -> bool:
+        """Whether two members share a direct relationship (coauthorship)."""
+        return self.graph.nx.has_edge(a, b)
+
+    def friends_of(self, author: AuthorId) -> List[AuthorId]:
+        """Direct relationships of a member."""
+        return self.graph.neighbors(author)
+
+    def relationship_strength(self, a: AuthorId, b: AuthorId) -> int:
+        """Edge weight (shared publications); 0 if unconnected."""
+        return self.graph.edge_weight(a, b)

@@ -1,0 +1,152 @@
+"""Relationship- and trust-based access control.
+
+The paper: the S-CDN "can derive specific properties of the social graph
+as well as include new properties and constraints that can be used in
+access control" (Section IV) and must keep data "within the bounds of a
+particular project and on the nodes accessible by project members"
+(Section V). Policies here decide, per (author, dataset), whether access
+is permitted:
+
+* :class:`OwnerPolicy` — the owner always may.
+* :class:`ProjectMembershipPolicy` — datasets tagged with a project are
+  restricted to the project roster (the multi-center-trial boundary).
+* :class:`SocialProximityPolicy` — members within ``max_hops`` of the
+  owner may (the "trusted boundary" of the community).
+* :class:`TrustThresholdPolicy` — pairs whose interaction-history trust
+  score clears a threshold may.
+* :class:`PolicyStack` — OR- or AND-composition with a default-deny.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..errors import AuthorizationError, ConfigurationError
+from ..ids import AuthorId
+from ..social.ego import hop_distances
+from ..social.graph import CoauthorshipGraph
+from ..social.trust_model import TrustModel
+from ..cdn.content import Dataset
+
+
+class AccessDecision(enum.Enum):
+    """Tri-state policy outcome: a policy may abstain."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+    ABSTAIN = "abstain"
+
+
+class AccessPolicy(ABC):
+    """One access-control rule."""
+
+    @abstractmethod
+    def evaluate(self, author: AuthorId, dataset: Dataset) -> AccessDecision:
+        """Decide whether ``author`` may read ``dataset``."""
+
+
+class OwnerPolicy(AccessPolicy):
+    """Dataset owners always have access; abstains otherwise."""
+
+    def evaluate(self, author: AuthorId, dataset: Dataset) -> AccessDecision:
+        if author == dataset.owner:
+            return AccessDecision.ALLOW
+        return AccessDecision.ABSTAIN
+
+
+class ProjectMembershipPolicy(AccessPolicy):
+    """Project-tagged datasets are restricted to the project roster.
+
+    Datasets without a project tag are outside this policy's scope
+    (abstain). Non-members of a tagged dataset's project are DENIED —
+    this is the hard multi-center-trial boundary, so it wins over any
+    allow in an AND stack.
+    """
+
+    def __init__(self, rosters: Dict[str, Set[AuthorId]]) -> None:
+        self.rosters = {k: set(v) for k, v in rosters.items()}
+
+    def evaluate(self, author: AuthorId, dataset: Dataset) -> AccessDecision:
+        if dataset.project is None:
+            return AccessDecision.ABSTAIN
+        roster = self.rosters.get(dataset.project)
+        if roster is None:
+            return AccessDecision.DENY
+        return AccessDecision.ALLOW if author in roster else AccessDecision.DENY
+
+
+class SocialProximityPolicy(AccessPolicy):
+    """Allow authors within ``max_hops`` of the dataset owner."""
+
+    def __init__(self, graph: CoauthorshipGraph, *, max_hops: int = 1) -> None:
+        if max_hops < 0:
+            raise ConfigurationError(f"max_hops must be >= 0, got {max_hops}")
+        self.graph = graph
+        self.max_hops = max_hops
+        self._cache: Dict[AuthorId, Dict[AuthorId, int]] = {}
+
+    def _dist(self, owner: AuthorId) -> Dict[AuthorId, int]:
+        if owner not in self._cache:
+            self._cache[owner] = (
+                hop_distances(self.graph, {owner}) if owner in self.graph else {}
+            )
+        return self._cache[owner]
+
+    def evaluate(self, author: AuthorId, dataset: Dataset) -> AccessDecision:
+        d = self._dist(dataset.owner).get(author)
+        if d is not None and d <= self.max_hops:
+            return AccessDecision.ALLOW
+        return AccessDecision.ABSTAIN
+
+
+class TrustThresholdPolicy(AccessPolicy):
+    """Allow pairs whose trust score clears ``threshold``."""
+
+    def __init__(self, trust: TrustModel, *, threshold: float = 1.0) -> None:
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        self.trust = trust
+        self.threshold = threshold
+
+    def evaluate(self, author: AuthorId, dataset: Dataset) -> AccessDecision:
+        if self.trust.score(author, dataset.owner) >= self.threshold:
+            return AccessDecision.ALLOW
+        return AccessDecision.ABSTAIN
+
+
+class PolicyStack(AccessPolicy):
+    """Composes policies; defaults to deny when nothing allows.
+
+    ``mode="any"`` (default): any DENY blocks; otherwise any ALLOW grants.
+    ``mode="all"``: every non-abstaining policy must ALLOW, and at least
+    one must.
+    """
+
+    def __init__(self, policies: Iterable[AccessPolicy], *, mode: str = "any") -> None:
+        self.policies = list(policies)
+        if not self.policies:
+            raise ConfigurationError("policy stack needs at least one policy")
+        if mode not in ("any", "all"):
+            raise ConfigurationError(f"mode must be 'any' or 'all', got {mode!r}")
+        self.mode = mode
+
+    def evaluate(self, author: AuthorId, dataset: Dataset) -> AccessDecision:
+        decisions = [p.evaluate(author, dataset) for p in self.policies]
+        if AccessDecision.DENY in decisions:
+            return AccessDecision.DENY
+        allows = decisions.count(AccessDecision.ALLOW)
+        if self.mode == "any":
+            return AccessDecision.ALLOW if allows else AccessDecision.DENY
+        active = [d for d in decisions if d is not AccessDecision.ABSTAIN]
+        if active and all(d is AccessDecision.ALLOW for d in active):
+            return AccessDecision.ALLOW
+        return AccessDecision.DENY
+
+    def authorize(self, author: AuthorId, dataset: Dataset) -> None:
+        """Raise :class:`AuthorizationError` unless access is allowed."""
+        if self.evaluate(author, dataset) is not AccessDecision.ALLOW:
+            raise AuthorizationError(
+                f"{author!r} is not permitted to access dataset {dataset.dataset_id!r}"
+            )

@@ -1,0 +1,87 @@
+"""Sessions binding CDN actions to authenticated social identities.
+
+"Access to allocation servers can only take place after users have been
+authenticated through their social network" (paper Section V-B). The
+session manager wraps the platform's tokens with expiry so long-running
+simulations exercise re-authentication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import AuthenticationError, ConfigurationError
+from ..ids import AuthorId
+from .auth import Credential, SocialNetworkPlatform
+
+
+@dataclass(frozen=True, slots=True)
+class Session:
+    """An authenticated session."""
+
+    token: str
+    author: AuthorId
+    created_at: float
+    expires_at: float
+
+    def is_valid(self, now: float) -> bool:
+        """Whether the session is unexpired at ``now``."""
+        return now < self.expires_at
+
+
+class SessionManager:
+    """Creates and validates sessions against a platform.
+
+    Parameters
+    ----------
+    platform:
+        The identity provider.
+    ttl_s:
+        Session lifetime.
+    """
+
+    def __init__(self, platform: SocialNetworkPlatform, *, ttl_s: float = 8 * 3600.0) -> None:
+        if ttl_s <= 0:
+            raise ConfigurationError(f"ttl_s must be positive, got {ttl_s}")
+        self.platform = platform
+        self.ttl_s = ttl_s
+        self._sessions: Dict[str, Session] = {}
+
+    def login(self, credential: Credential, *, now: float = 0.0) -> Session:
+        """Authenticate and open a session."""
+        token = self.platform.authenticate(credential)
+        session = Session(
+            token=token,
+            author=credential.author,
+            created_at=now,
+            expires_at=now + self.ttl_s,
+        )
+        self._sessions[token] = session
+        return session
+
+    def validate(self, token: str, *, now: float = 0.0) -> Session:
+        """Return the live session for ``token``.
+
+        Raises
+        ------
+        AuthenticationError
+            For unknown tokens or expired sessions (expired sessions are
+            revoked as a side effect).
+        """
+        session = self._sessions.get(token)
+        if session is None:
+            raise AuthenticationError("unknown session token")
+        if not session.is_valid(now):
+            self.logout(token)
+            raise AuthenticationError(f"session for {session.author} expired")
+        return session
+
+    def logout(self, token: str) -> None:
+        """Close a session and revoke its platform token (idempotent)."""
+        self._sessions.pop(token, None)
+        self.platform.revoke(token)
+
+    def active_sessions(self, *, now: float = 0.0) -> int:
+        """Number of unexpired sessions."""
+        return sum(1 for s in self._sessions.values() if s.is_valid(now))

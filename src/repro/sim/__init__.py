@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+The paper's future-work section promises "an analysis platform to simulate
+a more diverse range of attributes, such as data access algorithms,
+different research networks, and indicators of trust". This subpackage is
+that platform's engine room:
+
+* :mod:`repro.sim.engine` — the event loop (heapq-based, deterministic).
+* :mod:`repro.sim.network` — geographic latency/bandwidth model.
+* :mod:`repro.sim.availability` — node churn (always-on, diurnal, traces).
+* :mod:`repro.sim.workload` — data-access request generators.
+* :mod:`repro.sim.failures` — failure injection.
+"""
+
+from .engine import SimulationEngine, Event
+from .network import GeoPoint, NetworkModel, LinkSpec
+from .availability import (
+    AvailabilityModel,
+    AlwaysOn,
+    Diurnal,
+    TraceDriven,
+    IndependentChurn,
+)
+from .workload import AccessRequest, WorkloadConfig, SocialWorkloadGenerator
+from .failures import FailureInjector, FailureEvent
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "GeoPoint",
+    "NetworkModel",
+    "LinkSpec",
+    "AvailabilityModel",
+    "AlwaysOn",
+    "Diurnal",
+    "TraceDriven",
+    "IndependentChurn",
+    "AccessRequest",
+    "WorkloadConfig",
+    "SocialWorkloadGenerator",
+    "FailureInjector",
+    "FailureEvent",
+]

@@ -1,0 +1,190 @@
+"""Node availability / churn models.
+
+The paper stresses that a user-supplied CDN will see "much lower
+availability ... compared to an Akamai-supported CDN". These models answer
+"is node n online at time t?" and "what fraction of [t0, t1) is n online?"
+so the allocation server, replication policy, and metrics can reason about
+churn. Time is in seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..ids import NodeId
+from ..rng import SeedLike, make_rng
+
+DAY_S = 86_400.0
+
+
+class AvailabilityModel(ABC):
+    """Answers point-in-time and interval availability queries."""
+
+    @abstractmethod
+    def is_online(self, node: NodeId, time: float) -> bool:
+        """Whether ``node`` is online at ``time``."""
+
+    def availability(self, node: NodeId, t0: float, t1: float, *, samples: int = 64) -> float:
+        """Fraction of [t0, t1) the node is online (sampled estimate).
+
+        Subclasses with closed forms override this.
+        """
+        if t1 <= t0:
+            raise ConfigurationError(f"need t1 > t0, got [{t0}, {t1})")
+        step = (t1 - t0) / samples
+        online = sum(self.is_online(node, t0 + (i + 0.5) * step) for i in range(samples))
+        return online / samples
+
+
+class AlwaysOn(AvailabilityModel):
+    """Every node is always online (institutional-server idealization)."""
+
+    def is_online(self, node: NodeId, time: float) -> bool:
+        return True
+
+    def availability(self, node: NodeId, t0: float, t1: float, *, samples: int = 64) -> float:
+        if t1 <= t0:
+            raise ConfigurationError(f"need t1 > t0, got [{t0}, {t1})")
+        return 1.0
+
+
+class Diurnal(AvailabilityModel):
+    """Nodes follow office-hours patterns with per-node phase offsets.
+
+    Each node is online for ``duty_hours`` per day starting at a per-node
+    offset (deterministic hash of the node id mixed with the seed), which
+    models researchers in different time zones — the structure My3-style
+    availability-overlap graphs exploit.
+    """
+
+    def __init__(
+        self,
+        *,
+        duty_hours: float = 10.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not 0.0 < duty_hours <= 24.0:
+            raise ConfigurationError(f"duty_hours must be in (0, 24], got {duty_hours}")
+        self.duty_s = duty_hours * 3600.0
+        self._seed = int(make_rng(seed).integers(0, 2**31))
+        self._offsets: Dict[NodeId, float] = {}
+
+    def _offset(self, node: NodeId) -> float:
+        if node not in self._offsets:
+            h = zlib.crc32(f"{self._seed}:{node}".encode()) % (2**31)
+            self._offsets[node] = (h / 2**31) * DAY_S
+        return self._offsets[node]
+
+    def is_online(self, node: NodeId, time: float) -> bool:
+        phase = (time - self._offset(node)) % DAY_S
+        return phase < self.duty_s
+
+    def availability(self, node: NodeId, t0: float, t1: float, *, samples: int = 64) -> float:
+        if t1 <= t0:
+            raise ConfigurationError(f"need t1 > t0, got [{t0}, {t1})")
+        if t1 - t0 >= DAY_S:
+            # whole days dominate; closed form with fractional-day sampling
+            return self.duty_s / DAY_S
+        return super().availability(node, t0, t1, samples=samples)
+
+    def overlap(self, a: NodeId, b: NodeId) -> float:
+        """Fraction of the day both nodes are online simultaneously."""
+        oa, ob = self._offset(a), self._offset(b)
+        # relative phase of b's window against a's
+        delta = (ob - oa) % DAY_S
+        d = self.duty_s
+        # overlap of [0, d) and [delta, delta+d) on a circle of DAY_S
+        direct = max(0.0, min(d, delta + d) - max(0.0, delta))
+        wrapped = max(0.0, min(d, delta + d - DAY_S))
+        return (direct + wrapped) / DAY_S
+
+
+class IndependentChurn(AvailabilityModel):
+    """Memoryless per-node churn: alternating exponential on/off periods.
+
+    Sessions are generated lazily per node out to the queried time and
+    cached, so repeated queries are consistent within one model instance.
+    """
+
+    def __init__(
+        self,
+        *,
+        mean_online_s: float = 6 * 3600.0,
+        mean_offline_s: float = 2 * 3600.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        if mean_online_s <= 0 or mean_offline_s <= 0:
+            raise ConfigurationError("mean durations must be positive")
+        self.mean_online_s = mean_online_s
+        self.mean_offline_s = mean_offline_s
+        self._master = int(make_rng(seed).integers(0, 2**31))
+        # per node: list of toggle times; the node is online from toggle 0
+        self._toggles: Dict[NodeId, List[float]] = {}
+        self._node_rngs: Dict[NodeId, object] = {}
+
+    def _extend(self, node: NodeId, until: float) -> List[float]:
+        toggles = self._toggles.setdefault(node, [0.0])
+        if node not in self._node_rngs:
+            self._node_rngs[node] = make_rng(
+                zlib.crc32(f"{self._master}:{node}".encode()) % (2**31)
+            )
+        rng = self._node_rngs[node]
+        while toggles[-1] <= until:
+            online_phase = (len(toggles) % 2) == 1  # after 1st toggle: online
+            mean = self.mean_online_s if online_phase else self.mean_offline_s
+            toggles.append(toggles[-1] + float(rng.exponential(mean)))
+        return toggles
+
+    def is_online(self, node: NodeId, time: float) -> bool:
+        if time < 0:
+            raise ConfigurationError(f"time must be >= 0, got {time}")
+        toggles = self._extend(node, time)
+        # count toggles at or before `time`; first toggle (t=0) starts ONLINE
+        import bisect
+
+        k = bisect.bisect_right(toggles, time)
+        return (k % 2) == 1
+
+    def expected_availability(self) -> float:
+        """Long-run online fraction implied by the mean durations."""
+        return self.mean_online_s / (self.mean_online_s + self.mean_offline_s)
+
+
+class TraceDriven(AvailabilityModel):
+    """Availability from explicit per-node (start, end) online intervals."""
+
+    def __init__(self, traces: Dict[NodeId, Sequence[Tuple[float, float]]]) -> None:
+        self._traces: Dict[NodeId, List[Tuple[float, float]]] = {}
+        for node, intervals in traces.items():
+            ordered = sorted(intervals)
+            for (s0, e0), (s1, _) in zip(ordered, ordered[1:]):
+                if e0 > s1:
+                    raise ConfigurationError(
+                        f"trace of {node} has overlapping intervals"
+                    )
+            for s, e in ordered:
+                if e <= s:
+                    raise ConfigurationError(
+                        f"trace of {node} has empty/negative interval ({s}, {e})"
+                    )
+            self._traces[node] = list(ordered)
+
+    def is_online(self, node: NodeId, time: float) -> bool:
+        for s, e in self._traces.get(node, ()):
+            if s <= time < e:
+                return True
+            if s > time:
+                break
+        return False
+
+    def availability(self, node: NodeId, t0: float, t1: float, *, samples: int = 64) -> float:
+        if t1 <= t0:
+            raise ConfigurationError(f"need t1 > t0, got [{t0}, {t1})")
+        total = 0.0
+        for s, e in self._traces.get(node, ()):
+            total += max(0.0, min(e, t1) - max(s, t0))
+        return total / (t1 - t0)

@@ -1,0 +1,195 @@
+"""Failure injection for resilience experiments.
+
+Schedules node crashes (permanent departures), transient outages, and
+slow-link episodes against a running :class:`~repro.sim.engine.SimulationEngine`,
+notifying registered handlers. The replication policy's repair path and the
+metrics collector's stability metric are exercised through these events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Literal, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..ids import NodeId
+from ..rng import SeedLike, make_rng
+from .engine import SimulationEngine
+from .network import NetworkModel
+
+FailureKind = Literal["crash", "outage-start", "outage-end", "slowlink-start", "slowlink-end"]
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One injected failure occurrence."""
+
+    time: float
+    node: NodeId
+    kind: FailureKind
+
+
+Handler = Callable[[FailureEvent], None]
+
+
+class FailureInjector:
+    """Schedules failures on an engine and tracks node liveness.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine to schedule against.
+    nodes:
+        The population subject to failures.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        nodes: Sequence[NodeId],
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("failure injector needs at least one node")
+        self.engine = engine
+        self.nodes = list(nodes)
+        self._rng = make_rng(seed)
+        self._handlers: List[Handler] = []
+        self._crashed: set[NodeId] = set()
+        self._in_outage: set[NodeId] = set()
+        self.history: List[FailureEvent] = []
+
+    def on_failure(self, handler: Handler) -> None:
+        """Register a callback invoked for every failure event."""
+        self._handlers.append(handler)
+
+    def _emit(self, event: FailureEvent) -> None:
+        self.history.append(event)
+        for h in self._handlers:
+            h(event)
+
+    # ------------------------------------------------------------------
+    # liveness queries
+    # ------------------------------------------------------------------
+    def is_alive(self, node: NodeId) -> bool:
+        """Whether ``node`` is currently up (not crashed, not in outage)."""
+        return node not in self._crashed and node not in self._in_outage
+
+    def crashed_nodes(self) -> set[NodeId]:
+        """Nodes that have permanently departed."""
+        return set(self._crashed)
+
+    # ------------------------------------------------------------------
+    # direct injections
+    # ------------------------------------------------------------------
+    def crash(self, node: NodeId, at: float) -> None:
+        """Schedule a permanent crash of ``node`` at time ``at``."""
+        if node not in self.nodes:
+            raise ConfigurationError(f"unknown node {node!r}")
+
+        def fire(engine: SimulationEngine) -> None:
+            if node in self._crashed:
+                return
+            self._crashed.add(node)
+            self._emit(FailureEvent(time=engine.now, node=node, kind="crash"))
+
+        self.engine.schedule(at, fire, label=f"crash:{node}")
+
+    def outage(self, node: NodeId, start: float, duration: float) -> None:
+        """Schedule a transient outage of ``node``."""
+        if node not in self.nodes:
+            raise ConfigurationError(f"unknown node {node!r}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+
+        def begin(engine: SimulationEngine) -> None:
+            if node in self._crashed:
+                return
+            self._in_outage.add(node)
+            self._emit(FailureEvent(time=engine.now, node=node, kind="outage-start"))
+
+        def end(engine: SimulationEngine) -> None:
+            if node in self._in_outage:
+                self._in_outage.discard(node)
+                self._emit(FailureEvent(time=engine.now, node=node, kind="outage-end"))
+
+        self.engine.schedule(start, begin, label=f"outage:{node}")
+        self.engine.schedule(start + duration, end, label=f"outage-end:{node}")
+
+    def slow_link(
+        self,
+        node: NodeId,
+        network: NetworkModel,
+        *,
+        start: float,
+        duration: float,
+        factor: float = 0.1,
+    ) -> None:
+        """Throttle a node's access link for ``duration`` seconds.
+
+        Degrades ``network``'s bandwidth for the node to ``factor`` of
+        nominal at ``start`` and restores it afterwards; emits
+        ``slowlink-start`` / ``slowlink-end`` events.
+        """
+        if node not in self.nodes:
+            raise ConfigurationError(f"unknown node {node!r}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+
+        def begin(engine: SimulationEngine) -> None:
+            if node in self._crashed:
+                return
+            network.degrade(node, factor)
+            self._emit(FailureEvent(time=engine.now, node=node, kind="slowlink-start"))
+
+        def end(engine: SimulationEngine) -> None:
+            network.restore(node)
+            self._emit(FailureEvent(time=engine.now, node=node, kind="slowlink-end"))
+
+        self.engine.schedule(start, begin, label=f"slowlink:{node}")
+        self.engine.schedule(start + duration, end, label=f"slowlink-end:{node}")
+
+    # ------------------------------------------------------------------
+    # random campaigns
+    # ------------------------------------------------------------------
+    def random_crashes(self, rate_per_node_s: float, horizon_s: float) -> int:
+        """Poisson-schedule permanent crashes over ``[now, now+horizon)``.
+
+        Returns the number of crashes scheduled. Each node crashes at most
+        once.
+        """
+        if rate_per_node_s < 0 or horizon_s <= 0:
+            raise ConfigurationError("need rate >= 0 and horizon > 0")
+        n = 0
+        for node in self.nodes:
+            t = float(self._rng.exponential(1.0 / rate_per_node_s)) if rate_per_node_s else float("inf")
+            if t < horizon_s:
+                self.crash(node, self.engine.now + t)
+                n += 1
+        return n
+
+    def random_outages(
+        self,
+        rate_per_node_s: float,
+        mean_duration_s: float,
+        horizon_s: float,
+    ) -> int:
+        """Poisson-schedule transient outages; returns how many were scheduled."""
+        if rate_per_node_s < 0 or mean_duration_s <= 0 or horizon_s <= 0:
+            raise ConfigurationError("invalid outage campaign parameters")
+        n = 0
+        for node in self.nodes:
+            t = self.engine.now
+            while True:
+                if rate_per_node_s == 0:
+                    break
+                gap = float(self._rng.exponential(1.0 / rate_per_node_s))
+                t += gap
+                if t - self.engine.now >= horizon_s:
+                    break
+                duration = float(self._rng.exponential(mean_duration_s))
+                self.outage(node, t, max(duration, 1e-9))
+                t += duration
+                n += 1
+        return n

@@ -1,0 +1,205 @@
+"""Geographic network model: latency and bandwidth between CDN nodes.
+
+Replaces the paper's real-world substrate (researcher sites across
+institutions, GlobusTransfer between them) with a parameterized model:
+nodes get geographic coordinates; link latency grows with great-circle
+distance plus a base hop cost, and bandwidth is the min of the two
+endpoints' access capacities. The transfer client builds on this to
+produce transfer durations that preserve the paper-relevant behaviour
+(far-away replicas are slower, constrained endpoints throttle transfers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..ids import NodeId
+from ..rng import SeedLike, make_rng
+
+_EARTH_RADIUS_KM = 6371.0
+#: Effective propagation speed in fiber, km/s (≈ 2/3 c).
+_FIBER_KM_PER_S = 200_000.0
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A latitude/longitude position in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ConfigurationError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ConfigurationError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance (haversine)."""
+        lat1, lon1 = math.radians(self.lat), math.radians(self.lon)
+        lat2, lon2 = math.radians(other.lat), math.radians(other.lon)
+        dlat, dlon = lat2 - lat1, lon2 - lon1
+        a = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+        return 2 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """Derived characteristics of one node pair's path."""
+
+    latency_s: float
+    bandwidth_bps: float
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Seconds to move ``size_bytes`` over this link (latency + drain)."""
+        if size_bytes < 0:
+            raise ConfigurationError(f"size must be >= 0, got {size_bytes}")
+        return self.latency_s + (8.0 * size_bytes) / self.bandwidth_bps
+
+
+class NetworkModel:
+    """Pairwise link model over a set of positioned nodes.
+
+    Parameters
+    ----------
+    base_latency_s:
+        Fixed per-path overhead (routing, TCP setup) added to propagation.
+    default_bandwidth_bps:
+        Access bandwidth for nodes without an explicit entry.
+    """
+
+    def __init__(
+        self,
+        *,
+        base_latency_s: float = 0.01,
+        default_bandwidth_bps: float = 100e6,
+    ) -> None:
+        if base_latency_s < 0:
+            raise ConfigurationError("base_latency_s must be >= 0")
+        if default_bandwidth_bps <= 0:
+            raise ConfigurationError("default_bandwidth_bps must be positive")
+        self.base_latency_s = base_latency_s
+        self.default_bandwidth_bps = default_bandwidth_bps
+        self._positions: Dict[NodeId, GeoPoint] = {}
+        self._bandwidth: Dict[NodeId, float] = {}
+        self._degradation: Dict[NodeId, float] = {}
+
+    def add_node(
+        self,
+        node_id: NodeId,
+        position: GeoPoint,
+        *,
+        bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        """Register a node with a position and optional access bandwidth."""
+        if node_id in self._positions:
+            raise ConfigurationError(f"node {node_id} already in network")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth_bps must be positive")
+        self._positions[node_id] = position
+        if bandwidth_bps is not None:
+            self._bandwidth[node_id] = bandwidth_bps
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._positions
+
+    def position(self, node_id: NodeId) -> GeoPoint:
+        """Position of a registered node."""
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node_id!r}") from None
+
+    def bandwidth(self, node_id: NodeId) -> float:
+        """Effective access bandwidth of a node (nominal x degradation)."""
+        if node_id not in self._positions:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        nominal = self._bandwidth.get(node_id, self.default_bandwidth_bps)
+        return nominal * self._degradation.get(node_id, 1.0)
+
+    def degrade(self, node_id: NodeId, factor: float) -> None:
+        """Throttle a node's access link to ``factor`` of nominal bandwidth.
+
+        Models a congested or failing uplink (the "slow link" failure
+        mode); ``factor`` must be in (0, 1]. Call :meth:`restore` to undo.
+        """
+        if node_id not in self._positions:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(f"factor must be in (0, 1], got {factor}")
+        self._degradation[node_id] = factor
+
+    def restore(self, node_id: NodeId) -> None:
+        """Clear a node's bandwidth degradation (idempotent)."""
+        if node_id not in self._positions:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        self._degradation.pop(node_id, None)
+
+    def link(self, a: NodeId, b: NodeId) -> LinkSpec:
+        """Characterize the path between two nodes.
+
+        Latency = base + distance / fiber speed; bandwidth = min of the two
+        endpoints' access links. A node's link to itself has zero extra
+        latency and its own bandwidth (local copy).
+        """
+        pa, pb = self.position(a), self.position(b)
+        if a == b:
+            return LinkSpec(latency_s=0.0, bandwidth_bps=self.bandwidth(a))
+        dist = pa.distance_km(pb)
+        latency = self.base_latency_s + dist / _FIBER_KM_PER_S
+        bw = min(self.bandwidth(a), self.bandwidth(b))
+        return LinkSpec(latency_s=latency, bandwidth_bps=bw)
+
+    def nodes(self) -> Iterable[NodeId]:
+        """Registered node ids."""
+        return self._positions.keys()
+
+    def mean_pairwise_latency(self) -> float:
+        """Mean latency over all unordered node pairs (topology summary)."""
+        ids = list(self._positions)
+        if len(ids) < 2:
+            return 0.0
+        total, count = 0.0, 0
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                total += self.link(a, b).latency_s
+                count += 1
+        return total / count
+
+
+def random_geography(
+    node_ids: Iterable[NodeId],
+    *,
+    seed: SeedLike = None,
+    n_clusters: int = 8,
+    cluster_spread_deg: float = 2.0,
+    bandwidth_lognormal: Tuple[float, float] = (math.log(100e6), 0.8),
+) -> NetworkModel:
+    """Place nodes in geographic clusters (institutions) at random.
+
+    Researchers cluster at institutions: positions are drawn around
+    ``n_clusters`` random world-city-like centers with Gaussian spread, and
+    access bandwidths are lognormal (most home/office links modest, a few
+    fast institutional servers).
+    """
+    rng = make_rng(seed)
+    if n_clusters < 1:
+        raise ConfigurationError("n_clusters must be >= 1")
+    centers = [
+        GeoPoint(float(rng.uniform(-60, 70)), float(rng.uniform(-180, 180)))
+        for _ in range(n_clusters)
+    ]
+    mu, sigma = bandwidth_lognormal
+    net = NetworkModel()
+    for node in node_ids:
+        c = centers[int(rng.integers(n_clusters))]
+        lat = float(np.clip(c.lat + rng.normal(0, cluster_spread_deg), -90, 90))
+        lon = float(np.clip(c.lon + rng.normal(0, cluster_spread_deg), -180, 180))
+        bw = float(np.exp(rng.normal(mu, sigma)))
+        net.add_node(node, GeoPoint(lat, lon), bandwidth_bps=bw)
+    return net

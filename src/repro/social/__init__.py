@@ -1,0 +1,67 @@
+"""Social substrate: coauthorship corpora, graphs, trust, and metrics.
+
+This subpackage models the "social fabric" the S-CDN paper builds on: a
+temporal stream of publications (:mod:`repro.social.records`), the weighted
+coauthorship graph derived from it (:mod:`repro.social.graph`), ego-network
+extraction (:mod:`repro.social.ego`), the paper's trust-pruning heuristics
+(:mod:`repro.social.trust`), an interaction-history trust model
+(:mod:`repro.social.trust_model`), vectorized graph metrics
+(:mod:`repro.social.metrics`), community detection
+(:mod:`repro.social.communities`), and a synthetic DBLP-style corpus
+generator (:mod:`repro.social.generators`) standing in for the DBLP dump
+used in the paper's case study.
+"""
+
+from .records import Author, Publication, Corpus
+from .graph import CoauthorshipGraph, build_coauthorship_graph
+from .generators import CorpusConfig, DBLPStyleCorpusGenerator, generate_corpus
+from .ego import ego_network, hop_distances
+from .trust import (
+    TrustHeuristic,
+    BaselineTrust,
+    MinCoauthorshipTrust,
+    MaxAuthorsTrust,
+    CompositeTrust,
+    paper_trust_heuristics,
+)
+from .trust_model import InteractionRecord, TrustModel
+from .metrics import (
+    degree_vector,
+    clustering_coefficients,
+    betweenness,
+    closeness,
+    pagerank_scores,
+    graph_summary,
+    GraphSummary,
+)
+from .communities import detect_communities, modularity
+
+__all__ = [
+    "Author",
+    "Publication",
+    "Corpus",
+    "CoauthorshipGraph",
+    "build_coauthorship_graph",
+    "CorpusConfig",
+    "DBLPStyleCorpusGenerator",
+    "generate_corpus",
+    "ego_network",
+    "hop_distances",
+    "TrustHeuristic",
+    "BaselineTrust",
+    "MinCoauthorshipTrust",
+    "MaxAuthorsTrust",
+    "CompositeTrust",
+    "paper_trust_heuristics",
+    "InteractionRecord",
+    "TrustModel",
+    "degree_vector",
+    "clustering_coefficients",
+    "betweenness",
+    "closeness",
+    "pagerank_scores",
+    "graph_summary",
+    "GraphSummary",
+    "detect_communities",
+    "modularity",
+]

@@ -1,0 +1,94 @@
+"""Ego-network extraction.
+
+The paper's case study "explodes" one author's network to a maximum social
+distance of 3 hops: the seed's coauthors, their coauthors, and their
+coauthors' coauthors. Two flavours are provided:
+
+* :func:`ego_corpus` — corpus-level expansion, mirroring how the paper
+  crawled DBLP: iteratively pull in each frontier author's publications and
+  add their coauthors, for ``hops`` rounds. Publications of *any* author in
+  the final network are retained ("we consider publications from the entire
+  network, and not just from the graph seed").
+* :func:`ego_network` — graph-level BFS subgraph for when a full graph
+  already exists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Set
+
+from ..errors import GraphError
+from ..ids import AuthorId
+from .graph import CoauthorshipGraph
+from .records import Corpus
+
+
+def ego_corpus(corpus: Corpus, seed: AuthorId, hops: int = 3) -> Corpus:
+    """Extract the ``hops``-hop ego corpus around ``seed``.
+
+    Round 0 starts from the seed. Each round adds every coauthor of the
+    current frontier (through any publication in ``corpus``), up to
+    ``hops`` rounds. The returned corpus contains every publication with at
+    least one author inside the final author set — including publications
+    that introduce authors *beyond* the hop limit, whose author lists are
+    kept intact (they are the "authors not in the subgraph" the paper
+    reports constant misses for).
+    """
+    if hops < 0:
+        raise GraphError(f"hops must be >= 0, got {hops}")
+    if seed not in corpus.author_ids:
+        raise GraphError(f"seed author {seed!r} has no publications in the corpus")
+
+    members: Set[AuthorId] = {seed}
+    frontier: Set[AuthorId] = {seed}
+    for _ in range(hops):
+        next_frontier: Set[AuthorId] = set()
+        for author in frontier:
+            for pub in corpus.publications_of(author):
+                next_frontier.update(pub.authors)
+        next_frontier -= members
+        if not next_frontier:
+            break
+        members |= next_frontier
+        frontier = next_frontier
+    return corpus.restrict_authors(members)
+
+
+def ego_network(
+    graph: CoauthorshipGraph, seed: AuthorId, hops: int = 3
+) -> CoauthorshipGraph:
+    """Induced subgraph of every node within ``hops`` hops of ``seed``."""
+    if hops < 0:
+        raise GraphError(f"hops must be >= 0, got {hops}")
+    if seed not in graph:
+        raise GraphError(f"seed author {seed!r} is not in the graph")
+    dist = hop_distances(graph, {seed})
+    keep = [a for a, d in dist.items() if d <= hops]
+    sub = graph.subgraph(keep)
+    return CoauthorshipGraph(sub.nx, seed=seed)
+
+
+def hop_distances(
+    graph: CoauthorshipGraph, sources: Set[AuthorId]
+) -> Dict[AuthorId, int]:
+    """Multi-source BFS hop distance from ``sources`` to every reachable node.
+
+    This is the primitive behind hit-rate evaluation: with replicas as
+    sources, an author at distance <= 1 is a "hit" under the paper's
+    definition. Unreachable nodes are absent from the result.
+    """
+    unknown = sources - set(graph.nx)
+    if unknown:
+        raise GraphError(f"unknown source authors: {sorted(unknown)[:5]}")
+    dist: Dict[AuthorId, int] = {s: 0 for s in sources}
+    queue = deque(sources)
+    adj = graph.nx.adj
+    while queue:
+        node = queue.popleft()
+        d = dist[node] + 1
+        for nbr in adj[node]:
+            if nbr not in dist:
+                dist[nbr] = d
+                queue.append(nbr)
+    return dist

@@ -1,0 +1,195 @@
+"""Corpus serialization: JSON round-trips and edge-list import.
+
+The synthetic generator stands in for DBLP offline, but a downstream user
+with a real dump needs a way in. Two formats:
+
+* **Corpus JSON** — the library's native interchange: a versioned document
+  with authors (id, name, institution) and publications (id, year, venue,
+  title, author ids). Round-trips losslessly.
+* **Coauthorship edge list** — the lowest common denominator for crawled
+  data: ``author_a<TAB>author_b<TAB>year[<TAB>pub_id]`` lines, one per
+  coauthor pair. Imported by reassembling pair rows that share a
+  publication id (or synthesizing one per line when absent).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, TextIO, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId, PublicationId
+from .records import Author, Corpus, Publication
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# native JSON
+# ---------------------------------------------------------------------------
+
+
+def corpus_to_dict(corpus: Corpus) -> dict:
+    """Serialize a corpus to a JSON-ready dict (versioned, lossless)."""
+    authors = []
+    for author_id in sorted(corpus.author_ids):
+        a = corpus.author(author_id)
+        authors.append(
+            {
+                "id": str(a.author_id),
+                "name": a.name,
+                "institution": a.institution,
+            }
+        )
+    publications = [
+        {
+            "id": str(p.pub_id),
+            "year": p.year,
+            "venue": p.venue,
+            "title": p.title,
+            "authors": sorted(str(a) for a in p.authors),
+        }
+        for p in corpus
+    ]
+    return {
+        "format": "repro-corpus",
+        "version": FORMAT_VERSION,
+        "authors": authors,
+        "publications": publications,
+    }
+
+
+def corpus_from_dict(doc: dict) -> Corpus:
+    """Deserialize a corpus from :func:`corpus_to_dict` output.
+
+    Raises
+    ------
+    ConfigurationError
+        On wrong format markers or malformed records.
+    """
+    if not isinstance(doc, dict) or doc.get("format") != "repro-corpus":
+        raise ConfigurationError("not a repro-corpus document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported corpus format version {doc.get('version')!r}"
+        )
+    authors: Dict[AuthorId, Author] = {}
+    for rec in doc.get("authors", []):
+        author = Author(
+            AuthorId(rec["id"]),
+            name=rec.get("name", ""),
+            institution=rec.get("institution"),
+        )
+        authors[author.author_id] = author
+    publications = [
+        Publication(
+            pub_id=PublicationId(rec["id"]),
+            year=int(rec["year"]),
+            authors=frozenset(AuthorId(a) for a in rec["authors"]),
+            venue=rec.get("venue", ""),
+            title=rec.get("title", ""),
+        )
+        for rec in doc.get("publications", [])
+    ]
+    return Corpus(publications, authors=authors)
+
+
+def save_corpus(corpus: Corpus, path: PathLike) -> None:
+    """Write a corpus to a JSON file."""
+    Path(path).write_text(json.dumps(corpus_to_dict(corpus), indent=1))
+
+
+def load_corpus(path: PathLike) -> Corpus:
+    """Read a corpus from a JSON file written by :func:`save_corpus`."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid corpus JSON in {path}: {exc}") from exc
+    return corpus_from_dict(doc)
+
+
+# ---------------------------------------------------------------------------
+# edge-list import
+# ---------------------------------------------------------------------------
+
+
+def corpus_from_edge_list(
+    lines: Iterable[str],
+    *,
+    default_year: int = 2010,
+) -> Corpus:
+    """Build a corpus from coauthorship edge-list lines.
+
+    Line format (tab- or whitespace-separated)::
+
+        author_a  author_b  [year]  [pub_id]
+
+    Lines sharing a ``pub_id`` are merged into one publication whose
+    author set is the union of their endpoints (the usual shape of a
+    pairwise DBLP export). Lines without a ``pub_id`` each become their
+    own two-author publication. Blank lines and ``#`` comments are
+    skipped.
+
+    Raises
+    ------
+    ConfigurationError
+        On malformed lines (fewer than two fields, self-loops,
+        unparseable years).
+    """
+    by_pub: Dict[str, Tuple[int, Set[AuthorId]]] = {}
+    singles: List[Publication] = []
+    counter = 0
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise ConfigurationError(f"edge list line {lineno}: need >= 2 fields")
+        a, b = AuthorId(fields[0]), AuthorId(fields[1])
+        if a == b:
+            raise ConfigurationError(f"edge list line {lineno}: self-loop {a!r}")
+        year = default_year
+        if len(fields) >= 3:
+            try:
+                year = int(fields[2])
+            except ValueError:
+                raise ConfigurationError(
+                    f"edge list line {lineno}: bad year {fields[2]!r}"
+                ) from None
+        if len(fields) >= 4:
+            pub_id = fields[3]
+            stored_year, members = by_pub.setdefault(pub_id, (year, set()))
+            if stored_year != year:
+                raise ConfigurationError(
+                    f"edge list line {lineno}: publication {pub_id!r} has "
+                    f"conflicting years {stored_year} and {year}"
+                )
+            members.update((a, b))
+        else:
+            singles.append(
+                Publication(
+                    pub_id=PublicationId(f"edge-{counter}"),
+                    year=year,
+                    authors=frozenset({a, b}),
+                )
+            )
+            counter += 1
+    merged = [
+        Publication(
+            pub_id=PublicationId(pub_id),
+            year=year,
+            authors=frozenset(members),
+        )
+        for pub_id, (year, members) in by_pub.items()
+    ]
+    return Corpus(singles + merged)
+
+
+def load_edge_list(path: PathLike, *, default_year: int = 2010) -> Corpus:
+    """Read an edge-list file into a corpus (see :func:`corpus_from_edge_list`)."""
+    with open(path) as fh:
+        return corpus_from_edge_list(fh, default_year=default_year)

@@ -1,0 +1,158 @@
+"""Interaction-history trust model (paper Section III).
+
+The paper defines inter-personal trust as "a positive expectation ... that
+results from proven contextualized personal interaction-histories", and
+proposes developing "trust models validated through transactions over time
+to aid CDN algorithms". :class:`TrustModel` implements that: a per-pair
+score built from observed interactions (publications, successful/failed
+data exchanges), with exponential recency decay, queryable by the CDN's
+placement and policy layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import math
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId
+from .records import Corpus
+
+#: Default weight of each interaction kind toward the trust score.
+DEFAULT_KIND_WEIGHTS: Dict[str, float] = {
+    "publication": 1.0,
+    "exchange-success": 0.5,
+    "exchange-failure": -1.0,
+    "request-accepted": 0.25,
+    "request-declined": -0.25,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class InteractionRecord:
+    """One observed interaction between two principals.
+
+    Attributes
+    ----------
+    a, b:
+        The pair (order is irrelevant; records are stored unordered).
+    kind:
+        Interaction kind; must be a key of the model's kind-weight table.
+    time:
+        Timestamp in the model's time unit (years for corpus-derived
+        records, simulation seconds for CDN transactions).
+    weight:
+        Optional multiplier (e.g. inverse author-list size for
+        publications, so an 86-author paper contributes little pairwise
+        trust — the paper's stated rationale for the max-authors pruning).
+    """
+
+    a: AuthorId
+    b: AuthorId
+    kind: str
+    time: float
+    weight: float = 1.0
+
+
+class TrustModel:
+    """Pairwise trust scores from decayed interaction histories.
+
+    ``score(a, b)`` is ``sum_i kind_weight(i) * weight_i * exp(-(now - t_i)/tau)``
+    over all interactions between the pair, clamped at 0 from below.
+
+    Parameters
+    ----------
+    half_life:
+        Time for an interaction's contribution to halve. ``math.inf``
+        disables decay.
+    kind_weights:
+        Map of interaction kind -> base weight; defaults to
+        :data:`DEFAULT_KIND_WEIGHTS`.
+    """
+
+    def __init__(
+        self,
+        *,
+        half_life: float = math.inf,
+        kind_weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if half_life <= 0:
+            raise ConfigurationError(f"half_life must be positive, got {half_life}")
+        self.half_life = half_life
+        self.kind_weights = dict(kind_weights or DEFAULT_KIND_WEIGHTS)
+        self._records: Dict[Tuple[AuthorId, AuthorId], List[InteractionRecord]] = {}
+        self._now: float = 0.0
+
+    @staticmethod
+    def _key(a: AuthorId, b: AuthorId) -> Tuple[AuthorId, AuthorId]:
+        return (a, b) if a <= b else (b, a)
+
+    @property
+    def now(self) -> float:
+        """The model's current time (scores decay relative to this)."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the model clock forward (never backward)."""
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot move trust clock backward ({time} < {self._now})"
+            )
+        self._now = time
+
+    def record(self, interaction: InteractionRecord) -> None:
+        """Add one interaction; advances the clock to its time if later."""
+        if interaction.kind not in self.kind_weights:
+            raise ConfigurationError(f"unknown interaction kind {interaction.kind!r}")
+        if interaction.a == interaction.b:
+            raise ConfigurationError("self-interactions carry no trust signal")
+        key = self._key(interaction.a, interaction.b)
+        self._records.setdefault(key, []).append(interaction)
+        if interaction.time > self._now:
+            self._now = interaction.time
+
+    def record_corpus(self, corpus: Corpus, *, discount_large: bool = True) -> None:
+        """Ingest every coauthor pair of every publication as interactions.
+
+        With ``discount_large`` each pair's weight is ``1 / (n_authors - 1)``
+        so mega-papers contribute little pairwise trust.
+        """
+        for pub in corpus:
+            w = 1.0 / (pub.n_authors - 1) if (discount_large and pub.n_authors > 1) else 1.0
+            for a, b in pub.coauthor_pairs():
+                self.record(
+                    InteractionRecord(a=a, b=b, kind="publication", time=float(pub.year), weight=w)
+                )
+
+    def score(self, a: AuthorId, b: AuthorId, *, at: Optional[float] = None) -> float:
+        """Decayed trust score for the pair; 0.0 if never interacted."""
+        if a == b:
+            return 0.0
+        now = self._now if at is None else at
+        records = self._records.get(self._key(a, b), ())
+        total = 0.0
+        for r in records:
+            age = max(0.0, now - r.time)
+            decay = 1.0 if math.isinf(self.half_life) else 0.5 ** (age / self.half_life)
+            total += self.kind_weights[r.kind] * r.weight * decay
+        return max(0.0, total)
+
+    def interaction_count(self, a: AuthorId, b: AuthorId) -> int:
+        """Number of recorded interactions between the pair."""
+        return len(self._records.get(self._key(a, b), ()))
+
+    def trusted_peers(
+        self, a: AuthorId, *, threshold: float = 0.0
+    ) -> List[Tuple[AuthorId, float]]:
+        """Peers of ``a`` with score strictly above ``threshold``, best first."""
+        out: List[Tuple[AuthorId, float]] = []
+        for (x, y), _ in self._records.items():
+            if a == x or a == y:
+                other = y if a == x else x
+                s = self.score(a, other)
+                if s > threshold:
+                    out.append((other, s))
+        out.sort(key=lambda t: (-t[1], t[0]))
+        return out

@@ -1,0 +1,21 @@
+"""Domain workloads built on the S-CDN public API.
+
+Currently one workload: the paper's Section IV motivating use case,
+multi-center medical image analysis (:mod:`repro.workloads.medical`).
+"""
+
+from .medical import (
+    ImagingSession,
+    ProcessingStage,
+    MedicalTrialConfig,
+    MedicalImagingTrial,
+    DTI_FA_PIPELINE,
+)
+
+__all__ = [
+    "ImagingSession",
+    "ProcessingStage",
+    "MedicalTrialConfig",
+    "MedicalImagingTrial",
+    "DTI_FA_PIPELINE",
+]

@@ -1,0 +1,251 @@
+"""Multi-center medical image analysis workload (paper Section IV).
+
+The paper motivates the S-CDN with MRI studies: raw sessions of ~100 MB,
+processing workflows (brain extraction, registration, region-of-interest
+annotation, fractional-anisotropy calculation) that multiply data ~14x
+("a DTI FA calculation workflow ... generates approximately 1.4 GB from a
+single raw session (of 100 MB)"), tens to hundreds of subjects, and
+multi-center trials easily exceeding tens of TB.
+
+:class:`MedicalImagingTrial` drives an :class:`~repro.scdn.SCDN` with that
+workload: a lead institution creates the project, collaborating sites
+contribute storage and upload raw sessions, pipeline stages derive new
+datasets, and analysts across sites access what they need. The trial
+records enough to answer the paper's question — does socially-placed
+replication keep the data close to the collaborators who need it?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, WorkloadError
+from ..ids import AuthorId, DatasetId
+from ..rng import SeedLike, make_rng
+from ..scdn import SCDN
+
+MB = 10**6
+GB = 10**9
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessingStage:
+    """One step of an image-processing workflow.
+
+    Attributes
+    ----------
+    name:
+        Stage name (e.g. ``brain-extraction``).
+    output_factor:
+        Output size as a multiple of the *raw session* size.
+    """
+
+    name: str
+    output_factor: float
+
+    def __post_init__(self) -> None:
+        if self.output_factor <= 0:
+            raise ConfigurationError(f"output_factor must be positive ({self.name})")
+
+
+#: The paper's DTI FA workflow: 100 MB raw -> ~1.4 GB derived in total.
+DTI_FA_PIPELINE: Tuple[ProcessingStage, ...] = (
+    ProcessingStage("brain-extraction", 1.0),
+    ProcessingStage("image-registration", 3.0),
+    ProcessingStage("roi-annotation", 2.0),
+    ProcessingStage("fa-calculation", 8.0),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ImagingSession:
+    """One raw MRI session belonging to a subject at a site."""
+
+    session_id: str
+    subject: int
+    site: AuthorId
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class MedicalTrialConfig:
+    """Trial scale parameters (defaults echo the paper's guidelines)."""
+
+    n_subjects: int = 20
+    sessions_per_subject: int = 2
+    raw_session_bytes: int = 100 * MB
+    pipeline: Tuple[ProcessingStage, ...] = DTI_FA_PIPELINE
+    segments_per_dataset: int = 4
+    analyst_accesses_per_site: int = 5
+
+    def __post_init__(self) -> None:
+        if self.n_subjects < 1 or self.sessions_per_subject < 1:
+            raise ConfigurationError("need at least one subject and session")
+        if self.raw_session_bytes <= 0:
+            raise ConfigurationError("raw_session_bytes must be positive")
+        if not self.pipeline:
+            raise ConfigurationError("pipeline must have at least one stage")
+        if self.segments_per_dataset < 1:
+            raise ConfigurationError("segments_per_dataset must be >= 1")
+        if self.analyst_accesses_per_site < 0:
+            raise ConfigurationError("analyst_accesses_per_site must be >= 0")
+
+    @property
+    def derived_bytes_per_session(self) -> int:
+        """Total derived data per raw session (paper: ~1.4 GB per 100 MB)."""
+        return int(sum(s.output_factor for s in self.pipeline) * self.raw_session_bytes)
+
+
+@dataclass
+class TrialReport:
+    """What the trial produced and how access behaved."""
+
+    n_sessions: int
+    n_datasets: int
+    total_raw_bytes: int
+    total_derived_bytes: int
+    n_accesses: int
+    n_access_failures: int
+    one_hop_or_local_accesses: int
+
+    @property
+    def locality_ratio(self) -> float:
+        """Fraction of accesses served locally or from a 1-hop replica."""
+        if self.n_accesses == 0:
+            return 1.0
+        return self.one_hop_or_local_accesses / self.n_accesses
+
+
+class MedicalImagingTrial:
+    """Drives a multi-center imaging trial over an S-CDN.
+
+    Parameters
+    ----------
+    scdn:
+        The S-CDN (its graph defines who can participate).
+    lead:
+        The lead institution's PI; creates the project.
+    sites:
+        Participating site PIs (must be S-CDN members). Each site hosts
+        subjects and runs analyses.
+    """
+
+    def __init__(
+        self,
+        scdn: SCDN,
+        lead: AuthorId,
+        sites: Sequence[AuthorId],
+        *,
+        config: Optional[MedicalTrialConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not sites:
+            raise WorkloadError("a trial needs at least one site")
+        if lead not in sites:
+            raise WorkloadError("the lead must be one of the sites")
+        self.scdn = scdn
+        self.lead = lead
+        self.sites = list(sites)
+        self.config = config or MedicalTrialConfig()
+        self._rng = make_rng(seed)
+        self.project = f"trial-{lead}"
+        self.sessions: List[ImagingSession] = []
+        self.datasets: List[DatasetId] = []
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def enroll(self) -> None:
+        """Create the project roster (all sites)."""
+        self.scdn.create_project(self.project, self.sites)
+
+    def acquire_sessions(self) -> List[ImagingSession]:
+        """Generate raw sessions, assigning subjects to sites round-robin,
+        and publish each session's raw data into the CDN."""
+        cfg = self.config
+        for subject in range(cfg.n_subjects):
+            site = self.sites[subject % len(self.sites)]
+            for k in range(cfg.sessions_per_subject):
+                session = ImagingSession(
+                    session_id=f"sub{subject:03d}-ses{k}",
+                    subject=subject,
+                    site=site,
+                    size_bytes=cfg.raw_session_bytes,
+                )
+                self.sessions.append(session)
+                ds = self.scdn.publish(
+                    site,
+                    f"raw-{session.session_id}",
+                    session.size_bytes,
+                    n_segments=cfg.segments_per_dataset,
+                    project=self.project,
+                )
+                self.datasets.append(ds.dataset_id)
+        return self.sessions
+
+    def run_pipeline(self) -> List[DatasetId]:
+        """Run every processing stage on every session.
+
+        Each stage reads its input (the raw session, via the CDN) and
+        publishes its derived dataset from the site that ran it.
+        """
+        if not self.sessions:
+            raise WorkloadError("acquire_sessions() must run before the pipeline")
+        derived: List[DatasetId] = []
+        for session in self.sessions:
+            self.scdn.access(session.site, f"raw-{session.session_id}")
+            for stage in self.config.pipeline:
+                size = int(stage.output_factor * session.size_bytes)
+                ds = self.scdn.publish(
+                    session.site,
+                    f"{stage.name}-{session.session_id}",
+                    size,
+                    n_segments=self.config.segments_per_dataset,
+                    project=self.project,
+                )
+                derived.append(ds.dataset_id)
+        self.datasets.extend(derived)
+        return derived
+
+    def run_analyses(self) -> int:
+        """Analysts at every site access random derived datasets.
+
+        Returns the number of accesses issued.
+        """
+        if not self.datasets:
+            raise WorkloadError("nothing to analyze yet")
+        n = 0
+        for site in self.sites:
+            for _ in range(self.config.analyst_accesses_per_site):
+                ds = self.datasets[int(self._rng.integers(len(self.datasets)))]
+                self.scdn.access(site, str(ds))
+                n += 1
+        return n
+
+    def run(self) -> TrialReport:
+        """Run the whole trial: enroll, acquire, process, analyze, report."""
+        self.enroll()
+        self.acquire_sessions()
+        self.run_pipeline()
+        self.run_analyses()
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> TrialReport:
+        """Summarize the trial from the S-CDN's collector."""
+        cfg = self.config
+        requests = self.scdn.collector.requests
+        near = sum(1 for r in requests if r.outcome in ("local", "near"))
+        failures = sum(1 for r in requests if r.outcome == "failed")
+        return TrialReport(
+            n_sessions=len(self.sessions),
+            n_datasets=len(self.datasets),
+            total_raw_bytes=len(self.sessions) * cfg.raw_session_bytes,
+            total_derived_bytes=len(self.sessions) * cfg.derived_bytes_per_session,
+            n_accesses=len(requests),
+            n_access_failures=failures,
+            one_hop_or_local_accesses=near,
+        )

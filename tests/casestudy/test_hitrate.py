@@ -1,0 +1,141 @@
+"""Unit tests for repro.casestudy.hitrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GraphError, PlacementError
+from repro.ids import AuthorId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.casestudy.hitrate import HitRateEvaluator
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def chain_setup():
+    """Training graph a-b-c-d-e; test pubs touch various authors."""
+    train = Corpus(
+        [
+            pub("t1", 2009, "a", "b"),
+            pub("t2", 2009, "b", "c"),
+            pub("t3", 2010, "c", "d"),
+            pub("t4", 2010, "d", "e"),
+        ]
+    )
+    test = Corpus(
+        [
+            pub("x1", 2011, "a", "b"),        # 2 in-graph units
+            pub("x2", 2011, "d", "newguy"),   # 1 in-graph + 1 out unit
+        ]
+    )
+    graph = build_coauthorship_graph(train)
+    return graph, test
+
+
+class TestUnitAccounting:
+    def test_unit_counts(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        assert ev.n_test_publications == 2
+        assert ev.total_units == 4  # a, b, d + newguy
+
+    def test_pubs_without_graph_authors_ignored(self, chain_setup):
+        graph, _ = chain_setup
+        test = Corpus([pub("y", 2011, "ghost1", "ghost2")])
+        ev = HitRateEvaluator(graph, test)
+        assert ev.n_test_publications == 0
+        assert ev.total_units == 0
+
+    def test_author_on_multiple_pubs_counts_per_pub(self, chain_setup):
+        graph, _ = chain_setup
+        test = Corpus([pub("y1", 2011, "a", "b"), pub("y2", 2011, "a", "c")])
+        ev = HitRateEvaluator(graph, test)
+        assert ev.total_units == 4  # a twice, b, c
+
+
+class TestEvaluation:
+    def test_hop0_and_hop1_hits(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        # replica at b: covers a, b, c -> hits: a, b (units), not d
+        r = ev.evaluate([AuthorId("b")])
+        assert r.hits == 2
+        assert r.in_graph_units == 3
+        assert r.out_graph_units == 1
+        assert r.hit_rate == pytest.approx(2 / 3)
+        assert r.raw_hit_rate == pytest.approx(2 / 4)
+
+    def test_full_coverage(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        r = ev.evaluate([AuthorId("b"), AuthorId("d")])
+        assert r.hits == 3
+        assert r.hit_rate == 1.0
+        assert r.raw_hit_rate == pytest.approx(3 / 4)
+
+    def test_hop_zero_threshold(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test, max_hops=0)
+        r = ev.evaluate([AuthorId("a")])
+        assert r.hits == 1  # only a itself
+
+    def test_hop_two_threshold(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test, max_hops=2)
+        r = ev.evaluate([AuthorId("b")])
+        # covers a, b, c, d -> a, b, d units hit
+        assert r.hits == 3
+
+    def test_mean_hops(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        r = ev.evaluate([AuthorId("a")])
+        # unit authors: a (0 hops), b (1), d (3); weights 1 each
+        assert r.mean_hops == pytest.approx((0 + 1 + 3) / 3)
+
+    def test_mean_hops_inf_when_unreachable(self):
+        train = Corpus([pub("t1", 2009, "a", "b"), pub("t2", 2009, "x", "y")])
+        test = Corpus([pub("z", 2011, "x", "y")])
+        graph = build_coauthorship_graph(train)
+        ev = HitRateEvaluator(graph, test)
+        r = ev.evaluate([AuthorId("a")])  # island with no units
+        assert r.hits == 0
+        assert math.isinf(r.mean_hops)
+
+    def test_empty_placement_rejected(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        with pytest.raises(PlacementError):
+            ev.evaluate([])
+
+    def test_unknown_replica_rejected(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        with pytest.raises(PlacementError):
+            ev.evaluate([AuthorId("ghost")])
+
+    def test_invalid_max_hops(self, chain_setup):
+        graph, test = chain_setup
+        with pytest.raises(GraphError):
+            HitRateEvaluator(graph, test, max_hops=-1)
+
+
+class TestCoverageMask:
+    def test_mask_matches_bfs(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        mask = ev.coverage_mask([AuthorId("c")])
+        idx = graph.node_index()
+        covered = {a for a, i in idx.items() if mask[i]}
+        assert covered == {"b", "c", "d"}
+
+    def test_monotone_in_replicas(self, chain_setup):
+        graph, test = chain_setup
+        ev = HitRateEvaluator(graph, test)
+        m1 = ev.coverage_mask([AuthorId("a")])
+        m2 = ev.coverage_mask([AuthorId("a"), AuthorId("e")])
+        assert (m2 | m1).sum() == m2.sum()  # m1 subset of m2

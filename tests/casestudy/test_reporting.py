@@ -1,0 +1,134 @@
+"""Unit tests for repro.casestudy.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.casestudy import CaseStudyConfig, run_case_study
+from repro.casestudy.reporting import (
+    ascii_chart,
+    curves_csv,
+    panel_markdown,
+    summary_text,
+    table1_markdown,
+)
+from repro.social.generators import CorpusConfig, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = CorpusConfig(
+        n_groups=40, n_consortium=200, mega_paper_size=20,
+        consortium_block_size=20, large_pubs_per_year=15,
+    )
+    corpus, seed_author = generate_corpus(cfg, seed=5)
+    return run_case_study(
+        corpus,
+        seed_author,
+        config=CaseStudyConfig(replica_counts=(1, 3, 5), n_runs=4),
+        seed=2,
+    )
+
+
+class TestMarkdown:
+    def test_table1_markdown(self, result):
+        md = table1_markdown(result)
+        lines = md.splitlines()
+        assert lines[0].startswith("| graph |")
+        assert len(lines) == 2 + 3  # header + sep + 3 rows
+        assert "| baseline |" in md
+
+    def test_panel_markdown_shape(self, result):
+        md = panel_markdown(result.subgraphs[0])
+        lines = md.splitlines()
+        assert "| algorithm | 1 | 3 | 5 |" == lines[0]
+        assert len(lines) == 2 + 4  # four algorithms
+
+    def test_panel_markdown_decimals(self, result):
+        md = panel_markdown(result.subgraphs[0], decimals=3)
+        assert "." in md
+        cell = md.splitlines()[2].split("|")[2].strip()
+        assert len(cell.split(".")[-1]) == 3
+
+
+class TestCsv:
+    def test_rows_and_header(self, result):
+        csv = curves_csv(result.subgraphs[0])
+        lines = csv.splitlines()
+        assert lines[0] == "algorithm,replicas,mean_hit_rate_pct,std_hit_rate_pct"
+        assert len(lines) == 1 + 4 * 3  # 4 algorithms x 3 counts
+
+    def test_values_parse_as_floats(self, result):
+        csv = curves_csv(result.subgraphs[0])
+        for line in csv.splitlines()[1:]:
+            _, count, mean, std = line.split(",")
+            assert int(count) in (1, 3, 5)
+            float(mean), float(std)
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_axis(self, result):
+        chart = ascii_chart(result.subgraphs[0])
+        assert "o=" in chart and "x=" in chart
+        assert "+--" in chart
+
+    def test_height_respected(self, result):
+        chart = ascii_chart(result.subgraphs[0], height=6)
+        # title + 6 grid rows + axis + ticks + legend
+        assert len(chart.splitlines()) == 1 + 6 + 2 + 1
+
+    def test_subset_of_algorithms(self, result):
+        chart = ascii_chart(
+            result.subgraphs[0], algorithms=["random", "node-degree"]
+        )
+        assert "o=random" in chart and "x=node-degree" in chart
+        assert "community" not in chart
+
+    def test_unknown_algorithm_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(result.subgraphs[0], algorithms=["magic"])
+
+    def test_min_height(self, result):
+        with pytest.raises(ConfigurationError):
+            ascii_chart(result.subgraphs[0], height=2)
+
+
+class TestSummary:
+    def test_one_line_per_panel(self, result):
+        text = summary_text(result)
+        assert text.count(";") == 2  # three panels joined
+        assert "winner" in text
+
+
+class TestResultToDict:
+    def test_json_serializable(self, result):
+        import json
+
+        from repro.casestudy.reporting import result_to_dict
+
+        doc = result_to_dict(result)
+        encoded = json.dumps(doc)
+        back = json.loads(encoded)
+        assert back["format"] == "repro-case-study"
+        assert len(back["table1"]) == 3
+        assert len(back["panels"]) == 3
+        panel = back["panels"][0]
+        curve = panel["curves"]["community-node-degree"]
+        assert curve["replica_counts"] == [1, 3, 5]
+        assert len(curve["mean_hit_rate_pct"]) == 3
+
+    def test_config_round_trips_values(self, result):
+        from repro.casestudy.reporting import result_to_dict
+
+        doc = result_to_dict(result)
+        assert doc["config"]["n_runs"] == result.config.n_runs
+        assert doc["config"]["placement_window"] == "complete"
+
+    def test_infinite_hops_become_null(self, result):
+        import json
+
+        from repro.casestudy.reporting import result_to_dict
+
+        doc = result_to_dict(result)
+        json.dumps(doc)  # would fail on inf

@@ -1,0 +1,43 @@
+"""Unit tests for repro.casestudy.splits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.casestudy.splits import split_corpus
+
+
+class TestSplit:
+    def test_paper_default_windows(self, tiny_corpus):
+        split = split_corpus(tiny_corpus)
+        assert all(2009 <= p.year <= 2010 for p in split.train)
+        assert all(p.year == 2011 for p in split.test)
+        assert len(split.train) == 6
+        assert len(split.test) == 1
+
+    def test_custom_windows(self, tiny_corpus):
+        split = split_corpus(tiny_corpus, train_years=(2009, 2009), test_years=(2010, 2011))
+        assert len(split.train) == 3
+        assert len(split.test) == 4
+
+    def test_empty_test_window_allowed(self, tiny_corpus):
+        split = split_corpus(tiny_corpus, train_years=(2009, 2010), test_years=(2050, 2051))
+        assert len(split.test) == 0
+
+    def test_overlap_rejected(self, tiny_corpus):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            split_corpus(tiny_corpus, train_years=(2009, 2010), test_years=(2010, 2011))
+
+    def test_inverted_window_rejected(self, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            split_corpus(tiny_corpus, train_years=(2010, 2009))
+
+    def test_empty_training_rejected(self, tiny_corpus):
+        with pytest.raises(ConfigurationError, match="training"):
+            split_corpus(tiny_corpus, train_years=(1990, 1991), test_years=(2009, 2011))
+
+    def test_windows_recorded(self, tiny_corpus):
+        split = split_corpus(tiny_corpus)
+        assert split.train_years == (2009, 2010)
+        assert split.test_years == (2011, 2011)

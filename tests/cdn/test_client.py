@@ -1,0 +1,152 @@
+"""Unit tests for repro.cdn.client (the per-researcher CDN client)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.client import CDNClient
+from repro.cdn.content import segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.storage import StorageRepository
+from repro.cdn.transfer import TransferClient
+from repro.sim.network import GeoPoint, NetworkModel
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def setup():
+    graph = build_coauthorship_graph(
+        Corpus([pub("p1", 2009, "a", "b"), pub("p2", 2009, "b", "c")])
+    )
+    server = AllocationServer(graph, RandomPlacement(), seed=0)
+    net = NetworkModel()
+    repos = {}
+    for author in ("a", "b", "c"):
+        node = NodeId(f"node-{author}")
+        net.add_node(node, GeoPoint(0.0, float(ord(author))))
+        repo = StorageRepository(node, 10_000, replica_quota=0.7)
+        server.register_repository(AuthorId(author), repo)
+        repos[author] = repo
+    transfer = TransferClient(net, seed=0)
+    clients = {
+        author: CDNClient(AuthorId(author), repos[author], server, transfer)
+        for author in repos
+    }
+    return graph, server, clients
+
+
+class TestAccessPaths:
+    def test_local_replica_partition_hit(self, setup):
+        _, server, clients = setup
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=3)  # everyone hosts it
+        out = clients["a"].access_segment(ds.segments[0].segment_id)
+        assert out.source == "replica-partition"
+        assert out.ok and out.duration_s == 0.0
+        assert clients["a"].stats.local_hits == 1
+
+    def test_remote_fetch_then_cache_hit(self, setup):
+        _, server, clients = setup
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        # place only on a's node so c must fetch
+        server_repo = server.repository(NodeId("node-a"))
+        seg = ds.segments[0]
+        server.catalog.register_dataset(ds)
+        server._dataset_budget[ds.dataset_id] = 1
+        server_repo.store_replica(seg.segment_id, seg.size_bytes)
+        from repro.cdn.content import ReplicaState
+
+        server.catalog.create_replica(
+            seg.segment_id, NodeId("node-a"), state=ReplicaState.ACTIVE
+        )
+        first = clients["c"].access_segment(seg.segment_id)
+        assert first.source == "remote" and first.ok
+        assert first.social_hops == 2
+        second = clients["c"].access_segment(seg.segment_id)
+        assert second.source == "user-cache"
+        s = clients["c"].stats
+        assert s.remote_fetches == 1 and s.cache_hits == 1
+        assert s.bytes_fetched == 100
+        assert s.hop_histogram == {2: 1}
+
+    def test_missing_replica_fails_cleanly(self, setup):
+        _, server, clients = setup
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.catalog.register_dataset(ds)
+        out = clients["b"].access_segment(ds.segments[0].segment_id)
+        assert not out.ok
+        assert clients["b"].stats.failed == 1
+
+    def test_access_dataset_covers_all_segments(self, setup):
+        _, server, clients = setup
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 300, n_segments=3)
+        server.publish_dataset(ds, n_replicas=1)
+        outcomes = clients["b"].access_dataset(ds.dataset_id)
+        assert len(outcomes) == 3
+        assert all(o.ok for o in outcomes)
+
+
+class TestCacheEviction:
+    def test_eviction_when_user_space_full(self, setup):
+        _, server, clients = setup
+        # user partition of each repo: 3000 bytes
+        d1 = segment_dataset(DatasetId("d1"), AuthorId("a"), 3000)
+        d2 = segment_dataset(DatasetId("d2"), AuthorId("a"), 3000)
+        server.publish_dataset(d1, n_replicas=1)
+        server.publish_dataset(d2, n_replicas=1)
+        client = next(
+            c
+            for c in clients.values()
+            if not c.repository.hosts_segment(d1.segments[0].segment_id)
+            and not c.repository.hosts_segment(d2.segments[0].segment_id)
+        )
+        client.access_segment(d1.segments[0].segment_id)
+        client.access_segment(d2.segments[0].segment_id)
+        # first cache entry evicted to fit the second
+        assert not client.repository.has_user_file(f"cache:{d1.segments[0].segment_id}")
+        assert client.repository.has_user_file(f"cache:{d2.segments[0].segment_id}")
+
+    def test_oversized_segment_streams_without_caching(self, setup):
+        _, server, clients = setup
+        big = segment_dataset(DatasetId("big"), AuthorId("a"), 4000)
+        server.publish_dataset(big, n_replicas=1)
+        client = next(
+            c
+            for c in clients.values()
+            if not c.repository.hosts_segment(big.segments[0].segment_id)
+        )
+        out = client.access_segment(big.segments[0].segment_id)
+        assert out.ok
+        assert not client.repository.has_user_file(f"cache:{big.segments[0].segment_id}")
+
+    def test_user_files_never_evicted(self, setup):
+        _, server, clients = setup
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 3000)
+        server.publish_dataset(ds, n_replicas=1)
+        client = next(
+            c
+            for c in clients.values()
+            if not c.repository.hosts_segment(ds.segments[0].segment_id)
+        )
+        client.repository.put_user_file("my-results.dat", 2500)
+        out = client.access_segment(ds.segments[0].segment_id)
+        assert out.ok  # served, just not cached
+        assert client.repository.has_user_file("my-results.dat")
+
+
+class TestStats:
+    def test_one_hop_hit_ratio(self, setup):
+        _, server, clients = setup
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=3)
+        clients["a"].access_segment(ds.segments[0].segment_id)
+        assert clients["a"].stats.one_hop_hit_ratio == 1.0
+
+    def test_mean_fetch_time_zero_without_fetches(self, setup):
+        _, _, clients = setup
+        assert clients["a"].stats.mean_fetch_time_s == 0.0

@@ -1,0 +1,156 @@
+"""Unit tests for repro.cdn.consistency (update propagation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError, ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.consistency import ReplicaVersionTracker, UpdatePropagator
+from repro.cdn.content import segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.storage import StorageRepository
+from repro.cdn.transfer import TransferClient
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import GeoPoint, NetworkModel
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def rig():
+    graph = build_coauthorship_graph(
+        Corpus([pub("p1", 2009, "a", "b"), pub("p2", 2009, "b", "c"), pub("p3", 2009, "c", "d")])
+    )
+    server = AllocationServer(graph, RandomPlacement(), seed=0)
+    net = NetworkModel(default_bandwidth_bps=8e6)
+    for author in "abcd":
+        node = NodeId(f"node-{author}")
+        net.add_node(node, GeoPoint(0.0, float(ord(author) - 97)))
+        server.register_repository(AuthorId(author), StorageRepository(node, 10_000))
+    ds = segment_dataset(DatasetId("d"), AuthorId("a"), 1000)
+    server.publish_dataset(ds, n_replicas=3)
+    engine = SimulationEngine()
+    transfer = TransferClient(net, seed=0)
+    prop = UpdatePropagator(server, transfer, engine, anti_entropy_interval_s=3600.0)
+    seg = ds.segments[0].segment_id
+    return server, engine, prop, seg
+
+
+class TestTracker:
+    def test_initial_versions_zero(self):
+        t = ReplicaVersionTracker()
+        assert t.latest_version("s") == 0
+        assert t.node_version("s", "n") == 0
+        assert not t.is_stale("s", "n")
+
+    def test_commit_bumps_version(self):
+        t = ReplicaVersionTracker()
+        r1 = t.commit_write("s", NodeId("n1"), at=1.0)
+        r2 = t.commit_write("s", NodeId("n1"), at=2.0)
+        assert (r1.version, r2.version) == (1, 2)
+        assert t.latest_version("s") == 2
+        assert len(t.history) == 2
+
+    def test_apply_update_last_writer_wins(self):
+        t = ReplicaVersionTracker()
+        t.commit_write("s", NodeId("n1"))
+        t.commit_write("s", NodeId("n1"))
+        assert t.apply_update("s", NodeId("n2"), 2)
+        assert not t.apply_update("s", NodeId("n2"), 1)  # stale delivery
+        assert t.node_version("s", NodeId("n2")) == 2
+
+    def test_stale_nodes(self):
+        t = ReplicaVersionTracker()
+        t.commit_write("s", NodeId("n1"))
+        assert t.stale_nodes("s", {NodeId("n1"), NodeId("n2")}) == {NodeId("n2")}
+
+
+class TestPropagation:
+    def test_write_requires_holding_replica(self, rig):
+        server, engine, prop, seg = rig
+        non_holder = next(
+            NodeId(f"node-{a}")
+            for a in "abcd"
+            if NodeId(f"node-{a}") not in server.catalog.nodes_hosting(seg)
+        )
+        with pytest.raises(CatalogError):
+            prop.write(seg, non_holder)
+
+    def test_online_peers_converge(self, rig):
+        server, engine, prop, seg = rig
+        origin = sorted(server.catalog.nodes_hosting(seg))[0]
+        prop.write(seg, origin)
+        assert not prop.is_consistent(seg)  # propagation in flight
+        engine.run(until=100.0)
+        assert prop.is_consistent(seg)
+        assert prop.propagated == 2  # two peers updated
+
+    def test_offline_peer_caught_up_by_anti_entropy(self, rig):
+        server, engine, prop, seg = rig
+        holders = sorted(server.catalog.nodes_hosting(seg))
+        origin, offline_peer = holders[0], holders[1]
+        server.node_offline(offline_peer)
+        prop.write(seg, origin)
+        engine.run(until=100.0)
+        # stale replica is not servable while offline; bring it back
+        server.node_online(offline_peer)
+        assert prop.staleness(seg) > 0.0
+        engine.run(until=7200.0)  # anti-entropy sweep at 3600
+        assert prop.is_consistent(seg)
+        assert prop.anti_entropy_syncs >= 1
+
+    def test_staleness_fraction(self, rig):
+        server, engine, prop, seg = rig
+        origin = sorted(server.catalog.nodes_hosting(seg))[0]
+        prop.write(seg, origin)
+        # before propagation arrives: 2 of 3 replicas stale
+        assert prop.staleness(seg) == pytest.approx(2 / 3)
+
+    def test_consecutive_writes_converge_to_latest(self, rig):
+        server, engine, prop, seg = rig
+        holders = sorted(server.catalog.nodes_hosting(seg))
+        prop.write(seg, holders[0])
+        engine.run(until=50.0)
+        prop.write(seg, holders[1])
+        engine.run(until=7200.0)
+        assert prop.is_consistent(seg)
+        assert prop.tracker.latest_version(seg) == 2
+        for node in holders:
+            assert prop.tracker.node_version(seg, node) == 2
+
+    def test_delivery_skipped_when_node_down_midflight(self, rig):
+        server, engine, prop, seg = rig
+        holders = sorted(server.catalog.nodes_hosting(seg))
+        origin, victim = holders[0], holders[1]
+        prop.write(seg, origin)
+        server.node_offline(victim)  # goes down before delivery fires
+        engine.run(until=100.0)
+        assert prop.tracker.is_stale(seg, victim)
+
+    def test_invalid_anti_entropy_interval(self, rig):
+        server, engine, prop, _ = rig
+        with pytest.raises(ConfigurationError):
+            UpdatePropagator(server, prop.transfer, engine, anti_entropy_interval_s=0)
+
+    def test_propagator_without_anti_entropy(self, rig):
+        server, engine, _, seg = rig
+        prop2 = UpdatePropagator(
+            server, TransferClient(prop_net(server), seed=1), engine,
+            anti_entropy_interval_s=None,
+        )
+        origin = sorted(server.catalog.nodes_hosting(seg))[0]
+        prop2.write(seg, origin)
+        engine.run(until=10_000.0)
+        assert prop2.is_consistent(seg)
+
+
+def prop_net(server):
+    """Fresh network covering the rig's nodes (for the no-anti-entropy case)."""
+    net = NetworkModel(default_bandwidth_bps=8e6)
+    for a in "abcd":
+        net.add_node(NodeId(f"node-{a}"), GeoPoint(0.0, float(ord(a) - 97)))
+    return net

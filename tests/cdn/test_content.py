@@ -1,0 +1,129 @@
+"""Unit tests for repro.cdn.content."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, DatasetId, SegmentId
+from repro.cdn.content import (
+    DataSegment,
+    Dataset,
+    Replica,
+    ReplicaState,
+    segment_dataset,
+)
+
+
+def seg(ds: str, i: int, size: int) -> DataSegment:
+    return DataSegment(
+        segment_id=SegmentId(f"{ds}:seg{i}"),
+        dataset_id=DatasetId(ds),
+        index=i,
+        size_bytes=size,
+    )
+
+
+class TestDataSegment:
+    def test_valid(self):
+        s = seg("d", 0, 100)
+        assert s.size_bytes == 100
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            seg("d", -1, 100)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            seg("d", 0, 0)
+
+
+class TestDataset:
+    def test_valid(self):
+        ds = Dataset(
+            dataset_id=DatasetId("d"),
+            owner=AuthorId("o"),
+            size_bytes=300,
+            segments=(seg("d", 0, 100), seg("d", 1, 200)),
+        )
+        assert ds.n_segments == 2
+        assert ds.segment(1).size_bytes == 200
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="sum"):
+            Dataset(
+                dataset_id=DatasetId("d"),
+                owner=AuthorId("o"),
+                size_bytes=999,
+                segments=(seg("d", 0, 100),),
+            )
+
+    def test_no_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(DatasetId("d"), AuthorId("o"), 100, ())
+
+    def test_wrong_dataset_id_on_segment_rejected(self):
+        with pytest.raises(ConfigurationError, match="belongs"):
+            Dataset(
+                dataset_id=DatasetId("d"),
+                owner=AuthorId("o"),
+                size_bytes=100,
+                segments=(seg("other", 0, 100),),
+            )
+
+    def test_out_of_order_segments_rejected(self):
+        with pytest.raises(ConfigurationError, match="index"):
+            Dataset(
+                dataset_id=DatasetId("d"),
+                owner=AuthorId("o"),
+                size_bytes=300,
+                segments=(seg("d", 1, 100), seg("d", 0, 200)),
+            )
+
+    def test_segment_out_of_range(self):
+        ds = segment_dataset(DatasetId("d"), AuthorId("o"), 100)
+        with pytest.raises(ConfigurationError):
+            ds.segment(5)
+
+
+class TestSegmentDataset:
+    def test_even_split(self):
+        ds = segment_dataset(DatasetId("d"), AuthorId("o"), 1000, n_segments=4)
+        assert [s.size_bytes for s in ds.segments] == [250, 250, 250, 250]
+
+    def test_remainder_goes_to_last(self):
+        ds = segment_dataset(DatasetId("d"), AuthorId("o"), 1001, n_segments=4)
+        assert [s.size_bytes for s in ds.segments] == [250, 250, 250, 251]
+        assert sum(s.size_bytes for s in ds.segments) == 1001
+
+    def test_single_segment(self):
+        ds = segment_dataset(DatasetId("d"), AuthorId("o"), 7)
+        assert ds.n_segments == 1
+        assert ds.segments[0].size_bytes == 7
+
+    def test_too_many_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segment_dataset(DatasetId("d"), AuthorId("o"), 3, n_segments=4)
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segment_dataset(DatasetId("d"), AuthorId("o"), 3, n_segments=0)
+
+    def test_project_tag(self):
+        ds = segment_dataset(DatasetId("d"), AuthorId("o"), 7, project="trial")
+        assert ds.project == "trial"
+
+
+class TestReplica:
+    def test_lifecycle(self):
+        r = Replica(replica_id="r-0", segment_id="d:seg0", node_id="n1")
+        assert r.state is ReplicaState.PENDING
+        assert not r.servable
+        r.state = ReplicaState.ACTIVE
+        assert r.servable
+
+    def test_touch_counts(self):
+        r = Replica(replica_id="r-0", segment_id="d:seg0", node_id="n1")
+        r.touch()
+        r.touch()
+        assert r.access_count == 2

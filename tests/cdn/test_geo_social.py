@@ -1,0 +1,83 @@
+"""Unit tests for repro.cdn.placement.geo_social."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, NodeId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.placement import GeoSocialPlacement, NodeDegreePlacement
+from repro.sim.network import GeoPoint, NetworkModel
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def colocated_hubs():
+    """Two equal-degree hubs in one city, one smaller hub far away."""
+    pubs = [pub(f"a{i}", 2009, "hub-east-1", f"e1-{i}") for i in range(5)]
+    pubs += [pub(f"b{i}", 2009, "hub-east-2", f"e2-{i}") for i in range(5)]
+    pubs += [pub(f"c{i}", 2009, "hub-west", f"w-{i}") for i in range(4)]
+    pubs.append(pub("x", 2009, "hub-east-1", "hub-east-2"))
+    graph = build_coauthorship_graph(Corpus(pubs))
+    net = NetworkModel()
+    for a in graph.nodes():
+        if str(a).startswith(("hub-east", "e1", "e2")):
+            point = GeoPoint(40.0, -74.0)  # east coast
+        else:
+            point = GeoPoint(37.0, -122.0)  # west coast
+        net.add_node(NodeId(str(a)), point)
+    return graph, net
+
+
+class TestGeoSocial:
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeoSocialPlacement(alpha=1.5)
+
+    def test_without_network_acts_like_degree(self, colocated_hubs):
+        graph, _ = colocated_hubs
+        geo = GeoSocialPlacement(network=None, alpha=0.6)
+        out = geo.select(graph, 2, rng=0)
+        deg = NodeDegreePlacement().select(graph, 2, rng=0)
+        assert set(out) == set(deg)
+
+    def test_disperses_across_geography(self, colocated_hubs):
+        graph, net = colocated_hubs
+        # plain degree picks both east-coast hubs (degree 6 each)
+        deg = NodeDegreePlacement().select(graph, 2, rng=0)
+        assert set(deg) == {"hub-east-1", "hub-east-2"}
+        # geo-social picks one east hub then jumps west
+        geo = GeoSocialPlacement(network=net, alpha=0.4)
+        out = geo.select(graph, 2, rng=0)
+        assert "hub-west" in out
+
+    def test_alpha_one_is_pure_social(self, colocated_hubs):
+        graph, net = colocated_hubs
+        out = GeoSocialPlacement(network=net, alpha=1.0).select(graph, 2, rng=0)
+        assert set(out) == {"hub-east-1", "hub-east-2"}
+
+    def test_returns_requested_count(self, colocated_hubs):
+        graph, net = colocated_hubs
+        out = GeoSocialPlacement(network=net).select(graph, 5, rng=0)
+        assert len(out) == 5
+        assert len(set(out)) == 5
+
+    def test_deterministic_given_rng(self, colocated_hubs):
+        graph, net = colocated_hubs
+        algo = GeoSocialPlacement(network=net)
+        assert algo.select(graph, 3, rng=4) == algo.select(graph, 3, rng=4)
+
+    def test_registered(self):
+        from repro.cdn.placement import get_placement
+
+        assert get_placement("geo-social").name == "geo-social"
+
+    def test_authors_missing_from_network_tolerated(self, colocated_hubs):
+        graph, _ = colocated_hubs
+        partial = NetworkModel()
+        partial.add_node(NodeId("hub-west"), GeoPoint(37.0, -122.0))
+        out = GeoSocialPlacement(network=partial, alpha=0.5).select(graph, 3, rng=0)
+        assert len(out) == 3

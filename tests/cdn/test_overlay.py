@@ -1,0 +1,156 @@
+"""Unit tests for repro.cdn.overlay (availability-overlap graphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import NodeId
+from repro.cdn.overlay import (
+    build_availability_graph,
+    expected_access_availability,
+    pairwise_overlap,
+    select_cover,
+)
+from repro.sim.availability import AlwaysOn, Diurnal, TraceDriven
+from repro.sim.network import GeoPoint, NetworkModel
+
+N = [NodeId(f"n{i}") for i in range(6)]
+
+
+class TestPairwiseOverlap:
+    def test_always_on_full_overlap(self):
+        assert pairwise_overlap(AlwaysOn(), N[0], N[1]) == 1.0
+
+    def test_diurnal_uses_closed_form(self):
+        m = Diurnal(duty_hours=10.0, seed=0)
+        assert pairwise_overlap(m, N[0], N[1]) == pytest.approx(m.overlap(N[0], N[1]))
+
+    def test_disjoint_traces_no_overlap(self):
+        m = TraceDriven({N[0]: [(0.0, 43200.0)], N[1]: [(43200.0, 86400.0)]})
+        assert pairwise_overlap(m, N[0], N[1], samples=96) == 0.0
+
+    def test_partial_trace_overlap(self):
+        m = TraceDriven({N[0]: [(0.0, 86400.0)], N[1]: [(0.0, 43200.0)]})
+        assert pairwise_overlap(m, N[0], N[1], samples=96) == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_sampling(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_overlap(TraceDriven({}), N[0], N[1], samples=0)
+
+
+class TestBuildGraph:
+    def test_always_on_is_complete(self):
+        g = build_availability_graph(N, AlwaysOn())
+        assert g.number_of_edges() == len(N) * (len(N) - 1) // 2
+        for _, _, d in g.edges(data=True):
+            assert d["overlap"] == 1.0
+            assert d["cost"] == d["distance"]
+
+    def test_min_overlap_prunes(self):
+        m = TraceDriven(
+            {
+                N[0]: [(0.0, 86400.0)],
+                N[1]: [(0.0, 86400.0)],
+                N[2]: [(0.0, 860.0)],  # ~1% overlap with others
+            }
+        )
+        g = build_availability_graph(N[:3], m, min_overlap=0.5, samples=200)
+        assert g.has_edge(N[0], N[1])
+        assert not g.has_edge(N[0], N[2])
+
+    def test_network_distances_used(self):
+        net = NetworkModel(default_bandwidth_bps=8e6)
+        net.add_node(N[0], GeoPoint(0, 0))
+        net.add_node(N[1], GeoPoint(0, 1))
+        net.add_node(N[2], GeoPoint(0, 120))
+        g = build_availability_graph(N[:3], AlwaysOn(), network=net)
+        assert g.edges[N[0], N[2]]["distance"] > g.edges[N[0], N[1]]["distance"]
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_availability_graph([], AlwaysOn())
+
+    def test_bad_min_overlap(self):
+        with pytest.raises(ConfigurationError):
+            build_availability_graph(N, AlwaysOn(), min_overlap=2.0)
+
+
+class TestSelectCover:
+    def test_single_host_covers_complete_graph(self):
+        g = build_availability_graph(N, AlwaysOn())
+        sel = select_cover(g)
+        assert len(sel.selected) == 1
+        assert sel.coverage == 1.0
+        assert sel.uncovered == frozenset()
+
+    def test_isolated_nodes_reported_uncovered(self):
+        m = TraceDriven(
+            {
+                N[0]: [(0.0, 86400.0)],
+                N[1]: [(0.0, 86400.0)],
+                N[2]: [],  # never online -> isolated
+            }
+        )
+        g = build_availability_graph(N[:3], m, samples=60)
+        sel = select_cover(g)
+        assert N[2] in sel.uncovered
+        assert sel.coverage == pytest.approx(2 / 3)
+
+    def test_budget_limits_picks(self):
+        # path graph via traces: three disjoint pairs
+        traces = {}
+        for i in range(0, 6, 2):
+            start = i * 14400.0 % 86400.0
+            traces[N[i]] = [(start, start + 14000.0)]
+            traces[N[i + 1]] = [(start, start + 14000.0)]
+        m = TraceDriven(traces)
+        g = build_availability_graph(N, m, samples=200, min_overlap=0.05)
+        sel = select_cover(g, budget=1)
+        assert len(sel.selected) == 1
+        assert len(sel.uncovered) >= 2  # other pairs uncovered
+
+    def test_prefers_cheap_edges(self):
+        net = NetworkModel(default_bandwidth_bps=8e6)
+        net.add_node(N[0], GeoPoint(0, 0))
+        net.add_node(N[1], GeoPoint(0, 0.5))
+        net.add_node(N[2], GeoPoint(0, 1))
+        g = build_availability_graph(N[:3], AlwaysOn(), network=net)
+        sel = select_cover(g)
+        # middle node covers both neighbors with the cheapest edges
+        assert sel.selected[0] == N[1]
+
+    def test_invalid_budget(self):
+        g = build_availability_graph(N, AlwaysOn())
+        with pytest.raises(ConfigurationError):
+            select_cover(g, budget=0)
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ConfigurationError):
+            select_cover(nx.Graph())
+
+
+class TestAccessAvailability:
+    def test_selected_node_fully_available(self):
+        g = build_availability_graph(N, AlwaysOn())
+        sel = select_cover(g)
+        host = sel.selected[0]
+        assert expected_access_availability(g, sel, host) == 1.0
+
+    def test_covered_node_availability_from_overlap(self):
+        m = TraceDriven(
+            {N[0]: [(0.0, 86400.0)], N[1]: [(0.0, 43200.0)]}
+        )
+        g = build_availability_graph(N[:2], m, samples=200)
+        sel = select_cover(g, budget=1)
+        other = N[1] if sel.selected[0] == N[0] else N[0]
+        av = expected_access_availability(g, sel, other)
+        assert av == pytest.approx(g.edges[N[0], N[1]]["overlap"])
+
+    def test_unknown_node_rejected(self):
+        g = build_availability_graph(N[:2], AlwaysOn())
+        sel = select_cover(g)
+        with pytest.raises(ConfigurationError):
+            expected_access_availability(g, sel, NodeId("ghost"))

@@ -1,0 +1,135 @@
+"""Unit tests for repro.cdn.p2p (decentralized discovery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId, SegmentId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.content import segment_dataset
+from repro.cdn.p2p import GossipIndex, index_from_server
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.storage import StorageRepository
+
+from ..conftest import pub
+
+SEG = SegmentId("d:seg0")
+
+
+@pytest.fixture
+def chain_graph():
+    """a - b - c - d - e."""
+    return build_coauthorship_graph(
+        Corpus([pub(f"p{i}", 2009, x, y) for i, (x, y) in enumerate(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]
+        )])
+    )
+
+
+class TestAnnounce:
+    def test_gossip_reaches_neighbors(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=1)
+        informed = index.announce(AuthorId("c"), SEG)
+        assert informed == 2  # b and d
+        assert index.known_holders(AuthorId("b"), SEG) == [AuthorId("c")]
+        assert index.known_holders(AuthorId("a"), SEG) == []
+
+    def test_two_rounds_reach_two_hops(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=2)
+        index.announce(AuthorId("c"), SEG)
+        assert index.known_holders(AuthorId("a"), SEG) == [AuthorId("c")]
+
+    def test_zero_rounds_no_gossip(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=0)
+        assert index.announce(AuthorId("c"), SEG) == 0
+        assert index.known_holders(AuthorId("b"), SEG) == []
+        assert index.known_holders(AuthorId("c"), SEG) == [AuthorId("c")]
+
+    def test_unknown_holder_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            GossipIndex(chain_graph).announce(AuthorId("zz"), SEG)
+
+    def test_invalid_rounds(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            GossipIndex(chain_graph, gossip_rounds=-1)
+
+
+class TestRetract:
+    def test_stale_gossip_filtered_by_liveness(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=1)
+        index.announce(AuthorId("c"), SEG)
+        index.retract(AuthorId("c"), SEG)
+        # b's gossip entry survives but is filtered against ground truth
+        assert index.known_holders(AuthorId("b"), SEG) == []
+
+
+class TestLookup:
+    def test_own_holding_is_zero_hops(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=1)
+        index.announce(AuthorId("a"), SEG)
+        r = index.lookup(AuthorId("a"), SEG, ttl=0)
+        assert r.found and r.holder == "a" and r.hops == 0 and r.messages == 0
+
+    def test_neighbor_known_via_gossip_costs_nothing(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=1)
+        index.announce(AuthorId("b"), SEG)
+        r = index.lookup(AuthorId("a"), SEG, ttl=0)
+        assert r.found and r.holder == "b" and r.hops == 1 and r.messages == 0
+
+    def test_flood_finds_distant_holder_within_ttl(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=1)
+        index.announce(AuthorId("e"), SEG)
+        # a -> b (knows nothing) -> c (knows nothing) -> d (knows e holds)
+        r = index.lookup(AuthorId("a"), SEG, ttl=3)
+        assert r.found and r.holder == "e"
+        assert r.hops == 4
+        assert r.messages == 3
+
+    def test_ttl_limits_reach(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=0)
+        index.announce(AuthorId("e"), SEG)
+        r = index.lookup(AuthorId("a"), SEG, ttl=2)
+        assert not r.found
+        assert r.messages == 2  # queried b and c
+
+    def test_unknown_requester_rejected(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            GossipIndex(chain_graph).lookup(AuthorId("zz"), SEG)
+
+    def test_invalid_ttl(self, chain_graph):
+        with pytest.raises(ConfigurationError):
+            GossipIndex(chain_graph).lookup(AuthorId("a"), SEG, ttl=-1)
+
+
+class TestIndexFromServer:
+    def test_reflects_placements(self, chain_graph):
+        server = AllocationServer(chain_graph, RandomPlacement(), seed=0)
+        for a in chain_graph.nodes():
+            server.register_repository(
+                AuthorId(a), StorageRepository(NodeId(f"n-{a}"), 10_000)
+            )
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        replicas = server.publish_dataset(ds, n_replicas=2)
+        index = index_from_server(server, gossip_rounds=1)
+        holders = {server.author_of(r.node_id) for r in replicas}
+        for holder in holders:
+            assert index.holds(holder, ds.segments[0].segment_id)
+        # any member finds a replica with a generous TTL
+        r = index.lookup(AuthorId("c"), ds.segments[0].segment_id, ttl=4)
+        assert r.found
+
+    def test_skips_stale_replicas(self, chain_graph):
+        server = AllocationServer(chain_graph, RandomPlacement(), seed=0)
+        for a in chain_graph.nodes():
+            server.register_repository(
+                AuthorId(a), StorageRepository(NodeId(f"n-{a}"), 10_000)
+            )
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        (replica,) = server.publish_dataset(ds, n_replicas=1)
+        server.node_offline(replica.node_id)
+        index = index_from_server(server)
+        holder = server.author_of(replica.node_id)
+        assert not index.holds(holder, ds.segments[0].segment_id)

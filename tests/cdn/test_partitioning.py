@@ -1,0 +1,113 @@
+"""Unit tests for repro.cdn.partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.ids import AuthorId, SegmentId
+from repro.social.graph import CoauthorshipGraph, build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.partitioning import SocialPartitioner
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def two_communities():
+    """Two 4-cliques bridged by one edge; clear community structure."""
+    pubs = [
+        pub("l", 2009, "a1", "a2", "a3", "a4"),
+        pub("r", 2009, "b1", "b2", "b3", "b4"),
+        pub("bridge", 2010, "a1", "b1"),
+    ]
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+SEGS = [SegmentId(f"d:seg{i}") for i in range(4)]
+
+
+class TestConstruction:
+    def test_detects_communities_by_default(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        assert len(p.communities) == 2
+
+    def test_explicit_communities_validated(self, two_communities):
+        with pytest.raises(ConfigurationError, match="cover"):
+            SocialPartitioner(two_communities, communities=[{AuthorId("a1")}])
+
+    def test_empty_graph_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(GraphError):
+            SocialPartitioner(CoauthorshipGraph(nx.Graph()))
+
+
+class TestPartition:
+    def test_usage_driven_assignment(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        accesses = [
+            (AuthorId("a1"), SEGS[0]),
+            (AuthorId("a2"), SEGS[0]),
+            (AuthorId("b1"), SEGS[1]),
+        ]
+        result = p.partition(SEGS[:2], accesses)
+        comm_a = next(i for i, c in enumerate(p.communities) if "a1" in c)
+        comm_b = next(i for i, c in enumerate(p.communities) if "b1" in c)
+        assert result.community_of_segment[SEGS[0]] == comm_a
+        assert result.community_of_segment[SEGS[1]] == comm_b
+
+    def test_hosts_are_high_degree_members(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        result = p.partition(SEGS[:1], [(AuthorId("a2"), SEGS[0])])
+        host = result.host_of_segment[SEGS[0]]
+        comm = result.community_of_segment[SEGS[0]]
+        assert host in result.communities[comm]
+
+    def test_unobserved_segments_round_robin(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        result = p.partition(SEGS)
+        comms = [result.community_of_segment[s] for s in SEGS]
+        assert comms == [0, 1, 0, 1]
+
+    def test_majority_wins_with_ties_to_lower_index(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        accesses = [(AuthorId("a1"), SEGS[0]), (AuthorId("b1"), SEGS[0])]
+        result = p.partition(SEGS[:1], accesses)
+        assert result.community_of_segment[SEGS[0]] == 0
+
+    def test_unknown_authors_ignored(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        result = p.partition(SEGS[:1], [(AuthorId("stranger"), SEGS[0])])
+        assert SEGS[0] in result.community_of_segment  # falls back to round robin
+
+    def test_empty_segments_rejected(self, two_communities):
+        with pytest.raises(ConfigurationError):
+            SocialPartitioner(two_communities).partition([])
+
+
+class TestLocality:
+    def test_perfect_locality(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        accesses = [(AuthorId("a1"), SEGS[0]), (AuthorId("a3"), SEGS[0])]
+        result = p.partition(SEGS[:1], accesses)
+        assert result.locality(accesses) == 1.0
+
+    def test_cross_community_access_reduces_locality(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        train = [(AuthorId("a1"), SEGS[0])]
+        result = p.partition(SEGS[:1], train)
+        mixed = [(AuthorId("a1"), SEGS[0]), (AuthorId("b1"), SEGS[0])]
+        assert result.locality(mixed) == 0.5
+
+    def test_empty_stream_locality_one(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        result = p.partition(SEGS[:1])
+        assert result.locality([]) == 1.0
+
+    def test_segments_of_community(self, two_communities):
+        p = SocialPartitioner(two_communities)
+        result = p.partition(SEGS)
+        assert set(result.segments_of_community(0)) == {SEGS[0], SEGS[2]}
+        with pytest.raises(ConfigurationError):
+            result.segments_of_community(9)

@@ -1,0 +1,233 @@
+"""Unit tests for repro.cdn.placement (all eight algorithms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.ids import AuthorId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.placement import (
+    BetweennessPlacement,
+    ClusteringCoefficientPlacement,
+    CommunityNodeDegreePlacement,
+    DominatingSetPlacement,
+    GreedyCoveragePlacement,
+    NodeDegreePlacement,
+    PageRankPlacement,
+    RandomPlacement,
+    all_placements,
+    get_placement,
+    paper_placements,
+)
+from repro.cdn.placement.base import placement_names, ranked_by_score, register_placement
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def star_graph():
+    """hub connected to 6 leaves, plus a triangle x-y-z elsewhere."""
+    pubs = [pub(f"p{i}", 2009, "hub", f"leaf{i}") for i in range(6)]
+    pubs.append(pub("t", 2009, "x", "y", "z"))
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+@pytest.fixture
+def two_hubs():
+    """Two stars whose hubs are connected: hub1(5 leaves) - hub2(4 leaves)."""
+    pubs = [pub(f"a{i}", 2009, "hub1", f"l1-{i}") for i in range(5)]
+    pubs += [pub(f"b{i}", 2009, "hub2", f"l2-{i}") for i in range(4)]
+    pubs.append(pub("bridge", 2009, "hub1", "hub2"))
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+ALL_ALGOS = [
+    RandomPlacement(),
+    NodeDegreePlacement(),
+    CommunityNodeDegreePlacement(),
+    ClusteringCoefficientPlacement(),
+    BetweennessPlacement(),
+    PageRankPlacement(),
+    GreedyCoveragePlacement(),
+    DominatingSetPlacement(),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_returns_requested_count(self, algo, star_graph):
+        out = algo.select(star_graph, 3, rng=0)
+        assert len(out) == 3
+        assert len(set(out)) == 3
+        assert all(a in star_graph for a in out)
+
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_caps_at_graph_size(self, algo, star_graph):
+        out = algo.select(star_graph, 100, rng=0)
+        assert len(out) == star_graph.n_nodes
+
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_deterministic_given_rng(self, algo, star_graph):
+        assert algo.select(star_graph, 4, rng=5) == algo.select(star_graph, 4, rng=5)
+
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_zero_replicas_rejected(self, algo, star_graph):
+        with pytest.raises(PlacementError):
+            algo.select(star_graph, 0)
+
+    @pytest.mark.parametrize("algo", ALL_ALGOS, ids=lambda a: a.name)
+    def test_empty_graph_rejected(self, algo):
+        import networkx as nx
+        from repro.social.graph import CoauthorshipGraph
+
+        with pytest.raises(PlacementError):
+            algo.select(CoauthorshipGraph(nx.Graph()), 1)
+
+
+class TestRandom:
+    def test_varies_across_rngs(self, star_graph):
+        outcomes = {tuple(sorted(RandomPlacement().select(star_graph, 3, rng=i))) for i in range(20)}
+        assert len(outcomes) > 1
+
+
+class TestNodeDegree:
+    def test_picks_hub_first(self, star_graph):
+        out = NodeDegreePlacement().select(star_graph, 1, rng=0)
+        assert out == ["hub"]
+
+    def test_top_two_are_hub_then_triangle(self, star_graph):
+        out = NodeDegreePlacement().select(star_graph, 4, rng=0)
+        assert out[0] == "hub"
+        assert set(out[1:]) <= {"x", "y", "z"}
+
+
+class TestCommunityNodeDegree:
+    def test_excludes_neighbors_of_picks(self, two_hubs):
+        out = CommunityNodeDegreePlacement().select(two_hubs, 2, rng=0)
+        # hub1 first; hub2 is its neighbor -> excluded; second pick is a leaf
+        assert out[0] == "hub1"
+        assert out[1] != "hub2"
+
+    def test_plain_degree_would_take_both_hubs(self, two_hubs):
+        out = NodeDegreePlacement().select(two_hubs, 2, rng=0)
+        assert set(out) == {"hub1", "hub2"}
+
+    def test_relaxes_when_exhausted(self, star_graph):
+        # picking hub excludes all leaves; further picks must still happen
+        out = CommunityNodeDegreePlacement().select(star_graph, 9, rng=0)
+        assert len(out) == 9
+
+    def test_radius_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommunityNodeDegreePlacement(radius=0)
+
+    def test_radius_two_excludes_wider(self, two_hubs):
+        out = CommunityNodeDegreePlacement(radius=2).select(two_hubs, 2, rng=0)
+        # radius 2 around hub1 covers everything except none -> relaxation kicks in
+        assert out[0] == "hub1"
+        assert len(out) == 2
+
+
+class TestClusteringCoefficient:
+    def test_prefers_triangle_members(self, star_graph):
+        out = ClusteringCoefficientPlacement().select(star_graph, 3, rng=0)
+        assert set(out) == {"x", "y", "z"}
+
+
+class TestBetweenness:
+    def test_bridge_node_first(self, two_hubs):
+        out = BetweennessPlacement().select(two_hubs, 2, rng=0)
+        assert set(out) == {"hub1", "hub2"}
+
+
+class TestPageRank:
+    def test_hub_ranks_first(self, star_graph):
+        out = PageRankPlacement().select(star_graph, 1, rng=0)
+        assert out == ["hub"]
+
+
+class TestGreedyCoverage:
+    def test_two_picks_cover_both_stars(self, two_hubs):
+        out = GreedyCoveragePlacement().select(two_hubs, 2, rng=0)
+        assert set(out) == {"hub1", "hub2"}
+
+    def test_first_pick_max_neighborhood(self, star_graph):
+        out = GreedyCoveragePlacement().select(star_graph, 1, rng=0)
+        assert out == ["hub"]
+
+
+class TestDominatingSet:
+    def test_availability_cost_steers_choice(self, two_hubs):
+        # make hub1 very unavailable: hub2 becomes the better first pick
+        avail = {AuthorId("hub1"): 0.05}
+        out = DominatingSetPlacement(availability=avail).select(two_hubs, 1, rng=0)
+        assert out == ["hub2"]
+
+    def test_invalid_availability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DominatingSetPlacement(availability={AuthorId("a"): 0.0})
+
+    def test_unweighted_covers_graph(self, two_hubs):
+        out = DominatingSetPlacement().select(two_hubs, 2, rng=0)
+        assert set(out) == {"hub1", "hub2"}
+
+
+class TestRegistry:
+    def test_paper_placements_order(self):
+        names = [p.name for p in paper_placements()]
+        assert names == [
+            "random",
+            "node-degree",
+            "community-node-degree",
+            "clustering-coefficient",
+        ]
+
+    def test_all_placements_include_extensions(self):
+        names = {p.name for p in all_placements()}
+        assert {"betweenness", "pagerank", "greedy-coverage", "dominating-set"} <= names
+
+    def test_get_placement_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_placement("magic")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_placement("random", RandomPlacement)
+
+    def test_names_sorted(self):
+        names = placement_names()
+        assert names == sorted(names)
+
+
+class TestRankedByScore:
+    def test_ties_resolved_randomly(self, star_graph):
+        import numpy as np
+
+        scores = {a: 1.0 for a in star_graph.nodes()}
+        first = {
+            ranked_by_score(star_graph, scores, 1, np.random.default_rng(i))[0]
+            for i in range(30)
+        }
+        assert len(first) > 1
+
+
+class TestWeightedDegree:
+    def test_repeat_collaborator_beats_one_shot_hub(self):
+        from repro.cdn.placement import WeightedDegreePlacement
+
+        # 'veteran' shares 4 pubs with each of 2 colleagues (weight 8);
+        # 'hub' is on one 6-author paper (degree 5, weight 5)
+        pubs = [pub(f"v{i}", 2009 + i % 3, "veteran", "c1") for i in range(4)]
+        pubs += [pub(f"w{i}", 2009 + i % 3, "veteran", "c2") for i in range(4)]
+        pubs.append(pub("big", 2009, "hub", "h1", "h2", "h3", "h4", "h5"))
+        graph = build_coauthorship_graph(Corpus(pubs))
+        weighted = WeightedDegreePlacement().select(graph, 1, rng=0)
+        plain = NodeDegreePlacement().select(graph, 1, rng=0)
+        assert weighted == ["veteran"]
+        # every member of the 6-author paper has degree 5 > veteran's 2
+        assert plain[0] in {"hub", "h1", "h2", "h3", "h4", "h5"}
+
+    def test_registered(self):
+        assert get_placement("weighted-degree").name == "weighted-degree"

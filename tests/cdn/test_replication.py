@@ -1,0 +1,133 @@
+"""Unit tests for repro.cdn.replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.content import segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.replication import ReplicationPolicy
+from repro.cdn.storage import StorageRepository
+from repro.sim.engine import SimulationEngine
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def server():
+    graph = build_coauthorship_graph(
+        Corpus(
+            [
+                pub("p1", 2009, "a", "b"),
+                pub("p2", 2009, "b", "c"),
+                pub("p3", 2009, "c", "d"),
+            ]
+        )
+    )
+    s = AllocationServer(graph, RandomPlacement(), seed=0)
+    for author in "abcd":
+        s.register_repository(
+            AuthorId(author), StorageRepository(NodeId(f"node-{author}"), 10_000)
+        )
+    return s
+
+
+class TestAudit:
+    def test_healthy_system_reports_clean(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100, n_segments=2)
+        server.publish_dataset(ds, n_replicas=2)
+        policy = ReplicationPolicy(server)
+        report = policy.audit(at=10.0)
+        assert report.time == 10.0
+        assert report.n_segments == 2
+        assert report.mean_redundancy == 2.0
+        assert report.under_replicated == 0
+        assert report.lost == 0
+        assert report.repaired == 0
+
+    def test_audit_repairs_after_outage(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        replicas = server.publish_dataset(ds, n_replicas=2)
+        server.node_offline(replicas[0].node_id)
+        policy = ReplicationPolicy(server)
+        report = policy.audit(at=1.0)
+        assert report.repaired == 1
+        assert report.under_replicated == 0
+
+    def test_lost_segments_counted(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        replicas = server.publish_dataset(ds, n_replicas=1)
+        server.node_offline(replicas[0].node_id)
+        report = ReplicationPolicy(server).audit()
+        assert report.lost == 1
+        assert report.min_redundancy == 0
+
+    def test_hot_threshold_scaling_in_audit(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=1)
+        seg = ds.segments[0].segment_id
+        for _ in range(10):
+            server.resolve(seg, AuthorId("a"))
+        policy = ReplicationPolicy(server, hot_threshold=5)
+        report = policy.audit()
+        assert report.repaired >= 1
+        assert server.catalog.redundancy(seg) >= 2
+
+    def test_reports_accumulate(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=1)
+        policy = ReplicationPolicy(server)
+        policy.audit(at=1.0)
+        policy.audit(at=2.0)
+        assert [r.time for r in policy.reports] == [1.0, 2.0]
+        assert policy.redundancy_timeline() == [(1.0, 1.0), (2.0, 1.0)]
+
+
+class TestEngineIntegration:
+    def test_periodic_audits(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=2)
+        engine = SimulationEngine()
+        policy = ReplicationPolicy(server, audit_interval_s=100.0)
+        policy.attach(engine)
+        engine.run(until=350.0)
+        assert [r.time for r in policy.reports] == [100.0, 200.0, 300.0]
+
+
+class TestStability:
+    def test_flat_redundancy_is_stable(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=2)
+        policy = ReplicationPolicy(server)
+        for t in range(5):
+            policy.audit(at=float(t))
+        assert policy.stability() == pytest.approx(1.0)
+
+    def test_varying_redundancy_less_stable(self, server):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        replicas = server.publish_dataset(ds, n_replicas=3)
+        policy = ReplicationPolicy(server)
+        policy.audit(at=0.0)
+        # knock nodes out without repairing possibilities (offline all but one)
+        for r in replicas[:2]:
+            server.node_offline(r.node_id)
+        policy.reports.append(policy.snapshot(at=1.0))
+        assert policy.stability() < 1.0
+
+    def test_few_reports_default_stable(self, server):
+        assert ReplicationPolicy(server).stability() == 1.0
+
+
+class TestValidation:
+    def test_bad_interval(self, server):
+        with pytest.raises(ConfigurationError):
+            ReplicationPolicy(server, audit_interval_s=0)
+
+    def test_bad_threshold(self, server):
+        with pytest.raises(ConfigurationError):
+            ReplicationPolicy(server, hot_threshold=0)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.cdn.server_group (allocation server redundancy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError, ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.content import segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.server_group import AllocationServerGroup
+from repro.cdn.storage import StorageRepository
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def group():
+    graph = build_coauthorship_graph(
+        Corpus(
+            [
+                pub("p1", 2009, "a", "b"),
+                pub("p2", 2009, "b", "c"),
+                pub("p3", 2009, "c", "d"),
+            ]
+        )
+    )
+    g = AllocationServerGroup(graph, RandomPlacement(), seed=0)
+    for a in "abcd":
+        g.register_repository(
+            AuthorId(a), StorageRepository(NodeId(f"node-{a}"), 10_000)
+        )
+    return g
+
+
+class TestConstruction:
+    def test_needs_standby(self, group):
+        with pytest.raises(ConfigurationError):
+            AllocationServerGroup(group.graph, RandomPlacement(), n_standbys=0)
+
+
+class TestSync:
+    def test_snapshot_captures_datasets(self, group):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        group.publish_dataset(ds, n_replicas=2)
+        snap = group.sync(at=5.0)
+        assert snap.time == 5.0
+        assert [d.dataset_id for d in snap.datasets] == ["d"]
+        assert snap.budgets[DatasetId("d")] == 2
+
+    def test_snapshot_age(self, group):
+        group.sync(at=10.0)
+        assert group.snapshot_age(now=25.0) == 15.0
+
+
+class TestFailover:
+    def test_synced_dataset_survives(self, group):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100, n_segments=2)
+        group.publish_dataset(ds, n_replicas=2)
+        group.sync(at=1.0)
+        old_primary = group.primary
+        new = group.fail_primary(at=2.0)
+        assert new is not old_primary
+        assert group.failovers == 1
+        # replicas recovered from repository contents
+        for seg in ds.segments:
+            assert new.catalog.redundancy(seg.segment_id) == 2
+        resolved = group.resolve(ds.segments[0].segment_id, AuthorId("b"))
+        assert resolved.replica.servable
+
+    def test_unsynced_dataset_lost_but_data_intact(self, group):
+        synced = segment_dataset(DatasetId("old"), AuthorId("a"), 100)
+        group.publish_dataset(synced, n_replicas=1)
+        group.sync(at=1.0)
+        unsynced = segment_dataset(DatasetId("new"), AuthorId("a"), 100)
+        group.publish_dataset(unsynced, n_replicas=1)
+        new = group.fail_primary(at=2.0)
+        # the unsynced dataset's metadata is gone...
+        assert "new" not in new.catalog
+        with pytest.raises(CatalogError):
+            group.resolve(unsynced.segments[0].segment_id, AuthorId("a"))
+        # ...but its bytes are still on some repository (orphaned)
+        assert group.orphaned_segments() == ["new:seg0"]
+
+    def test_budget_preserved_for_repair(self, group):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        group.publish_dataset(ds, n_replicas=3)
+        group.sync(at=1.0)
+        new = group.fail_primary(at=2.0)
+        # knock one holder offline; repair must restore to the synced budget
+        holder = new.catalog.replicas_of_segment(
+            ds.segments[0].segment_id, servable_only=True
+        )[0]
+        new.node_offline(holder.node_id)
+        new.repair(at=3.0)
+        assert new.under_replicated() == []
+
+    def test_offline_nodes_stay_offline_across_failover(self, group):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        group.publish_dataset(ds, n_replicas=2)
+        group.sync(at=1.0)
+        victim = group.primary.catalog.replicas_of_segment(
+            ds.segments[0].segment_id
+        )[0].node_id
+        group.primary.node_offline(victim)
+        new = group.fail_primary(at=2.0)
+        assert not new.is_online(victim)
+        # its recovered replica is stale, not servable
+        stale = [
+            r
+            for r in new.catalog.replicas_of_segment(ds.segments[0].segment_id)
+            if r.node_id == victim
+        ]
+        assert stale and not stale[0].servable
+
+    def test_double_failover(self, group):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        group.publish_dataset(ds, n_replicas=2)
+        group.sync(at=1.0)
+        group.fail_primary(at=2.0)
+        group.sync(at=3.0)
+        group.fail_primary(at=4.0)
+        assert group.failovers == 2
+        resolved = group.resolve(ds.segments[0].segment_id, AuthorId("c"))
+        assert resolved.replica.servable
+
+    def test_no_orphans_when_synced(self, group):
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        group.publish_dataset(ds, n_replicas=2)
+        group.sync(at=1.0)
+        group.fail_primary(at=2.0)
+        assert group.orphaned_segments() == []

@@ -1,0 +1,137 @@
+"""Unit tests for repro.cdn.storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, StorageError
+from repro.ids import NodeId, SegmentId
+from repro.cdn.storage import StorageRepository
+
+S1, S2 = SegmentId("d:seg0"), SegmentId("d:seg1")
+
+
+@pytest.fixture
+def repo():
+    return StorageRepository(NodeId("n1"), 1000, replica_quota=0.5)
+
+
+class TestConstruction:
+    def test_partition_sizes(self, repo):
+        assert repo.replica_quota_bytes == 500
+        assert repo.user_quota_bytes == 500
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            StorageRepository(NodeId("n"), 0)
+
+    def test_invalid_quota(self):
+        with pytest.raises(ConfigurationError):
+            StorageRepository(NodeId("n"), 100, replica_quota=0.0)
+        with pytest.raises(ConfigurationError):
+            StorageRepository(NodeId("n"), 100, replica_quota=1.5)
+
+    def test_full_replica_quota_allowed(self):
+        r = StorageRepository(NodeId("n"), 100, replica_quota=1.0)
+        assert r.user_quota_bytes == 0
+
+
+class TestReplicaPartition:
+    def test_store_and_read(self, repo):
+        repo.store_replica(S1, 200)
+        assert repo.hosts_segment(S1)
+        assert repo.replica_used_bytes == 200
+        assert repo.read_segment(S1) == 200
+
+    def test_capacity_enforced(self, repo):
+        repo.store_replica(S1, 400)
+        with pytest.raises(CapacityError):
+            repo.store_replica(S2, 200)
+        assert not repo.hosts_segment(S2)
+
+    def test_duplicate_rejected(self, repo):
+        repo.store_replica(S1, 100)
+        with pytest.raises(StorageError):
+            repo.store_replica(S1, 100)
+
+    def test_evict_frees_space(self, repo):
+        repo.store_replica(S1, 400)
+        assert repo.evict_replica(S1) == 400
+        assert repo.replica_free_bytes == 500
+        repo.store_replica(S2, 450)
+
+    def test_evict_unknown_raises(self, repo):
+        with pytest.raises(StorageError):
+            repo.evict_replica(S1)
+
+    def test_read_unknown_raises(self, repo):
+        with pytest.raises(StorageError):
+            repo.read_segment(S1)
+
+    def test_user_cannot_delete_replica_data(self, repo):
+        repo.store_replica(S1, 100)
+        with pytest.raises(StorageError, match="read-only"):
+            repo.delete_from_replica_partition(S1)
+        assert repo.hosts_segment(S1)
+
+    def test_hosted_segments(self, repo):
+        repo.store_replica(S1, 100)
+        repo.store_replica(S2, 100)
+        assert repo.hosted_segments() == {S1, S2}
+
+    def test_can_host(self, repo):
+        assert repo.can_host(500)
+        assert not repo.can_host(501)
+
+
+class TestUserPartition:
+    def test_put_get_delete(self, repo):
+        repo.put_user_file("a.dat", 100)
+        assert repo.has_user_file("a.dat")
+        assert repo.user_file_size("a.dat") == 100
+        assert repo.delete_user_file("a.dat") == 100
+        assert not repo.has_user_file("a.dat")
+
+    def test_overwrite_counts_delta(self, repo):
+        repo.put_user_file("a.dat", 400)
+        repo.put_user_file("a.dat", 500)  # delta 100 fits
+        assert repo.user_used_bytes == 500
+
+    def test_capacity_enforced(self, repo):
+        repo.put_user_file("a.dat", 400)
+        with pytest.raises(CapacityError):
+            repo.put_user_file("b.dat", 200)
+
+    def test_user_files_listing(self, repo):
+        repo.put_user_file("a", 1)
+        repo.put_user_file("b", 1)
+        assert repo.user_files() == ["a", "b"]
+
+    def test_delete_unknown_raises(self, repo):
+        with pytest.raises(StorageError):
+            repo.delete_user_file("nope")
+
+    def test_size_of_unknown_raises(self, repo):
+        with pytest.raises(StorageError):
+            repo.user_file_size("nope")
+
+    def test_partitions_are_independent(self, repo):
+        repo.store_replica(S1, 500)  # fills replica partition
+        repo.put_user_file("a.dat", 500)  # user partition unaffected
+
+
+class TestStats:
+    def test_snapshot(self, repo):
+        repo.store_replica(S1, 200)
+        repo.put_user_file("a", 50)
+        repo.read_segment(S1)
+        repo.read_segment(S1)
+        s = repo.stats()
+        assert s.replica_used_bytes == 200
+        assert s.user_used_bytes == 50
+        assert s.n_replicas == 1
+        assert s.n_user_files == 1
+        assert s.reads_served == 2
+        assert s.bytes_served == 400
+        assert s.replica_free_bytes == 300
+        assert s.user_free_bytes == 450

@@ -1,0 +1,107 @@
+"""Unit tests for repro.cdn.transfer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, TransferError
+from repro.ids import NodeId, SegmentId
+from repro.cdn.transfer import TransferClient, TransferRequest
+from repro.sim.network import GeoPoint, NetworkModel
+
+
+@pytest.fixture
+def network():
+    net = NetworkModel(base_latency_s=0.01, default_bandwidth_bps=8e6)  # 1 MB/s
+    net.add_node(NodeId("chicago"), GeoPoint(41.9, -87.6))
+    net.add_node(NodeId("karlsruhe"), GeoPoint(49.0, 8.4))
+    net.add_node(NodeId("cardiff"), GeoPoint(51.5, -3.2), bandwidth_bps=4e6)
+    return net
+
+
+def req(size=1_000_000, src="chicago", dst="karlsruhe"):
+    return TransferRequest(
+        segment_id=SegmentId("d:seg0"),
+        source=NodeId(src),
+        dest=NodeId(dst),
+        size_bytes=size,
+    )
+
+
+class TestRequestValidation:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            req(size=0)
+
+
+class TestEstimates:
+    def test_duration_includes_latency_and_drain(self, network):
+        client = TransferClient(network)
+        d = client.estimate_duration(req())
+        # 1 MB over 1 MB/s ≈ 1 s plus latency
+        assert 1.0 < d < 1.2
+
+    def test_lower_endpoint_bandwidth_dominates(self, network):
+        client = TransferClient(network)
+        fast = client.estimate_duration(req(dst="karlsruhe"))
+        slow = client.estimate_duration(req(dst="cardiff"))
+        assert slow > fast
+
+    def test_local_transfer_has_no_latency(self, network):
+        client = TransferClient(network)
+        d = client.estimate_duration(req(src="chicago", dst="chicago"))
+        assert d == pytest.approx(1.0, abs=0.01)
+
+
+class TestExecute:
+    def test_success_path(self, network):
+        client = TransferClient(network)
+        result = client.execute(req())
+        assert result.ok
+        assert result.attempts == 1
+        assert result.effective_bandwidth_bps > 0
+        assert client.total_bytes_moved() == 1_000_000
+        assert client.success_ratio() == 1.0
+
+    def test_unknown_endpoint_rejected(self, network):
+        client = TransferClient(network)
+        with pytest.raises(TransferError):
+            client.execute(req(src="nowhere"))
+        with pytest.raises(TransferError):
+            client.execute(req(dst="nowhere"))
+
+    def test_retries_on_failure(self, network):
+        client = TransferClient(network, failure_prob=0.5, max_attempts=50, seed=0)
+        result = client.execute(req())
+        assert result.ok
+        # failed attempts cost time: duration is a multiple of single attempt
+        single = client.estimate_duration(req())
+        assert result.duration_s == pytest.approx(single * result.attempts)
+
+    def test_gives_up_after_max_attempts(self, network):
+        client = TransferClient(network, failure_prob=0.999, max_attempts=3, seed=0)
+        results = [client.execute(req()) for _ in range(20)]
+        failed = [r for r in results if not r.ok]
+        assert failed, "expected some exhausted transfers at 99.9% failure"
+        assert all(r.attempts == 3 for r in failed)
+        assert client.success_ratio() < 1.0
+
+    def test_failed_transfer_zero_effective_bandwidth(self, network):
+        client = TransferClient(network, failure_prob=0.999, max_attempts=1, seed=1)
+        result = next(r for r in (client.execute(req()) for _ in range(50)) if not r.ok)
+        assert result.effective_bandwidth_bps == 0.0
+
+    def test_transfer_ids_unique(self, network):
+        client = TransferClient(network)
+        ids = {client.execute(req()).transfer_id for _ in range(5)}
+        assert len(ids) == 5
+
+
+class TestConfigValidation:
+    def test_bad_failure_prob(self, network):
+        with pytest.raises(ConfigurationError):
+            TransferClient(network, failure_prob=1.0)
+
+    def test_bad_attempts(self, network):
+        with pytest.raises(ConfigurationError):
+            TransferClient(network, max_attempts=0)

@@ -1,0 +1,76 @@
+"""Shared fixtures: hand-built corpora small enough to reason about exactly,
+plus one session-scoped synthetic corpus for integration-style tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ids import AuthorId, PublicationId
+from repro.social import CorpusConfig, generate_corpus
+from repro.social.records import Corpus, Publication
+
+
+def pub(pid: str, year: int, *authors: str) -> Publication:
+    """Shorthand publication constructor used across the test suite."""
+    return Publication(
+        pub_id=PublicationId(pid),
+        year=year,
+        authors=frozenset(AuthorId(a) for a in authors),
+    )
+
+
+@pytest.fixture
+def tiny_corpus() -> Corpus:
+    """Six authors, seven publications over 2009-2011.
+
+    Structure (coauthorship edges, weight in parens):
+
+        alice -(2)- bob -(1)- carol -(1)- dave
+        alice -(1)- carol
+        eve  -(1)- frank            (separate island)
+        and one 2011 paper bob+dave (test year)
+
+    Designed so every trust heuristic produces a different subgraph.
+    """
+    return Corpus(
+        [
+            pub("p1", 2009, "alice", "bob"),
+            pub("p2", 2010, "alice", "bob"),
+            pub("p3", 2009, "bob", "carol"),
+            pub("p4", 2010, "alice", "carol"),
+            pub("p5", 2010, "carol", "dave"),
+            pub("p6", 2009, "eve", "frank"),
+            pub("p7", 2011, "bob", "dave"),
+        ]
+    )
+
+
+@pytest.fixture
+def mega_corpus() -> Corpus:
+    """A corpus with one 10-author publication and a small core, to test
+    the max-authors pruning and mega-paper degree effects deterministically."""
+    big_authors = [f"m{i}" for i in range(10)]
+    return Corpus(
+        [
+            pub("big", 2009, *big_authors),
+            pub("s1", 2009, "m0", "x"),
+            pub("s2", 2010, "m0", "x"),
+            pub("s3", 2010, "x", "y"),
+            pub("s4", 2011, "m1", "y"),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic():
+    """Session-scoped synthetic corpus (small config for test speed).
+
+    Returns ``(corpus, seed_author)``.
+    """
+    cfg = CorpusConfig(
+        n_groups=60,
+        n_consortium=300,
+        mega_paper_size=30,
+        consortium_block_size=30,
+    )
+    return generate_corpus(cfg, seed=1234)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.metrics.collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, NodeId, SegmentId
+from repro.metrics.collector import (
+    AllocationOfferEvent,
+    ExchangeEvent,
+    MetricsCollector,
+    NodeStateEvent,
+    RequestEvent,
+)
+
+N1, N2 = NodeId("n1"), NodeId("n2")
+SEG = SegmentId("d:seg0")
+
+
+def exchange(src=N1, dst=N2, size=100, ok=True, t=0.0):
+    return ExchangeEvent(
+        time=t, source=src, dest=dst, segment_id=SEG, size_bytes=size, ok=ok, duration_s=1.0
+    )
+
+
+class TestIngestion:
+    def test_requests_recorded(self):
+        c = MetricsCollector()
+        c.record_request(
+            RequestEvent(0.0, AuthorId("a"), SEG, "local", 0, 0.0)
+        )
+        assert len(c.requests) == 1
+
+    def test_exchange_updates_served_consumed(self):
+        c = MetricsCollector()
+        c.record_exchange(exchange(size=100))
+        c.record_exchange(exchange(size=50))
+        assert c.bytes_served[N1] == 150
+        assert c.bytes_consumed[N2] == 150
+
+    def test_failed_exchange_not_tallied(self):
+        c = MetricsCollector()
+        c.record_exchange(exchange(ok=False))
+        assert N1 not in c.bytes_served
+
+    def test_negative_offer_delay_rejected(self):
+        c = MetricsCollector()
+        with pytest.raises(ConfigurationError):
+            c.record_offer(
+                AllocationOfferEvent(0.0, N1, SEG, True, -1.0)
+            )
+
+    def test_register_node_validation(self):
+        c = MetricsCollector()
+        with pytest.raises(ConfigurationError):
+            c.register_node(N1, capacity_bytes=0)
+
+    def test_report_usage_requires_registration(self):
+        c = MetricsCollector()
+        with pytest.raises(ConfigurationError):
+            c.report_usage(N1, 10)
+        c.register_node(N1, capacity_bytes=100)
+        c.report_usage(N1, 10)
+        assert c.used[N1] == 10
+        with pytest.raises(ConfigurationError):
+            c.report_usage(N1, -1)
+
+
+class TestObservedAvailability:
+    def test_no_events_means_fully_available(self):
+        c = MetricsCollector()
+        assert c.observed_availability(N1, 100.0) == 1.0
+
+    def test_offline_window_counted(self):
+        c = MetricsCollector()
+        c.record_node_state(NodeStateEvent(20.0, N1, "offline"))
+        c.record_node_state(NodeStateEvent(60.0, N1, "online"))
+        assert c.observed_availability(N1, 100.0) == pytest.approx(0.6)
+
+    def test_still_offline_at_horizon(self):
+        c = MetricsCollector()
+        c.record_node_state(NodeStateEvent(50.0, N1, "offline"))
+        assert c.observed_availability(N1, 100.0) == pytest.approx(0.5)
+
+    def test_departed_counts_as_offline(self):
+        c = MetricsCollector()
+        c.record_node_state(NodeStateEvent(25.0, N1, "departed"))
+        assert c.observed_availability(N1, 100.0) == pytest.approx(0.25)
+
+    def test_events_beyond_horizon_ignored(self):
+        c = MetricsCollector()
+        c.record_node_state(NodeStateEvent(150.0, N1, "offline"))
+        assert c.observed_availability(N1, 100.0) == 1.0
+
+    def test_duplicate_transitions_idempotent(self):
+        c = MetricsCollector()
+        c.record_node_state(NodeStateEvent(10.0, N1, "offline"))
+        c.record_node_state(NodeStateEvent(20.0, N1, "offline"))
+        c.record_node_state(NodeStateEvent(30.0, N1, "online"))
+        assert c.observed_availability(N1, 100.0) == pytest.approx(0.8)
+
+    def test_invalid_horizon(self):
+        c = MetricsCollector()
+        with pytest.raises(ConfigurationError):
+            c.observed_availability(N1, 0.0)

@@ -1,0 +1,146 @@
+"""Unit tests for repro.metrics.cdn_metrics and social_metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, NodeId, SegmentId
+from repro.metrics.cdn_metrics import compute_cdn_metrics
+from repro.metrics.collector import (
+    AllocationOfferEvent,
+    ExchangeEvent,
+    MetricsCollector,
+    NodeStateEvent,
+    RequestEvent,
+)
+from repro.metrics.social_metrics import compute_social_metrics
+
+N1, N2, N3 = NodeId("n1"), NodeId("n2"), NodeId("n3")
+SEG = SegmentId("d:seg0")
+
+
+def request(outcome="near", duration=1.0, t=0.0):
+    return RequestEvent(t, AuthorId("a"), SEG, outcome, 1, duration)
+
+
+class TestCDNMetrics:
+    def test_empty_collector_defaults(self):
+        r = compute_cdn_metrics(MetricsCollector(), horizon_s=100.0)
+        assert r.availability == 1.0
+        assert r.request_success_ratio == 1.0
+        assert r.n_requests == 0
+        assert r.mean_response_time_s == 0.0
+        assert r.stability == 1.0
+
+    def test_success_ratio(self):
+        c = MetricsCollector()
+        c.record_request(request("near"))
+        c.record_request(request("failed"))
+        r = compute_cdn_metrics(c, horizon_s=10.0)
+        assert r.request_success_ratio == 0.5
+        assert r.n_requests == 2
+
+    def test_response_time_stats(self):
+        c = MetricsCollector()
+        for d in (1.0, 2.0, 3.0):
+            c.record_request(request(duration=d))
+        r = compute_cdn_metrics(c, horizon_s=10.0)
+        assert r.mean_response_time_s == pytest.approx(2.0)
+        assert r.p95_response_time_s == pytest.approx(2.9)
+
+    def test_failed_requests_excluded_from_latency(self):
+        c = MetricsCollector()
+        c.record_request(request(duration=1.0))
+        c.record_request(request("failed", duration=99.0))
+        r = compute_cdn_metrics(c, horizon_s=10.0)
+        assert r.mean_response_time_s == pytest.approx(1.0)
+
+    def test_availability_averages_over_nodes(self):
+        c = MetricsCollector()
+        c.register_node(N1, capacity_bytes=100)
+        c.register_node(N2, capacity_bytes=100)
+        c.record_node_state(NodeStateEvent(0.0, N2, "offline"))
+        r = compute_cdn_metrics(c, horizon_s=100.0)
+        assert r.availability == pytest.approx(0.5)
+
+    def test_redundancy_and_stability_from_snapshots(self):
+        r = compute_cdn_metrics(
+            MetricsCollector(), horizon_s=10.0, redundancy_snapshots=[2.0, 2.0, 2.0]
+        )
+        assert r.mean_redundancy == 2.0
+        assert r.stability == pytest.approx(1.0)
+        r2 = compute_cdn_metrics(
+            MetricsCollector(), horizon_s=10.0, redundancy_snapshots=[3.0, 1.0]
+        )
+        assert r2.stability < 1.0
+
+    def test_scalability_slope_detects_degradation(self):
+        c = MetricsCollector()
+        for i in range(20):
+            c.record_request(request(duration=1.0 + 0.5 * i, t=float(i)))
+        r = compute_cdn_metrics(c, horizon_s=30.0)
+        assert r.scalability_slope > 0.01
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            compute_cdn_metrics(MetricsCollector(), horizon_s=0.0)
+
+
+class TestSocialMetrics:
+    def test_empty_defaults(self):
+        r = compute_social_metrics(MetricsCollector())
+        assert r.acceptance_rate == 1.0
+        assert r.n_exchanges == 0
+        assert r.freerider_ratio == 0.0
+
+    def test_acceptance_and_immediacy(self):
+        c = MetricsCollector()
+        c.record_offer(AllocationOfferEvent(0.0, N1, SEG, True, 10.0))
+        c.record_offer(AllocationOfferEvent(0.0, N2, SEG, True, 20.0))
+        c.record_offer(AllocationOfferEvent(0.0, N3, SEG, False, 99.0))
+        r = compute_social_metrics(c)
+        assert r.acceptance_rate == pytest.approx(2 / 3)
+        assert r.immediacy_s == pytest.approx(15.0)  # accepted only
+
+    def test_exchange_ratio_and_volume(self):
+        c = MetricsCollector()
+        c.record_exchange(ExchangeEvent(0.0, N1, N2, SEG, 100, True, 1.0))
+        c.record_exchange(ExchangeEvent(0.0, N1, N3, SEG, 50, False, 1.0))
+        r = compute_social_metrics(c)
+        assert r.n_exchanges == 2
+        assert r.exchange_success_ratio == 0.5
+        assert r.transaction_volume_bytes == 100
+
+    def test_freerider_detection(self):
+        c = MetricsCollector()
+        c.register_node(N1, capacity_bytes=100)
+        c.register_node(N2, capacity_bytes=100)
+        c.register_node(N3, capacity_bytes=100)
+        # n1 serves, n2 consumes only (freerider), n3 idle
+        c.record_exchange(ExchangeEvent(0.0, N1, N2, SEG, 10, True, 1.0))
+        r = compute_social_metrics(c)
+        assert r.freerider_ratio == pytest.approx(1 / 3)
+
+    def test_allocated_ratio(self):
+        c = MetricsCollector()
+        c.register_node(N1, capacity_bytes=100)
+        c.register_node(N2, capacity_bytes=100)
+        c.report_usage(N1, 50)
+        r = compute_social_metrics(c)
+        assert r.allocated_ratio == pytest.approx(0.25)
+
+    def test_scarce_regions(self):
+        c = MetricsCollector()
+        c.register_node(N1, capacity_bytes=1000, region="us")
+        c.register_node(N2, capacity_bytes=1000, region="eu")
+        c.report_usage(N2, 950)  # eu has 50 free vs us 1000 free
+        r = compute_social_metrics(c)
+        assert r.scarce_location_ratio == pytest.approx(0.5)
+
+    def test_no_scarcity_when_balanced(self):
+        c = MetricsCollector()
+        c.register_node(N1, capacity_bytes=1000, region="us")
+        c.register_node(N2, capacity_bytes=1000, region="eu")
+        r = compute_social_metrics(c)
+        assert r.scarce_location_ratio == 0.0

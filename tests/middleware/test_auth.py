@@ -1,0 +1,85 @@
+"""Unit tests for repro.middleware.auth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthenticationError, ConfigurationError
+from repro.ids import AuthorId
+from repro.middleware.auth import Credential, SocialNetworkPlatform
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def platform(tiny_corpus):
+    return SocialNetworkPlatform(build_coauthorship_graph(tiny_corpus))
+
+
+class TestRegistration:
+    def test_member_registers(self, platform):
+        cred = platform.register_user(AuthorId("alice"), "pw")
+        assert cred.author == "alice"
+        assert platform.is_registered(AuthorId("alice"))
+
+    def test_non_member_rejected(self, platform):
+        with pytest.raises(AuthenticationError):
+            platform.register_user(AuthorId("stranger"), "pw")
+
+    def test_double_registration_rejected(self, platform):
+        platform.register_user(AuthorId("alice"), "pw")
+        with pytest.raises(AuthenticationError):
+            platform.register_user(AuthorId("alice"), "pw2")
+
+    def test_empty_secret_rejected(self, platform):
+        with pytest.raises(ConfigurationError):
+            platform.register_user(AuthorId("alice"), "")
+
+    def test_credential_requires_secret(self):
+        with pytest.raises(ConfigurationError):
+            Credential(AuthorId("x"), "")
+
+
+class TestAuthentication:
+    def test_valid_credential_gets_token(self, platform):
+        cred = platform.register_user(AuthorId("alice"), "pw")
+        token = platform.authenticate(cred)
+        assert platform.whoami(token) == "alice"
+
+    def test_wrong_secret_rejected(self, platform):
+        platform.register_user(AuthorId("alice"), "pw")
+        with pytest.raises(AuthenticationError, match="bad secret"):
+            platform.authenticate(Credential(AuthorId("alice"), "wrong"))
+
+    def test_unknown_user_rejected(self, platform):
+        with pytest.raises(AuthenticationError, match="unknown"):
+            platform.authenticate(Credential(AuthorId("bob"), "pw"))
+
+    def test_tokens_are_unique(self, platform):
+        cred = platform.register_user(AuthorId("alice"), "pw")
+        assert platform.authenticate(cred) != platform.authenticate(cred)
+
+    def test_revoked_token_invalid(self, platform):
+        cred = platform.register_user(AuthorId("alice"), "pw")
+        token = platform.authenticate(cred)
+        platform.revoke(token)
+        with pytest.raises(AuthenticationError):
+            platform.whoami(token)
+
+    def test_revoke_idempotent(self, platform):
+        platform.revoke("nonexistent")  # no error
+
+
+class TestRelationships:
+    def test_are_connected(self, platform):
+        assert platform.are_connected(AuthorId("alice"), AuthorId("bob"))
+        assert not platform.are_connected(AuthorId("alice"), AuthorId("eve"))
+
+    def test_friends_of(self, platform):
+        assert set(platform.friends_of(AuthorId("carol"))) == {"alice", "bob", "dave"}
+
+    def test_relationship_strength(self, platform):
+        assert platform.relationship_strength(AuthorId("alice"), AuthorId("bob")) == 2
+        assert platform.relationship_strength(AuthorId("alice"), AuthorId("eve")) == 0

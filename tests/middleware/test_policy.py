@@ -1,0 +1,142 @@
+"""Unit tests for repro.middleware.policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthorizationError, ConfigurationError
+from repro.ids import AuthorId, DatasetId
+from repro.cdn.content import segment_dataset
+from repro.middleware.policy import (
+    AccessDecision,
+    OwnerPolicy,
+    PolicyStack,
+    ProjectMembershipPolicy,
+    SocialProximityPolicy,
+    TrustThresholdPolicy,
+)
+from repro.social.graph import build_coauthorship_graph
+from repro.social.trust_model import InteractionRecord, TrustModel
+
+ALICE, BOB, CAROL, DAVE, EVE = (AuthorId(a) for a in ("alice", "bob", "carol", "dave", "eve"))
+
+
+def ds(owner=ALICE, project=None):
+    return segment_dataset(DatasetId("d"), owner, 100, project=project)
+
+
+class TestOwnerPolicy:
+    def test_owner_allowed(self):
+        assert OwnerPolicy().evaluate(ALICE, ds()) is AccessDecision.ALLOW
+
+    def test_others_abstain(self):
+        assert OwnerPolicy().evaluate(BOB, ds()) is AccessDecision.ABSTAIN
+
+
+class TestProjectMembership:
+    def test_member_allowed(self):
+        p = ProjectMembershipPolicy({"trial": {ALICE, BOB}})
+        assert p.evaluate(BOB, ds(project="trial")) is AccessDecision.ALLOW
+
+    def test_non_member_denied(self):
+        p = ProjectMembershipPolicy({"trial": {ALICE}})
+        assert p.evaluate(BOB, ds(project="trial")) is AccessDecision.DENY
+
+    def test_untagged_dataset_abstains(self):
+        p = ProjectMembershipPolicy({"trial": {ALICE}})
+        assert p.evaluate(BOB, ds(project=None)) is AccessDecision.ABSTAIN
+
+    def test_unknown_project_denied(self):
+        p = ProjectMembershipPolicy({})
+        assert p.evaluate(ALICE, ds(project="ghost")) is AccessDecision.DENY
+
+
+class TestSocialProximity:
+    @pytest.fixture
+    def graph(self, tiny_corpus):
+        return build_coauthorship_graph(tiny_corpus)
+
+    def test_within_hops_allowed(self, graph):
+        p = SocialProximityPolicy(graph, max_hops=1)
+        assert p.evaluate(BOB, ds(owner=ALICE)) is AccessDecision.ALLOW
+
+    def test_beyond_hops_abstains(self, graph):
+        p = SocialProximityPolicy(graph, max_hops=1)
+        assert p.evaluate(DAVE, ds(owner=ALICE)) is AccessDecision.ABSTAIN
+
+    def test_disconnected_abstains(self, graph):
+        p = SocialProximityPolicy(graph, max_hops=5)
+        assert p.evaluate(EVE, ds(owner=ALICE)) is AccessDecision.ABSTAIN
+
+    def test_owner_outside_graph_abstains(self, graph):
+        p = SocialProximityPolicy(graph, max_hops=2)
+        assert p.evaluate(ALICE, ds(owner=AuthorId("ghost"))) is AccessDecision.ABSTAIN
+
+    def test_invalid_hops(self, graph):
+        with pytest.raises(ConfigurationError):
+            SocialProximityPolicy(graph, max_hops=-1)
+
+
+class TestTrustThreshold:
+    def test_trusted_pair_allowed(self):
+        trust = TrustModel()
+        trust.record(InteractionRecord(ALICE, BOB, "publication", 2009))
+        trust.record(InteractionRecord(ALICE, BOB, "publication", 2010))
+        p = TrustThresholdPolicy(trust, threshold=1.5)
+        assert p.evaluate(BOB, ds(owner=ALICE)) is AccessDecision.ALLOW
+
+    def test_untrusted_abstains(self):
+        p = TrustThresholdPolicy(TrustModel(), threshold=1.0)
+        assert p.evaluate(BOB, ds(owner=ALICE)) is AccessDecision.ABSTAIN
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            TrustThresholdPolicy(TrustModel(), threshold=0.0)
+
+
+class TestPolicyStack:
+    def test_any_mode_allow_wins_over_abstain(self):
+        stack = PolicyStack([OwnerPolicy()])
+        assert stack.evaluate(ALICE, ds()) is AccessDecision.ALLOW
+
+    def test_default_deny(self):
+        stack = PolicyStack([OwnerPolicy()])
+        assert stack.evaluate(BOB, ds()) is AccessDecision.DENY
+
+    def test_deny_beats_allow(self):
+        stack = PolicyStack(
+            [OwnerPolicy(), ProjectMembershipPolicy({"trial": {BOB}})]
+        )
+        # alice owns it but is not on the project roster -> DENY wins
+        assert stack.evaluate(ALICE, ds(owner=ALICE, project="trial")) is AccessDecision.DENY
+
+    def test_all_mode_requires_unanimity(self, tiny_corpus):
+        graph = build_coauthorship_graph(tiny_corpus)
+        stack = PolicyStack(
+            [
+                ProjectMembershipPolicy({"trial": {BOB, ALICE}}),
+                SocialProximityPolicy(graph, max_hops=1),
+            ],
+            mode="all",
+        )
+        assert stack.evaluate(BOB, ds(owner=ALICE, project="trial")) is AccessDecision.ALLOW
+        # dave: proximity abstains, project denies
+        assert stack.evaluate(DAVE, ds(owner=ALICE, project="trial")) is AccessDecision.DENY
+
+    def test_all_mode_all_abstain_is_deny(self):
+        stack = PolicyStack([OwnerPolicy()], mode="all")
+        assert stack.evaluate(BOB, ds(owner=ALICE)) is AccessDecision.DENY
+
+    def test_authorize_raises_on_deny(self):
+        stack = PolicyStack([OwnerPolicy()])
+        with pytest.raises(AuthorizationError):
+            stack.authorize(BOB, ds())
+        stack.authorize(ALICE, ds())  # no raise
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyStack([])
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyStack([OwnerPolicy()], mode="majority")

@@ -1,0 +1,69 @@
+"""Unit tests for repro.middleware.session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthenticationError, ConfigurationError
+from repro.ids import AuthorId
+from repro.middleware.auth import Credential, SocialNetworkPlatform
+from repro.middleware.session import SessionManager
+from repro.social.graph import build_coauthorship_graph
+
+
+@pytest.fixture
+def manager(tiny_corpus):
+    platform = SocialNetworkPlatform(build_coauthorship_graph(tiny_corpus))
+    platform.register_user(AuthorId("alice"), "pw")
+    return SessionManager(platform, ttl_s=100.0)
+
+
+def cred():
+    return Credential(AuthorId("alice"), "pw")
+
+
+class TestLifecycle:
+    def test_login_and_validate(self, manager):
+        session = manager.login(cred(), now=0.0)
+        assert session.author == "alice"
+        assert manager.validate(session.token, now=50.0) is session
+
+    def test_expiry(self, manager):
+        session = manager.login(cred(), now=0.0)
+        with pytest.raises(AuthenticationError, match="expired"):
+            manager.validate(session.token, now=100.0)
+
+    def test_expired_session_also_revoked_on_platform(self, manager):
+        session = manager.login(cred(), now=0.0)
+        with pytest.raises(AuthenticationError):
+            manager.validate(session.token, now=200.0)
+        with pytest.raises(AuthenticationError):
+            manager.platform.whoami(session.token)
+
+    def test_logout(self, manager):
+        session = manager.login(cred(), now=0.0)
+        manager.logout(session.token)
+        with pytest.raises(AuthenticationError):
+            manager.validate(session.token, now=1.0)
+
+    def test_unknown_token(self, manager):
+        with pytest.raises(AuthenticationError, match="unknown"):
+            manager.validate("bogus", now=0.0)
+
+    def test_bad_credential_denied(self, manager):
+        with pytest.raises(AuthenticationError):
+            manager.login(Credential(AuthorId("alice"), "wrong"))
+
+    def test_active_sessions_counts_unexpired(self, manager):
+        manager.login(cred(), now=0.0)
+        manager.login(cred(), now=50.0)
+        assert manager.active_sessions(now=120.0) == 1
+
+    def test_is_valid_boundary(self, manager):
+        session = manager.login(cred(), now=0.0)
+        assert session.is_valid(99.999)
+        assert not session.is_valid(100.0)
+
+    def test_invalid_ttl(self, manager):
+        with pytest.raises(ConfigurationError):
+            SessionManager(manager.platform, ttl_s=0.0)

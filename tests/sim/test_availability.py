@@ -1,0 +1,130 @@
+"""Unit tests for repro.sim.availability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import NodeId
+from repro.sim.availability import (
+    DAY_S,
+    AlwaysOn,
+    Diurnal,
+    IndependentChurn,
+    TraceDriven,
+)
+
+N1, N2 = NodeId("n1"), NodeId("n2")
+
+
+class TestAlwaysOn:
+    def test_always_online(self):
+        m = AlwaysOn()
+        assert m.is_online(N1, 0.0)
+        assert m.is_online(N1, 1e9)
+        assert m.availability(N1, 0.0, 100.0) == 1.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            AlwaysOn().availability(N1, 10.0, 10.0)
+
+
+class TestDiurnal:
+    def test_duty_cycle_availability(self):
+        m = Diurnal(duty_hours=12.0, seed=0)
+        assert m.availability(N1, 0.0, 10 * DAY_S) == pytest.approx(0.5)
+
+    def test_on_off_pattern_within_day(self):
+        m = Diurnal(duty_hours=8.0, seed=0)
+        states = [m.is_online(N1, t * 3600.0) for t in range(24)]
+        assert 6 <= sum(states) <= 9  # ~8 of 24 hours
+
+    def test_deterministic_offsets(self):
+        a = Diurnal(duty_hours=8.0, seed=5)
+        b = Diurnal(duty_hours=8.0, seed=5)
+        for t in range(0, 86400, 3600):
+            assert a.is_online(N1, float(t)) == b.is_online(N1, float(t))
+
+    def test_different_nodes_different_phases(self):
+        m = Diurnal(duty_hours=8.0, seed=0)
+        nodes = [NodeId(f"n{i}") for i in range(30)]
+        at_noon = [m.is_online(n, DAY_S / 2) for n in nodes]
+        assert 0 < sum(at_noon) < 30  # phases differ
+
+    def test_overlap_full_for_same_node(self):
+        m = Diurnal(duty_hours=10.0, seed=0)
+        assert m.overlap(N1, N1) == pytest.approx(10.0 / 24.0)
+
+    def test_overlap_symmetric_and_bounded(self):
+        m = Diurnal(duty_hours=10.0, seed=0)
+        o = m.overlap(N1, N2)
+        assert o == pytest.approx(m.overlap(N2, N1))
+        assert 0.0 <= o <= 10.0 / 24.0 + 1e-9
+
+    def test_invalid_duty(self):
+        with pytest.raises(ConfigurationError):
+            Diurnal(duty_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            Diurnal(duty_hours=25.0)
+
+
+class TestIndependentChurn:
+    def test_starts_online(self):
+        m = IndependentChurn(seed=0)
+        assert m.is_online(N1, 0.0)
+
+    def test_consistent_within_instance(self):
+        m = IndependentChurn(seed=0)
+        first = [m.is_online(N1, t * 1000.0) for t in range(50)]
+        second = [m.is_online(N1, t * 1000.0) for t in range(50)]
+        assert first == second
+
+    def test_deterministic_across_instances(self):
+        a = IndependentChurn(seed=9)
+        b = IndependentChurn(seed=9)
+        ts = [t * 777.0 for t in range(40)]
+        assert [a.is_online(N1, t) for t in ts] == [b.is_online(N1, t) for t in ts]
+
+    def test_long_run_availability_near_expected(self):
+        m = IndependentChurn(mean_online_s=3000.0, mean_offline_s=1000.0, seed=1)
+        expected = m.expected_availability()
+        assert expected == pytest.approx(0.75)
+        measured = m.availability(N1, 0.0, 3_000_000.0, samples=500)
+        assert measured == pytest.approx(expected, abs=0.12)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IndependentChurn(seed=0).is_online(N1, -1.0)
+
+    def test_invalid_durations(self):
+        with pytest.raises(ConfigurationError):
+            IndependentChurn(mean_online_s=0.0)
+
+
+class TestTraceDriven:
+    def test_intervals_respected(self):
+        m = TraceDriven({N1: [(0.0, 10.0), (20.0, 30.0)]})
+        assert m.is_online(N1, 5.0)
+        assert not m.is_online(N1, 15.0)
+        assert m.is_online(N1, 25.0)
+        assert not m.is_online(N1, 30.0)  # half-open
+
+    def test_unknown_node_offline(self):
+        m = TraceDriven({})
+        assert not m.is_online(N1, 5.0)
+
+    def test_exact_availability(self):
+        m = TraceDriven({N1: [(0.0, 25.0), (75.0, 100.0)]})
+        assert m.availability(N1, 0.0, 100.0) == pytest.approx(0.5)
+
+    def test_partial_window_clipping(self):
+        m = TraceDriven({N1: [(0.0, 100.0)]})
+        assert m.availability(N1, 50.0, 150.0) == pytest.approx(0.5)
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceDriven({N1: [(0.0, 10.0), (5.0, 15.0)]})
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceDriven({N1: [(5.0, 5.0)]})

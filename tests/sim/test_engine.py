@@ -1,0 +1,160 @@
+"""Unit tests for repro.sim.engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(5.0, lambda e: order.append("b"))
+        engine.schedule(1.0, lambda e: order.append("a"))
+        engine.schedule(9.0, lambda e: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda e: order.append(1))
+        engine.schedule(1.0, lambda e: order.append(2))
+        engine.run()
+        assert order == [1, 2]
+
+    def test_clock_advances(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(3.0, lambda e: seen.append(e.now))
+        engine.run()
+        assert seen == [3.0]
+        assert engine.now == 3.0
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda e: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(1.0, lambda e: None)
+
+    def test_schedule_in_relative(self):
+        engine = SimulationEngine()
+        engine.schedule(2.0, lambda e: e.schedule_in(3.0, lambda e2: None))
+        engine.run()
+        assert engine.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda e: None)
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        hits = []
+
+        def chain(e):
+            hits.append(e.now)
+            if len(hits) < 3:
+                e.schedule_in(1.0, chain)
+
+        engine.schedule(0.0, chain)
+        engine.run()
+        assert hits == [0.0, 1.0, 2.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_and_advances_clock(self):
+        engine = SimulationEngine()
+        ran = []
+        engine.schedule(1.0, lambda e: ran.append(1))
+        engine.schedule(10.0, lambda e: ran.append(10))
+        n = engine.run(until=5.0)
+        assert n == 1 and ran == [1]
+        assert engine.now == 5.0  # clock advanced to horizon
+        engine.run()
+        assert ran == [1, 10]
+
+    def test_max_events(self):
+        engine = SimulationEngine()
+        for t in range(5):
+            engine.schedule(float(t), lambda e: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending == 2
+
+    def test_step(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda e: None)
+        assert engine.step() is True
+        assert engine.step() is False
+
+    def test_no_reentrant_run(self):
+        engine = SimulationEngine()
+
+        def bad(e):
+            e.run()
+
+        engine.schedule(1.0, bad)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_processed_counter(self):
+        engine = SimulationEngine()
+        for t in range(4):
+            engine.schedule(float(t), lambda e: None)
+        engine.run()
+        assert engine.processed == 4
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        engine = SimulationEngine()
+        ran = []
+        ev = engine.schedule(1.0, lambda e: ran.append("x"))
+        engine.cancel(ev)
+        engine.run()
+        assert ran == []
+
+    def test_pending_accounts_for_cancelled(self):
+        engine = SimulationEngine()
+        ev = engine.schedule(1.0, lambda e: None)
+        engine.schedule(2.0, lambda e: None)
+        engine.cancel(ev)
+        assert engine.pending == 1
+
+
+class TestEvery:
+    def test_periodic_callback(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.every(10.0, lambda e: ticks.append(e.now))
+        engine.run(until=45.0)
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+    def test_custom_start(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.every(10.0, lambda e: ticks.append(e.now), start=5.0)
+        engine.run(until=30.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_stop_via_stopiteration(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def cb(e):
+            ticks.append(e.now)
+            if len(ticks) == 2:
+                raise StopIteration
+
+        engine.every(1.0, cb)
+        engine.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_invalid_interval(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.every(0.0, lambda e: None)

@@ -1,0 +1,147 @@
+"""Unit tests for repro.sim.failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import NodeId
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import FailureInjector
+
+NODES = [NodeId(f"n{i}") for i in range(5)]
+
+
+@pytest.fixture
+def rig():
+    engine = SimulationEngine()
+    injector = FailureInjector(engine, NODES, seed=0)
+    return engine, injector
+
+
+class TestDirectInjection:
+    def test_crash_fires_and_is_permanent(self, rig):
+        engine, injector = rig
+        events = []
+        injector.on_failure(events.append)
+        injector.crash(NODES[0], at=5.0)
+        engine.run()
+        assert len(events) == 1
+        assert events[0].kind == "crash" and events[0].time == 5.0
+        assert not injector.is_alive(NODES[0])
+        assert injector.crashed_nodes() == {NODES[0]}
+
+    def test_double_crash_fires_once(self, rig):
+        engine, injector = rig
+        events = []
+        injector.on_failure(events.append)
+        injector.crash(NODES[0], at=5.0)
+        injector.crash(NODES[0], at=6.0)
+        engine.run()
+        assert len(events) == 1
+
+    def test_outage_start_end(self, rig):
+        engine, injector = rig
+        timeline = []
+        injector.on_failure(lambda e: timeline.append((e.time, e.kind)))
+        injector.outage(NODES[1], start=10.0, duration=5.0)
+        engine.run(until=12.0)
+        assert not injector.is_alive(NODES[1])
+        engine.run()
+        assert injector.is_alive(NODES[1])
+        assert timeline == [(10.0, "outage-start"), (15.0, "outage-end")]
+
+    def test_outage_after_crash_ignored(self, rig):
+        engine, injector = rig
+        injector.crash(NODES[0], at=1.0)
+        injector.outage(NODES[0], start=2.0, duration=1.0)
+        engine.run()
+        assert [e.kind for e in injector.history] == ["crash"]
+
+    def test_unknown_node_rejected(self, rig):
+        _, injector = rig
+        with pytest.raises(ConfigurationError):
+            injector.crash(NodeId("zz"), at=1.0)
+        with pytest.raises(ConfigurationError):
+            injector.outage(NodeId("zz"), start=1.0, duration=1.0)
+
+    def test_invalid_duration(self, rig):
+        _, injector = rig
+        with pytest.raises(ConfigurationError):
+            injector.outage(NODES[0], start=1.0, duration=0.0)
+
+
+class TestCampaigns:
+    def test_random_crashes_scheduled(self, rig):
+        engine, injector = rig
+        n = injector.random_crashes(rate_per_node_s=1.0, horizon_s=100.0)
+        assert n == 5  # at rate 1/s everyone dies within 100s
+        engine.run()
+        assert len(injector.crashed_nodes()) == 5
+
+    def test_zero_rate_schedules_nothing(self, rig):
+        engine, injector = rig
+        assert injector.random_crashes(0.0, 100.0) == 0
+
+    def test_random_outages(self, rig):
+        engine, injector = rig
+        n = injector.random_outages(
+            rate_per_node_s=0.01, mean_duration_s=10.0, horizon_s=1000.0
+        )
+        assert n > 0
+        engine.run()
+        starts = [e for e in injector.history if e.kind == "outage-start"]
+        ends = [e for e in injector.history if e.kind == "outage-end"]
+        assert len(starts) == len(ends) == n
+        assert all(injector.is_alive(node) for node in NODES)
+
+    def test_invalid_campaign_params(self, rig):
+        _, injector = rig
+        with pytest.raises(ConfigurationError):
+            injector.random_crashes(-1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            injector.random_outages(1.0, 0.0, 10.0)
+
+
+class TestConstruction:
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureInjector(SimulationEngine(), [])
+
+
+class TestSlowLink:
+    def _network(self):
+        from repro.sim.network import GeoPoint, NetworkModel
+
+        net = NetworkModel(default_bandwidth_bps=100e6)
+        for n in NODES:
+            net.add_node(n, GeoPoint(0.0, float(NODES.index(n))))
+        return net
+
+    def test_throttle_window(self, rig):
+        engine, injector = rig
+        net = self._network()
+        injector.slow_link(NODES[0], net, start=10.0, duration=5.0, factor=0.1)
+        engine.run(until=12.0)
+        assert net.bandwidth(NODES[0]) == pytest.approx(10e6)
+        engine.run()
+        assert net.bandwidth(NODES[0]) == pytest.approx(100e6)
+        kinds = [e.kind for e in injector.history]
+        assert kinds == ["slowlink-start", "slowlink-end"]
+
+    def test_slowlink_skipped_for_crashed_node(self, rig):
+        engine, injector = rig
+        net = self._network()
+        injector.crash(NODES[0], at=1.0)
+        injector.slow_link(NODES[0], net, start=2.0, duration=1.0)
+        engine.run()
+        kinds = [e.kind for e in injector.history]
+        assert "slowlink-start" not in kinds
+
+    def test_validation(self, rig):
+        _, injector = rig
+        net = self._network()
+        with pytest.raises(ConfigurationError):
+            injector.slow_link(NodeId("zz"), net, start=1.0, duration=1.0)
+        with pytest.raises(ConfigurationError):
+            injector.slow_link(NODES[0], net, start=1.0, duration=0.0)

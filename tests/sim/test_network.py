@@ -1,0 +1,166 @@
+"""Unit tests for repro.sim.network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import NodeId
+from repro.sim.network import GeoPoint, LinkSpec, NetworkModel, random_geography
+
+
+class TestGeoPoint:
+    def test_distance_zero_to_self(self):
+        p = GeoPoint(41.9, -87.6)
+        assert p.distance_km(p) == pytest.approx(0.0)
+
+    def test_known_distance_chicago_karlsruhe(self):
+        chi = GeoPoint(41.88, -87.63)
+        ka = GeoPoint(49.01, 8.4)
+        d = chi.distance_km(ka)
+        assert 7000 < d < 7500  # ~7220 km
+
+    def test_symmetry(self):
+        a, b = GeoPoint(10, 20), GeoPoint(-30, 50)
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a))
+
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(91, 0)
+        with pytest.raises(ConfigurationError):
+            GeoPoint(0, 181)
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        link = LinkSpec(latency_s=0.1, bandwidth_bps=8e6)
+        assert link.transfer_time(1_000_000) == pytest.approx(1.1)
+
+    def test_zero_bytes_is_latency_only(self):
+        link = LinkSpec(latency_s=0.1, bandwidth_bps=8e6)
+        assert link.transfer_time(0) == pytest.approx(0.1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(0.1, 1e6).transfer_time(-1)
+
+
+class TestNetworkModel:
+    @pytest.fixture
+    def net(self):
+        n = NetworkModel(base_latency_s=0.01, default_bandwidth_bps=100e6)
+        n.add_node(NodeId("a"), GeoPoint(0, 0))
+        n.add_node(NodeId("b"), GeoPoint(0, 90), bandwidth_bps=10e6)
+        return n
+
+    def test_membership(self, net):
+        assert NodeId("a") in net
+        assert NodeId("z") not in net
+
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.add_node(NodeId("a"), GeoPoint(1, 1))
+
+    def test_bandwidth_default_and_explicit(self, net):
+        assert net.bandwidth(NodeId("a")) == 100e6
+        assert net.bandwidth(NodeId("b")) == 10e6
+
+    def test_link_latency_grows_with_distance(self, net):
+        net.add_node(NodeId("near"), GeoPoint(0, 1))
+        far = net.link(NodeId("a"), NodeId("b")).latency_s
+        near = net.link(NodeId("a"), NodeId("near")).latency_s
+        assert far > near > net.base_latency_s
+
+    def test_link_bandwidth_is_min(self, net):
+        assert net.link(NodeId("a"), NodeId("b")).bandwidth_bps == 10e6
+
+    def test_self_link(self, net):
+        link = net.link(NodeId("a"), NodeId("a"))
+        assert link.latency_s == 0.0
+        assert link.bandwidth_bps == 100e6
+
+    def test_unknown_node_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.link(NodeId("a"), NodeId("z"))
+        with pytest.raises(ConfigurationError):
+            net.position(NodeId("z"))
+
+    def test_mean_pairwise_latency(self, net):
+        assert net.mean_pairwise_latency() > 0
+
+    def test_mean_pairwise_single_node(self):
+        n = NetworkModel()
+        n.add_node(NodeId("solo"), GeoPoint(0, 0))
+        assert n.mean_pairwise_latency() == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(base_latency_s=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(default_bandwidth_bps=0)
+
+
+class TestRandomGeography:
+    def test_places_all_nodes(self):
+        ids = [NodeId(f"n{i}") for i in range(20)]
+        net = random_geography(ids, seed=0)
+        assert all(n in net for n in ids)
+
+    def test_deterministic(self):
+        ids = [NodeId(f"n{i}") for i in range(5)]
+        a = random_geography(ids, seed=3)
+        b = random_geography(ids, seed=3)
+        for n in ids:
+            assert a.position(n) == b.position(n)
+            assert a.bandwidth(n) == b.bandwidth(n)
+
+    def test_clustered_positions(self):
+        # nodes in the same cluster are close; distinct clusters exist
+        ids = [NodeId(f"n{i}") for i in range(50)]
+        net = random_geography(ids, seed=1, n_clusters=3, cluster_spread_deg=0.5)
+        lats = sorted(net.position(n).lat for n in ids)
+        gaps = [b - a for a, b in zip(lats, lats[1:])]
+        assert max(gaps) > 2.0  # at least two well-separated clusters
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ConfigurationError):
+            random_geography([NodeId("a")], n_clusters=0)
+
+
+class TestDegradation:
+    def test_degrade_and_restore(self):
+        n = NetworkModel(default_bandwidth_bps=100e6)
+        n.add_node(NodeId("a"), GeoPoint(0, 0))
+        n.degrade(NodeId("a"), 0.1)
+        assert n.bandwidth(NodeId("a")) == pytest.approx(10e6)
+        n.restore(NodeId("a"))
+        assert n.bandwidth(NodeId("a")) == 100e6
+
+    def test_degradation_affects_links(self):
+        n = NetworkModel(default_bandwidth_bps=100e6)
+        n.add_node(NodeId("a"), GeoPoint(0, 0))
+        n.add_node(NodeId("b"), GeoPoint(0, 1))
+        before = n.link(NodeId("a"), NodeId("b")).bandwidth_bps
+        n.degrade(NodeId("b"), 0.5)
+        after = n.link(NodeId("a"), NodeId("b")).bandwidth_bps
+        assert after == pytest.approx(before * 0.5)
+
+    def test_invalid_factor(self):
+        n = NetworkModel()
+        n.add_node(NodeId("a"), GeoPoint(0, 0))
+        with pytest.raises(ConfigurationError):
+            n.degrade(NodeId("a"), 0.0)
+        with pytest.raises(ConfigurationError):
+            n.degrade(NodeId("a"), 1.5)
+
+    def test_unknown_node_rejected(self):
+        n = NetworkModel()
+        with pytest.raises(ConfigurationError):
+            n.degrade(NodeId("zz"), 0.5)
+        with pytest.raises(ConfigurationError):
+            n.restore(NodeId("zz"))
+
+    def test_restore_idempotent(self):
+        n = NetworkModel()
+        n.add_node(NodeId("a"), GeoPoint(0, 0))
+        n.restore(NodeId("a"))  # no degradation set: no error

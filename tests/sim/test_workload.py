@@ -1,0 +1,117 @@
+"""Unit tests for repro.sim.workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ids import AuthorId, DatasetId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.sim.workload import SocialWorkloadGenerator, WorkloadConfig
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def chain():
+    """a - b - c - d chain for clean hop distances."""
+    return build_coauthorship_graph(
+        Corpus([pub("p1", 2009, "a", "b"), pub("p2", 2009, "b", "c"), pub("p3", 2009, "c", "d")])
+    )
+
+
+OWNERS = {DatasetId("ds-a"): AuthorId("a"), DatasetId("ds-d"): AuthorId("d")}
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_s": 0},
+            {"mean_requests_per_user": -1},
+            {"zipf_exponent": -0.1},
+            {"social_decay": 0.0},
+            {"social_decay": 1.5},
+            {"unreachable_weight": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_requests_sorted_and_within_duration(self, chain):
+        gen = SocialWorkloadGenerator(chain, OWNERS, seed=0)
+        reqs = gen.generate()
+        times = [r.time for r in reqs]
+        assert times == sorted(times)
+        assert all(0 <= t <= gen.config.duration_s for t in times)
+
+    def test_volume_matches_mean(self, chain):
+        cfg = WorkloadConfig(mean_requests_per_user=50.0)
+        gen = SocialWorkloadGenerator(chain, OWNERS, config=cfg, seed=0)
+        reqs = gen.generate()
+        assert 150 <= len(reqs) <= 250  # 4 users x 50 +/- noise
+
+    def test_deterministic(self, chain):
+        a = SocialWorkloadGenerator(chain, OWNERS, seed=5).generate()
+        b = SocialWorkloadGenerator(chain, OWNERS, seed=5).generate()
+        assert a == b
+
+    def test_social_locality_bias(self, chain):
+        cfg = WorkloadConfig(
+            mean_requests_per_user=400.0, zipf_exponent=0.0, social_decay=0.3
+        )
+        gen = SocialWorkloadGenerator(chain, OWNERS, config=cfg, seed=0)
+        reqs = gen.generate(users=[AuthorId("a")])
+        near = sum(1 for r in reqs if r.dataset_id == "ds-a")
+        far = sum(1 for r in reqs if r.dataset_id == "ds-d")
+        # a is 0 hops from ds-a's owner and 3 from ds-d's: bias ~ 1/0.3^3
+        assert near > far * 10
+
+    def test_decay_one_disables_locality(self, chain):
+        cfg = WorkloadConfig(
+            mean_requests_per_user=600.0, zipf_exponent=0.0, social_decay=1.0
+        )
+        gen = SocialWorkloadGenerator(chain, OWNERS, config=cfg, seed=0)
+        reqs = gen.generate(users=[AuthorId("a")])
+        near = sum(1 for r in reqs if r.dataset_id == "ds-a")
+        far = sum(1 for r in reqs if r.dataset_id == "ds-d")
+        assert abs(near - far) < 0.25 * len(reqs)
+
+    def test_external_owner_gets_unreachable_weight(self, chain):
+        owners = {DatasetId("ds-x"): AuthorId("outsider"), DatasetId("ds-a"): AuthorId("a")}
+        cfg = WorkloadConfig(
+            mean_requests_per_user=300.0, zipf_exponent=0.0, unreachable_weight=0.01
+        )
+        gen = SocialWorkloadGenerator(chain, owners, config=cfg, seed=0)
+        reqs = gen.generate(users=[AuthorId("a")])
+        external = sum(1 for r in reqs if r.dataset_id == "ds-x")
+        assert external < 0.1 * len(reqs)
+
+    def test_requesters_restricted_to_users_arg(self, chain):
+        gen = SocialWorkloadGenerator(chain, OWNERS, seed=0)
+        reqs = gen.generate(users=[AuthorId("b")])
+        assert {r.requester for r in reqs} == {"b"}
+
+    def test_no_datasets_rejected(self, chain):
+        with pytest.raises(WorkloadError):
+            SocialWorkloadGenerator(chain, {}, seed=0)
+
+    def test_empty_users_rejected(self, chain):
+        gen = SocialWorkloadGenerator(chain, OWNERS, seed=0)
+        with pytest.raises(WorkloadError):
+            gen.generate(users=[])
+
+    def test_zipf_popularity_skew(self, chain):
+        owners = {DatasetId(f"ds{i}"): AuthorId("outsider") for i in range(10)}
+        cfg = WorkloadConfig(mean_requests_per_user=500.0, zipf_exponent=1.5)
+        gen = SocialWorkloadGenerator(chain, owners, config=cfg, seed=0)
+        reqs = gen.generate(users=[AuthorId("a")])
+        counts = {}
+        for r in reqs:
+            counts[r.dataset_id] = counts.get(r.dataset_id, 0) + 1
+        # rank-1 dataset (sorted order: ds0) far more popular than ds9
+        assert counts.get(DatasetId("ds0"), 0) > 5 * counts.get(DatasetId("ds9"), 1)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.social.communities."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.social.communities import community_of, detect_communities, modularity
+from repro.social.graph import CoauthorshipGraph, build_coauthorship_graph
+
+from ..conftest import pub
+from repro.social.records import Corpus
+
+
+@pytest.fixture
+def two_cliques():
+    """Two 4-cliques joined by a single bridge edge."""
+    pubs = [pub("l", 2009, "a1", "a2", "a3", "a4"), pub("r", 2009, "b1", "b2", "b3", "b4")]
+    pubs.append(pub("bridge", 2010, "a1", "b1"))
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+class TestDetect:
+    def test_greedy_modularity_finds_cliques(self, two_cliques):
+        comms = detect_communities(two_cliques, method="greedy-modularity")
+        assert len(comms) == 2
+        sets = {frozenset(c) for c in comms}
+        assert frozenset({"a1", "a2", "a3", "a4"}) in sets
+        assert frozenset({"b1", "b2", "b3", "b4"}) in sets
+
+    def test_label_propagation_partitions(self, two_cliques):
+        comms = detect_communities(two_cliques, method="label-propagation", seed=3)
+        all_nodes = set().union(*comms)
+        assert all_nodes == set(two_cliques.nodes())
+        assert sum(len(c) for c in comms) == two_cliques.n_nodes
+
+    def test_deterministic_with_seed(self, two_cliques):
+        a = detect_communities(two_cliques, method="label-propagation", seed=7)
+        b = detect_communities(two_cliques, method="label-propagation", seed=7)
+        assert a == b
+
+    def test_unknown_method_rejected(self, two_cliques):
+        with pytest.raises(ConfigurationError):
+            detect_communities(two_cliques, method="magic")
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            detect_communities(CoauthorshipGraph(nx.Graph()))
+
+    def test_largest_first_ordering(self, synthetic):
+        from repro.social.ego import ego_corpus
+
+        corpus, seed = synthetic
+        g = build_coauthorship_graph(ego_corpus(corpus, seed, hops=2))
+        comms = detect_communities(g)
+        sizes = [len(c) for c in comms]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestModularity:
+    def test_good_partition_scores_high(self, two_cliques):
+        comms = detect_communities(two_cliques)
+        assert modularity(two_cliques, comms) > 0.3
+
+    def test_trivial_partition_scores_zero(self, two_cliques):
+        q = modularity(two_cliques, [set(two_cliques.nodes())])
+        assert q == pytest.approx(0.0, abs=1e-9)
+
+    def test_overlapping_partition_rejected(self, two_cliques):
+        with pytest.raises(ConfigurationError):
+            modularity(two_cliques, [{"a1", "a2"}, {"a2", "a3"}])
+
+    def test_incomplete_partition_rejected(self, two_cliques):
+        with pytest.raises(ConfigurationError):
+            modularity(two_cliques, [{"a1", "a2"}])
+
+
+class TestCommunityOf:
+    def test_inversion(self):
+        mapping = community_of([{"a", "b"}, {"c"}])
+        assert mapping == {"a": 0, "b": 0, "c": 1}

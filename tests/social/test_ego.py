@@ -1,0 +1,111 @@
+"""Unit tests for repro.social.ego."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ids import AuthorId
+from repro.social.ego import ego_corpus, ego_network, hop_distances
+from repro.social.graph import build_coauthorship_graph
+
+from ..conftest import pub
+from repro.social.records import Corpus
+
+
+@pytest.fixture
+def chain_corpus():
+    """a-b, b-c, c-d, d-e: a 4-hop chain."""
+    return Corpus(
+        [
+            pub("p1", 2009, "a", "b"),
+            pub("p2", 2009, "b", "c"),
+            pub("p3", 2009, "c", "d"),
+            pub("p4", 2009, "d", "e"),
+        ]
+    )
+
+
+class TestEgoCorpus:
+    def test_zero_hops_keeps_only_seed_pubs(self, chain_corpus):
+        ego = ego_corpus(chain_corpus, AuthorId("a"), hops=0)
+        assert {p.pub_id for p in ego} == {"p1"}
+
+    def test_hop_expansion(self, chain_corpus):
+        # 1 hop: members {a, b} -> pubs touching a or b = p1, p2
+        ego1 = ego_corpus(chain_corpus, AuthorId("a"), hops=1)
+        assert {p.pub_id for p in ego1} == {"p1", "p2"}
+        # 2 hops: members {a,b,c} -> p1..p3
+        ego2 = ego_corpus(chain_corpus, AuthorId("a"), hops=2)
+        assert {p.pub_id for p in ego2} == {"p1", "p2", "p3"}
+        # 3 hops (the paper's setting): members {a..d} -> all pubs
+        ego3 = ego_corpus(chain_corpus, AuthorId("a"), hops=3)
+        assert {p.pub_id for p in ego3} == {"p1", "p2", "p3", "p4"}
+
+    def test_boundary_authors_retained_in_author_lists(self, chain_corpus):
+        # e is 4 hops out but appears on p4, which enters via d (3 hops)
+        ego3 = ego_corpus(chain_corpus, AuthorId("a"), hops=3)
+        assert AuthorId("e") in ego3.author_ids
+
+    def test_expansion_stops_early_when_saturated(self, tiny_corpus):
+        ego = ego_corpus(tiny_corpus, AuthorId("alice"), hops=50)
+        # eve/frank island is unreachable from alice
+        assert ego.author_ids == {"alice", "bob", "carol", "dave"}
+
+    def test_unknown_seed_raises(self, chain_corpus):
+        with pytest.raises(GraphError):
+            ego_corpus(chain_corpus, AuthorId("zz"), hops=3)
+
+    def test_negative_hops_raises(self, chain_corpus):
+        with pytest.raises(GraphError):
+            ego_corpus(chain_corpus, AuthorId("a"), hops=-1)
+
+
+class TestEgoNetwork:
+    def test_graph_level_extraction(self, chain_corpus):
+        g = build_coauthorship_graph(chain_corpus)
+        ego = ego_network(g, AuthorId("a"), hops=2)
+        assert set(ego.nodes()) == {"a", "b", "c"}
+        assert ego.seed == "a"
+
+    def test_unknown_seed_raises(self, chain_corpus):
+        g = build_coauthorship_graph(chain_corpus)
+        with pytest.raises(GraphError):
+            ego_network(g, AuthorId("zz"))
+
+
+class TestHopDistances:
+    def test_single_source(self, chain_corpus):
+        g = build_coauthorship_graph(chain_corpus)
+        dist = hop_distances(g, {AuthorId("a")})
+        assert dist == {"a": 0, "b": 1, "c": 2, "d": 3, "e": 4}
+
+    def test_multi_source_takes_minimum(self, chain_corpus):
+        g = build_coauthorship_graph(chain_corpus)
+        dist = hop_distances(g, {AuthorId("a"), AuthorId("e")})
+        assert dist["c"] == 2
+        assert dist["b"] == 1
+        assert dist["d"] == 1
+
+    def test_unreachable_nodes_absent(self, tiny_corpus):
+        g = build_coauthorship_graph(tiny_corpus)
+        dist = hop_distances(g, {AuthorId("alice")})
+        assert "eve" not in dist and "frank" not in dist
+
+    def test_unknown_source_raises(self, chain_corpus):
+        g = build_coauthorship_graph(chain_corpus)
+        with pytest.raises(GraphError):
+            hop_distances(g, {AuthorId("zz")})
+
+
+class TestSyntheticEgo:
+    def test_three_hop_ego_is_proper_subset(self, synthetic):
+        corpus, seed = synthetic
+        ego = ego_corpus(corpus, seed, hops=3)
+        assert 0 < len(ego) <= len(corpus)
+        assert seed in ego.author_ids
+
+    def test_monotone_in_hops(self, synthetic):
+        corpus, seed = synthetic
+        sizes = [len(ego_corpus(corpus, seed, hops=h).author_ids) for h in range(4)]
+        assert sizes == sorted(sizes)

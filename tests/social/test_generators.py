@@ -1,0 +1,100 @@
+"""Unit tests for repro.social.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.social.generators import (
+    CorpusConfig,
+    DBLPStyleCorpusGenerator,
+    generate_corpus,
+)
+
+SMALL = CorpusConfig(
+    n_groups=30, n_consortium=120, mega_paper_size=20, consortium_block_size=20
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        CorpusConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"years": (2011, 2009)},
+            {"n_groups": 1},
+            {"p_external": 1.5},
+            {"p_repeat_collab": -0.1},
+            {"p_single_author": 0.7, "p_large": 0.5},
+            {"pubs_per_author_year": 0.0},
+            {"large_min": 1},
+            {"large_min": 10, "large_max": 9},
+            {"n_consortium": -1},
+            {"mega_paper_size": -2},
+            {"consortium_block_size": 0},
+            {"p_block_escape": 2.0},
+            {"author_count_tail": 0.0} if hasattr(CorpusConfig, "author_count_tail") else {"consortium_fraction": 1.2},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        c1 = DBLPStyleCorpusGenerator(SMALL, seed=5).generate()
+        c2 = DBLPStyleCorpusGenerator(SMALL, seed=5).generate()
+        assert len(c1) == len(c2)
+        assert [p.pub_id for p in c1] == [p.pub_id for p in c2]
+        assert [sorted(p.authors) for p in c1] == [sorted(p.authors) for p in c2]
+
+    def test_different_seeds_differ(self):
+        c1 = DBLPStyleCorpusGenerator(SMALL, seed=5).generate()
+        c2 = DBLPStyleCorpusGenerator(SMALL, seed=6).generate()
+        assert [sorted(p.authors) for p in c1] != [sorted(p.authors) for p in c2]
+
+    def test_years_within_config(self):
+        corpus = DBLPStyleCorpusGenerator(SMALL, seed=5).generate()
+        lo, hi = corpus.year_range()
+        assert lo >= 2009 and hi <= 2011
+
+    def test_seed_author_publishes(self):
+        gen = DBLPStyleCorpusGenerator(SMALL, seed=5)
+        corpus = gen.generate()
+        assert len(corpus.publications_of(gen.seed_author)) >= 1
+
+    def test_mega_paper_present_with_requested_size(self):
+        gen = DBLPStyleCorpusGenerator(SMALL, seed=5)
+        corpus = gen.generate()
+        sizes = corpus.author_list_size_histogram()
+        assert max(sizes) == 20  # mega paper dominates
+
+    def test_mega_paper_disabled(self):
+        cfg = CorpusConfig(
+            n_groups=30, n_consortium=120, mega_paper_size=0, consortium_block_size=20
+        )
+        corpus = DBLPStyleCorpusGenerator(cfg, seed=5).generate()
+        assert max(corpus.author_list_size_histogram()) <= cfg.large_max
+
+    def test_consortium_members_only_on_large_papers(self):
+        corpus = DBLPStyleCorpusGenerator(SMALL, seed=5).generate()
+        for p in corpus:
+            if any(str(a).startswith("c-") for a in p.authors):
+                assert p.n_authors >= SMALL.large_min or p.n_authors == 20
+
+    def test_repeat_collaboration_produces_heavy_edges(self):
+        corpus = DBLPStyleCorpusGenerator(SMALL, seed=5).generate()
+        counts = corpus.coauthorship_counts()
+        assert any(c >= 2 for c in counts.values())
+
+    def test_author_institutions_assigned(self):
+        corpus = DBLPStyleCorpusGenerator(SMALL, seed=5).generate()
+        gen_seed = DBLPStyleCorpusGenerator.SEED_AUTHOR
+        assert corpus.author(gen_seed).institution == "inst-0"
+
+    def test_generate_corpus_wrapper(self):
+        corpus, seed = generate_corpus(SMALL, seed=9)
+        assert seed in corpus.author_ids

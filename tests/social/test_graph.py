@@ -1,0 +1,148 @@
+"""Unit tests for repro.social.graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.ids import AuthorId
+from repro.social.graph import CoauthorshipGraph, build_coauthorship_graph
+from repro.social.records import Corpus
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def tiny_graph(tiny_corpus):
+    return build_coauthorship_graph(tiny_corpus, seed=AuthorId("alice"))
+
+
+class TestBuild:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.n_nodes == 6
+        # edges: alice-bob, alice-carol, bob-carol, carol-dave, eve-frank, bob-dave
+        assert tiny_graph.n_edges == 6
+
+    def test_edge_weights(self, tiny_graph):
+        assert tiny_graph.edge_weight(AuthorId("alice"), AuthorId("bob")) == 2
+        assert tiny_graph.edge_weight(AuthorId("bob"), AuthorId("carol")) == 1
+        assert tiny_graph.edge_weight(AuthorId("alice"), AuthorId("dave")) == 0
+
+    def test_min_weight_pruning(self, tiny_corpus):
+        g = build_coauthorship_graph(tiny_corpus, min_weight=2)
+        assert g.n_edges == 1
+        assert g.edge_weight(AuthorId("alice"), AuthorId("bob")) == 2
+
+    def test_seed_must_exist(self, tiny_corpus):
+        with pytest.raises(GraphError):
+            build_coauthorship_graph(tiny_corpus, seed=AuthorId("nobody"))
+
+    def test_edges_carry_publication_ids(self, tiny_graph):
+        data = tiny_graph.nx.get_edge_data("alice", "bob")
+        assert set(data["pubs"]) == {"p1", "p2"}
+
+    def test_directed_graph_rejected(self):
+        with pytest.raises(GraphError):
+            CoauthorshipGraph(nx.DiGraph())
+
+
+class TestQueries:
+    def test_neighbors(self, tiny_graph):
+        assert set(tiny_graph.neighbors(AuthorId("carol"))) == {"alice", "bob", "dave"}
+
+    def test_neighbors_unknown_raises(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.neighbors(AuthorId("nobody"))
+
+    def test_degree(self, tiny_graph):
+        assert tiny_graph.degree(AuthorId("carol")) == 3
+        assert tiny_graph.degree(AuthorId("eve")) == 1
+
+    def test_degree_unknown_raises(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.degree(AuthorId("nobody"))
+
+    def test_contains_and_len(self, tiny_graph):
+        assert AuthorId("alice") in tiny_graph
+        assert "nobody" not in tiny_graph
+        assert len(tiny_graph) == 6
+
+    def test_edges_iteration(self, tiny_graph):
+        edges = {(a, b): w for a, b, w in tiny_graph.edges()}
+        assert len(edges) == 6
+        assert all(w >= 1 for w in edges.values())
+
+
+class TestStructure:
+    def test_connected_components_largest_first(self, tiny_graph):
+        comps = tiny_graph.connected_components()
+        assert len(comps) == 2
+        assert comps[0] == {"alice", "bob", "carol", "dave"}
+        assert comps[1] == {"eve", "frank"}
+
+    def test_n_components(self, tiny_graph):
+        assert tiny_graph.n_components() == 2
+
+    def test_max_span(self, tiny_graph):
+        # longest shortest path: alice-dave = 2 hops
+        assert tiny_graph.max_span() == 2
+
+    def test_max_span_no_edges(self, tiny_corpus):
+        g = build_coauthorship_graph(tiny_corpus, min_weight=99)
+        assert g.max_span() == 0
+
+    def test_subgraph(self, tiny_graph):
+        sub = tiny_graph.subgraph([AuthorId("alice"), AuthorId("bob"), AuthorId("eve")])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 1
+        assert sub.seed == "alice"
+
+    def test_subgraph_drops_seed_when_excluded(self, tiny_graph):
+        sub = tiny_graph.subgraph([AuthorId("eve"), AuthorId("frank")])
+        assert sub.seed is None
+
+    def test_subgraph_unknown_node_raises(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.subgraph([AuthorId("nobody")])
+
+    def test_publications_on_edges(self, tiny_graph):
+        assert tiny_graph.publications_on_edges() == {
+            "p1", "p2", "p3", "p4", "p5", "p6", "p7",
+        }
+
+
+class TestNumpyBridge:
+    def test_adjacency_symmetric(self, tiny_graph):
+        mat = tiny_graph.adjacency_matrix()
+        assert mat.shape == (6, 6)
+        assert np.array_equal(mat, mat.T)
+        assert not mat.diagonal().any()
+
+    def test_adjacency_matches_edges(self, tiny_graph):
+        mat = tiny_graph.adjacency_matrix()
+        assert int(mat.sum()) == 2 * tiny_graph.n_edges
+
+    def test_node_index_is_dense(self, tiny_graph):
+        idx = tiny_graph.node_index()
+        assert sorted(idx.values()) == list(range(6))
+
+
+class TestLargeSpan:
+    def _chain(self, n):
+        pubs = [pub(f"p{i}", 2009, f"a{i}", f"a{i+1}") for i in range(n - 1)]
+        return build_coauthorship_graph(Corpus(pubs))
+
+    def test_double_sweep_exact_on_long_path(self):
+        # 700 nodes > the exact-eccentricity threshold; double sweep is
+        # exact on trees, so the path's diameter must come back exactly
+        g = self._chain(700)
+        assert g.max_span() == 699
+
+    def test_double_sweep_on_large_cycle(self):
+        import networkx as nx
+        from repro.social.graph import CoauthorshipGraph, _double_sweep_diameter
+
+        g = nx.cycle_graph(800)
+        assert _double_sweep_diameter(g) == 400

@@ -1,0 +1,146 @@
+"""Unit tests for repro.social.io."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId
+from repro.social.io import (
+    corpus_from_dict,
+    corpus_from_edge_list,
+    corpus_to_dict,
+    load_corpus,
+    load_edge_list,
+    save_corpus,
+)
+from repro.social.records import Author, Corpus
+
+from ..conftest import pub
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self, tiny_corpus):
+        doc = corpus_to_dict(tiny_corpus)
+        back = corpus_from_dict(doc)
+        assert len(back) == len(tiny_corpus)
+        assert back.author_ids == tiny_corpus.author_ids
+        for p in tiny_corpus:
+            q = back.publication(p.pub_id)
+            assert q.year == p.year and q.authors == p.authors
+
+    def test_author_metadata_preserved(self):
+        corpus = Corpus(
+            [pub("p", 2010, "a", "b")],
+            authors={
+                AuthorId("a"): Author(AuthorId("a"), name="Alice", institution="MIT")
+            },
+        )
+        back = corpus_from_dict(corpus_to_dict(corpus))
+        assert back.author(AuthorId("a")).name == "Alice"
+        assert back.author(AuthorId("a")).institution == "MIT"
+
+    def test_file_round_trip(self, tiny_corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(tiny_corpus, path)
+        back = load_corpus(path)
+        assert len(back) == len(tiny_corpus)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a repro-corpus"):
+            corpus_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, tiny_corpus):
+        doc = corpus_to_dict(tiny_corpus)
+        doc["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            corpus_from_dict(doc)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="invalid corpus JSON"):
+            load_corpus(path)
+
+    def test_synthetic_corpus_round_trips(self, synthetic, tmp_path):
+        corpus, _ = synthetic
+        path = tmp_path / "synth.json"
+        save_corpus(corpus, path)
+        back = load_corpus(path)
+        assert len(back) == len(corpus)
+        assert back.coauthorship_counts() == corpus.coauthorship_counts()
+
+
+class TestEdgeList:
+    def test_pairwise_lines(self):
+        corpus = corpus_from_edge_list(
+            ["alice bob 2009", "bob carol 2010"]
+        )
+        assert len(corpus) == 2
+        assert corpus.author_ids == {"alice", "bob", "carol"}
+
+    def test_default_year(self):
+        corpus = corpus_from_edge_list(["a b"], default_year=2011)
+        assert corpus.publications[0].year == 2011
+
+    def test_pub_id_merging(self):
+        corpus = corpus_from_edge_list(
+            [
+                "a b 2009 paperX",
+                "a c 2009 paperX",
+                "b c 2009 paperX",
+            ]
+        )
+        assert len(corpus) == 1
+        assert corpus.publications[0].authors == {"a", "b", "c"}
+
+    def test_comments_and_blanks_skipped(self):
+        corpus = corpus_from_edge_list(["# header", "", "a b 2009"])
+        assert len(corpus) == 1
+
+    def test_short_line_rejected(self):
+        with pytest.raises(ConfigurationError, match="2 fields"):
+            corpus_from_edge_list(["alice"])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError, match="self-loop"):
+            corpus_from_edge_list(["a a 2009"])
+
+    def test_bad_year_rejected(self):
+        with pytest.raises(ConfigurationError, match="bad year"):
+            corpus_from_edge_list(["a b not-a-year"])
+
+    def test_conflicting_pub_years_rejected(self):
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            corpus_from_edge_list(["a b 2009 p1", "a c 2010 p1"])
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        path.write_text("a\tb\t2009\nb\tc\t2010\n")
+        corpus = load_edge_list(path)
+        assert len(corpus) == 2
+
+    def test_imported_corpus_feeds_pipeline(self):
+        """An imported edge list drives the full case-study pipeline."""
+        from repro.casestudy import CaseStudyConfig, run_case_study
+
+        lines = []
+        # small two-community corpus over three years with pub ids
+        for y in (2009, 2010, 2011):
+            lines += [
+                f"a b {y} L{y}",
+                f"a c {y} L{y}",
+                f"b c {y} L{y}",
+                f"d e {y} R{y}",
+                f"c d {y} B{y}",
+            ]
+        corpus = corpus_from_edge_list(lines)
+        result = run_case_study(
+            corpus,
+            AuthorId("a"),
+            config=CaseStudyConfig(replica_counts=(1, 2), n_runs=3, hops=2),
+            seed=1,
+        )
+        assert len(result.subgraphs) == 3

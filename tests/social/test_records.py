@@ -1,0 +1,141 @@
+"""Unit tests for repro.social.records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.ids import AuthorId, PublicationId
+from repro.social.records import Author, Corpus, Publication
+
+from ..conftest import pub
+
+
+class TestAuthor:
+    def test_name_defaults_to_id(self):
+        a = Author(AuthorId("smith"))
+        assert a.name == "smith"
+
+    def test_explicit_name_kept(self):
+        a = Author(AuthorId("smith"), name="J. Smith")
+        assert a.name == "J. Smith"
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Author(AuthorId("has space"))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Author(AuthorId(""))
+
+
+class TestPublication:
+    def test_authors_coerced_to_frozenset(self):
+        p = Publication(PublicationId("p"), 2010, frozenset({AuthorId("a"), AuthorId("b")}))
+        assert isinstance(p.authors, frozenset)
+        assert p.n_authors == 2
+
+    def test_no_authors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Publication(PublicationId("p"), 2010, frozenset())
+
+    def test_implausible_year_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pub("p", 99, "a", "b")
+
+    def test_coauthor_pairs_unordered_unique(self):
+        p = pub("p", 2010, "c", "a", "b")
+        pairs = list(p.coauthor_pairs())
+        assert pairs == [("a", "b"), ("a", "c"), ("b", "c")]
+
+    def test_single_author_has_no_pairs(self):
+        p = pub("p", 2010, "solo")
+        assert list(p.coauthor_pairs()) == []
+
+    def test_duplicate_authors_collapse(self):
+        p = Publication(PublicationId("p"), 2010, frozenset([AuthorId("a"), AuthorId("a"), AuthorId("b")]))
+        assert p.n_authors == 2
+
+
+class TestCorpus:
+    def test_len_and_iteration_sorted_by_year(self, tiny_corpus):
+        assert len(tiny_corpus) == 7
+        years = [p.year for p in tiny_corpus]
+        assert years == sorted(years)
+
+    def test_duplicate_pub_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corpus([pub("p", 2010, "a", "b"), pub("p", 2011, "c", "d")])
+
+    def test_author_ids(self, tiny_corpus):
+        assert tiny_corpus.author_ids == {"alice", "bob", "carol", "dave", "eve", "frank"}
+
+    def test_publications_of(self, tiny_corpus):
+        assert {p.pub_id for p in tiny_corpus.publications_of(AuthorId("alice"))} == {
+            "p1",
+            "p2",
+            "p4",
+        }
+
+    def test_publications_of_unknown_author_empty(self, tiny_corpus):
+        assert tiny_corpus.publications_of(AuthorId("nobody")) == ()
+
+    def test_lookup_unknown_author_raises(self, tiny_corpus):
+        with pytest.raises(GraphError):
+            tiny_corpus.author(AuthorId("nobody"))
+
+    def test_lookup_unknown_publication_raises(self, tiny_corpus):
+        with pytest.raises(GraphError):
+            tiny_corpus.publication(PublicationId("nope"))
+
+    def test_contains(self, tiny_corpus):
+        assert "p1" in tiny_corpus
+        assert "nope" not in tiny_corpus
+
+    def test_year_range(self, tiny_corpus):
+        assert tiny_corpus.year_range() == (2009, 2011)
+
+    def test_year_range_empty_corpus_raises(self):
+        with pytest.raises(GraphError):
+            Corpus([]).year_range()
+
+    def test_filter_years_inclusive(self, tiny_corpus):
+        train = tiny_corpus.filter_years(2009, 2010)
+        assert len(train) == 6
+        assert all(p.year <= 2010 for p in train)
+
+    def test_filter_years_invalid_range(self, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            tiny_corpus.filter_years(2011, 2009)
+
+    def test_filter_max_authors(self, mega_corpus):
+        small = mega_corpus.filter_max_authors(5)
+        assert all(p.n_authors <= 5 for p in small)
+        assert len(small) == 4  # drops only the 10-author paper
+
+    def test_filter_max_authors_invalid(self, tiny_corpus):
+        with pytest.raises(ConfigurationError):
+            tiny_corpus.filter_max_authors(0)
+
+    def test_restrict_authors_keeps_full_author_lists(self, mega_corpus):
+        sub = sub_corpus = mega_corpus.restrict_authors([AuthorId("m5")])
+        # only the big paper mentions m5; its full author list is retained
+        assert len(sub) == 1
+        assert sub.publications[0].n_authors == 10
+
+    def test_coauthorship_counts(self, tiny_corpus):
+        counts = tiny_corpus.coauthorship_counts()
+        assert counts[("alice", "bob")] == 2
+        assert counts[("bob", "carol")] == 1
+        assert ("alice", "dave") not in counts
+
+    def test_publication_count_by_year(self, tiny_corpus):
+        assert tiny_corpus.publication_count_by_year() == {2009: 3, 2010: 3, 2011: 1}
+
+    def test_author_list_size_histogram(self, mega_corpus):
+        hist = mega_corpus.author_list_size_histogram()
+        assert hist == {10: 1, 2: 4}
+
+    def test_derived_corpus_shares_author_records(self, tiny_corpus):
+        train = tiny_corpus.filter_years(2009, 2010)
+        assert train.author(AuthorId("alice")).author_id == "alice"

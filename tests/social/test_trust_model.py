@@ -1,0 +1,128 @@
+"""Unit tests for repro.social.trust_model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId
+from repro.social.trust_model import InteractionRecord, TrustModel
+
+A, B, C = AuthorId("a"), AuthorId("b"), AuthorId("c")
+
+
+def rec(a, b, kind, time, weight=1.0):
+    return InteractionRecord(a=a, b=b, kind=kind, time=time, weight=weight)
+
+
+class TestRecording:
+    def test_score_zero_without_interactions(self):
+        m = TrustModel()
+        assert m.score(A, B) == 0.0
+
+    def test_publication_accumulates(self):
+        m = TrustModel()
+        m.record(rec(A, B, "publication", 2009))
+        m.record(rec(A, B, "publication", 2010))
+        assert m.score(A, B) == pytest.approx(2.0)
+
+    def test_pair_is_unordered(self):
+        m = TrustModel()
+        m.record(rec(A, B, "publication", 2009))
+        assert m.score(B, A) == m.score(A, B) > 0
+
+    def test_unknown_kind_rejected(self):
+        m = TrustModel()
+        with pytest.raises(ConfigurationError):
+            m.record(rec(A, B, "bribery", 2009))
+
+    def test_self_interaction_rejected(self):
+        m = TrustModel()
+        with pytest.raises(ConfigurationError):
+            m.record(rec(A, A, "publication", 2009))
+
+    def test_self_score_zero(self):
+        m = TrustModel()
+        assert m.score(A, A) == 0.0
+
+    def test_failure_reduces_score_clamped_at_zero(self):
+        m = TrustModel()
+        m.record(rec(A, B, "exchange-success", 1.0))
+        m.record(rec(A, B, "exchange-failure", 2.0))
+        assert m.score(A, B) == 0.0  # 0.5 - 1.0 clamps to 0
+
+    def test_interaction_count(self):
+        m = TrustModel()
+        m.record(rec(A, B, "publication", 2009))
+        m.record(rec(A, B, "exchange-success", 2010))
+        assert m.interaction_count(A, B) == 2
+        assert m.interaction_count(A, C) == 0
+
+
+class TestDecay:
+    def test_half_life(self):
+        m = TrustModel(half_life=1.0)
+        m.record(rec(A, B, "publication", 0.0))
+        m.advance_to(1.0)
+        assert m.score(A, B) == pytest.approx(0.5)
+        m.advance_to(3.0)
+        assert m.score(A, B) == pytest.approx(0.125)
+
+    def test_infinite_half_life_no_decay(self):
+        m = TrustModel(half_life=math.inf)
+        m.record(rec(A, B, "publication", 0.0))
+        m.advance_to(1000.0)
+        assert m.score(A, B) == pytest.approx(1.0)
+
+    def test_score_at_explicit_time(self):
+        m = TrustModel(half_life=1.0)
+        m.record(rec(A, B, "publication", 0.0))
+        assert m.score(A, B, at=2.0) == pytest.approx(0.25)
+
+    def test_clock_never_goes_backward(self):
+        m = TrustModel()
+        m.advance_to(5.0)
+        with pytest.raises(ConfigurationError):
+            m.advance_to(4.0)
+
+    def test_record_advances_clock(self):
+        m = TrustModel()
+        m.record(rec(A, B, "publication", 7.0))
+        assert m.now == 7.0
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ConfigurationError):
+            TrustModel(half_life=0.0)
+
+
+class TestCorpusIngestion:
+    def test_discount_large_publications(self, mega_corpus):
+        m = TrustModel()
+        m.record_corpus(mega_corpus)
+        # m0-x coauthored two 2-author papers (weight 1 each) plus the
+        # 10-author paper (weight 1/9)
+        assert m.score(AuthorId("m0"), AuthorId("x")) == pytest.approx(2.0)
+        # m2-m3 only share the big paper
+        assert m.score(AuthorId("m2"), AuthorId("m3")) == pytest.approx(1 / 9)
+
+    def test_no_discount(self, mega_corpus):
+        m = TrustModel()
+        m.record_corpus(mega_corpus, discount_large=False)
+        assert m.score(AuthorId("m2"), AuthorId("m3")) == pytest.approx(1.0)
+
+
+class TestTrustedPeers:
+    def test_sorted_best_first(self):
+        m = TrustModel()
+        m.record(rec(A, B, "publication", 2009))
+        m.record(rec(A, B, "publication", 2010))
+        m.record(rec(A, C, "publication", 2010))
+        peers = m.trusted_peers(A)
+        assert [p for p, _ in peers] == [B, C]
+
+    def test_threshold_filters(self):
+        m = TrustModel()
+        m.record(rec(A, C, "publication", 2010))
+        assert m.trusted_peers(A, threshold=1.5) == []

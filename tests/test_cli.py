@@ -1,0 +1,115 @@
+"""Tests for the repro CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.social.io import save_corpus
+from repro.social.records import Corpus
+
+from .conftest import pub
+
+
+@pytest.fixture
+def small_corpus_file(tmp_path):
+    """A tiny but pipeline-viable corpus on disk."""
+    pubs = []
+    for y in (2009, 2010, 2011):
+        pubs += [
+            pub(f"l{y}", y, "a", "b", "c"),
+            pub(f"r{y}", y, "c", "d", "e"),
+            pub(f"s{y}", y, "a", "b"),
+        ]
+    path = tmp_path / "corpus.json"
+    save_corpus(Corpus(pubs), path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "c.json"
+        assert main(["generate", "--out", str(out), "--seed", "3"]) == 0
+        assert out.exists()
+        assert "publications" in capsys.readouterr().out
+
+
+class TestTable1:
+    def test_synthetic(self, capsys):
+        # use a tiny synthetic corpus via --corpus to stay fast? synthetic
+        # default is heavier; run against a file instead (below)
+        pass
+
+    def test_from_corpus_file(self, small_corpus_file, capsys):
+        rc = main(
+            ["table1", "--corpus", small_corpus_file, "--seed-author", "a", "--hops", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "number-of-authors" in out
+
+    def test_corpus_requires_seed_author(self, small_corpus_file):
+        with pytest.raises(SystemExit):
+            main(["table1", "--corpus", small_corpus_file])
+
+    def test_unknown_seed_author_rejected(self, small_corpus_file):
+        with pytest.raises(SystemExit):
+            main(["table1", "--corpus", small_corpus_file, "--seed-author", "zz"])
+
+
+class TestFig2:
+    def test_from_corpus_file(self, small_corpus_file, capsys):
+        rc = main(["fig2", "--corpus", small_corpus_file, "--seed-author", "a"])
+        assert rc == 0
+        assert "islands" in capsys.readouterr().out
+
+
+class TestFig3:
+    def test_from_corpus_file(self, small_corpus_file, capsys):
+        rc = main(
+            [
+                "fig3",
+                "--corpus", small_corpus_file,
+                "--seed-author", "a",
+                "--runs", "3",
+                "--hops", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "community-node-degree" in out
+
+
+class TestSimulate:
+    def test_from_corpus_file(self, small_corpus_file, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--corpus", small_corpus_file,
+                "--seed-author", "a",
+                "--members", "4",
+                "--days", "0.1",
+            ]
+        )
+        assert rc == 0
+        assert "availability" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestErrorHandling:
+    def test_library_errors_exit_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["table1", "--corpus", str(bad), "--seed-author", "a"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

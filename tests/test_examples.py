@@ -1,0 +1,50 @@
+"""Smoke tests for the example scripts.
+
+Each example must compile, expose a ``main()`` entry point, and guard it
+with ``if __name__ == "__main__"``. The two fastest examples are executed
+end-to-end; the heavier ones are covered by the benchmarks that exercise
+the same code paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+class TestExampleStructure:
+    def test_compiles(self, path):
+        ast.parse(path.read_text(), filename=str(path))
+
+    def test_has_main_and_guard(self, path):
+        tree = ast.parse(path.read_text())
+        names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in names
+        assert 'if __name__ == "__main__"' in path.read_text()
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+
+class TestExampleExecution:
+    def test_availability_overlay_runs(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "availability_overlay.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Lowest-cost cover" in out
+
+    def test_examples_import_only_public_api(self):
+        """Examples should not reach into private (underscore) attributes."""
+        for path in EXAMPLES:
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Attribute) and node.attr.startswith("_"):
+                    pytest.fail(f"{path.name} accesses private attribute {node.attr}")

@@ -1,0 +1,52 @@
+"""Unit tests for repro.ids."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId, id_sequence, validate_id
+
+
+class TestValidate:
+    def test_valid_ids_pass_through(self):
+        for v in ("a", "a-b", "a.b:c_d", "A9"):
+            assert validate_id(v) == v
+
+    @pytest.mark.parametrize("bad", ["", "has space", "a/b", "a\nb", None, 42])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_id(bad)  # type: ignore[arg-type]
+
+    def test_kind_appears_in_message(self):
+        with pytest.raises(ConfigurationError, match="dataset id"):
+            validate_id("", kind="dataset id")
+
+
+class TestTypedIds:
+    def test_ids_are_strings(self):
+        assert AuthorId("x") == "x"
+        assert isinstance(NodeId("n"), str)
+
+    def test_ids_hash_like_strings(self):
+        assert {AuthorId("x")} == {"x"}
+
+    def test_distinct_types_still_compare_by_value(self):
+        # str semantics: equality is by value even across id types
+        assert AuthorId("x") == NodeId("x")
+
+
+class TestIdSequence:
+    def test_sequence_values(self):
+        seq = id_sequence("node")
+        assert list(itertools.islice(seq, 3)) == ["node-0", "node-1", "node-2"]
+
+    def test_custom_start(self):
+        seq = id_sequence("n", start=5)
+        assert next(seq) == "n-5"
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            id_sequence("bad prefix")

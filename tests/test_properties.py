@@ -1,0 +1,311 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ids import AuthorId, DatasetId, NodeId, PublicationId, SegmentId
+from repro.rng import make_rng, zipf_weights
+from repro.social.graph import build_coauthorship_graph
+from repro.social.metrics import clustering_coefficients, degree_vector
+from repro.social.records import Corpus, Publication
+from repro.social.trust import (
+    BaselineTrust,
+    MaxAuthorsTrust,
+    MinCoauthorshipTrust,
+)
+from repro.social.ego import ego_corpus, hop_distances
+from repro.cdn.content import segment_dataset
+from repro.cdn.storage import StorageRepository
+from repro.casestudy.hitrate import HitRateEvaluator
+from repro.sim.engine import SimulationEngine
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+author_ids = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4).map(AuthorId)
+
+
+@st.composite
+def corpora(draw, min_pubs=1, max_pubs=25):
+    """Random small corpora with years 2009-2011 and 1-6 authors per pub."""
+    n = draw(st.integers(min_pubs, max_pubs))
+    pubs = []
+    for i in range(n):
+        authors = draw(
+            st.sets(author_ids, min_size=1, max_size=6)
+        )
+        year = draw(st.integers(2009, 2011))
+        pubs.append(
+            Publication(
+                pub_id=PublicationId(f"p{i}"),
+                year=year,
+                authors=frozenset(authors),
+            )
+        )
+    return Corpus(pubs)
+
+
+# ---------------------------------------------------------------------------
+# corpus / graph invariants
+# ---------------------------------------------------------------------------
+
+
+class TestCorpusGraphProperties:
+    @given(corpora())
+    @settings(max_examples=60, deadline=None)
+    def test_graph_nodes_equal_corpus_authors(self, corpus):
+        g = build_coauthorship_graph(corpus)
+        assert set(g.nodes()) == set(corpus.author_ids)
+
+    @given(corpora())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_weights_match_pair_counts(self, corpus):
+        g = build_coauthorship_graph(corpus)
+        counts = corpus.coauthorship_counts()
+        for (a, b), c in counts.items():
+            assert g.edge_weight(a, b) == c
+        assert g.n_edges == len(counts)
+
+    @given(corpora())
+    @settings(max_examples=60, deadline=None)
+    def test_year_filter_partition(self, corpus):
+        """Train + test partition the corpus when windows tile the years."""
+        train = corpus.filter_years(2009, 2010)
+        test = corpus.filter_years(2011, 2011)
+        assert len(train) + len(test) == len(corpus)
+
+    @given(corpora(), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_max_author_filter_sound(self, corpus, k):
+        filtered = corpus.filter_max_authors(k)
+        assert all(p.n_authors <= k for p in filtered)
+        kept = {p.pub_id for p in filtered}
+        dropped = [p for p in corpus if p.pub_id not in kept]
+        assert all(p.n_authors > k for p in dropped)
+
+    @given(corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_clustering_in_unit_interval(self, corpus):
+        g = build_coauthorship_graph(corpus)
+        for v in clustering_coefficients(g).values():
+            assert -1e-9 <= v <= 1.0 + 1e-9
+
+    @given(corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_is_twice_edges(self, corpus):
+        g = build_coauthorship_graph(corpus)
+        assert sum(degree_vector(g).values()) == 2 * g.n_edges
+
+
+class TestTrustProperties:
+    @given(corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_prunings_never_grow(self, corpus):
+        base = BaselineTrust().prune(corpus)
+        for heuristic in (MinCoauthorshipTrust(2), MaxAuthorsTrust(5)):
+            sub = heuristic.prune(corpus)
+            assert sub.n_nodes <= base.n_nodes
+            assert sub.n_edges <= base.n_edges
+            assert sub.n_publications <= base.n_publications
+
+    @given(corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_nodes_subset_of_baseline(self, corpus):
+        base = set(BaselineTrust().prune(corpus).graph.nodes())
+        sub = set(MinCoauthorshipTrust(2).prune(corpus).graph.nodes())
+        assert sub <= base
+
+    @given(corpora(), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_min_coauthorship_monotone_in_threshold(self, corpus, k):
+        lo = MinCoauthorshipTrust(k).prune(corpus)
+        hi = MinCoauthorshipTrust(k + 1).prune(corpus)
+        assert hi.n_edges <= lo.n_edges
+        assert hi.n_nodes <= lo.n_nodes
+
+    @given(corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_surviving_publications_all_contribute_edges(self, corpus):
+        sub = MinCoauthorshipTrust(2).prune(corpus)
+        nodes = set(sub.graph.nodes())
+        for p in sub.corpus:
+            # at least one pair of this publication is an edge of the graph
+            assert any(
+                a in nodes and b in nodes and sub.graph.edge_weight(a, b) >= 1
+                for a, b in p.coauthor_pairs()
+            )
+
+
+class TestEgoProperties:
+    @given(corpora(min_pubs=2), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_ego_is_subcorpus_and_contains_seed(self, corpus, hops):
+        seed = sorted(corpus.author_ids)[0]
+        ego = ego_corpus(corpus, seed, hops=hops)
+        assert seed in ego.author_ids
+        assert {p.pub_id for p in ego} <= {p.pub_id for p in corpus}
+
+    @given(corpora(min_pubs=2))
+    @settings(max_examples=40, deadline=None)
+    def test_hop_distances_satisfy_triangle_step(self, corpus):
+        g = build_coauthorship_graph(corpus)
+        seed = sorted(corpus.author_ids)[0]
+        dist = hop_distances(g, {seed})
+        for a, d in dist.items():
+            if d == 0:
+                continue
+            # some neighbor is exactly one hop closer
+            assert any(dist.get(n) == d - 1 for n in g.neighbors(a))
+
+
+class TestHitRateProperties:
+    @given(corpora(min_pubs=3), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_hit_rate_monotone_in_replicas(self, corpus, k):
+        train = corpus.filter_years(2009, 2010)
+        test = corpus.filter_years(2011, 2011)
+        if len(train) == 0:
+            return
+        graph = build_coauthorship_graph(train)
+        ev = HitRateEvaluator(graph, test)
+        nodes = sorted(graph.nodes())
+        if len(nodes) < 2:
+            return
+        small = ev.evaluate(nodes[:1])
+        k = min(k + 1, len(nodes))
+        large = ev.evaluate(nodes[:k])
+        assert large.hits >= small.hits
+
+    @given(corpora(min_pubs=3))
+    @settings(max_examples=40, deadline=None)
+    def test_full_placement_hits_every_in_graph_unit(self, corpus):
+        train = corpus.filter_years(2009, 2010)
+        test = corpus.filter_years(2011, 2011)
+        if len(train) == 0:
+            return
+        graph = build_coauthorship_graph(train)
+        ev = HitRateEvaluator(graph, test)
+        nodes = sorted(graph.nodes())
+        if not nodes:
+            return
+        r = ev.evaluate(nodes)
+        assert r.hits == r.in_graph_units
+
+
+class TestStorageProperties:
+    @given(
+        st.integers(100, 10_000),
+        st.lists(st.integers(1, 500), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, capacity, sizes):
+        repo = StorageRepository(NodeId("n"), capacity, replica_quota=0.6)
+        stored = 0
+        for i, size in enumerate(sizes):
+            try:
+                repo.store_replica(SegmentId(f"s{i}"), size)
+                stored += size
+            except Exception:
+                pass
+            assert repo.replica_used_bytes == stored
+            assert repo.replica_used_bytes <= repo.replica_quota_bytes
+
+    @given(st.integers(1, 10), st.integers(1, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_segmentation_partitions_exactly(self, n_segments, extra):
+        size = n_segments + extra
+        ds = segment_dataset(DatasetId("d"), AuthorId("o"), size, n_segments=n_segments)
+        assert sum(s.size_bytes for s in ds.segments) == size
+        assert all(s.size_bytes > 0 for s in ds.segments)
+        assert [s.index for s in ds.segments] == list(range(n_segments))
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_events_execute_in_nondecreasing_time(self, times):
+        engine = SimulationEngine()
+        executed = []
+        for t in times:
+            engine.schedule(t, lambda e: executed.append(e.now))
+        engine.run()
+        assert executed == sorted(executed)
+        assert len(executed) == len(times)
+
+
+class TestRngProperties:
+    @given(st.integers(1, 500), st.floats(0.0, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_zipf_weights_valid_distribution(self, n, exponent):
+        w = zipf_weights(n, exponent)
+        assert w.shape == (n,)
+        assert abs(w.sum() - 1.0) < 1e-9
+        assert np.all(np.diff(w) <= 1e-12)  # non-increasing
+
+
+class TestOverlayProperties:
+    @given(
+        st.integers(2, 12),
+        st.floats(0.05, 1.0),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cover_coverage_monotone_in_budget(self, n, duty_frac, seed):
+        from repro.cdn.overlay import build_availability_graph, select_cover
+        from repro.sim.availability import Diurnal
+
+        nodes = [NodeId(f"n{i}") for i in range(n)]
+        model = Diurnal(duty_hours=max(0.5, 24.0 * duty_frac), seed=seed)
+        graph = build_availability_graph(nodes, model, min_overlap=0.01)
+        if graph.number_of_edges() == 0:
+            return
+        cov = [
+            select_cover(graph, budget=b).coverage
+            for b in range(1, min(n, 5) + 1)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(cov, cov[1:]))
+
+    @given(st.integers(2, 12), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_edges_exist_in_graph(self, n, seed):
+        from repro.cdn.overlay import build_availability_graph, select_cover
+        from repro.sim.availability import Diurnal
+
+        nodes = [NodeId(f"n{i}") for i in range(n)]
+        model = Diurnal(duty_hours=12.0, seed=seed)
+        graph = build_availability_graph(nodes, model, min_overlap=0.01)
+        if graph.number_of_edges() == 0:
+            return
+        sel = select_cover(graph, budget=3)
+        for node, host in sel.assignment.items():
+            assert node == host or graph.has_edge(node, host)
+        # selected hosts always self-assign
+        for host in sel.selected:
+            assert sel.assignment[host] == host
+
+
+class TestConsistencyProperties:
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_tracker_versions_monotone(self, ops):
+        from repro.cdn.consistency import ReplicaVersionTracker
+
+        t = ReplicaVersionTracker()
+        nodes = [NodeId("n0"), NodeId("n1"), NodeId("n2")]
+        seg = SegmentId("d:seg0")
+        last_latest = 0
+        for op in ops:
+            if op == 0:
+                t.commit_write(seg, nodes[0])
+            else:
+                t.apply_update(seg, nodes[op], t.latest_version(seg))
+            assert t.latest_version(seg) >= last_latest
+            last_latest = t.latest_version(seg)
+            for n in nodes:
+                assert t.node_version(seg, n) <= t.latest_version(seg)

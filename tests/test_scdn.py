@@ -1,0 +1,178 @@
+"""Integration tests for the SCDN facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AuthorizationError, ConfigurationError
+from repro.ids import AuthorId
+from repro.scdn import SCDN, SCDNConfig
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.metrics import compute_cdn_metrics, compute_social_metrics
+
+from .conftest import pub
+
+
+@pytest.fixture
+def community_graph():
+    """Two labs bridged through carol."""
+    pubs = [
+        pub("p1", 2009, "alice", "bob", "carol"),
+        pub("p2", 2010, "carol", "dave", "erin"),
+        pub("p3", 2010, "alice", "bob"),
+        pub("p4", 2010, "dave", "erin"),
+    ]
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+@pytest.fixture
+def net(community_graph):
+    scdn = SCDN(community_graph, seed=1)
+    for a in ("alice", "bob", "carol", "dave", "erin"):
+        scdn.join(AuthorId(a), region="us" if a < "d" else "eu")
+    return scdn
+
+
+class TestJoin:
+    def test_join_creates_client_and_registers(self, net):
+        assert len(net.clients) == 5
+        assert net.server.n_nodes == 5
+
+    def test_double_join_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.join(AuthorId("alice"))
+
+    def test_non_member_cannot_join(self, net):
+        with pytest.raises(Exception):
+            net.join(AuthorId("stranger"))
+
+
+class TestPublishAccess:
+    def test_owner_publishes_and_members_access(self, net):
+        net.publish(AuthorId("alice"), "data", 1_000_000, n_segments=2)
+        outcomes = net.access(AuthorId("bob"), "data")
+        assert len(outcomes) == 2
+        assert all(o.ok for o in outcomes)
+
+    def test_unjoined_cannot_publish(self, community_graph):
+        scdn = SCDN(community_graph, seed=1)
+        with pytest.raises(AuthorizationError):
+            scdn.publish(AuthorId("alice"), "d", 100)
+
+    def test_project_boundary_enforced(self, net):
+        net.create_project("trial", [AuthorId("alice"), AuthorId("bob")])
+        net.publish(AuthorId("alice"), "secret", 1000, project="trial")
+        assert net.can_access(AuthorId("bob"), "secret")
+        assert not net.can_access(AuthorId("erin"), "secret")
+        with pytest.raises(AuthorizationError):
+            net.access(AuthorId("erin"), "secret")
+
+    def test_owner_must_be_on_project(self, net):
+        net.create_project("trial", [AuthorId("bob")])
+        with pytest.raises(AuthorizationError):
+            net.publish(AuthorId("alice"), "d", 100, project="trial")
+
+    def test_unknown_project_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.publish(AuthorId("alice"), "d", 100, project="ghost")
+
+    def test_duplicate_project_rejected(self, net):
+        net.create_project("p", [AuthorId("alice")])
+        with pytest.raises(ConfigurationError):
+            net.create_project("p", [AuthorId("bob")])
+
+    def test_proximity_policy_applies_to_untagged_data(self, net):
+        # erin is 2 hops from alice (alice-carol-erin): within default 2 hops
+        net.publish(AuthorId("alice"), "open", 1000)
+        assert net.can_access(AuthorId("erin"), "open")
+
+
+class TestChurn:
+    def test_offline_online_cycle(self, net):
+        net.publish(AuthorId("alice"), "d", 1000)
+        net.set_offline(AuthorId("carol"))
+        net.set_online(AuthorId("carol"))
+        out = net.access(AuthorId("bob"), "d")
+        assert all(o.ok for o in out)
+
+    def test_departure_migrates_replicas(self, net):
+        ds = net.publish(AuthorId("alice"), "d", 1000, n_replicas=2)
+        holders = {
+            r.node_id
+            for r in net.server.catalog.replicas_of_dataset(ds.dataset_id)
+        }
+        victim = net.server.author_of(sorted(holders)[0])
+        net.depart(victim)
+        assert net.server.under_replicated() == []
+
+    def test_collector_sees_state_changes(self, net):
+        net.set_offline(AuthorId("dave"))
+        states = [e.state for e in net.collector.node_states if e.node == "dave"]
+        assert states[-1] == "offline"
+
+
+class TestMetricsIntegration:
+    def test_full_cycle_produces_reports(self, net):
+        net.publish(AuthorId("alice"), "d", 10_000, n_segments=2)
+        for a in ("bob", "carol", "dave"):
+            net.access(AuthorId(a), "d")
+        net.sync_usage()
+        cdn = compute_cdn_metrics(net.collector, horizon_s=3600.0)
+        social = compute_social_metrics(net.collector)
+        assert cdn.n_requests == 6
+        assert cdn.request_success_ratio > 0.9
+        assert social.allocated_ratio > 0
+        assert social.transaction_volume_bytes >= 0
+
+    def test_requests_classified_by_hops(self, net):
+        net.publish(AuthorId("alice"), "d", 1000, n_replicas=1)
+        for a in ("alice", "bob", "carol", "dave", "erin"):
+            net.access(AuthorId(a), "d")
+        kinds = {e.outcome for e in net.collector.requests}
+        assert "local" in kinds or "near" in kinds
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_replicas": 0},
+            {"default_capacity_bytes": 0},
+            {"proximity_hops": -1},
+            {"transfer_failure_prob": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SCDNConfig(**kwargs)
+
+
+class TestUpdatePropagation:
+    def test_owner_update_propagates(self, net):
+        from repro.ids import AuthorId
+
+        net.publish(AuthorId("alice"), "d", 1000, n_segments=2, n_replicas=3)
+        records = net.update(AuthorId("alice"), "d")
+        assert len(records) == 2
+        assert all(r.version == 1 for r in records)
+        net.engine.run(until=1000.0)
+        for seg_id in (r.segment_id for r in records):
+            assert net.propagator.is_consistent(seg_id)
+
+    def test_non_owner_cannot_update(self, net):
+        from repro.errors import AuthorizationError
+        from repro.ids import AuthorId
+
+        net.publish(AuthorId("alice"), "d", 1000)
+        with pytest.raises(AuthorizationError, match="owner"):
+            net.update(AuthorId("bob"), "d")
+
+    def test_versions_accumulate(self, net):
+        from repro.ids import AuthorId
+
+        net.publish(AuthorId("alice"), "d", 1000)
+        net.update(AuthorId("alice"), "d")
+        net.engine.run(until=500.0)
+        records = net.update(AuthorId("alice"), "d")
+        assert records[0].version == 2

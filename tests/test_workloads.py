@@ -1,0 +1,125 @@
+"""Tests for repro.workloads.medical."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.ids import AuthorId
+from repro.scdn import SCDN, SCDNConfig
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.workloads.medical import (
+    DTI_FA_PIPELINE,
+    MB,
+    MedicalImagingTrial,
+    MedicalTrialConfig,
+    ProcessingStage,
+)
+
+from .conftest import pub
+
+
+@pytest.fixture
+def trial_net():
+    """Five sites, all mutually collaborating (one consortium paper)."""
+    graph = build_coauthorship_graph(
+        Corpus([pub("consortium", 2009, "lead", "s1", "s2", "s3", "s4")])
+    )
+    scdn = SCDN(
+        graph,
+        config=SCDNConfig(default_capacity_bytes=10**12, transfer_failure_prob=0.0),
+        seed=0,
+    )
+    sites = [AuthorId(a) for a in ("lead", "s1", "s2", "s3", "s4")]
+    for s in sites:
+        scdn.join(s)
+    return scdn, sites
+
+
+SMALL = MedicalTrialConfig(
+    n_subjects=4, sessions_per_subject=1, raw_session_bytes=10 * MB,
+    segments_per_dataset=2, analyst_accesses_per_site=3,
+)
+
+
+class TestConfig:
+    def test_dti_fa_pipeline_factor(self):
+        cfg = MedicalTrialConfig()
+        # paper: ~1.4 GB derived from a 100 MB session
+        assert cfg.derived_bytes_per_session == pytest.approx(1.4 * 10**9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_subjects": 0},
+            {"raw_session_bytes": 0},
+            {"pipeline": ()},
+            {"segments_per_dataset": 0},
+            {"analyst_accesses_per_site": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MedicalTrialConfig(**kwargs)
+
+    def test_stage_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingStage("bad", 0.0)
+
+
+class TestTrial:
+    def test_full_run(self, trial_net):
+        scdn, sites = trial_net
+        trial = MedicalImagingTrial(scdn, sites[0], sites, config=SMALL, seed=1)
+        report = trial.run()
+        assert report.n_sessions == 4
+        # per session: 1 raw + len(pipeline) derived datasets
+        assert report.n_datasets == 4 * (1 + len(DTI_FA_PIPELINE))
+        assert report.n_access_failures == 0
+        assert report.n_accesses > 0
+        assert 0.0 <= report.locality_ratio <= 1.0
+
+    def test_project_boundary_excludes_outsiders(self, trial_net):
+        scdn, sites = trial_net
+        trial = MedicalImagingTrial(scdn, sites[0], sites[:3], config=SMALL, seed=1)
+        trial.enroll()
+        trial.acquire_sessions()
+        outsider = sites[4]
+        assert not scdn.can_access(outsider, f"raw-{trial.sessions[0].session_id}")
+
+    def test_pipeline_requires_sessions(self, trial_net):
+        scdn, sites = trial_net
+        trial = MedicalImagingTrial(scdn, sites[0], sites, config=SMALL)
+        with pytest.raises(WorkloadError):
+            trial.run_pipeline()
+
+    def test_analyses_require_datasets(self, trial_net):
+        scdn, sites = trial_net
+        trial = MedicalImagingTrial(scdn, sites[0], sites, config=SMALL)
+        with pytest.raises(WorkloadError):
+            trial.run_analyses()
+
+    def test_lead_must_be_a_site(self, trial_net):
+        scdn, sites = trial_net
+        with pytest.raises(WorkloadError):
+            MedicalImagingTrial(scdn, sites[0], sites[1:], config=SMALL)
+
+    def test_empty_sites_rejected(self, trial_net):
+        scdn, sites = trial_net
+        with pytest.raises(WorkloadError):
+            MedicalImagingTrial(scdn, sites[0], [], config=SMALL)
+
+    def test_subjects_round_robin_across_sites(self, trial_net):
+        scdn, sites = trial_net
+        trial = MedicalImagingTrial(scdn, sites[0], sites, config=SMALL, seed=1)
+        trial.enroll()
+        trial.acquire_sessions()
+        assert {s.site for s in trial.sessions} == set(sites[:4])
+
+    def test_report_volume_accounting(self, trial_net):
+        scdn, sites = trial_net
+        trial = MedicalImagingTrial(scdn, sites[0], sites, config=SMALL, seed=1)
+        report = trial.run()
+        assert report.total_raw_bytes == 4 * 10 * MB
+        assert report.total_derived_bytes == 4 * SMALL.derived_bytes_per_session
