@@ -14,7 +14,6 @@ sweeps the community-election exclusion radius. Asserted:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.casestudy import CaseStudyConfig, run_case_study
 from repro.cdn.placement import (

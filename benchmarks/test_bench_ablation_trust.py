@@ -15,7 +15,6 @@ graph collapses).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.casestudy import CaseStudyConfig, run_case_study
 from repro.cdn.placement import CommunityNodeDegreePlacement

@@ -15,7 +15,6 @@ paper lists. Assertions pin the behaviours the paper predicts:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cdn.replication import ReplicationPolicy
 from repro.ids import AuthorId

@@ -20,8 +20,6 @@ replica counts x 100 runs) — the unit of work behind each subfigure.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.casestudy import CaseStudyConfig, run_case_study
 from repro.social.trust import BaselineTrust

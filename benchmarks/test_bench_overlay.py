@@ -19,7 +19,6 @@ selection retains its 1-hop hit-rate advantage (the metric *it* optimizes)
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.casestudy.hitrate import HitRateEvaluator
 from repro.cdn.overlay import (

@@ -16,7 +16,6 @@ query — the paper's stated justification for starting centralized.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.cdn.allocation import AllocationServer
 from repro.cdn.content import segment_dataset

@@ -14,8 +14,6 @@ window note in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.casestudy import CaseStudyConfig, run_case_study
 from repro.social.trust import BaselineTrust

@@ -21,7 +21,7 @@ operations — this is the hot loop of the 100-run Fig. 3 sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

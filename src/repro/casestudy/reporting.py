@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError
-from .experiment import AlgorithmCurve, CaseStudyResult, SubgraphResult, table1_rows
+from .experiment import CaseStudyResult, SubgraphResult, table1_rows
 
 
 def table1_markdown(result: CaseStudyResult) -> str:

@@ -12,15 +12,23 @@ and maintain replicas." Their three tasks, all implemented here:
 3. **General CDN management** — availability-driven state transitions,
    demand-driven re-replication of hot segments, and migration of replicas
    off departing nodes.
+
+The server is fully instrumented through :mod:`repro.obs`: every resolve
+records its latency, social hop distance, hop-cache hit/miss, and the
+chosen node's load; publish/repair/migrate emit counters and structured
+trace events. Pass ``registry=`` for an isolated registry (tests,
+multi-tenant sims); the process-wide default is used otherwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import CatalogError, ConfigurationError, PlacementError
 from ..ids import AuthorId, DatasetId, NodeId, SegmentId
+from ..obs import Registry, get_registry, linear_buckets
 from ..rng import SeedLike, make_rng, spawn
 from ..social.ego import hop_distances
 from ..social.graph import CoauthorshipGraph
@@ -48,11 +56,14 @@ class AllocationServer:
     ----------
     graph:
         The (trusted) coauthorship graph — the CDN overlay's social fabric.
-        Placement and proximity queries run on it.
+        Placement and proximity queries run on it. Assigning a new graph to
+        :attr:`graph` (an overlay rebuild) invalidates the hop cache.
     placement:
         Replica placement algorithm used at publish time.
     seed:
         RNG seed; placement randomness derives from it.
+    registry:
+        Observability registry; defaults to the process-wide one.
 
     Notes
     -----
@@ -68,8 +79,9 @@ class AllocationServer:
         placement: PlacementAlgorithm,
         *,
         seed: SeedLike = None,
+        registry: Optional[Registry] = None,
     ) -> None:
-        self.graph = graph
+        self._graph = graph
         self.placement = placement
         self.catalog = ReplicaCatalog()
         self._rng = make_rng(seed)
@@ -79,6 +91,96 @@ class AllocationServer:
         self._offline: Set[NodeId] = set()
         self._dataset_budget: Dict[DatasetId, int] = {}
         self._hop_cache: Dict[AuthorId, Dict[AuthorId, int]] = {}
+        #: per-node (time, "online"|"offline") transitions, in record order
+        self._state_log: Dict[NodeId, List[Tuple[float, str]]] = {}
+
+        self.obs = registry if registry is not None else get_registry()
+        obs = self.obs
+        self._m_resolve_latency = obs.histogram(
+            "alloc.resolve.latency_s", help="wall-clock duration of resolve()"
+        )
+        self._m_resolve_hops = obs.histogram(
+            "alloc.resolve.hops",
+            buckets=linear_buckets(0.0, 1.0, 16),
+            help="social hop distance of the chosen replica",
+        )
+        self._m_resolve_total = obs.counter(
+            "alloc.resolve.total", help="resolve() calls that found a replica"
+        )
+        self._m_resolve_unreachable = obs.counter(
+            "alloc.resolve.unreachable",
+            help="resolves whose requester had no social path to the chosen host",
+        )
+        self._m_resolve_failed = obs.counter(
+            "alloc.resolve.failed", help="resolve() calls with no servable replica"
+        )
+        self._m_hop_cache_hits = obs.counter(
+            "alloc.hop_cache.hits", help="hop-distance lookups served from cache"
+        )
+        self._m_hop_cache_misses = obs.counter(
+            "alloc.hop_cache.misses", help="hop-distance lookups requiring a BFS"
+        )
+        self._m_hop_cache_invalidations = obs.counter(
+            "alloc.hop_cache.invalidations",
+            help="hop-cache flushes (membership or graph changes)",
+        )
+        self._m_chosen_load = obs.gauge(
+            "alloc.resolve.chosen_node_load",
+            help="reads already served by the most recently chosen node",
+        )
+        self._m_publishes = obs.counter(
+            "alloc.publish.datasets", help="datasets successfully published"
+        )
+        self._m_replicas_placed = obs.counter(
+            "alloc.publish.replicas", help="replicas created by publications"
+        )
+        self._m_rollbacks = obs.counter(
+            "alloc.publish.rollbacks", help="publications rolled back mid-dataset"
+        )
+        self._m_budget_backfilled = obs.counter(
+            "alloc.budget.backfilled",
+            help="datasets found without an explicit replica budget (bug signal)",
+        )
+        self._m_repairs = obs.counter(
+            "alloc.repair.replicas", help="replicas created by repair()"
+        )
+        self._m_repair_unrecoverable = obs.counter(
+            "alloc.repair.unrecoverable", help="segments skipped with zero live replicas"
+        )
+        self._m_repair_starved = obs.counter(
+            "alloc.repair.starved",
+            help="repair passes that left a segment below budget (no eligible host)",
+        )
+        self._m_migrations = obs.counter(
+            "alloc.migrate.nodes", help="permanent node departures handled"
+        )
+        self._m_transitions = obs.counter(
+            "alloc.node.transitions", help="recorded online/offline state changes"
+        )
+
+    # ------------------------------------------------------------------
+    # graph (overlay fabric)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CoauthorshipGraph:
+        """The trusted social graph the overlay runs on.
+
+        Assigning a new graph (e.g. after a trust re-evaluation) flushes
+        the hop cache so discovery never serves distances from the old
+        fabric.
+        """
+        return self._graph
+
+    @graph.setter
+    def graph(self, graph: CoauthorshipGraph) -> None:
+        self._graph = graph
+        self._invalidate_hop_cache(reason="graph-swap")
+
+    def _invalidate_hop_cache(self, *, reason: str) -> None:
+        if self._hop_cache:
+            self._hop_cache.clear()
+        self._m_hop_cache_invalidations.inc()
+        self.obs.trace("hop_cache_invalidate", reason=reason)
 
     # ------------------------------------------------------------------
     # membership
@@ -89,9 +191,11 @@ class AllocationServer:
         """Register a researcher's storage contribution.
 
         The author must be a member of the social graph — the paper's trust
-        boundary: only community members may host replicas.
+        boundary: only community members may host replicas. Registration is
+        a membership change, so the hop cache is invalidated (a requester
+        previously cached as unreachable may now be served by the newcomer).
         """
-        if author not in self.graph:
+        if author not in self._graph:
             raise ConfigurationError(
                 f"author {author!r} is not in the trusted social graph"
             )
@@ -103,6 +207,7 @@ class AllocationServer:
         self._repos[node] = repository
         self._node_of_author[author] = node
         self._author_of_node[node] = author
+        self._invalidate_hop_cache(reason="register")
         return node
 
     def repository(self, node: NodeId) -> StorageRepository:
@@ -138,11 +243,28 @@ class AllocationServer:
     # ------------------------------------------------------------------
     # liveness
     # ------------------------------------------------------------------
+    def _record_transition(self, node: NodeId, at: float, state: str) -> None:
+        # append-only; consumers (node_availability) sort by time, so callers
+        # may mix explicit timestamps with the 0.0 default without breaking
+        self._state_log.setdefault(node, []).append((at, state))
+        self._m_transitions.inc()
+        self.obs.trace("node_state", ts=at, node=str(node), state=state)
+
     def node_offline(self, node: NodeId, *, at: float = 0.0) -> int:
-        """Mark a node offline; its replicas become STALE. Returns count."""
+        """Mark a node offline; its replicas become STALE. Returns count.
+
+        The transition time ``at`` is recorded in the server's per-node
+        state log (see :meth:`state_transitions`) so downtime can be
+        integrated into the paper's availability metric. Marking an
+        already-offline node offline again is a no-op (no transition is
+        recorded).
+        """
         if node not in self._repos:
             raise ConfigurationError(f"unknown node {node!r}")
+        if node in self._offline:
+            return 0
         self._offline.add(node)
+        self._record_transition(node, at, "offline")
         n = 0
         for rep in self.catalog.replicas_on_node(node):
             if rep.state is ReplicaState.ACTIVE:
@@ -151,10 +273,17 @@ class AllocationServer:
         return n
 
     def node_online(self, node: NodeId, *, at: float = 0.0) -> int:
-        """Mark a node online again; STALE replicas with intact data reactivate."""
+        """Mark a node online again; STALE replicas with intact data reactivate.
+
+        Records the transition time like :meth:`node_offline`. Bringing an
+        already-online node online again is a no-op.
+        """
         if node not in self._repos:
             raise ConfigurationError(f"unknown node {node!r}")
+        if node not in self._offline:
+            return 0
         self._offline.discard(node)
+        self._record_transition(node, at, "online")
         repo = self._repos[node]
         n = 0
         for rep in self.catalog.replicas_on_node(node):
@@ -169,6 +298,49 @@ class AllocationServer:
             raise ConfigurationError(f"unknown node {node!r}")
         return node not in self._offline
 
+    def state_transitions(self, node: NodeId) -> List[Tuple[float, str]]:
+        """The recorded ``(time, "online"|"offline")`` transitions of a node.
+
+        Nodes are online from registration until their first transition;
+        :func:`repro.metrics.cdn_metrics.node_availability` integrates this
+        log into the paper's availability metric.
+        """
+        if node not in self._repos:
+            raise ConfigurationError(f"unknown node {node!r}")
+        return list(self._state_log.get(node, []))
+
+    def availability_log(self) -> Dict[NodeId, List[Tuple[float, str]]]:
+        """State-transition logs for every registered node (empty list for
+        nodes that never changed state)."""
+        return {node: list(self._state_log.get(node, [])) for node in self._repos}
+
+    # ------------------------------------------------------------------
+    # replica budgets
+    # ------------------------------------------------------------------
+    def replica_budget(self, dataset_id: DatasetId) -> int:
+        """The replica budget of a registered dataset.
+
+        Every dataset published through the server has an explicit budget.
+        A dataset present in the catalog *without* one (registered behind
+        the server's back) is backfilled with budget 1 — counted on the
+        ``alloc.budget.backfilled`` counter so it is never silent.
+        """
+        try:
+            return self._dataset_budget[dataset_id]
+        except KeyError:
+            self.catalog.dataset(dataset_id)  # raises CatalogError if unknown
+            self._dataset_budget[dataset_id] = 1
+            self._m_budget_backfilled.inc()
+            self.obs.trace("budget_backfill", dataset=str(dataset_id))
+            return 1
+
+    def set_replica_budget(self, dataset_id: DatasetId, budget: int) -> None:
+        """Set the replica budget of a registered dataset explicitly."""
+        if budget < 1:
+            raise ConfigurationError(f"budget must be >= 1, got {budget}")
+        self.catalog.dataset(dataset_id)  # raises CatalogError if unknown
+        self._dataset_budget[dataset_id] = budget
+
     # ------------------------------------------------------------------
     # placement / publication
     # ------------------------------------------------------------------
@@ -181,7 +353,7 @@ class AllocationServer:
         ]
         if not hosts:
             raise PlacementError("no online repositories registered")
-        return self.graph.subgraph(hosts)
+        return self._graph.subgraph(hosts)
 
     def publish_dataset(
         self,
@@ -236,11 +408,20 @@ class AllocationServer:
         except PlacementError:
             self._rollback_publication(dataset, replicas)
             raise
+        self._m_publishes.inc()
+        self._m_replicas_placed.inc(len(replicas))
+        self.obs.trace(
+            "publish",
+            ts=at,
+            dataset=str(dataset.dataset_id),
+            replicas=len(replicas),
+            budget=n_replicas,
+        )
         return replicas
 
     def _rollback_publication(self, dataset: Dataset, replicas: List[Replica]) -> None:
         """Undo a partially placed publication: free storage, retire
-        replicas, unregister the dataset."""
+        replicas, unregister the dataset and its budget."""
         for rep in replicas:
             repo = self._repos[rep.node_id]
             if repo.hosts_segment(rep.segment_id):
@@ -248,6 +429,8 @@ class AllocationServer:
             self.catalog.retire(rep.replica_id)
         self._dataset_budget.pop(dataset.dataset_id, None)
         self.catalog.unregister_dataset(dataset.dataset_id)
+        self._m_rollbacks.inc()
+        self.obs.trace("publish_rollback", dataset=str(dataset.dataset_id))
 
     def publish_dataset_partitioned(
         self,
@@ -268,7 +451,12 @@ class AllocationServer:
 
         Hosts suggested by the assignment must have registered
         repositories; segments whose suggested host lacks capacity fall
-        back to placement-chosen hosts.
+        back to placement-chosen hosts. The dataset's replica budget is
+        recorded explicitly as ``1 + extra_replicas``; if the post-publish
+        repair pass cannot reach that budget for some segment (no eligible
+        host with capacity), the shortfall is reported on the
+        ``alloc.repair.starved`` counter and a ``publish_deficit`` trace
+        event rather than passing silently.
         """
         self.catalog.register_dataset(dataset)
         self._dataset_budget[dataset.dataset_id] = 1 + extra_replicas
@@ -313,53 +501,114 @@ class AllocationServer:
         except PlacementError:
             self._rollback_publication(dataset, replicas)
             raise
+        self._m_publishes.inc()
+        self._m_replicas_placed.inc(len(replicas))
         if extra_replicas:
             replicas.extend(self.repair(at=at))
+            for seg_id, live in self.under_replicated():
+                segment = self.catalog.segment(seg_id)
+                if segment.dataset_id != dataset.dataset_id:
+                    continue
+                # repair() already counted the starvation; this trace ties the
+                # shortfall to the publication that requested the budget
+                self.obs.trace(
+                    "publish_deficit",
+                    ts=at,
+                    dataset=str(dataset.dataset_id),
+                    segment=str(seg_id),
+                    live=live,
+                    budget=1 + extra_replicas,
+                )
+        self.obs.trace(
+            "publish",
+            ts=at,
+            dataset=str(dataset.dataset_id),
+            replicas=len(replicas),
+            budget=1 + extra_replicas,
+        )
         return replicas
 
     # ------------------------------------------------------------------
     # discovery
     # ------------------------------------------------------------------
     def _hops_from(self, requester: AuthorId) -> Dict[AuthorId, int]:
-        if requester not in self._hop_cache:
-            if requester in self.graph:
-                self._hop_cache[requester] = hop_distances(self.graph, {requester})
-            else:
-                self._hop_cache[requester] = {}
-        return self._hop_cache[requester]
+        cached = self._hop_cache.get(requester)
+        if cached is not None:
+            self._m_hop_cache_hits.inc()
+            return cached
+        self._m_hop_cache_misses.inc()
+        if requester in self._graph:
+            hops = hop_distances(self._graph, {requester})
+        else:
+            hops = {}
+        self._hop_cache[requester] = hops
+        return hops
 
     def resolve(self, segment_id: SegmentId, requester: AuthorId) -> ResolvedReplica:
         """Find the best servable replica of a segment for ``requester``.
 
         Selection: online hosts only, ordered by social hop distance from
         the requester (unknown distance sorts last), then by load (fewest
-        reads served), then node id for determinism. Records the access on
-        the chosen replica (the demand signal).
+        reads served), then node id for determinism. Load is looked up
+        once per candidate node before sorting — never inside the
+        comparison key. Records the access on the chosen replica (the
+        demand signal) and full observability: latency, hop distance,
+        hop-cache hit/miss, chosen-node load, and a ``resolve`` trace
+        event.
 
         Raises
         ------
         CatalogError
             If no servable replica exists.
         """
+        t0 = perf_counter()
         reps = [
             r
             for r in self.catalog.replicas_of_segment(segment_id, servable_only=True)
             if r.node_id not in self._offline
         ]
         if not reps:
+            self._m_resolve_failed.inc()
+            self.obs.trace(
+                "resolve_failed", segment=str(segment_id), requester=str(requester)
+            )
             raise CatalogError(f"no servable replica of {segment_id}")
         hops = self._hops_from(requester)
 
+        # Hoisted load lookups: one property read per distinct node, instead
+        # of a full RepositoryStats construction per comparison.
+        loads: Dict[NodeId, int] = {}
+        for r in reps:
+            if r.node_id not in loads:
+                loads[r.node_id] = self._repos[r.node_id].reads_served
+
         def sort_key(r: Replica) -> Tuple[int, int, str]:
-            author = self._author_of_node[r.node_id]
-            d = hops.get(author, 10**9)
-            return (d, self._repos[r.node_id].stats().reads_served, str(r.node_id))
+            d = hops.get(self._author_of_node[r.node_id], 10**9)
+            return (d, loads[r.node_id], str(r.node_id))
 
         best = min(reps, key=sort_key)
         best.touch()
         self._repos[best.node_id].read_segment(segment_id)
         author = self._author_of_node[best.node_id]
         d = hops.get(author)
+
+        elapsed = perf_counter() - t0
+        self._m_resolve_latency.observe(elapsed)
+        self._m_resolve_total.inc()
+        self._m_chosen_load.set(loads[best.node_id])
+        if d is not None:
+            self._m_resolve_hops.observe(d)
+        else:
+            self._m_resolve_unreachable.inc()
+        self.obs.trace(
+            "resolve",
+            segment=str(segment_id),
+            requester=str(requester),
+            node=str(best.node_id),
+            hops=d,
+            load=loads[best.node_id],
+            latency_s=elapsed,
+        )
         return ResolvedReplica(replica=best, social_hops=d)
 
     # ------------------------------------------------------------------
@@ -370,7 +619,7 @@ class AllocationServer:
         replicas on online hosts."""
         out: List[Tuple[SegmentId, int]] = []
         for ds in self.catalog.datasets():
-            budget = self._dataset_budget.get(ds.dataset_id, 1)
+            budget = self.replica_budget(ds.dataset_id)
             for seg in ds.segments:
                 live = [
                     r
@@ -390,14 +639,21 @@ class AllocationServer:
         New hosts are chosen by the placement algorithm over online hosts
         not already holding the segment. Segments with zero live replicas
         are unrecoverable (data loss) and are skipped — they surface in
-        :meth:`under_replicated` output for the metrics layer.
+        :meth:`under_replicated` output, on the
+        ``alloc.repair.unrecoverable`` counter, and as ``repair_skip``
+        trace events. Segments left below budget because no eligible host
+        remained are counted on ``alloc.repair.starved``.
         """
         created: List[Replica] = []
         for segment_id, live in self.under_replicated():
             if live == 0:
+                self._m_repair_unrecoverable.inc()
+                self.obs.trace(
+                    "repair_skip", ts=at, segment=str(segment_id), reason="unrecoverable"
+                )
                 continue  # unrecoverable without a live source
             segment = self.catalog.segment(segment_id)
-            budget = self._dataset_budget.get(segment.dataset_id, 1)
+            budget = self.replica_budget(segment.dataset_id)
             need = budget - live
             holders = self.catalog.nodes_hosting(segment_id)
             eligible = [
@@ -406,12 +662,20 @@ class AllocationServer:
                 if n not in self._offline and n not in holders
             ]
             if not eligible:
+                self._m_repair_starved.inc()
+                self.obs.trace(
+                    "repair_skip", ts=at, segment=str(segment_id), reason="no-eligible-host"
+                )
                 continue
-            sub = self.graph.subgraph(eligible)
+            sub = self._graph.subgraph(eligible)
             (rng,) = spawn(self._rng, 1)
             try:
                 picks = self.placement.select(sub, min(need * 2 + 2, sub.n_nodes), rng=rng)
             except PlacementError:
+                self._m_repair_starved.inc()
+                self.obs.trace(
+                    "repair_skip", ts=at, segment=str(segment_id), reason="placement-failed"
+                )
                 continue
             placed = 0
             for author in picks:
@@ -428,6 +692,15 @@ class AllocationServer:
                     )
                 )
                 placed += 1
+            if placed < need:
+                self._m_repair_starved.inc()
+                self.obs.trace(
+                    "repair_skip",
+                    ts=at,
+                    segment=str(segment_id),
+                    reason="insufficient-capacity",
+                )
+        self._m_repairs.inc(len(created))
         return created
 
     def hot_segments(self, threshold: int) -> List[Tuple[SegmentId, int]]:
@@ -452,7 +725,7 @@ class AllocationServer:
         for seg_id, _count in self.hot_segments(threshold):
             ds_id = self.catalog.segment(seg_id).dataset_id
             if ds_id not in touched:
-                self._dataset_budget[ds_id] = self._dataset_budget.get(ds_id, 1) + extra
+                self._dataset_budget[ds_id] = self.replica_budget(ds_id) + extra
                 touched.add(ds_id)
         if not touched:
             return []
@@ -460,7 +733,12 @@ class AllocationServer:
 
     def migrate_node(self, node: NodeId, *, at: float = 0.0) -> List[Replica]:
         """Handle a permanent departure: retire the node's replicas, free its
-        storage, and re-replicate elsewhere. Returns the new replicas."""
+        storage, and re-replicate elsewhere. Returns the new replicas.
+
+        The departure is recorded as an ``offline`` transition at ``at`` in
+        the node's state log (the availability metric treats departure as
+        terminal downtime).
+        """
         if node not in self._repos:
             raise ConfigurationError(f"unknown node {node!r}")
         repo = self._repos[node]
@@ -468,5 +746,9 @@ class AllocationServer:
             self.catalog.retire(rep.replica_id)
             if repo.hosts_segment(rep.segment_id):
                 repo.evict_replica(rep.segment_id)
-        self._offline.add(node)
+        if node not in self._offline:
+            self._offline.add(node)
+            self._record_transition(node, at, "offline")
+        self._m_migrations.inc()
+        self.obs.trace("migrate", ts=at, node=str(node))
         return self.repair(at=at)

@@ -10,7 +10,7 @@ their segments receive replicas.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from ..errors import CatalogError
 from ..ids import DatasetId, NodeId, ReplicaId, SegmentId

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import CapacityError, CatalogError, TransferError
-from ..ids import AuthorId, DatasetId, NodeId, SegmentId
+from ..ids import AuthorId, DatasetId, SegmentId
 from .allocation import AllocationServer
 from .storage import StorageRepository
 from .transfer import TransferClient, TransferRequest

@@ -16,7 +16,7 @@ the S-CDN needs the same machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import CatalogError, ConfigurationError
 from ..ids import NodeId, SegmentId

@@ -18,13 +18,13 @@ set greedily by cost-effectiveness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..ids import NodeId
+from ..obs import Registry, get_registry
 from ..sim.availability import DAY_S, AvailabilityModel, Diurnal
 from ..sim.network import NetworkModel
 
@@ -65,6 +65,7 @@ def build_availability_graph(
     network: Optional[NetworkModel] = None,
     min_overlap: float = 0.05,
     samples: int = 48,
+    registry: Optional[Registry] = None,
 ) -> nx.Graph:
     """Build the availability-overlap graph over ``nodes``.
 
@@ -76,23 +77,33 @@ def build_availability_graph(
       link (1.0 when no network model is given);
     * ``cost`` — ``distance / overlap``: the expected effort to move data
       between the pair, inflated when their uptime rarely coincides.
+
+    Build time lands in the ``overlay.build_s`` histogram of ``registry``
+    (default: the process-wide one) — the O(n²) pair sweep is a known hot
+    spot for large overlays.
     """
     if not nodes:
         raise ConfigurationError("need at least one node")
     if not 0.0 <= min_overlap <= 1.0:
         raise ConfigurationError("min_overlap must be in [0, 1]")
+    obs = registry if registry is not None else get_registry()
     g = nx.Graph()
     g.add_nodes_from(nodes)
-    for i, a in enumerate(nodes):
-        for b in nodes[i + 1 :]:
-            ov = pairwise_overlap(model, a, b, samples=samples)
-            if ov < min_overlap or ov <= 0.0:
-                continue
-            if network is not None:
-                distance = network.link(a, b).transfer_time(REFERENCE_PAYLOAD_BYTES)
-            else:
-                distance = 1.0
-            g.add_edge(a, b, overlap=ov, distance=distance, cost=distance / ov)
+    with obs.histogram("overlay.build_s", help="availability-graph build time").time():
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                ov = pairwise_overlap(model, a, b, samples=samples)
+                if ov < min_overlap or ov <= 0.0:
+                    continue
+                if network is not None:
+                    distance = network.link(a, b).transfer_time(REFERENCE_PAYLOAD_BYTES)
+                else:
+                    distance = 1.0
+                g.add_edge(a, b, overlap=ov, distance=distance, cost=distance / ov)
+    obs.counter("overlay.builds", help="availability graphs built").inc()
+    obs.counter("overlay.edges", help="availability-graph edges created").inc(
+        g.number_of_edges()
+    )
     return g
 
 
@@ -130,6 +141,7 @@ def select_cover(
     graph: nx.Graph,
     *,
     budget: Optional[int] = None,
+    registry: Optional[Registry] = None,
 ) -> OverlaySelection:
     """Greedy lowest-cost cover of the availability graph.
 
@@ -138,7 +150,12 @@ def select_cover(
     its edge ``cost``), until every node is covered or ``budget`` picks
     are spent. This is the classic greedy facility-location heuristic on
     the paper's "lowest-cost edges" objective.
+
+    Selection time lands in the ``overlay.cover_s`` histogram and the
+    outcome (hosts picked, nodes left uncovered) on ``overlay.*`` counters
+    of ``registry`` (default: the process-wide one).
     """
+    obs = registry if registry is not None else get_registry()
     nodes = list(graph.nodes())
     if not nodes:
         raise ConfigurationError("cannot cover an empty graph")
@@ -162,42 +179,50 @@ def select_cover(
     # cost-only objective would degenerate to selecting every node).
     max_picks = budget if budget is not None else len(nodes)
     improve_after_cover = budget is not None
-    while len(selected) < max_picks and (remaining or improve_after_cover):
-        best_candidate = None
-        best_saving = 0.0
-        for cand in candidates:
-            if cand in selected:
-                continue
-            saving = 0.0
-            if best_cost[cand] == INF:
-                saving += 1e9  # covering an uncovered node dominates
-            elif best_cost[cand] > 0:
-                saving += best_cost[cand]
-            for nbr in graph.neighbors(cand):
-                cost = graph.edges[cand, nbr]["cost"]
-                current = best_cost[nbr]
-                if current == INF:
-                    saving += 1e9 / (1.0 + cost)
-                elif cost < current:
-                    saving += current - cost
-            if saving > best_saving:
-                best_candidate, best_saving = cand, saving
-        if best_candidate is None or best_saving <= 1e-12:
-            break  # nothing left to cover and no cost left to save
-        selected.append(best_candidate)
-        best_cost[best_candidate] = 0.0
-        best_host[best_candidate] = best_candidate
-        remaining.discard(best_candidate)
-        for nbr in graph.neighbors(best_candidate):
-            cost = graph.edges[best_candidate, nbr]["cost"]
-            if cost < best_cost[nbr]:
-                best_cost[nbr] = cost
-                best_host[nbr] = best_candidate
-                remaining.discard(nbr)
+    with obs.histogram("overlay.cover_s", help="greedy cover selection time").time():
+        while len(selected) < max_picks and (remaining or improve_after_cover):
+            best_candidate = None
+            best_saving = 0.0
+            for cand in candidates:
+                if cand in selected:
+                    continue
+                saving = 0.0
+                if best_cost[cand] == INF:
+                    saving += 1e9  # covering an uncovered node dominates
+                elif best_cost[cand] > 0:
+                    saving += best_cost[cand]
+                for nbr in graph.neighbors(cand):
+                    cost = graph.edges[cand, nbr]["cost"]
+                    current = best_cost[nbr]
+                    if current == INF:
+                        saving += 1e9 / (1.0 + cost)
+                    elif cost < current:
+                        saving += current - cost
+                if saving > best_saving:
+                    best_candidate, best_saving = cand, saving
+            if best_candidate is None or best_saving <= 1e-12:
+                break  # nothing left to cover and no cost left to save
+            selected.append(best_candidate)
+            best_cost[best_candidate] = 0.0
+            best_host[best_candidate] = best_candidate
+            remaining.discard(best_candidate)
+            for nbr in graph.neighbors(best_candidate):
+                cost = graph.edges[best_candidate, nbr]["cost"]
+                if cost < best_cost[nbr]:
+                    best_cost[nbr] = cost
+                    best_host[nbr] = best_candidate
+                    remaining.discard(nbr)
 
     assignment = {n: h for n, h in best_host.items() if h is not None}
     uncovered = frozenset(n for n in nodes if best_host[n] is None)
     total = sum(best_cost[n] for n in assignment)
+    obs.counter("overlay.covers", help="cover selections run").inc()
+    obs.counter("overlay.cover_selected", help="replica hosts selected by covers").inc(
+        len(selected)
+    )
+    obs.counter("overlay.cover_uncovered", help="nodes left uncovered by covers").inc(
+        len(uncovered)
+    )
     return OverlaySelection(
         selected=tuple(selected),
         assignment=assignment,

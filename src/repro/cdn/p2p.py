@@ -19,10 +19,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from ..errors import CatalogError, ConfigurationError
-from ..ids import AuthorId, NodeId, SegmentId
+from ..errors import ConfigurationError
+from ..ids import AuthorId, SegmentId
 from ..social.graph import CoauthorshipGraph
 from .allocation import AllocationServer
 

@@ -13,7 +13,7 @@ community.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError, GraphError
 from ..ids import AuthorId, SegmentId

@@ -13,13 +13,13 @@ randomly per run, so repeated runs explore the tie set.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Mapping, Sequence, Type
+from typing import Callable, Dict, List, Mapping
 
 import numpy as np
 
 from ...errors import ConfigurationError, PlacementError
 from ...ids import AuthorId
-from ...rng import SeedLike, make_rng
+from ...rng import SeedLike
 from ...social.graph import CoauthorshipGraph
 
 

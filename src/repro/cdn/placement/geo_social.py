@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
 
 from ...errors import ConfigurationError
 from ...ids import AuthorId, NodeId

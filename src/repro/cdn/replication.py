@@ -11,12 +11,12 @@ necessary or insufficient").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..ids import SegmentId
+from ..obs import Registry, get_registry
 from ..sim.engine import SimulationEngine
 from .allocation import AllocationServer
 
@@ -64,6 +64,8 @@ class ReplicationPolicy:
         If set, each audit also scales datasets whose segments accumulated
         at least this many accesses since the start (demand-driven
         replication). ``None`` disables demand scaling.
+    registry:
+        Observability registry; defaults to the process-wide one.
     """
 
     def __init__(
@@ -72,6 +74,7 @@ class ReplicationPolicy:
         *,
         audit_interval_s: float = 3600.0,
         hot_threshold: Optional[int] = None,
+        registry: Optional[Registry] = None,
     ) -> None:
         if audit_interval_s <= 0:
             raise ConfigurationError("audit_interval_s must be positive")
@@ -81,14 +84,47 @@ class ReplicationPolicy:
         self.audit_interval_s = audit_interval_s
         self.hot_threshold = hot_threshold
         self.reports: List[RedundancyReport] = []
+        self.obs = registry if registry is not None else get_registry()
+        self._m_audits = self.obs.counter(
+            "replication.audits", help="redundancy audits executed"
+        )
+        self._m_repaired = self.obs.counter(
+            "replication.repaired", help="replicas created by audits"
+        )
+        self._m_audit_latency = self.obs.histogram(
+            "replication.audit.latency_s", help="wall-clock duration of audit()"
+        )
+        self._m_under = self.obs.gauge(
+            "replication.under_replicated", help="segments below budget at last audit"
+        )
+        self._m_lost = self.obs.gauge(
+            "replication.lost", help="segments with zero live replicas at last audit"
+        )
+        self._m_mean_redundancy = self.obs.gauge(
+            "replication.mean_redundancy", help="mean live replicas per segment"
+        )
 
     def audit(self, *, at: float = 0.0) -> RedundancyReport:
         """Run one audit: repair under-replication (and hot scaling), report."""
-        repaired = len(self.server.repair(at=at))
-        if self.hot_threshold is not None:
-            repaired += len(self.server.scale_hot(self.hot_threshold, at=at))
-        report = self.snapshot(at=at, repaired=repaired)
+        with self._m_audit_latency.time():
+            repaired = len(self.server.repair(at=at))
+            if self.hot_threshold is not None:
+                repaired += len(self.server.scale_hot(self.hot_threshold, at=at))
+            report = self.snapshot(at=at, repaired=repaired)
         self.reports.append(report)
+        self._m_audits.inc()
+        self._m_repaired.inc(repaired)
+        self._m_under.set(report.under_replicated)
+        self._m_lost.set(report.lost)
+        self._m_mean_redundancy.set(report.mean_redundancy)
+        self.obs.trace(
+            "audit",
+            ts=at,
+            repaired=repaired,
+            under_replicated=report.under_replicated,
+            lost=report.lost,
+            mean_redundancy=report.mean_redundancy,
+        )
         return report
 
     def snapshot(self, *, at: float = 0.0, repaired: int = 0) -> RedundancyReport:

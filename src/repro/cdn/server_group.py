@@ -22,10 +22,10 @@ What survives a failover:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import ConfigurationError
-from ..ids import AuthorId, DatasetId, NodeId
+from ..ids import AuthorId, DatasetId
 from ..rng import SeedLike, make_rng, spawn
 from ..social.graph import CoauthorshipGraph
 from .allocation import AllocationServer

@@ -10,8 +10,8 @@ servers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Set
 
 from ..errors import CapacityError, ConfigurationError, StorageError
 from ..ids import NodeId, SegmentId, validate_id
@@ -220,6 +220,17 @@ class StorageRepository:
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
+    @property
+    def reads_served(self) -> int:
+        """Reads served from the replica partition (the load signal used by
+        allocation-server tie-breaking; cheaper than a full :meth:`stats`)."""
+        return self._reads_served
+
+    @property
+    def bytes_served(self) -> int:
+        """Bytes served from the replica partition."""
+        return self._bytes_served
+
     def stats(self) -> RepositoryStats:
         """Snapshot of usage and service counters (reported to allocation
         servers by the CDN client)."""

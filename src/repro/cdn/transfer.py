@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from ..errors import ConfigurationError, TransferError
 from ..ids import NodeId, SegmentId, TransferId
+from ..obs import Registry, get_registry, linear_buckets
 from ..rng import SeedLike, make_rng
 from ..sim.network import NetworkModel
 
@@ -71,6 +72,8 @@ class TransferClient:
         Attempts before the transfer is abandoned.
     seed:
         RNG seed for failure draws.
+    registry:
+        Observability registry; defaults to the process-wide one.
     """
 
     def __init__(
@@ -80,6 +83,7 @@ class TransferClient:
         failure_prob: float = 0.0,
         max_attempts: int = 3,
         seed: SeedLike = None,
+        registry: Optional[Registry] = None,
     ) -> None:
         if not 0.0 <= failure_prob < 1.0:
             raise ConfigurationError(f"failure_prob must be in [0, 1), got {failure_prob}")
@@ -91,6 +95,25 @@ class TransferClient:
         self._rng = make_rng(seed)
         self._counter = itertools.count()
         self.completed: List[TransferResult] = []
+        self.obs = registry if registry is not None else get_registry()
+        self._m_total = self.obs.counter(
+            "transfer.total", help="transfer requests executed"
+        )
+        self._m_failed = self.obs.counter(
+            "transfer.failed", help="transfers abandoned after max_attempts"
+        )
+        self._m_bytes = self.obs.counter(
+            "transfer.bytes_moved", help="payload bytes of successful transfers"
+        )
+        self._m_attempts = self.obs.histogram(
+            "transfer.attempts",
+            buckets=linear_buckets(1.0, 1.0, 10),
+            help="attempts needed per transfer (retries = attempts - 1)",
+        )
+        self._m_duration = self.obs.histogram(
+            "transfer.duration_s",
+            help="simulated transfer duration including failed attempts",
+        )
 
     def estimate_duration(self, request: TransferRequest) -> float:
         """Single-attempt duration for ``request`` (no failures)."""
@@ -127,6 +150,23 @@ class TransferClient:
             attempts=attempts,
         )
         self.completed.append(result)
+        self._m_total.inc()
+        self._m_attempts.observe(attempts)
+        self._m_duration.observe(total)
+        if ok:
+            self._m_bytes.inc(request.size_bytes)
+        else:
+            self._m_failed.inc()
+        self.obs.trace(
+            "transfer",
+            source=str(request.source),
+            dest=str(request.dest),
+            segment=str(request.segment_id),
+            size_bytes=request.size_bytes,
+            ok=ok,
+            duration_s=total,
+            attempts=attempts,
+        )
         return result
 
     # ------------------------------------------------------------------

@@ -7,6 +7,7 @@ Subcommands::
     repro fig2      [--corpus F]                     topology summaries
     repro fig3      [--corpus F] [--runs N]          hit-rate curves
     repro simulate  [--members N] [--days D]         live S-CDN metrics
+    repro obs       [--members N] [--days D] [--json F]  observability report
 
 All subcommands accept ``--corpus`` (a JSON file from ``repro generate``
 or :func:`repro.social.io.save_corpus`); without it a synthetic corpus is
@@ -26,7 +27,7 @@ from .social.metrics import graph_summary
 from .social.records import Corpus
 from .social.trust import paper_trust_heuristics
 from .social.ego import ego_corpus
-from .casestudy import CaseStudyConfig, run_case_study, table1_rows
+from .casestudy import CaseStudyConfig, run_case_study
 
 
 def _get_corpus(args) -> Tuple[Corpus, AuthorId]:
@@ -100,16 +101,19 @@ def cmd_fig3(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
-    """`repro simulate`: run a live S-CDN and print both metric suites."""
-    from .metrics import compute_cdn_metrics, compute_social_metrics
+def _run_live_scdn(args, registry=None):
+    """Build and run the small live S-CDN shared by ``simulate`` and ``obs``.
+
+    Returns ``(net, horizon_s)`` with the simulation already run and usage
+    synced into the collector.
+    """
     from .scdn import SCDN, SCDNConfig
     from .social.trust import MinCoauthorshipTrust
 
     corpus, seed_author = _get_corpus(args)
     ego = ego_corpus(corpus, seed_author, hops=2)
     trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
-    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed)
+    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed, registry=registry)
     members = [AuthorId(a) for a in sorted(trusted.graph.nodes())[: args.members]]
     for m in members:
         net.join(m)
@@ -131,6 +135,15 @@ def cmd_simulate(args) -> int:
     net.engine.every(horizon / (10 * len(members)), traffic)
     net.engine.run(until=horizon)
     net.sync_usage()
+    return net, horizon
+
+
+def cmd_simulate(args) -> int:
+    """`repro simulate`: run a live S-CDN and print both metric suites."""
+    from .metrics import compute_cdn_metrics, compute_social_metrics
+
+    net, horizon = _run_live_scdn(args)
+    members = net.clients
     cdn = compute_cdn_metrics(net.collector, horizon_s=horizon)
     social = compute_social_metrics(net.collector)
     print(f"members={len(members)} requests={cdn.n_requests}")
@@ -140,6 +153,38 @@ def cmd_simulate(args) -> int:
     print(f"exchanges={social.n_exchanges} "
           f"volume={social.transaction_volume_bytes / 1e6:.1f}MB "
           f"freeriders={social.freerider_ratio:.2f}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """`repro obs`: run a live S-CDN and print its observability report.
+
+    The run uses a fresh (non-global) registry so the report reflects this
+    run only. ``--json`` additionally exports the snapshot for later
+    ingestion by :meth:`repro.metrics.MetricsCollector.ingest_obs_snapshot`
+    or side-by-side storage with ``BENCH_*.json`` artifacts.
+    """
+    from .obs import Registry, render_report
+
+    registry = Registry(trace_capacity=args.trace_capacity)
+    net, horizon = _run_live_scdn(args, registry=registry)
+    snapshot = net.obs_snapshot()
+    hits = snapshot["counters"].get("alloc.hop_cache.hits", {"value": 0})["value"]
+    misses = snapshot["counters"].get("alloc.hop_cache.misses", {"value": 0})["value"]
+    total = hits + misses
+    print(f"simulated {args.days} day(s), {len(net.clients)} members, "
+          f"horizon {horizon:.0f}s")
+    if total:
+        print(f"hop-cache hit rate: {hits}/{total} ({100.0 * hits / total:.1f}%)")
+    print()
+    print(render_report(snapshot, trace_tail=args.trace, bars=args.bars))
+    if args.json:
+        try:
+            registry.to_json(args.json)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nwrote obs snapshot to {args.json}")
     return 0
 
 
@@ -184,6 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--members", type=int, default=20)
     p.add_argument("--days", type=float, default=1.0)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("obs", help="run a live S-CDN and print the obs report")
+    common(p)
+    p.add_argument("--members", type=int, default=20)
+    p.add_argument("--days", type=float, default=1.0)
+    p.add_argument("--json", help="also write the snapshot JSON to this path")
+    p.add_argument("--trace", type=int, default=10,
+                   help="trace events to show (0 = none)")
+    p.add_argument("--trace-capacity", type=int, default=2048,
+                   help="trace ring buffer capacity")
+    p.add_argument("--bars", action="store_true",
+                   help="ASCII bucket charts per histogram")
+    p.set_defaults(func=cmd_obs)
 
     return parser
 

@@ -9,13 +9,20 @@ event stream of a simulated S-CDN and produces both reports.
 """
 
 from .collector import MetricsCollector
-from .cdn_metrics import CDNMetricsReport, compute_cdn_metrics
+from .cdn_metrics import (
+    CDNMetricsReport,
+    compute_cdn_metrics,
+    node_availability,
+    server_availability,
+)
 from .social_metrics import SocialMetricsReport, compute_social_metrics
 
 __all__ = [
     "MetricsCollector",
     "CDNMetricsReport",
     "compute_cdn_metrics",
+    "node_availability",
+    "server_availability",
     "SocialMetricsReport",
     "compute_social_metrics",
 ]

@@ -8,12 +8,59 @@ time, stability."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from .collector import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..cdn.allocation import AllocationServer
+
+
+def node_availability(
+    transitions: Sequence[Tuple[float, str]], horizon_s: float
+) -> float:
+    """Fraction of ``[0, horizon_s)`` a node was online, from its
+    state-transition log.
+
+    ``transitions`` is a sequence of ``(time, "online"|"offline")`` pairs as
+    recorded by :meth:`repro.cdn.allocation.AllocationServer.state_transitions`
+    (the ``at=`` timestamps of ``node_offline`` / ``node_online``). Nodes are
+    assumed online from t=0 until their first transition; entries are sorted
+    by time so callers may mix explicit timestamps with defaults.
+    """
+    if horizon_s <= 0:
+        raise ConfigurationError("horizon_s must be positive")
+    online = True
+    last = 0.0
+    up = 0.0
+    for t, state in sorted(transitions, key=lambda e: e[0]):
+        if t >= horizon_s:
+            break
+        if state == "offline" and online:
+            up += max(0.0, t - last)
+            online = False
+            last = t
+        elif state == "online" and not online:
+            online = True
+            last = t
+    if online:
+        up += horizon_s - last
+    return min(1.0, up / horizon_s)
+
+
+def server_availability(server: "AllocationServer", horizon_s: float) -> float:
+    """Mean :func:`node_availability` over an allocation server's registered
+    nodes — the paper's availability metric computed straight from the
+    server's own state logs (no collector required)."""
+    logs = server.availability_log()
+    if not logs:
+        return 1.0
+    return float(
+        np.mean([node_availability(log, horizon_s) for log in logs.values()])
+    )
 
 
 @dataclass(frozen=True, slots=True)

@@ -10,8 +10,8 @@ simulations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Literal, Mapping, Optional
 
 from ..errors import ConfigurationError
 from ..ids import AuthorId, NodeId, SegmentId
@@ -109,6 +109,80 @@ class MetricsCollector:
     def record_node_state(self, event: NodeStateEvent) -> None:
         """Record a node lifecycle transition."""
         self.node_states.append(event)
+
+    def ingest_obs_snapshot(self, snapshot: Mapping[str, Any]) -> int:
+        """Replay an observability snapshot's trace events into the collector.
+
+        Bridges :mod:`repro.obs` and the metrics pipeline so a sim run's
+        exported snapshot (``Registry.snapshot()`` / ``repro obs --json``)
+        and live collection share one data source. Recognized trace kinds:
+
+        * ``"resolve"`` / ``"resolve_failed"`` -> :class:`RequestEvent`
+          (hops 0 = ``local``, <= 1 = ``near``, else ``remote``; the
+          resolve's wall latency stands in for duration);
+        * ``"node_state"`` -> :class:`NodeStateEvent` (``offline`` and
+          ``departed`` both count as downtime);
+        * ``"transfer"`` -> :class:`ExchangeEvent`.
+
+        Unknown kinds are skipped. Returns the number of events ingested.
+        """
+        count = 0
+        for ev in snapshot.get("trace", []):
+            kind = ev.get("kind")
+            ts = ev.get("ts")
+            time = float(ts) if ts is not None else 0.0
+            if kind == "resolve":
+                hops = ev.get("hops")
+                if hops == 0:
+                    outcome = "local"
+                elif hops is not None and hops <= 1:
+                    outcome = "near"
+                else:
+                    outcome = "remote"
+                self.record_request(
+                    RequestEvent(
+                        time=time,
+                        requester=AuthorId(ev["requester"]),
+                        segment_id=SegmentId(ev["segment"]),
+                        outcome=outcome,  # type: ignore[arg-type]
+                        social_hops=hops,
+                        duration_s=float(ev.get("latency_s", 0.0)),
+                    )
+                )
+            elif kind == "resolve_failed":
+                self.record_request(
+                    RequestEvent(
+                        time=time,
+                        requester=AuthorId(ev["requester"]),
+                        segment_id=SegmentId(ev["segment"]),
+                        outcome="failed",
+                        social_hops=None,
+                        duration_s=0.0,
+                    )
+                )
+            elif kind == "node_state":
+                state = ev["state"]
+                if state not in ("online", "offline", "joined", "departed"):
+                    continue
+                self.record_node_state(
+                    NodeStateEvent(time=time, node=NodeId(ev["node"]), state=state)
+                )
+            elif kind == "transfer":
+                self.record_exchange(
+                    ExchangeEvent(
+                        time=time,
+                        source=NodeId(ev["source"]),
+                        dest=NodeId(ev["dest"]),
+                        segment_id=SegmentId(ev["segment"]),
+                        size_bytes=int(ev["size_bytes"]),
+                        ok=bool(ev["ok"]),
+                        duration_s=float(ev["duration_s"]),
+                    )
+                )
+            else:
+                continue
+            count += 1
+        return count
 
     def register_node(
         self,

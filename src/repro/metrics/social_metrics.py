@@ -15,7 +15,6 @@ from typing import Dict
 
 import numpy as np
 
-from ..errors import ConfigurationError
 from .collector import MetricsCollector
 
 

@@ -13,7 +13,7 @@ import hashlib
 import itertools
 import secrets
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List
 
 from ..errors import AuthenticationError, ConfigurationError
 from ..ids import AuthorId

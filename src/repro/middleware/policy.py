@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, Set
 
 from ..errors import AuthorizationError, ConfigurationError
 from ..ids import AuthorId

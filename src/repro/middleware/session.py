@@ -9,7 +9,7 @@ simulations exercise re-authentication.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import AuthenticationError, ConfigurationError
 from ..ids import AuthorId

@@ -1,0 +1,56 @@
+"""Observability: counters, gauges, histograms, timers, and trace events.
+
+The paper's evaluation (Section VI) is entirely measurement-driven —
+availability, response time, stability on the CDN side; request
+acceptance and freerider ratios on the social side — and the ROADMAP's
+"as fast as the hardware allows" goal needs per-operation visibility
+before any optimisation is honest. This package is the shared
+instrumentation layer both consume:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — cheap
+  instruments for hot paths (``AllocationServer.resolve``, the sim
+  engine's event loop, the transfer client);
+* :meth:`Histogram.time` — context-manager wall-clock timers;
+* :class:`TraceRing` — a bounded ring buffer of structured
+  :class:`TraceEvent` records (the flight recorder);
+* :class:`Registry` — one namespace tying them together, with a
+  process-wide default (:func:`get_registry`) and JSON snapshot export
+  that :class:`repro.metrics.MetricsCollector` can re-ingest;
+* :func:`render_report` — the text renderer behind ``repro obs``.
+
+Everything is dependency-free, single-threaded, and deterministic except
+for wall-clock timer values (which never feed back into simulation
+behaviour).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Timer,
+    exponential_buckets,
+    linear_buckets,
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_LINEAR_BUCKETS,
+)
+from .registry import Registry, SNAPSHOT_SCHEMA, get_registry, set_registry
+from .report import render_report
+from .trace import TraceEvent, TraceRing
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "TraceEvent",
+    "TraceRing",
+    "Registry",
+    "SNAPSHOT_SCHEMA",
+    "get_registry",
+    "set_registry",
+    "render_report",
+    "exponential_buckets",
+    "linear_buckets",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_LINEAR_BUCKETS",
+]

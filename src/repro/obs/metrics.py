@@ -1,0 +1,265 @@
+"""Primitive instruments: counters, gauges, histograms, timers.
+
+Dependency-free and allocation-light by design: the instruments live on
+the hot paths the ROADMAP wants to optimise (``AllocationServer.resolve``,
+the sim engine's event loop), so every operation is a couple of attribute
+reads and an integer add. Aggregation (quantiles, means, rendering) is
+deferred to snapshot/report time.
+
+All instruments are single-process and not thread-safe — the simulator is
+single-threaded by design (see :mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """Bucket upper bounds ``start * factor**i`` for ``i`` in ``[0, count)``.
+
+    The conventional shape for latency histograms: constant *relative*
+    resolution across orders of magnitude.
+    """
+    if start <= 0:
+        raise ConfigurationError(f"start must be positive, got {start}")
+    if factor <= 1.0:
+        raise ConfigurationError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+def linear_buckets(start: float, width: float, count: int) -> Tuple[float, ...]:
+    """Bucket upper bounds ``start + width*i`` for ``i`` in ``[0, count)``.
+
+    The right shape for bounded integer quantities such as social hop
+    distances or retry counts.
+    """
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    return tuple(start + width * i for i in range(count))
+
+
+#: Default latency bounds: 1 µs .. ~67 s in powers of 2 (27 buckets).
+DEFAULT_LATENCY_BUCKETS = exponential_buckets(1e-6, 2.0, 27)
+
+#: Default generic-value bounds: 0..15 linearly (hops, small counts).
+DEFAULT_LINEAR_BUCKETS = linear_buckets(0.0, 1.0, 16)
+
+
+class Counter:
+    """A monotonically increasing count (requests served, cache hits...)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up; got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable view: ``{"value": n}`` plus help text when set."""
+        out: Dict[str, Any] = {"value": self._value}
+        if self.help:
+            out["help"] = self.help
+        return out
+
+
+class Gauge:
+    """A value that can go up and down (current load, queue depth...)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta`` (may be negative)."""
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable view: ``{"value": v}`` plus help text when set."""
+        out: Dict[str, Any] = {"value": self._value}
+        if self.help:
+            out["help"] = self.help
+        return out
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max side channels.
+
+    Observations land in the first bucket whose upper bound is >= the
+    value; values above every bound land in the implicit overflow bucket.
+    Quantiles are estimated by linear interpolation inside the winning
+    bucket — exact enough for latency reporting, O(1) memory.
+    """
+
+    __slots__ = ("name", "help", "_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ConfigurationError(f"bucket bounds must strictly increase: {bounds}")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 = overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def time(self) -> "Timer":
+        """Context manager observing the elapsed wall time of its block::
+
+            with histogram.time():
+                expensive_call()
+        """
+        return Timer(self)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return self._max if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Interpolates linearly within the winning bucket; the overflow
+        bucket reports the observed maximum. Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0.0
+        lo = 0.0
+        for i, upper in enumerate(self._bounds):
+            c = self._counts[i]
+            if seen + c >= rank:
+                if c == 0:
+                    return upper
+                frac = (rank - seen) / c
+                est = lo + frac * (upper - lo)
+                return min(max(est, self._min), self._max)
+            seen += c
+            lo = upper
+        return self._max
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` pairs; the overflow bound is ``inf``."""
+        out = list(zip(self._bounds, self._counts))
+        out.append((float("inf"), self._counts[-1]))
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable view with count/sum/min/max/mean/p50/p95/p99 and the
+        non-empty buckets (upper bound -> count; overflow keyed ``"+inf"``)."""
+        nonzero = {}
+        for upper, c in zip(self._bounds, self._counts):
+            if c:
+                nonzero[repr(upper)] = c
+        if self._counts[-1]:
+            nonzero["+inf"] = self._counts[-1]
+        out: Dict[str, Any] = {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": nonzero,
+        }
+        if self.help:
+            out["help"] = self.help
+        return out
+
+
+class Timer:
+    """Context manager that records a block's wall-clock duration into a
+    :class:`Histogram` (created via :meth:`Histogram.time`)."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        """Start the clock."""
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Stop the clock and record the elapsed seconds (even on error —
+        failures are part of the latency distribution)."""
+        self._histogram.observe(time.perf_counter() - self._start)

@@ -1,0 +1,174 @@
+"""The instrument registry: one namespace for a process's metrics.
+
+Components get-or-create named instruments at construction time and keep
+the returned references on hot paths (a registry lookup is a dict probe,
+but a bound attribute is cheaper still). A process-wide default registry
+(:func:`get_registry`) makes the zero-configuration path work — every
+component accepts an explicit ``registry=`` for isolation in tests or
+multi-tenant simulations.
+
+Snapshots are plain dicts (JSON-serializable) so they can be written to
+disk next to ``BENCH_*.json`` artifacts and re-ingested by
+:class:`repro.metrics.collector.MetricsCollector`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from .metrics import Counter, Gauge, Histogram
+from .trace import TraceEvent, TraceRing
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+#: Schema tag embedded in every snapshot, bumped on breaking layout changes.
+SNAPSHOT_SCHEMA = "repro-obs/1"
+
+
+class Registry:
+    """A named collection of counters, gauges, histograms, and a trace ring.
+
+    Parameters
+    ----------
+    trace_capacity:
+        Size of the structured-event ring buffer.
+    """
+
+    def __init__(self, *, trace_capacity: int = 2048) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self.traces = TraceRing(trace_capacity)
+
+    # ------------------------------------------------------------------
+    # get-or-create
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, factory) -> Instrument:
+        if not name:
+            raise ConfigurationError("instrument name must be non-empty")
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"instrument {name!r} already registered as "
+                    f"{type(existing).__name__}, requested {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (``buckets`` applies only on
+        first creation; later calls return the existing instrument)."""
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets, help))
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+    def trace(self, kind: str, ts: Optional[float] = None, **fields: Any) -> TraceEvent:
+        """Append a structured event to the trace ring."""
+        return self.traces.append(kind, ts=ts, **fields)
+
+    # ------------------------------------------------------------------
+    # introspection / export
+    # ------------------------------------------------------------------
+    def names(self) -> list:
+        """Sorted names of all registered instruments."""
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def counters(self) -> Dict[str, Counter]:
+        """All counters by name."""
+        return {n: i for n, i in self._instruments.items() if isinstance(i, Counter)}
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """All gauges by name."""
+        return {n: i for n, i in self._instruments.items() if isinstance(i, Gauge)}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """All histograms by name."""
+        return {n: i for n, i in self._instruments.items() if isinstance(i, Histogram)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full serializable state: every instrument plus the trace ring.
+
+        Layout::
+
+            {"schema": "repro-obs/1",
+             "counters":   {name: {"value": ...}},
+             "gauges":     {name: {"value": ...}},
+             "histograms": {name: {"count": ..., "p95": ..., "buckets": ...}},
+             "trace":      [{"seq": ..., "ts": ..., "kind": ..., ...}, ...],
+             "trace_dropped": n}
+        """
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": {n: c.snapshot() for n, c in sorted(self.counters().items())},
+            "gauges": {n: g.snapshot() for n, g in sorted(self.gauges().items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self.histograms().items())
+            },
+            "trace": self.traces.snapshot(),
+            "trace_dropped": self.traces.dropped,
+        }
+
+    def to_json(self, path: str, *, indent: int = 2) -> None:
+        """Write :meth:`snapshot` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=indent, sort_keys=True)
+            fh.write("\n")
+
+    def reset(self) -> None:
+        """Forget every instrument and clear the trace ring.
+
+        Components keep references to instruments they created, so resetting
+        a registry that live components still write to orphans their
+        instruments (writes continue, snapshots no longer see them). Reset
+        between runs, not mid-run.
+        """
+        self._instruments.clear()
+        self.traces.clear()
+
+
+_default_registry = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Replace the process-wide default registry; returns the previous one.
+
+    Intended for tests and embedding applications that need isolation::
+
+        previous = set_registry(Registry())
+        try:
+            ...
+        finally:
+            set_registry(previous)
+    """
+    global _default_registry
+    if not isinstance(registry, Registry):
+        raise ConfigurationError(f"expected a Registry, got {type(registry).__name__}")
+    previous = _default_registry
+    _default_registry = registry
+    return previous

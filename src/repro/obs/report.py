@@ -1,0 +1,100 @@
+"""Human-readable rendering of registry snapshots (``repro obs``).
+
+Renders the dict produced by :meth:`repro.obs.Registry.snapshot` — not
+live instruments — so the same code formats a running process and a
+``*.obs.json`` file loaded from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_histogram_bar(snapshot: Mapping[str, Any], *, width: int = 32) -> List[str]:
+    """ASCII bar rows (``bound  count  bar``) for one histogram snapshot."""
+    buckets: Mapping[str, int] = snapshot.get("buckets", {})
+    if not buckets:
+        return ["  (empty)"]
+    peak = max(buckets.values())
+    rows = []
+    for bound, count in buckets.items():
+        label = bound if bound == "+inf" else _fmt(float(bound))
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        rows.append(f"  <= {label:>10} {count:>8}  {bar}")
+    return rows
+
+
+def render_report(
+    snapshot: Mapping[str, Any],
+    *,
+    trace_tail: int = 0,
+    bars: bool = False,
+) -> str:
+    """Format a registry snapshot as an aligned text report.
+
+    Parameters
+    ----------
+    snapshot:
+        Output of :meth:`repro.obs.Registry.snapshot` (or the parsed JSON
+        export of one).
+    trace_tail:
+        Number of newest trace events to include (0 = omit traces).
+    bars:
+        Also render an ASCII bucket bar chart per histogram.
+    """
+    lines: List[str] = []
+
+    counters: Dict[str, Any] = snapshot.get("counters", {})
+    if counters:
+        lines.append("== counters ==")
+        pad = max(len(n) for n in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{pad}}  {counters[name]['value']}")
+
+    gauges: Dict[str, Any] = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("== gauges ==")
+        pad = max(len(n) for n in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{pad}}  {_fmt(gauges[name]['value'])}")
+
+    histograms: Dict[str, Any] = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("== histograms ==")
+        header = f"  {'name':<36} {'count':>8} {'mean':>10} {'p50':>10} {'p95':>10} {'max':>10}"
+        lines.append(header)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<36} {h['count']:>8} {_fmt(h['mean']):>10} "
+                f"{_fmt(h['p50']):>10} {_fmt(h['p95']):>10} {_fmt(h['max']):>10}"
+            )
+            if bars and h["count"]:
+                lines.extend(render_histogram_bar(h))
+
+    trace: List[Mapping[str, Any]] = snapshot.get("trace", [])
+    if trace_tail > 0 and trace:
+        dropped = snapshot.get("trace_dropped", 0)
+        lines.append(f"== trace (last {min(trace_tail, len(trace))} of "
+                     f"{len(trace)} retained, {dropped} dropped) ==")
+        for ev in trace[-trace_tail:]:
+            extras = {
+                k: v for k, v in ev.items() if k not in ("seq", "ts", "kind")
+            }
+            payload = " ".join(f"{k}={_fmt(v)}" for k, v in extras.items())
+            ts = "-" if ev.get("ts") is None else _fmt(ev["ts"])
+            lines.append(f"  #{ev['seq']:<6} t={ts:<10} {ev['kind']:<14} {payload}")
+
+    if not lines:
+        return "(empty registry)"
+    return "\n".join(lines)

@@ -48,6 +48,7 @@ from .metrics.collector import (
     NodeStateEvent,
     RequestEvent,
 )
+from .obs import Registry, get_registry
 from .sim.engine import SimulationEngine
 from .sim.network import NetworkModel, random_geography
 
@@ -98,6 +99,10 @@ class SCDN:
         community node degree).
     network:
         Geographic network model; generated randomly when omitted.
+    registry:
+        Observability registry shared by every component (allocation
+        server, transfer client, sim engine, replication policy);
+        defaults to the process-wide one. :meth:`obs_snapshot` exports it.
     """
 
     def __init__(
@@ -108,9 +113,11 @@ class SCDN:
         network: Optional[NetworkModel] = None,
         config: Optional[SCDNConfig] = None,
         seed: SeedLike = None,
+        registry: Optional[Registry] = None,
     ) -> None:
         self.graph = graph
         self.config = config or SCDNConfig()
+        self.obs = registry if registry is not None else get_registry()
         rng = make_rng(seed)
         net_rng, alloc_rng, transfer_rng = spawn(rng, 3)
         self.network = network or random_geography(
@@ -122,15 +129,17 @@ class SCDN:
             graph,
             placement or CommunityNodeDegreePlacement(),
             seed=alloc_rng,
+            registry=self.obs,
         )
         self.transfer = TransferClient(
             self.network,
             failure_prob=self.config.transfer_failure_prob,
             seed=transfer_rng,
+            registry=self.obs,
         )
-        self.engine = SimulationEngine()
+        self.engine = SimulationEngine(registry=self.obs)
         self.collector = MetricsCollector()
-        self.replication = ReplicationPolicy(self.server)
+        self.replication = ReplicationPolicy(self.server, registry=self.obs)
         self.propagator = UpdatePropagator(
             self.server, self.transfer, self.engine
         )
@@ -354,3 +363,14 @@ class SCDN:
             self.collector.report_usage(
                 client.repository.node_id, stats.replica_used_bytes
             )
+
+    def obs_snapshot(self) -> dict:
+        """Serializable snapshot of the shared observability registry —
+        resolve latencies, hop distributions, cache hit rates, transfer and
+        repair counters, plus the trace ring (see :mod:`repro.obs`)."""
+        return self.obs.snapshot()
+
+    def dump_obs(self, path: str) -> None:
+        """Write :meth:`obs_snapshot` to ``path`` as JSON (ingestable by
+        :meth:`repro.metrics.MetricsCollector.ingest_obs_snapshot`)."""
+        self.obs.to_json(path)

@@ -9,7 +9,6 @@ churn. Time is in seconds.
 
 from __future__ import annotations
 
-import math
 import zlib
 from abc import ABC, abstractmethod
 from typing import Dict, List, Sequence, Tuple

@@ -11,9 +11,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SimulationError
+from ..obs import Registry, get_registry
 
 Callback = Callable[["SimulationEngine"], None]
 
@@ -39,15 +40,33 @@ class SimulationEngine:
         engine = SimulationEngine()
         engine.schedule(10.0, lambda e: print(e.now))
         engine.run()
+
+    Parameters
+    ----------
+    registry:
+        Observability registry (defaults to the process-wide one). The
+        engine maintains ``sim.events`` / ``sim.runs`` counters, the
+        ``sim.virtual_time`` / ``sim.pending_events`` gauges, and a
+        ``sim.run_wall_s`` histogram of wall-clock run() durations.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, registry: Optional[Registry] = None) -> None:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
         self._cancelled: set[int] = set()
+        self.obs = registry if registry is not None else get_registry()
+        self._m_events = self.obs.counter("sim.events", help="events executed")
+        self._m_runs = self.obs.counter("sim.runs", help="run() invocations")
+        self._m_vtime = self.obs.gauge("sim.virtual_time", help="virtual clock (s)")
+        self._m_pending = self.obs.gauge(
+            "sim.pending_events", help="queued events after the last run()"
+        )
+        self._m_run_wall = self.obs.histogram(
+            "sim.run_wall_s", help="wall-clock duration of run() calls"
+        )
 
     @property
     def now(self) -> float:
@@ -102,27 +121,39 @@ class SimulationEngine:
         self._running = True
         ran = 0
         try:
-            while self._queue:
-                if max_events is not None and ran >= max_events:
-                    break
-                ev = self._queue[0]
-                if until is not None and ev.time > until:
-                    break
-                heapq.heappop(self._queue)
-                if ev.seq in self._cancelled:
-                    self._cancelled.discard(ev.seq)
-                    continue
-                self._now = ev.time
-                ev.callback(self)
-                ran += 1
-                self._processed += 1
+            with self._m_run_wall.time():
+                while self._queue:
+                    if max_events is not None and ran >= max_events:
+                        break
+                    ev = self._queue[0]
+                    if until is not None and ev.time > until:
+                        break
+                    heapq.heappop(self._queue)
+                    if ev.seq in self._cancelled:
+                        self._cancelled.discard(ev.seq)
+                        continue
+                    self._now = ev.time
+                    ev.callback(self)
+                    ran += 1
+                    self._processed += 1
         finally:
             self._running = False
+            self._m_events.inc(ran)
+            self._m_runs.inc()
+            self._m_vtime.set(self._now)
+            self._m_pending.set(self.pending)
         if until is not None and self._now < until and (
             not self._queue or self._queue[0].time > until
         ):
             self._now = until
+            self._m_vtime.set(self._now)
         return ran
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Serializable snapshot of the engine's observability registry
+        (counters, gauges, histograms, trace ring) — every sim run can dump
+        one next to its results."""
+        return self.obs.snapshot()
 
     def step(self) -> bool:
         """Execute exactly one event; returns False if the queue is empty."""
@@ -134,6 +165,8 @@ class SimulationEngine:
             self._now = ev.time
             ev.callback(self)
             self._processed += 1
+            self._m_events.inc()
+            self._m_vtime.set(self._now)
             return True
         return False
 

@@ -9,7 +9,7 @@ metrics collector's stability metric are exercised through these events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Literal, Optional, Sequence
+from typing import Callable, List, Literal, Sequence
 
 from ..errors import ConfigurationError
 from ..ids import NodeId

@@ -9,14 +9,14 @@ needs, while exposing the raw graph for algorithms that want it.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
 import numpy as np
 
 from ..errors import GraphError
 from ..ids import AuthorId
-from .records import Corpus, Publication
+from .records import Corpus
 
 
 class CoauthorshipGraph:

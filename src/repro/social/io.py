@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Set, TextIO, Tuple, Union
+from typing import Dict, Iterable, List, Set, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..ids import AuthorId, PublicationId

@@ -12,7 +12,7 @@ where profiling shows it matters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 from weakref import WeakKeyDictionary
 
 import networkx as nx

@@ -8,7 +8,7 @@ The paper's case study extracts an authorship network from DBLP for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, GraphError

@@ -28,11 +28,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..errors import ConfigurationError, GraphError
+from ..errors import ConfigurationError
 from ..ids import AuthorId
 from .graph import CoauthorshipGraph, build_coauthorship_graph
 from .records import Corpus

@@ -17,8 +17,8 @@ replication keep the data close to the collaborators who need it?
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, WorkloadError
 from ..ids import AuthorId, DatasetId

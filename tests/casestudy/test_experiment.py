@@ -7,12 +7,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.social.generators import CorpusConfig, generate_corpus
-from repro.casestudy.experiment import (
-    AlgorithmCurve,
-    CaseStudyConfig,
-    run_case_study,
-    table1_rows,
-)
+from repro.casestudy.experiment import CaseStudyConfig, run_case_study, table1_rows
 
 
 SMALL_SWEEP = CaseStudyConfig(replica_counts=(1, 3, 5), n_runs=5)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.ids import AuthorId, NodeId
+from repro.ids import NodeId
 from repro.social.graph import build_coauthorship_graph
 from repro.social.records import Corpus
 from repro.cdn.placement import GeoSocialPlacement, NodeDegreePlacement

@@ -1,0 +1,91 @@
+"""Tests for the obs -> metrics bridge: ``ingest_obs_snapshot`` and the
+state-log availability helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import MetricsCollector, node_availability
+from repro.obs import Registry
+
+
+class TestNodeAvailability:
+    def test_always_online(self):
+        assert node_availability([], 100.0) == 1.0
+
+    def test_single_downtime_window(self):
+        log = [(10.0, "offline"), (30.0, "online")]
+        assert node_availability(log, 40.0) == 0.5
+
+    def test_terminal_downtime(self):
+        assert node_availability([(25.0, "offline")], 100.0) == 0.25
+
+    def test_unsorted_log_is_sorted(self):
+        log = [(30.0, "online"), (10.0, "offline")]
+        assert node_availability(log, 40.0) == 0.5
+
+    def test_transitions_past_horizon_ignored(self):
+        log = [(10.0, "offline"), (50.0, "online")]
+        assert node_availability(log, 20.0) == 0.5
+
+    def test_duplicate_states_are_idempotent(self):
+        log = [(10.0, "offline"), (15.0, "offline"), (30.0, "online")]
+        assert node_availability(log, 40.0) == 0.5
+
+    def test_horizon_validated(self):
+        with pytest.raises(ConfigurationError):
+            node_availability([], 0.0)
+
+
+class TestIngestObsSnapshot:
+    def _registry_with_traces(self):
+        reg = Registry()
+        reg.trace(
+            "resolve", segment="s0", requester="alice", node="n1",
+            hops=0, load=0, latency_s=0.001,
+        )
+        reg.trace(
+            "resolve", segment="s0", requester="bob", node="n1",
+            hops=3, load=1, latency_s=0.002,
+        )
+        reg.trace("resolve_failed", segment="s1", requester="carol")
+        reg.trace("node_state", ts=5.0, node="n1", state="offline")
+        reg.trace(
+            "transfer", ts=6.0, source="n1", dest="n2", segment="s0",
+            size_bytes=100, ok=True, duration_s=0.5, attempts=1,
+        )
+        reg.trace("hop_cache_invalidate", reason="register")  # unknown: skipped
+        return reg
+
+    def test_counts_and_routing(self):
+        coll = MetricsCollector()
+        n = coll.ingest_obs_snapshot(self._registry_with_traces().snapshot())
+        assert n == 5  # everything except the unknown kind
+        assert len(coll.requests) == 3
+        assert len(coll.node_states) == 1
+        assert len(coll.exchanges) == 1
+
+    def test_resolve_outcomes(self):
+        coll = MetricsCollector()
+        coll.ingest_obs_snapshot(self._registry_with_traces().snapshot())
+        by_requester = {r.requester: r for r in coll.requests}
+        assert by_requester["alice"].outcome == "local"
+        assert by_requester["alice"].duration_s == 0.001
+        assert by_requester["bob"].outcome == "remote"
+        assert by_requester["bob"].social_hops == 3
+        assert by_requester["carol"].outcome == "failed"
+
+    def test_transfer_updates_served_tallies(self):
+        coll = MetricsCollector()
+        coll.ingest_obs_snapshot(self._registry_with_traces().snapshot())
+        assert coll.bytes_served == {"n1": 100}
+        assert coll.bytes_consumed == {"n2": 100}
+
+    def test_node_state_feeds_observed_availability(self):
+        coll = MetricsCollector()
+        coll.ingest_obs_snapshot(self._registry_with_traces().snapshot())
+        assert coll.observed_availability("n1", 10.0) == 0.5
+
+    def test_empty_snapshot(self):
+        assert MetricsCollector().ingest_obs_snapshot({}) == 0

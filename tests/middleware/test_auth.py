@@ -8,9 +8,7 @@ from repro.errors import AuthenticationError, ConfigurationError
 from repro.ids import AuthorId
 from repro.middleware.auth import Credential, SocialNetworkPlatform
 from repro.social.graph import build_coauthorship_graph
-from repro.social.records import Corpus
 
-from ..conftest import pub
 
 
 @pytest.fixture

@@ -1,0 +1,139 @@
+"""Unit tests for the obs instruments (counters, gauges, histograms, timers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    exponential_buckets,
+    linear_buckets,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        c = Counter("x")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("x", help="things")
+        c.inc(3)
+        assert c.snapshot() == {"value": 3, "help": "things"}
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("load")
+        g.set(10.0)
+        g.add(-2.5)
+        assert g.value == 7.5
+        assert g.snapshot()["value"] == 7.5
+
+
+class TestBucketFactories:
+    def test_exponential(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_linear(self):
+        assert linear_buckets(0.0, 1.0, 4) == (0.0, 1.0, 2.0, 3.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ConfigurationError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(ConfigurationError):
+            linear_buckets(0.0, 0.0, 4)
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        h = Histogram("lat", buckets=linear_buckets(0.0, 1.0, 10))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_histogram_is_all_zeros(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.min == 0.0
+        assert h.max == 0.0
+        assert h.quantile(0.95) == 0.0
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        bounds_counts = h.buckets()
+        assert bounds_counts[-1] == (float("inf"), 1)
+        assert h.snapshot()["buckets"] == {"+inf": 1}
+
+    def test_quantiles_bracket_the_data(self):
+        h = Histogram("lat", buckets=linear_buckets(0.0, 1.0, 101))
+        for v in range(100):
+            h.observe(float(v))
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        assert 40.0 <= h.quantile(0.5) <= 60.0
+        assert 90.0 <= h.quantile(0.95) <= 99.0
+
+    def test_quantile_validates(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat").quantile(1.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=())
+
+    def test_integer_values_land_in_exact_buckets(self):
+        # hop distances: value k must land in the bucket with bound k
+        h = Histogram("hops", buckets=linear_buckets(0.0, 1.0, 5))
+        h.observe(0)
+        h.observe(2)
+        h.observe(2)
+        counts = dict(h.buckets())
+        assert counts[0.0] == 1
+        assert counts[2.0] == 2
+
+    def test_timer_records_elapsed(self):
+        h = Histogram("t")
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.max >= 0.0
+
+    def test_timer_records_on_exception(self):
+        h = Histogram("t")
+        with pytest.raises(ValueError):
+            with h.time():
+                raise ValueError("boom")
+        assert h.count == 1
+
+    def test_snapshot_shape(self):
+        h = Histogram("lat", buckets=(1.0, 2.0), help="latency")
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["sum"] == 0.5
+        assert snap["help"] == "latency"
+        assert set(snap) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+            "buckets", "help",
+        }

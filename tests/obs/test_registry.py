@@ -1,0 +1,140 @@
+"""Unit tests for the obs registry, snapshot export, and report renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    SNAPSHOT_SCHEMA,
+    get_registry,
+    render_report,
+    set_registry,
+)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = Registry()
+        c1 = reg.counter("a.b", help="first wins")
+        c2 = reg.counter("a.b", help="ignored")
+        assert c1 is c2
+        assert c1.help == "first wins"
+
+    def test_type_conflict_raises(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.histogram("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Registry().counter("")
+
+    def test_typed_views(self):
+        reg = Registry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert set(reg.counters()) == {"c"}
+        assert set(reg.gauges()) == {"g"}
+        assert set(reg.histograms()) == {"h"}
+        assert reg.names() == ["c", "g", "h"]
+        assert isinstance(reg.get("c"), Counter)
+        assert isinstance(reg.get("g"), Gauge)
+        assert isinstance(reg.get("h"), Histogram)
+        assert reg.get("nope") is None
+
+    def test_snapshot_layout(self):
+        reg = Registry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg.trace("ev", ts=3.0, x=1)
+        snap = reg.snapshot()
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["counters"]["c"]["value"] == 2
+        assert snap["gauges"]["g"]["value"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["trace"][0]["kind"] == "ev"
+        assert snap["trace_dropped"] == 0
+
+    def test_json_roundtrip(self, tmp_path):
+        reg = Registry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1.0)
+        reg.trace("ev", node="n")
+        path = tmp_path / "obs.json"
+        reg.to_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(reg.snapshot()))
+
+    def test_reset(self):
+        reg = Registry()
+        reg.counter("c").inc()
+        reg.trace("ev")
+        reg.reset()
+        assert reg.names() == []
+        assert len(reg.traces) == 0
+
+    def test_trace_capacity_configurable(self):
+        reg = Registry(trace_capacity=2)
+        for i in range(4):
+            reg.trace("ev", n=i)
+        assert reg.traces.dropped == 2
+
+
+class TestGlobalRegistry:
+    def test_get_set_roundtrip(self):
+        original = get_registry()
+        fresh = Registry()
+        try:
+            previous = set_registry(fresh)
+            assert previous is original
+            assert get_registry() is fresh
+        finally:
+            set_registry(original)
+
+    def test_set_rejects_non_registry(self):
+        with pytest.raises(ConfigurationError):
+            set_registry(object())  # type: ignore[arg-type]
+
+
+class TestRenderReport:
+    def _snapshot(self):
+        reg = Registry()
+        reg.counter("requests", help="reqs").inc(5)
+        reg.gauge("load").set(2.0)
+        h = reg.histogram("latency_s", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.05):
+            h.observe(v)
+        reg.trace("resolve", ts=1.0, node="n1")
+        return reg.snapshot()
+
+    def test_sections_present(self):
+        text = render_report(self._snapshot(), trace_tail=5)
+        assert "== counters ==" in text
+        assert "requests" in text
+        assert "== gauges ==" in text
+        assert "== histograms ==" in text
+        assert "latency_s" in text
+        assert "== trace" in text
+        assert "resolve" in text
+
+    def test_trace_omitted_by_default(self):
+        assert "== trace" not in render_report(self._snapshot())
+
+    def test_bars(self):
+        text = render_report(self._snapshot(), bars=True)
+        assert "#" in text
+
+    def test_empty_registry(self):
+        assert render_report(Registry().snapshot()) == "(empty registry)"

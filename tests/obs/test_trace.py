@@ -1,0 +1,60 @@
+"""Unit tests for the trace-event ring buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import TraceRing
+
+
+class TestTraceRing:
+    def test_append_and_order(self):
+        ring = TraceRing(8)
+        for i in range(3):
+            ring.append("tick", ts=float(i), n=i)
+        events = ring.events()
+        assert [e.fields["n"] for e in events] == [0, 1, 2]
+        assert [e.seq for e in events] == [0, 1, 2]
+        assert len(ring) == 3
+        assert ring.dropped == 0
+
+    def test_wraps_and_counts_drops(self):
+        ring = TraceRing(3)
+        for i in range(5):
+            ring.append("tick", n=i)
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        assert [e.fields["n"] for e in ring.events()] == [2, 3, 4]
+        # sequence numbers keep increasing across wraps
+        assert [e.seq for e in ring.events()] == [2, 3, 4]
+
+    def test_kind_filter_and_tail(self):
+        ring = TraceRing(10)
+        ring.append("a", n=1)
+        ring.append("b", n=2)
+        ring.append("a", n=3)
+        assert [e.fields["n"] for e in ring.events(kind="a")] == [1, 3]
+        assert [e.fields["n"] for e in ring.tail(2)] == [2, 3]
+        assert ring.tail(0) == []
+
+    def test_clear(self):
+        ring = TraceRing(2)
+        ring.append("a")
+        ring.append("a")
+        ring.append("a")
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.dropped == 0
+        ev = ring.append("b")
+        assert ev.seq == 3  # sequence survives clears
+
+    def test_snapshot_is_flat_dicts(self):
+        ring = TraceRing(4)
+        ring.append("resolve", ts=1.5, node="n1", hops=2)
+        snap = ring.snapshot()
+        assert snap == [{"seq": 0, "ts": 1.5, "kind": "resolve", "node": "n1", "hops": 2}]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            TraceRing(0)

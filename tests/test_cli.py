@@ -96,6 +96,62 @@ class TestSimulate:
         assert "availability" in capsys.readouterr().out
 
 
+class TestObs:
+    def test_report_and_json_export(self, small_corpus_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "obs.json"
+        rc = main(
+            [
+                "obs",
+                "--corpus", small_corpus_file,
+                "--seed-author", "a",
+                "--members", "4",
+                "--days", "0.05",
+                "--trace", "3",
+                "--json", str(out),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "== counters ==" in text
+        assert "alloc.resolve.latency_s" in text
+        assert "alloc.resolve.hops" in text
+        snapshot = json.loads(out.read_text())
+        assert snapshot["schema"] == "repro-obs/1"
+        assert snapshot["counters"]["alloc.resolve.total"]["value"] > 0
+
+    def test_unwritable_json_path_exits_cleanly(self, small_corpus_file, capsys):
+        rc = main(
+            [
+                "obs",
+                "--corpus", small_corpus_file,
+                "--seed-author", "a",
+                "--members", "4",
+                "--days", "0.05",
+                "--json", "/nonexistent-dir/x.json",
+            ]
+        )
+        assert rc == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_report_without_export(self, small_corpus_file, capsys):
+        rc = main(
+            [
+                "obs",
+                "--corpus", small_corpus_file,
+                "--seed-author", "a",
+                "--members", "4",
+                "--days", "0.05",
+                "--trace", "0",
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "hop-cache hit rate" in text
+        assert "== trace" not in text
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -7,7 +7,7 @@ import itertools
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.ids import AuthorId, DatasetId, NodeId, id_sequence, validate_id
+from repro.ids import AuthorId, NodeId, id_sequence, validate_id
 
 
 class TestValidate:

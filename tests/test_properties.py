@@ -5,11 +5,10 @@ from __future__ import annotations
 import string
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ids import AuthorId, DatasetId, NodeId, PublicationId, SegmentId
-from repro.rng import make_rng, zipf_weights
+from repro.rng import zipf_weights
 from repro.social.graph import build_coauthorship_graph
 from repro.social.metrics import clustering_coefficients, degree_vector
 from repro.social.records import Corpus, Publication
