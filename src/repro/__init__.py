@@ -74,6 +74,7 @@ from .cdn import (
     segment_dataset,
     ReplicaCatalog,
     StorageRepository,
+    RetryPolicy,
     TransferClient,
     AllocationServer,
     CDNClient,
@@ -144,6 +145,7 @@ __all__ = [
     "segment_dataset",
     "ReplicaCatalog",
     "StorageRepository",
+    "RetryPolicy",
     "TransferClient",
     "AllocationServer",
     "CDNClient",

@@ -21,7 +21,7 @@ This subpackage implements the paper's Section V architecture as a working
 from .content import Dataset, DataSegment, Replica, ReplicaState, segment_dataset
 from .catalog import ReplicaCatalog
 from .storage import StorageRepository, RepositoryStats
-from .transfer import TransferClient, TransferRequest, TransferResult
+from .transfer import RetryPolicy, TransferClient, TransferRequest, TransferResult
 from .placement import (
     PlacementAlgorithm,
     RandomPlacement,
@@ -60,6 +60,7 @@ __all__ = [
     "ReplicaCatalog",
     "StorageRepository",
     "RepositoryStats",
+    "RetryPolicy",
     "TransferClient",
     "TransferRequest",
     "TransferResult",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import CatalogError, ConfigurationError, PlacementError
 from ..ids import AuthorId, DatasetId, NodeId, SegmentId
@@ -89,6 +89,7 @@ class AllocationServer:
         self._node_of_author: Dict[AuthorId, NodeId] = {}
         self._author_of_node: Dict[NodeId, AuthorId] = {}
         self._offline: Set[NodeId] = set()
+        self._liveness: Optional[Callable[[NodeId], bool]] = None
         self._dataset_budget: Dict[DatasetId, int] = {}
         self._hop_cache: Dict[AuthorId, Dict[AuthorId, int]] = {}
         #: per-node (time, "online"|"offline") transitions, in record order
@@ -113,6 +114,10 @@ class AllocationServer:
         )
         self._m_resolve_failed = obs.counter(
             "alloc.resolve.failed", help="resolve() calls with no servable replica"
+        )
+        self._m_failovers = obs.counter(
+            "alloc.resolve.failover",
+            help="reads redirected to a backup replica after a failed transfer",
         )
         self._m_hop_cache_hits = obs.counter(
             "alloc.hop_cache.hits", help="hop-distance lookups served from cache"
@@ -240,9 +245,37 @@ class AllocationServer:
         """Number of registered storage nodes."""
         return len(self._repos)
 
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` has a registered repository."""
+        return node in self._repos
+
     # ------------------------------------------------------------------
     # liveness
     # ------------------------------------------------------------------
+    def set_liveness_oracle(
+        self, oracle: Optional[Callable[[NodeId], bool]]
+    ) -> None:
+        """Install an external liveness signal (e.g. a failure injector's
+        ``is_alive``).
+
+        Once set, discovery, placement, and repair treat a node as
+        servable only when it is both not marked offline on the server
+        (``node_offline`` / ``migrate_node``) *and* the oracle reports it
+        alive — so replicas are never handed out on nodes the failure
+        layer already killed, even before the corresponding
+        ``node_offline`` bookkeeping lands. Pass ``None`` to remove.
+        """
+        if oracle is not None and not callable(oracle):
+            raise ConfigurationError("liveness oracle must be callable or None")
+        self._liveness = oracle
+
+    def _is_live(self, node: NodeId) -> bool:
+        """Server-side liveness: not offline, and alive per the oracle."""
+        if node in self._offline:
+            return False
+        if self._liveness is not None and not self._liveness(node):
+            return False
+        return True
     def _record_transition(self, node: NodeId, at: float, state: str) -> None:
         # append-only; consumers (node_availability) sort by time, so callers
         # may mix explicit timestamps with the 0.0 default without breaking
@@ -293,10 +326,11 @@ class AllocationServer:
         return n
 
     def is_online(self, node: NodeId) -> bool:
-        """Whether a registered node is currently online."""
+        """Whether a registered node is currently online (and, when a
+        liveness oracle is installed, alive according to it)."""
         if node not in self._repos:
             raise ConfigurationError(f"unknown node {node!r}")
-        return node not in self._offline
+        return self._is_live(node)
 
     def state_transitions(self, node: NodeId) -> List[Tuple[float, str]]:
         """The recorded ``(time, "online"|"offline")`` transitions of a node.
@@ -349,7 +383,7 @@ class AllocationServer:
         hosts = [
             a
             for a, n in self._node_of_author.items()
-            if n not in self._offline
+            if self._is_live(n)
         ]
         if not hosts:
             raise PlacementError("no online repositories registered")
@@ -476,7 +510,7 @@ class AllocationServer:
                 placed = False
                 for author in candidates:
                     node = self._node_of_author.get(author)
-                    if node is None or node in self._offline:
+                    if node is None or not self._is_live(node):
                         continue
                     repo = self._repos[node]
                     if repo.hosts_segment(segment.segment_id) or not repo.can_host(
@@ -544,35 +578,34 @@ class AllocationServer:
         self._hop_cache[requester] = hops
         return hops
 
-    def resolve(self, segment_id: SegmentId, requester: AuthorId) -> ResolvedReplica:
-        """Find the best servable replica of a segment for ``requester``.
+    def resolve_candidates(
+        self,
+        segment_id: SegmentId,
+        requester: AuthorId,
+        *,
+        limit: Optional[int] = None,
+    ) -> List[ResolvedReplica]:
+        """Rank every servable live replica of a segment for ``requester``.
 
-        Selection: online hosts only, ordered by social hop distance from
-        the requester (unknown distance sorts last), then by load (fewest
+        Ordering matches :meth:`resolve`: social hop distance from the
+        requester first (unknown distance sorts last), then load (fewest
         reads served), then node id for determinism. Load is looked up
-        once per candidate node before sorting — never inside the
-        comparison key. Records the access on the chosen replica (the
-        demand signal) and full observability: latency, hop distance,
-        hop-cache hit/miss, chosen-node load, and a ``resolve`` trace
-        event.
+        once per distinct node before sorting — never inside the
+        comparison key.
 
-        Raises
-        ------
-        CatalogError
-            If no servable replica exists.
+        This is a pure query — no read is recorded, no resolve counters
+        move (hop-cache hit/miss accounting still applies). It is the
+        failover path's source of backup replicas: when a transfer to the
+        first choice fails, callers walk the remainder of this ranking.
+        Returns an empty list when nothing is servable.
         """
-        t0 = perf_counter()
         reps = [
             r
             for r in self.catalog.replicas_of_segment(segment_id, servable_only=True)
-            if r.node_id not in self._offline
+            if self._is_live(r.node_id)
         ]
         if not reps:
-            self._m_resolve_failed.inc()
-            self.obs.trace(
-                "resolve_failed", segment=str(segment_id), requester=str(requester)
-            )
-            raise CatalogError(f"no servable replica of {segment_id}")
+            return []
         hops = self._hops_from(requester)
 
         # Hoisted load lookups: one property read per distinct node, instead
@@ -586,16 +619,76 @@ class AllocationServer:
             d = hops.get(self._author_of_node[r.node_id], 10**9)
             return (d, loads[r.node_id], str(r.node_id))
 
-        best = min(reps, key=sort_key)
-        best.touch()
-        self._repos[best.node_id].read_segment(segment_id)
-        author = self._author_of_node[best.node_id]
-        d = hops.get(author)
+        reps.sort(key=sort_key)
+        if limit is not None:
+            reps = reps[:limit]
+        return [
+            ResolvedReplica(
+                replica=r, social_hops=hops.get(self._author_of_node[r.node_id])
+            )
+            for r in reps
+        ]
+
+    def record_served(self, replica: Replica) -> None:
+        """Record a read served by ``replica``: the demand signal on the
+        replica plus load on its host repository. :meth:`resolve` does
+        this for its chosen replica; failover callers do it for the
+        backup that actually served."""
+        replica.touch()
+        self._repos[replica.node_id].read_segment(replica.segment_id)
+
+    def record_failover(
+        self,
+        segment_id: SegmentId,
+        requester: AuthorId,
+        *,
+        from_node: NodeId,
+        to_node: NodeId,
+    ) -> None:
+        """Record that a read of ``segment_id`` failed over from
+        ``from_node`` to ``to_node`` after a transfer failure (the
+        ``alloc.resolve.failover`` counter and a ``failover`` trace)."""
+        self._m_failovers.inc()
+        self.obs.trace(
+            "failover",
+            segment=str(segment_id),
+            requester=str(requester),
+            from_node=str(from_node),
+            to_node=str(to_node),
+        )
+
+    def resolve(self, segment_id: SegmentId, requester: AuthorId) -> ResolvedReplica:
+        """Find the best servable replica of a segment for ``requester``.
+
+        Selection: live hosts only (not offline, alive per the liveness
+        oracle when one is installed), ranked by
+        :meth:`resolve_candidates`. Records the access on the chosen
+        replica (the demand signal) and full observability: latency, hop
+        distance, hop-cache hit/miss, chosen-node load, and a ``resolve``
+        trace event.
+
+        Raises
+        ------
+        CatalogError
+            If no servable replica exists.
+        """
+        t0 = perf_counter()
+        candidates = self.resolve_candidates(segment_id, requester)
+        if not candidates:
+            self._m_resolve_failed.inc()
+            self.obs.trace(
+                "resolve_failed", segment=str(segment_id), requester=str(requester)
+            )
+            raise CatalogError(f"no servable replica of {segment_id}")
+        best = candidates[0]
+        load = self._repos[best.replica.node_id].reads_served
+        self.record_served(best.replica)
+        d = best.social_hops
 
         elapsed = perf_counter() - t0
         self._m_resolve_latency.observe(elapsed)
         self._m_resolve_total.inc()
-        self._m_chosen_load.set(loads[best.node_id])
+        self._m_chosen_load.set(load)
         if d is not None:
             self._m_resolve_hops.observe(d)
         else:
@@ -604,19 +697,20 @@ class AllocationServer:
             "resolve",
             segment=str(segment_id),
             requester=str(requester),
-            node=str(best.node_id),
+            node=str(best.replica.node_id),
             hops=d,
-            load=loads[best.node_id],
+            load=load,
             latency_s=elapsed,
         )
-        return ResolvedReplica(replica=best, social_hops=d)
+        return best
 
     # ------------------------------------------------------------------
     # management: repair, demand, migration
     # ------------------------------------------------------------------
     def under_replicated(self) -> List[Tuple[SegmentId, int]]:
         """Segments below their dataset's replica budget, counting only
-        replicas on online hosts."""
+        replicas on live hosts (online, and alive per the liveness
+        oracle when one is installed)."""
         out: List[Tuple[SegmentId, int]] = []
         for ds in self.catalog.datasets():
             budget = self.replica_budget(ds.dataset_id)
@@ -626,7 +720,7 @@ class AllocationServer:
                     for r in self.catalog.replicas_of_segment(
                         seg.segment_id, servable_only=True
                     )
-                    if r.node_id not in self._offline
+                    if self._is_live(r.node_id)
                 ]
                 if len(live) < budget:
                     out.append((seg.segment_id, len(live)))
@@ -659,7 +753,7 @@ class AllocationServer:
             eligible = [
                 a
                 for a, n in self._node_of_author.items()
-                if n not in self._offline and n not in holders
+                if self._is_live(n) and n not in holders
             ]
             if not eligible:
                 self._m_repair_starved.inc()

@@ -19,9 +19,10 @@ from typing import Dict, List, Optional
 
 from ..errors import CapacityError, CatalogError, TransferError
 from ..ids import AuthorId, DatasetId, SegmentId
-from .allocation import AllocationServer
+from .allocation import AllocationServer, ResolvedReplica
+from .content import DataSegment
 from .storage import StorageRepository
-from .transfer import TransferClient, TransferRequest
+from .transfer import TransferClient, TransferRequest, TransferResult
 
 
 @dataclass(slots=True)
@@ -33,6 +34,7 @@ class ClientStats:
     cache_hits: int = 0
     remote_fetches: int = 0
     failed: int = 0
+    failovers: int = 0
     bytes_fetched: int = 0
     total_fetch_time_s: float = 0.0
     hop_histogram: Dict[int, int] = field(default_factory=dict)
@@ -102,39 +104,87 @@ class CDNClient:
         if self.repository.has_user_file(self._cache_name(segment_id)):
             self.stats.cache_hits += 1
             return AccessOutcome(segment_id, "user-cache", 0, 0.0, True)
-        # 3. remote: discover and transfer
+        # 3. remote: discover, transfer, fail over on transfer failure
         try:
             resolved = self.server.resolve(segment_id, self.author)
         except CatalogError:
             self.stats.failed += 1
             return AccessOutcome(segment_id, "remote", None, 0.0, False)
         segment = self.server.catalog.segment(segment_id)
-        request = TransferRequest(
-            segment_id=segment_id,
-            source=resolved.replica.node_id,
-            dest=self.repository.node_id,
-            size_bytes=segment.size_bytes,
-        )
-        try:
-            result = self.transfer.execute(request)
-        except TransferError:
-            self.stats.failed += 1
-            return AccessOutcome(segment_id, "remote", resolved.social_hops, 0.0, False)
-        if not result.ok:
+        result, resolved, duration = self._fetch_with_failover(segment, resolved)
+        if result is None or not result.ok:
             self.stats.failed += 1
             return AccessOutcome(
-                segment_id, "remote", resolved.social_hops, result.duration_s, False
+                segment_id, "remote", resolved.social_hops, duration, False
             )
         self._cache_store(segment_id, segment.size_bytes)
         self.stats.remote_fetches += 1
         self.stats.bytes_fetched += segment.size_bytes
-        self.stats.total_fetch_time_s += result.duration_s
+        self.stats.total_fetch_time_s += duration
         if resolved.social_hops is not None:
             h = resolved.social_hops
             self.stats.hop_histogram[h] = self.stats.hop_histogram.get(h, 0) + 1
         return AccessOutcome(
-            segment_id, "remote", resolved.social_hops, result.duration_s, True
+            segment_id, "remote", resolved.social_hops, duration, True
         )
+
+    def _fetch_with_failover(
+        self, segment: DataSegment, primary: ResolvedReplica
+    ) -> tuple[Optional[TransferResult], ResolvedReplica, float]:
+        """Transfer ``segment`` from ``primary``, failing over through the
+        server's ranked backups when a transfer fails.
+
+        Each failed source (a :class:`TransferError` or an exhausted-retry
+        result) is recorded as a failover on the allocation server before
+        the next-best live replica is tried. Returns the final transfer
+        result (``None`` if even the last source raised), the replica that
+        was actually used, and the total duration across every source
+        tried — failed attempts and backoff waits included, so the access
+        outcome reflects what the failover really cost.
+        """
+        total = 0.0
+        chosen = primary
+        tried: set = set()
+        backups: Optional[List[ResolvedReplica]] = None
+        while True:
+            node = chosen.replica.node_id
+            tried.add(node)
+            request = TransferRequest(
+                segment_id=segment.segment_id,
+                source=node,
+                dest=self.repository.node_id,
+                size_bytes=segment.size_bytes,
+            )
+            result: Optional[TransferResult]
+            try:
+                result = self.transfer.execute(request)
+            except TransferError:
+                result = None
+            else:
+                total += result.duration_s
+            if result is not None and result.ok:
+                if chosen is not primary:
+                    # resolve() recorded the primary; record the backup
+                    # that actually served instead
+                    self.server.record_served(chosen.replica)
+                return result, chosen, total
+            if backups is None:
+                backups = self.server.resolve_candidates(
+                    segment.segment_id, self.author
+                )
+            nxt = next(
+                (c for c in backups if c.replica.node_id not in tried), None
+            )
+            if nxt is None:
+                return result, chosen, total
+            self.server.record_failover(
+                segment.segment_id,
+                self.author,
+                from_node=node,
+                to_node=nxt.replica.node_id,
+            )
+            self.stats.failovers += 1
+            chosen = nxt
 
     def access_dataset(self, dataset_id: DatasetId) -> List[AccessOutcome]:
         """Access every segment of a dataset, in order."""

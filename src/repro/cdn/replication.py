@@ -159,6 +159,20 @@ class ReplicationPolicy:
 
         engine.every(self.audit_interval_s, tick, label="replication-audit")
 
+    def schedule_repair(self, engine: SimulationEngine, *, delay_s: float = 0.0) -> None:
+        """Schedule a one-shot audit ``delay_s`` from the engine's now.
+
+        The failure-triggered repair path: a failure injector (see
+        :meth:`repro.sim.failures.FailureInjector.attach_server`) calls
+        this on every crash/outage event so repair latency is bounded by
+        ``delay_s`` instead of the periodic :attr:`audit_interval_s`.
+        """
+        if delay_s < 0:
+            raise ConfigurationError(f"delay_s must be >= 0, got {delay_s}")
+        engine.schedule_in(
+            delay_s, lambda e: self.audit(at=e.now), label="repair-on-failure"
+        )
+
     # ------------------------------------------------------------------
     # analysis helpers
     # ------------------------------------------------------------------

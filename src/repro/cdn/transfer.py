@@ -5,7 +5,10 @@ secure, and reliable third-party transfer mechanism". This module provides
 the same interface contract against the simulated network: submit a
 transfer between two nodes, get a duration (latency + bandwidth drain) and
 an outcome. Reliability is modeled with a per-transfer failure probability
-and automatic retries, mirroring Globus's checksum-and-retry behaviour.
+and automatic retries with exponential backoff, mirroring Globus's
+checksum-and-retry behaviour. All retry knobs live on :class:`RetryPolicy`
+so the same policy object can configure every mover in the system (the
+SCDN facade, the chaos harness, ad-hoc experiment scripts).
 """
 
 from __future__ import annotations
@@ -14,11 +17,87 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from ..errors import ConfigurationError, TransferError
 from ..ids import NodeId, SegmentId, TransferId
 from ..obs import Registry, get_registry, linear_buckets
 from ..rng import SeedLike, make_rng
 from ..sim.network import NetworkModel
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Retry/backoff/timeout configuration for transfer execution.
+
+    Attributes
+    ----------
+    max_attempts:
+        Attempts before a transfer is abandoned.
+    timeout_s:
+        Per-attempt deadline. An attempt whose (estimated) duration would
+        exceed the deadline is aborted after ``timeout_s`` simulated
+        seconds and counted as a failure. ``None`` disables timeouts.
+    base_backoff_s:
+        Wait before the second attempt. ``0.0`` disables backoff waits
+        entirely (immediate retries, the pre-policy behaviour).
+    backoff_multiplier:
+        Exponential growth factor of successive backoff waits.
+    max_backoff_s:
+        Upper bound on any single backoff wait.
+    jitter:
+        Fraction of each wait randomized away (in ``[0, 1]``). The draw
+        comes from the *caller's* seeded RNG, so backoff schedules are
+        fully deterministic under a fixed seed.
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = None
+    base_backoff_s: float = 0.5
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.base_backoff_s < 0:
+            raise ConfigurationError(f"base_backoff_s must be >= 0, got {self.base_backoff_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigurationError(
+                f"max_backoff_s ({self.max_backoff_s}) must be >= "
+                f"base_backoff_s ({self.base_backoff_s})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, failed_attempts: int, rng: np.random.Generator) -> float:
+        """Wait before the next attempt, after ``failed_attempts`` failures.
+
+        Exponential in the number of failures, capped at
+        :attr:`max_backoff_s`, with up to :attr:`jitter` of the wait
+        randomized downwards (decorrelates retry storms while never
+        exceeding the cap). Deterministic for a seeded ``rng``.
+        """
+        if failed_attempts < 1:
+            raise ConfigurationError(
+                f"failed_attempts must be >= 1, got {failed_attempts}"
+            )
+        if self.base_backoff_s == 0.0:
+            return 0.0
+        raw = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_multiplier ** (failed_attempts - 1),
+        )
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * float(rng.random()))
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,9 +118,11 @@ class TransferRequest:
 class TransferResult:
     """Outcome of a transfer.
 
-    ``duration_s`` covers all attempts, including failed ones (each failed
-    attempt costs its full would-be duration before the retry, a pessimistic
-    but simple model).
+    ``duration_s`` covers all attempts *and* the backoff waits between
+    them (each failed attempt costs its full would-be duration — or the
+    per-attempt timeout — before the retry, a pessimistic but simple
+    model). ``backoff_s`` is the portion of ``duration_s`` spent waiting
+    between attempts.
     """
 
     transfer_id: TransferId
@@ -49,6 +130,8 @@ class TransferResult:
     ok: bool
     duration_s: float
     attempts: int
+    backoff_s: float = 0.0
+    timeouts: int = 0
 
     @property
     def effective_bandwidth_bps(self) -> float:
@@ -69,9 +152,13 @@ class TransferClient:
         Probability that any single attempt fails (checksum mismatch,
         connection reset...).
     max_attempts:
-        Attempts before the transfer is abandoned.
+        Back-compat shorthand for ``RetryPolicy(max_attempts=...)``;
+        ignored when ``retry`` is given.
+    retry:
+        Full retry/backoff/timeout policy. Defaults to
+        ``RetryPolicy(max_attempts=max_attempts)``.
     seed:
-        RNG seed for failure draws.
+        RNG seed for failure and backoff-jitter draws.
     registry:
         Observability registry; defaults to the process-wide one.
     """
@@ -82,6 +169,7 @@ class TransferClient:
         *,
         failure_prob: float = 0.0,
         max_attempts: int = 3,
+        retry: Optional[RetryPolicy] = None,
         seed: SeedLike = None,
         registry: Optional[Registry] = None,
     ) -> None:
@@ -91,7 +179,7 @@ class TransferClient:
             raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
         self.network = network
         self.failure_prob = failure_prob
-        self.max_attempts = max_attempts
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=max_attempts)
         self._rng = make_rng(seed)
         self._counter = itertools.count()
         self.completed: List[TransferResult] = []
@@ -105,6 +193,9 @@ class TransferClient:
         self._m_bytes = self.obs.counter(
             "transfer.bytes_moved", help="payload bytes of successful transfers"
         )
+        self._m_timeouts = self.obs.counter(
+            "transfer.timeouts", help="attempts aborted by the per-attempt timeout"
+        )
         self._m_attempts = self.obs.histogram(
             "transfer.attempts",
             buckets=linear_buckets(1.0, 1.0, 10),
@@ -114,6 +205,15 @@ class TransferClient:
             "transfer.duration_s",
             help="simulated transfer duration including failed attempts",
         )
+        self._m_backoff = self.obs.histogram(
+            "transfer.retry.backoff_s",
+            help="simulated backoff wait before each retry",
+        )
+
+    @property
+    def max_attempts(self) -> int:
+        """Attempts before a transfer is abandoned (from :attr:`retry`)."""
+        return self.retry.max_attempts
 
     def estimate_duration(self, request: TransferRequest) -> float:
         """Single-attempt duration for ``request`` (no failures)."""
@@ -121,7 +221,15 @@ class TransferClient:
         return link.transfer_time(request.size_bytes)
 
     def execute(self, request: TransferRequest) -> TransferResult:
-        """Run the transfer synchronously; retries up to ``max_attempts``.
+        """Run the transfer synchronously; retries per :attr:`retry`.
+
+        Each attempt re-reads the network model, so a slow-link episode
+        beginning between retries is reflected in the next attempt's
+        duration. Attempts whose duration would exceed the policy's
+        ``timeout_s`` cost exactly ``timeout_s`` and fail. Failed attempts
+        are separated by the policy's (jittered, seeded) backoff waits,
+        which are included in ``duration_s`` and tallied separately in
+        ``backoff_s``.
 
         Raises
         ------
@@ -132,22 +240,39 @@ class TransferClient:
             raise TransferError(f"source node {request.source} not in network")
         if request.dest not in self.network:
             raise TransferError(f"dest node {request.dest} not in network")
-        single = self.estimate_duration(request)
         total = 0.0
+        backoff_total = 0.0
         attempts = 0
+        timeouts = 0
         ok = False
-        while attempts < self.max_attempts:
+        while attempts < self.retry.max_attempts:
             attempts += 1
-            total += single
-            if self._rng.random() >= self.failure_prob:
+            single = self.estimate_duration(request)
+            timeout = self.retry.timeout_s
+            if timeout is not None and single > timeout:
+                total += timeout
+                timeouts += 1
+                self._m_timeouts.inc()
+            elif self._rng.random() >= self.failure_prob:
+                total += single
                 ok = True
                 break
+            else:
+                total += single
+            if attempts < self.retry.max_attempts:
+                wait = self.retry.backoff_s(attempts, self._rng)
+                if wait > 0.0:
+                    backoff_total += wait
+                    total += wait
+                    self._m_backoff.observe(wait)
         result = TransferResult(
             transfer_id=TransferId(f"t-{next(self._counter)}"),
             request=request,
             ok=ok,
             duration_s=total,
             attempts=attempts,
+            backoff_s=backoff_total,
+            timeouts=timeouts,
         )
         self.completed.append(result)
         self._m_total.inc()
@@ -166,7 +291,21 @@ class TransferClient:
             ok=ok,
             duration_s=total,
             attempts=attempts,
+            backoff_s=backoff_total,
+            timeouts=timeouts,
         )
+        return result
+
+    def execute_or_raise(self, request: TransferRequest) -> TransferResult:
+        """Like :meth:`execute`, but raise :class:`TransferError` when the
+        transfer exhausts its attempts (callers that cannot fail over)."""
+        result = self.execute(request)
+        if not result.ok:
+            raise TransferError(
+                f"transfer of {request.segment_id} from {request.source} to "
+                f"{request.dest} failed after {result.attempts} attempts "
+                f"({result.timeouts} timed out)"
+            )
         return result
 
     # ------------------------------------------------------------------

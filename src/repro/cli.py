@@ -8,6 +8,7 @@ Subcommands::
     repro fig3      [--corpus F] [--runs N]          hit-rate curves
     repro simulate  [--members N] [--days D]         live S-CDN metrics
     repro obs       [--members N] [--days D] [--json F]  observability report
+    repro chaos     [--horizon S] [--seed N]         chaos campaign + report
 
 All subcommands accept ``--corpus`` (a JSON file from ``repro generate``
 or :func:`repro.social.io.save_corpus`); without it a synthetic corpus is
@@ -188,6 +189,68 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """`repro chaos`: run a fault-injection campaign and print the
+    degradation report.
+
+    Builds the same quickstart-sized deployment as ``simulate``/``obs``
+    (fresh registry), injects Poisson-scheduled crashes, outages, and
+    slow links alongside a read workload, and prints availability,
+    failover counts, repair latency, and post-repair redundancy. Exit
+    status is 0 only if the campaign ran without unhandled exceptions
+    AND post-repair redundancy reached ``--min-redundancy`` — so the
+    command doubles as a CI smoke test for the fault-tolerance path.
+    """
+    import json as _json
+
+    from .obs import Registry
+    from .scdn import SCDN, SCDNConfig
+    from .sim.chaos import ChaosConfig, run_chaos_campaign
+    from .social.trust import MinCoauthorshipTrust
+
+    registry = Registry()
+    corpus, seed_author = _get_corpus(args)
+    ego = ego_corpus(corpus, seed_author, hops=2)
+    trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
+    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed, registry=registry)
+    config = ChaosConfig(
+        horizon_s=args.horizon,
+        members=args.members,
+        crash_rate_per_node_s=args.crash_rate,
+        outage_rate_per_node_s=args.outage_rate,
+        slowlink_rate_per_node_s=args.slowlink_rate,
+        repair_delay_s=args.repair_delay,
+    )
+    report = run_chaos_campaign(net, config, seed=args.chaos_seed)
+    for line in report.lines():
+        print(line)
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(
+                    {"report": report.__dict__, "obs": net.obs_snapshot()},
+                    fh,
+                    indent=2,
+                    default=str,
+                )
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote chaos report to {args.json}")
+    ok = (
+        report.unhandled_exceptions == 0
+        and report.post_repair_redundancy >= args.min_redundancy
+    )
+    if not ok:
+        print(
+            f"FAIL: unhandled={report.unhandled_exceptions} "
+            f"redundancy={report.post_repair_redundancy:.4f} "
+            f"(need 0 and >= {args.min_redundancy})",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the `repro` command."""
     parser = argparse.ArgumentParser(
@@ -242,6 +305,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bars", action="store_true",
                    help="ASCII bucket charts per histogram")
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "chaos", help="run a fault-injection campaign and print the report"
+    )
+    common(p)
+    p.add_argument("--members", type=int, default=20)
+    p.add_argument("--horizon", type=float, default=3600.0,
+                   help="campaign horizon in simulated seconds")
+    p.add_argument("--chaos-seed", type=int, default=7,
+                   help="seed of the failure schedule and workload")
+    p.add_argument("--crash-rate", type=float, default=2e-5,
+                   help="crash rate per node per second")
+    p.add_argument("--outage-rate", type=float, default=1e-4,
+                   help="outage rate per node per second")
+    p.add_argument("--slowlink-rate", type=float, default=1e-4,
+                   help="slow-link rate per node per second")
+    p.add_argument("--repair-delay", type=float, default=0.0,
+                   help="delay between a disruption and its repair audit")
+    p.add_argument("--min-redundancy", type=float, default=0.99,
+                   help="post-repair redundancy required for exit status 0")
+    p.add_argument("--json", help="also write report + obs snapshot to this path")
+    p.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -18,7 +18,10 @@ trusted social graph and drives a full simulated deployment:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from .sim.failures import FailureInjector
 
 from .errors import AuthenticationError, AuthorizationError, ConfigurationError
 from .ids import AuthorId, DatasetId, NodeId
@@ -32,7 +35,7 @@ from .cdn.placement import CommunityNodeDegreePlacement
 from .cdn.consistency import UpdatePropagator, WriteRecord
 from .cdn.replication import ReplicationPolicy
 from .cdn.storage import StorageRepository
-from .cdn.transfer import TransferClient
+from .cdn.transfer import RetryPolicy, TransferClient
 from .middleware.auth import Credential, SocialNetworkPlatform
 from .middleware.policy import (
     AccessDecision,
@@ -68,12 +71,16 @@ class SCDNConfig:
         (on top of project rosters and ownership).
     transfer_failure_prob:
         Per-attempt failure probability of the simulated mover.
+    transfer_retry:
+        Retry/backoff/timeout policy of the simulated mover (see
+        :class:`repro.cdn.transfer.RetryPolicy`); it validates itself.
     """
 
     n_replicas: int = 3
     default_capacity_bytes: int = 500 * 10**9
     proximity_hops: int = 2
     transfer_failure_prob: float = 0.02
+    transfer_retry: RetryPolicy = RetryPolicy()
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -134,6 +141,7 @@ class SCDN:
         self.transfer = TransferClient(
             self.network,
             failure_prob=self.config.transfer_failure_prob,
+            retry=self.config.transfer_retry,
             seed=transfer_rng,
             registry=self.obs,
         )
@@ -352,6 +360,31 @@ class SCDN:
         self.collector.record_node_state(
             NodeStateEvent(time=self.engine.now, node=node, state="departed")
         )
+
+    def failure_injector(
+        self,
+        *,
+        seed: SeedLike = None,
+        repair_delay_s: float = 0.0,
+    ) -> "FailureInjector":
+        """A :class:`~repro.sim.failures.FailureInjector` over every
+        member node, fully wired into this deployment: its ``is_alive``
+        becomes the allocation server's liveness oracle, crashes trigger
+        replica migration, outages flip nodes offline/online, and every
+        disruption schedules a repair audit ``repair_delay_s`` later on
+        the replication policy. The chaos harness
+        (:mod:`repro.sim.chaos`) builds on this.
+        """
+        from .sim.failures import FailureInjector
+
+        if not self.clients:
+            raise ConfigurationError("no members joined yet")
+        nodes = [client.repository.node_id for client in self.clients.values()]
+        injector = FailureInjector(self.engine, nodes, seed=seed)
+        injector.attach_server(
+            self.server, policy=self.replication, repair_delay_s=repair_delay_s
+        )
+        return injector
 
     # ------------------------------------------------------------------
     # reporting

@@ -10,6 +10,8 @@ that platform's engine room:
 * :mod:`repro.sim.availability` — node churn (always-on, diurnal, traces).
 * :mod:`repro.sim.workload` — data-access request generators.
 * :mod:`repro.sim.failures` — failure injection.
+* :mod:`repro.sim.chaos` — composed failure campaigns with degradation
+  reports.
 """
 
 from .engine import SimulationEngine, Event
@@ -23,6 +25,7 @@ from .availability import (
 )
 from .workload import AccessRequest, WorkloadConfig, SocialWorkloadGenerator
 from .failures import FailureInjector, FailureEvent
+from .chaos import ChaosConfig, ChaosReport, run_chaos_campaign
 
 __all__ = [
     "SimulationEngine",
@@ -40,4 +43,7 @@ __all__ = [
     "SocialWorkloadGenerator",
     "FailureInjector",
     "FailureEvent",
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos_campaign",
 ]

@@ -1,0 +1,351 @@
+"""Chaos campaigns: composed failure schedules with degradation reports.
+
+The ROADMAP's production ambition needs evidence that the transfer and
+allocation pipeline degrades gracefully, not just that it works when every
+node is up. A *campaign* composes the three failure modes the injector
+knows (permanent crashes, transient outages, slow links) with a read
+workload over a live :class:`~repro.scdn.SCDN`, runs them through the
+discrete-event engine, and reduces the run to a :class:`ChaosReport`:
+data-plane availability, failover counts, repair latency, and post-repair
+redundancy. Everything flows through the deployment's observability
+registry, so ``repro obs``-style snapshots of a chaos run carry the same
+counters (``alloc.resolve.failover``, ``transfer.retry.backoff_s``,
+``chaos.*``) the report is computed from.
+
+Determinism: one campaign seed fans out (via :func:`repro.rng.spawn`)
+into independent streams for the failure schedule and the workload, so a
+``(deployment seed, campaign seed)`` pair fully pins a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, ReproError
+from ..rng import SeedLike, make_rng, spawn
+
+if TYPE_CHECKING:  # avoid a runtime sim -> scdn import cycle
+    from ..scdn import SCDN
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parameters of one chaos campaign.
+
+    The defaults are a gentle mixed campaign over a quickstart-sized
+    deployment: roughly one or two crashes, a handful of outages, and a
+    few slow-link episodes per simulated hour across 20 members — heavy
+    enough to exercise failover/repair, light enough that the repair path
+    should restore full redundancy (the CI smoke asserts it does).
+    """
+
+    horizon_s: float = 3600.0
+    members: int = 20
+    datasets: int = 4
+    segments_per_dataset: int = 2
+    dataset_size_bytes: int = 10_000_000
+    n_replicas: int = 3
+    crash_rate_per_node_s: float = 2e-5
+    outage_rate_per_node_s: float = 1e-4
+    outage_mean_duration_s: float = 300.0
+    slowlink_rate_per_node_s: float = 1e-4
+    slowlink_mean_duration_s: float = 600.0
+    slowlink_factor: float = 0.1
+    audit_interval_s: float = 600.0
+    repair_delay_s: float = 0.0
+    request_interval_s: float = 0.0  # 0 → horizon / (20 * members)
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ConfigurationError("horizon_s must be positive")
+        if self.members < 2:
+            raise ConfigurationError("need at least 2 members")
+        if self.datasets < 1 or self.segments_per_dataset < 1:
+            raise ConfigurationError("need at least one dataset with one segment")
+        if self.dataset_size_bytes <= 0:
+            raise ConfigurationError("dataset_size_bytes must be positive")
+        if self.n_replicas < 1:
+            raise ConfigurationError("n_replicas must be >= 1")
+        for name in (
+            "crash_rate_per_node_s",
+            "outage_rate_per_node_s",
+            "slowlink_rate_per_node_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.outage_mean_duration_s <= 0 or self.slowlink_mean_duration_s <= 0:
+            raise ConfigurationError("mean durations must be positive")
+        if not 0.0 < self.slowlink_factor <= 1.0:
+            raise ConfigurationError("slowlink_factor must be in (0, 1]")
+        if self.audit_interval_s <= 0:
+            raise ConfigurationError("audit_interval_s must be positive")
+        if self.repair_delay_s < 0:
+            raise ConfigurationError("repair_delay_s must be >= 0")
+        if self.request_interval_s < 0:
+            raise ConfigurationError("request_interval_s must be >= 0")
+
+    @property
+    def effective_request_interval_s(self) -> float:
+        """The workload tick period (defaulted from horizon and members)."""
+        if self.request_interval_s > 0:
+            return self.request_interval_s
+        return self.horizon_s / (20.0 * self.members)
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Degradation summary of one campaign.
+
+    ``availability`` is data-plane availability: served segment accesses
+    over served + failed (policy denials are tracked separately — a
+    correct authorization refusal is not an outage).
+    ``post_repair_redundancy`` is the mean over segments of
+    ``min(live replicas / budget, 1)`` after a final audit — 1.0 means
+    every segment is back at its full budget.
+    """
+
+    horizon_s: float
+    members: int
+    datasets: int
+    requests: int
+    served: int
+    failed: int
+    denied: int
+    availability: float
+    failovers: int
+    transfers_failed: int
+    crashes: int
+    outages: int
+    slowlinks: int
+    repairs_created: int
+    repair_latency_s: Dict[str, float] = field(default_factory=dict)
+    unrepaired_disruptions: int = 0
+    post_repair_redundancy: float = 1.0
+    unhandled_exceptions: int = 0
+
+    def lines(self) -> List[str]:
+        """Human-readable report, one finding per line."""
+        lat = self.repair_latency_s
+        lat_txt = (
+            f"p50={lat.get('p50', 0.0):.0f}s p95={lat.get('p95', 0.0):.0f}s "
+            f"max={lat.get('max', 0.0):.0f}s"
+            if lat
+            else "n/a (no disruptions)"
+        )
+        return [
+            f"chaos campaign: {self.horizon_s:.0f}s horizon, "
+            f"{self.members} members, {self.datasets} datasets",
+            f"injected: {self.crashes} crashes, {self.outages} outages, "
+            f"{self.slowlinks} slow links",
+            f"requests: {self.requests} ({self.served} served, "
+            f"{self.failed} failed, {self.denied} denied)",
+            f"availability={self.availability:.4f} failovers={self.failovers} "
+            f"transfers_failed={self.transfers_failed}",
+            f"repairs: {self.repairs_created} replicas created, "
+            f"latency {lat_txt}, {self.unrepaired_disruptions} unrepaired at horizon",
+            f"post_repair_redundancy={self.post_repair_redundancy:.4f}",
+            f"unhandled_exceptions={self.unhandled_exceptions}",
+        ]
+
+
+def _percentiles(latencies: List[float]) -> Dict[str, float]:
+    if not latencies:
+        return {}
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }
+
+
+def run_chaos_campaign(
+    net: "SCDN",
+    config: ChaosConfig,
+    *,
+    seed: SeedLike = None,
+) -> ChaosReport:
+    """Run one chaos campaign against a freshly built deployment.
+
+    ``net`` must be an :class:`~repro.scdn.SCDN` with **no members yet**:
+    the campaign joins ``config.members`` members (alphabetical over the
+    trusted graph), publishes ``config.datasets`` datasets, wires a fully
+    attached failure injector (liveness oracle + migration + repair
+    audits), schedules the crash/outage/slow-link schedules and a
+    round-robin read workload, runs the engine to the horizon, performs a
+    final repair audit, and reduces everything to a :class:`ChaosReport`.
+
+    Library errors inside workload ticks are expected degradation and are
+    counted (failed/denied); any *other* exception increments
+    ``unhandled_exceptions`` — a campaign with a nonzero count is a bug.
+    """
+    from ..ids import AuthorId
+
+    if net.clients:
+        raise ConfigurationError("run_chaos_campaign needs an SCDN with no members")
+    rng = make_rng(seed)
+    fail_rng, workload_rng = spawn(rng, 2)
+
+    obs = net.obs
+    m_requests = obs.counter("chaos.requests", help="segment accesses attempted")
+    m_served = obs.counter("chaos.served", help="segment accesses served")
+    m_failed = obs.counter("chaos.failed", help="segment accesses failed")
+    m_denied = obs.counter("chaos.denied", help="dataset accesses denied by policy")
+    m_unhandled = obs.counter(
+        "chaos.unhandled_exceptions", help="non-library errors in workload ticks"
+    )
+    m_repair_latency = obs.histogram(
+        "chaos.repair.latency_s",
+        help="virtual time from a disruption to the audit confirming full budget",
+    )
+    g_availability = obs.gauge(
+        "chaos.availability", help="served / (served + failed) at campaign end"
+    )
+
+    # --- membership and content ------------------------------------------
+    authors = [AuthorId(a) for a in sorted(net.graph.nodes())[: config.members]]
+    if len(authors) < 2:
+        raise ConfigurationError("trusted graph too small for a campaign")
+    for author in authors:
+        net.join(author)
+    dataset_ids: List[str] = []
+    owners = authors[: max(1, len(authors) // 4)]
+    for i in range(config.datasets):
+        owner = owners[i % len(owners)]
+        ds_id = f"chaos-data-{i}"
+        net.publish(
+            owner,
+            ds_id,
+            config.dataset_size_bytes,
+            n_segments=config.segments_per_dataset,
+            n_replicas=config.n_replicas,
+        )
+        dataset_ids.append(ds_id)
+
+    # --- failure schedule -------------------------------------------------
+    injector = net.failure_injector(
+        seed=fail_rng, repair_delay_s=config.repair_delay_s
+    )
+    net.replication.audit_interval_s = config.audit_interval_s
+    net.replication.attach(net.engine)
+    crashes = injector.random_crashes(config.crash_rate_per_node_s, config.horizon_s)
+    outages = injector.random_outages(
+        config.outage_rate_per_node_s,
+        config.outage_mean_duration_s,
+        config.horizon_s,
+    )
+    slowlinks = injector.random_slow_links(
+        config.slowlink_rate_per_node_s,
+        config.slowlink_mean_duration_s,
+        config.horizon_s,
+        net.network,
+        factor=config.slowlink_factor,
+    )
+
+    # --- workload ---------------------------------------------------------
+    counts = {"unhandled": 0}
+
+    def tick(engine) -> None:
+        author = authors[int(workload_rng.integers(len(authors)))]
+        ds_id = dataset_ids[int(workload_rng.integers(len(dataset_ids)))]
+        try:
+            outcomes = net.access(author, ds_id)
+        except ReproError:
+            # authorization/session refusals are policy working as designed
+            m_denied.inc()
+            return
+        except Exception:
+            counts["unhandled"] += 1
+            m_unhandled.inc()
+            return
+        for outcome in outcomes:
+            m_requests.inc()
+            if outcome.ok:
+                m_served.inc()
+            else:
+                m_failed.inc()
+
+    net.engine.every(config.effective_request_interval_s, tick, label="chaos-traffic")
+
+    # --- run --------------------------------------------------------------
+    net.engine.run(until=config.horizon_s)
+    final_report = net.replication.audit(at=config.horizon_s)
+    net.sync_usage()
+
+    # --- repair latency: first all-clear audit after each disruption ------
+    audit_times: List[Tuple[float, int]] = [
+        (r.time, r.under_replicated) for r in net.replication.reports
+    ]
+    latencies: List[float] = []
+    unrepaired = 0
+    for event in injector.history:
+        if event.kind not in ("crash", "outage-start"):
+            continue
+        cleared = next(
+            (t for t, under in audit_times if t >= event.time and under == 0), None
+        )
+        if cleared is None:
+            unrepaired += 1
+        else:
+            latency = cleared - event.time
+            latencies.append(latency)
+            m_repair_latency.observe(latency)
+
+    # --- post-repair redundancy ------------------------------------------
+    ratios: List[float] = []
+    catalog = net.server.catalog
+    for ds in catalog.datasets():
+        budget = net.server.replica_budget(ds.dataset_id)
+        for seg in ds.segments:
+            live = [
+                r
+                for r in catalog.replicas_of_segment(seg.segment_id, servable_only=True)
+                if net.server.is_online(r.node_id)
+            ]
+            ratios.append(min(len(live) / budget, 1.0))
+    redundancy = float(np.mean(ratios)) if ratios else 1.0
+
+    snapshot = obs.snapshot()
+    served = snapshot["counters"]["chaos.served"]["value"]
+    failed = snapshot["counters"]["chaos.failed"]["value"]
+    denied = snapshot["counters"]["chaos.denied"]["value"]
+    requests = snapshot["counters"]["chaos.requests"]["value"]
+    failovers = snapshot["counters"]["alloc.resolve.failover"]["value"]
+    transfers_failed = snapshot["counters"]["transfer.failed"]["value"]
+    repairs = snapshot["counters"]["alloc.repair.replicas"]["value"]
+    availability = served / (served + failed) if (served + failed) else 1.0
+    g_availability.set(availability)
+    obs.trace(
+        "chaos_report",
+        ts=config.horizon_s,
+        availability=availability,
+        failovers=failovers,
+        redundancy=redundancy,
+        unrepaired=unrepaired,
+        final_under_replicated=final_report.under_replicated,
+    )
+
+    return ChaosReport(
+        horizon_s=config.horizon_s,
+        members=len(authors),
+        datasets=len(dataset_ids),
+        requests=requests,
+        served=served,
+        failed=failed,
+        denied=denied,
+        availability=availability,
+        failovers=failovers,
+        transfers_failed=transfers_failed,
+        crashes=crashes,
+        outages=outages,
+        slowlinks=slowlinks,
+        repairs_created=repairs,
+        repair_latency_s=_percentiles(latencies),
+        unrepaired_disruptions=unrepaired,
+        post_repair_redundancy=redundancy,
+        unhandled_exceptions=counts["unhandled"],
+    )

@@ -57,6 +57,7 @@ class SimulationEngine:
         self._running = False
         self._processed = 0
         self._cancelled: set[int] = set()
+        self._pending_seqs: set[int] = set()
         self.obs = registry if registry is not None else get_registry()
         self._m_events = self.obs.counter("sim.events", help="events executed")
         self._m_runs = self.obs.counter("sim.runs", help="run() invocations")
@@ -97,6 +98,7 @@ class SimulationEngine:
             )
         ev = Event(time=time, seq=next(self._seq), callback=callback, label=label)
         heapq.heappush(self._queue, ev)
+        self._pending_seqs.add(ev.seq)
         return ev
 
     def schedule_in(self, delay: float, callback: Callback, *, label: str = "") -> Event:
@@ -105,9 +107,19 @@ class SimulationEngine:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         return self.schedule(self._now + delay, callback, label=label)
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event (lazy removal)."""
+    def cancel(self, event: Event) -> bool:
+        """Cancel a scheduled event (lazy removal).
+
+        Returns True if the event was pending and is now cancelled.
+        Cancelling an event that already executed, or one cancelled
+        before, is a no-op returning False — so ``_cancelled`` never
+        accumulates seqs the queue will never pop and :attr:`pending`
+        (and the ``sim.pending_events`` gauge) stay accurate.
+        """
+        if event.seq not in self._pending_seqs or event.seq in self._cancelled:
+            return False
         self._cancelled.add(event.seq)
+        return True
 
     def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -129,6 +141,7 @@ class SimulationEngine:
                     if until is not None and ev.time > until:
                         break
                     heapq.heappop(self._queue)
+                    self._pending_seqs.discard(ev.seq)
                     if ev.seq in self._cancelled:
                         self._cancelled.discard(ev.seq)
                         continue
@@ -156,19 +169,34 @@ class SimulationEngine:
         return self.obs.snapshot()
 
     def step(self) -> bool:
-        """Execute exactly one event; returns False if the queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.seq in self._cancelled:
-                self._cancelled.discard(ev.seq)
-                continue
-            self._now = ev.time
-            ev.callback(self)
-            self._processed += 1
-            self._m_events.inc()
-            self._m_vtime.set(self._now)
-            return True
-        return False
+        """Execute exactly one event; returns False if the queue is empty.
+
+        Raises
+        ------
+        SimulationError
+            If called re-entrantly (from a callback during :meth:`run`
+            or another :meth:`step`).
+        """
+        if self._running:
+            raise SimulationError("engine is already running (no re-entrant step())")
+        self._running = True
+        try:
+            while self._queue:
+                ev = heapq.heappop(self._queue)
+                self._pending_seqs.discard(ev.seq)
+                if ev.seq in self._cancelled:
+                    self._cancelled.discard(ev.seq)
+                    continue
+                self._now = ev.time
+                ev.callback(self)
+                self._processed += 1
+                self._m_events.inc()
+                self._m_vtime.set(self._now)
+                return True
+            return False
+        finally:
+            self._running = False
+            self._m_pending.set(self.pending)
 
     def every(
         self,

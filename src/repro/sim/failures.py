@@ -4,18 +4,41 @@ Schedules node crashes (permanent departures), transient outages, and
 slow-link episodes against a running :class:`~repro.sim.engine.SimulationEngine`,
 notifying registered handlers. The replication policy's repair path and the
 metrics collector's stability metric are exercised through these events.
+
+State rules (the chaos harness leans on these):
+
+* A **crash** is terminal: it clears any in-progress outage and slow-link
+  state for the node (restoring the network link — dead nodes don't hold
+  throttles) and suppresses that node's later ``outage-end`` /
+  ``slowlink-end`` emissions, so no phantom events fire for dead nodes.
+* A **slow-link episode** only restores/emits on end if it actually began
+  (a node crashed before ``start`` never degrades, so nothing is undone).
+* **Overlapping slow-link episodes** on one node nest: the most recent
+  factor wins while both are active, and the link is restored only when
+  the last live episode ends.
+
+:meth:`attach_server` wires all of this into an
+:class:`~repro.cdn.allocation.AllocationServer` (and optionally a
+:class:`~repro.cdn.replication.ReplicationPolicy`): the injector's
+``is_alive`` becomes the server's liveness oracle, crashes trigger replica
+migration, outages flip nodes offline/online, and every disruption
+schedules a repair audit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Literal, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Literal, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..ids import NodeId
 from ..rng import SeedLike, make_rng
 from .engine import SimulationEngine
 from .network import NetworkModel
+
+if TYPE_CHECKING:  # avoid a runtime sim -> cdn import cycle
+    from ..cdn.allocation import AllocationServer
+    from ..cdn.replication import ReplicationPolicy
 
 FailureKind = Literal["crash", "outage-start", "outage-end", "slowlink-start", "slowlink-end"]
 
@@ -58,6 +81,10 @@ class FailureInjector:
         self._handlers: List[Handler] = []
         self._crashed: set[NodeId] = set()
         self._in_outage: set[NodeId] = set()
+        #: live (begun, not yet ended) slow-link episodes per node
+        self._slow_depth: Dict[NodeId, int] = {}
+        #: network holding each node's active degradation (for crash cleanup)
+        self._slow_net: Dict[NodeId, NetworkModel] = {}
         self.history: List[FailureEvent] = []
 
     def on_failure(self, handler: Handler) -> None:
@@ -73,7 +100,11 @@ class FailureInjector:
     # liveness queries
     # ------------------------------------------------------------------
     def is_alive(self, node: NodeId) -> bool:
-        """Whether ``node`` is currently up (not crashed, not in outage)."""
+        """Whether ``node`` is currently up (not crashed, not in outage).
+
+        Suitable as an :meth:`AllocationServer.set_liveness_oracle`
+        callable (``attach_server`` installs it automatically).
+        """
         return node not in self._crashed and node not in self._in_outage
 
     def crashed_nodes(self) -> set[NodeId]:
@@ -84,7 +115,12 @@ class FailureInjector:
     # direct injections
     # ------------------------------------------------------------------
     def crash(self, node: NodeId, at: float) -> None:
-        """Schedule a permanent crash of ``node`` at time ``at``."""
+        """Schedule a permanent crash of ``node`` at time ``at``.
+
+        A crash terminates any in-progress outage (no ``outage-end`` will
+        fire for a dead node) and any live slow-link episodes (the link is
+        restored and no ``slowlink-end`` fires).
+        """
         if node not in self.nodes:
             raise ConfigurationError(f"unknown node {node!r}")
 
@@ -92,6 +128,12 @@ class FailureInjector:
             if node in self._crashed:
                 return
             self._crashed.add(node)
+            # a dead node is not "in outage"; suppress the pending end event
+            self._in_outage.discard(node)
+            # release any held slow-link throttle: later end callbacks see
+            # depth 0 and do nothing
+            if self._slow_depth.pop(node, 0):
+                self._slow_net.pop(node).restore(node)
             self._emit(FailureEvent(time=engine.now, node=node, kind="crash"))
 
         self.engine.schedule(at, fire, label=f"crash:{node}")
@@ -110,7 +152,9 @@ class FailureInjector:
             self._emit(FailureEvent(time=engine.now, node=node, kind="outage-start"))
 
         def end(engine: SimulationEngine) -> None:
-            if node in self._in_outage:
+            # only end an outage that actually started and whose node did
+            # not crash in the meantime (crash clears _in_outage)
+            if node in self._in_outage and node not in self._crashed:
                 self._in_outage.discard(node)
                 self._emit(FailureEvent(time=engine.now, node=node, kind="outage-end"))
 
@@ -130,25 +174,93 @@ class FailureInjector:
 
         Degrades ``network``'s bandwidth for the node to ``factor`` of
         nominal at ``start`` and restores it afterwards; emits
-        ``slowlink-start`` / ``slowlink-end`` events.
+        ``slowlink-start`` / ``slowlink-end`` events. The end callback
+        only restores/emits when the episode actually began (it is
+        skipped when the node crashed before ``start``, or when a crash
+        mid-episode already released the throttle). Overlapping episodes
+        nest: the link is restored when the last one ends.
         """
         if node not in self.nodes:
             raise ConfigurationError(f"unknown node {node!r}")
         if duration <= 0:
             raise ConfigurationError(f"duration must be positive, got {duration}")
+        episode = {"started": False}
 
         def begin(engine: SimulationEngine) -> None:
             if node in self._crashed:
                 return
+            episode["started"] = True
+            self._slow_depth[node] = self._slow_depth.get(node, 0) + 1
+            self._slow_net[node] = network
             network.degrade(node, factor)
             self._emit(FailureEvent(time=engine.now, node=node, kind="slowlink-start"))
 
         def end(engine: SimulationEngine) -> None:
-            network.restore(node)
+            if not episode["started"]:
+                return  # never degraded: nothing to restore, nothing to emit
+            depth = self._slow_depth.get(node, 0)
+            if depth <= 0:
+                return  # a crash mid-episode already cleaned up
+            if depth == 1:
+                self._slow_depth.pop(node)
+                self._slow_net.pop(node)
+                network.restore(node)
+            else:
+                self._slow_depth[node] = depth - 1
             self._emit(FailureEvent(time=engine.now, node=node, kind="slowlink-end"))
 
         self.engine.schedule(start, begin, label=f"slowlink:{node}")
         self.engine.schedule(start + duration, end, label=f"slowlink-end:{node}")
+
+    # ------------------------------------------------------------------
+    # server wiring
+    # ------------------------------------------------------------------
+    def attach_server(
+        self,
+        server: "AllocationServer",
+        *,
+        policy: Optional["ReplicationPolicy"] = None,
+        repair_delay_s: float = 0.0,
+    ) -> None:
+        """Wire this injector's events into an allocation server.
+
+        * installs :meth:`is_alive` as the server's liveness oracle, so
+          ``resolve``/placement/repair never pick nodes this injector has
+          taken down;
+        * **crash** → :meth:`AllocationServer.migrate_node` (offline
+          transition, replica retirement, migration repair);
+        * **outage-start** / **outage-end** →
+          :meth:`AllocationServer.node_offline` / ``node_online`` with the
+          event's virtual timestamp (feeding the availability metric);
+        * with ``policy`` given, every crash/outage event additionally
+          schedules a one-shot repair audit ``repair_delay_s`` after the
+          event (the failure-triggered repair path, on top of the
+          policy's periodic cadence).
+
+        Nodes unknown to the server (injector population wider than the
+        membership) are ignored.
+        """
+        if repair_delay_s < 0:
+            raise ConfigurationError(
+                f"repair_delay_s must be >= 0, got {repair_delay_s}"
+            )
+        server.set_liveness_oracle(self.is_alive)
+
+        def handler(event: FailureEvent) -> None:
+            if not server.has_node(event.node):
+                return
+            if event.kind == "crash":
+                server.migrate_node(event.node, at=event.time)
+            elif event.kind == "outage-start":
+                server.node_offline(event.node, at=event.time)
+            elif event.kind == "outage-end":
+                server.node_online(event.node, at=event.time)
+            else:
+                return  # slow links degrade, they don't kill
+            if policy is not None:
+                policy.schedule_repair(self.engine, delay_s=repair_delay_s)
+
+        self.on_failure(handler)
 
     # ------------------------------------------------------------------
     # random campaigns
@@ -190,6 +302,36 @@ class FailureInjector:
                     break
                 duration = float(self._rng.exponential(mean_duration_s))
                 self.outage(node, t, max(duration, 1e-9))
+                t += duration
+                n += 1
+        return n
+
+    def random_slow_links(
+        self,
+        rate_per_node_s: float,
+        mean_duration_s: float,
+        horizon_s: float,
+        network: NetworkModel,
+        *,
+        factor: float = 0.1,
+    ) -> int:
+        """Poisson-schedule slow-link episodes; returns how many were
+        scheduled. Episodes do not overlap per node (the next draw starts
+        after the previous episode ends)."""
+        if rate_per_node_s < 0 or mean_duration_s <= 0 or horizon_s <= 0:
+            raise ConfigurationError("invalid slow-link campaign parameters")
+        n = 0
+        for node in self.nodes:
+            t = self.engine.now
+            while True:
+                if rate_per_node_s == 0:
+                    break
+                gap = float(self._rng.exponential(1.0 / rate_per_node_s))
+                t += gap
+                if t - self.engine.now >= horizon_s:
+                    break
+                duration = max(float(self._rng.exponential(mean_duration_s)), 1e-9)
+                self.slow_link(node, network, start=t, duration=duration, factor=factor)
                 t += duration
                 n += 1
         return n

@@ -1,0 +1,255 @@
+"""Liveness-aware discovery and transfer failover (server + client)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError, ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId, TransferId
+from repro.obs import Registry
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.client import CDNClient
+from repro.cdn.content import segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.replication import ReplicationPolicy
+from repro.cdn.storage import StorageRepository
+from repro.cdn.transfer import TransferClient, TransferResult
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import FailureInjector
+from repro.sim.network import GeoPoint, NetworkModel
+
+from ..conftest import pub
+
+AUTHORS = ("alice", "bob", "carol", "dave", "erin")
+
+
+@pytest.fixture
+def graph():
+    pubs = [
+        pub("p1", 2009, "alice", "bob", "carol"),
+        pub("p2", 2010, "carol", "dave", "erin"),
+        pub("p3", 2010, "alice", "bob"),
+        pub("p4", 2010, "dave", "erin"),
+    ]
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+@pytest.fixture
+def rig(graph):
+    """Server with five repos, one 3-replica dataset, isolated registry."""
+    registry = Registry()
+    server = AllocationServer(graph, RandomPlacement(), seed=0, registry=registry)
+    for a in AUTHORS:
+        server.register_repository(AuthorId(a), StorageRepository(NodeId(a), 10_000))
+    ds = segment_dataset(DatasetId("d"), AuthorId("alice"), 1000)
+    server.publish_dataset(ds, n_replicas=3)
+    seg = ds.segments[0].segment_id
+    hosts = {r.node_id for r in server.catalog.replicas_of_segment(seg)}
+    return registry, server, seg, hosts
+
+
+class TestLivenessOracle:
+    def test_oracle_filters_discovery(self, rig):
+        _, server, seg, hosts = rig
+        dead = next(iter(sorted(hosts)))
+        server.set_liveness_oracle(lambda n: n != dead)
+        for _ in range(10):
+            assert server.resolve(seg, AuthorId("alice")).replica.node_id != dead
+
+    def test_is_online_consults_oracle(self, rig):
+        _, server, _, hosts = rig
+        dead = next(iter(hosts))
+        assert server.is_online(dead)
+        server.set_liveness_oracle(lambda n: n != dead)
+        assert not server.is_online(dead)
+        server.set_liveness_oracle(None)
+        assert server.is_online(dead)
+
+    def test_all_hosts_dead_raises(self, rig):
+        registry, server, seg, hosts = rig
+        server.set_liveness_oracle(lambda n: n not in hosts)
+        with pytest.raises(CatalogError, match="no servable replica"):
+            server.resolve(seg, AuthorId("alice"))
+        snap = registry.snapshot()
+        assert snap["counters"]["alloc.resolve.failed"]["value"] == 1
+
+    def test_non_callable_oracle_rejected(self, rig):
+        _, server, _, _ = rig
+        with pytest.raises(ConfigurationError):
+            server.set_liveness_oracle("not-a-callable")
+
+    def test_repair_avoids_oracle_dead_hosts(self, rig):
+        _, server, seg, hosts = rig
+        dead = next(iter(sorted(hosts)))
+        server.set_liveness_oracle(lambda n: n != dead)
+        server.migrate_node(dead)
+        for r in server.catalog.replicas_of_segment(seg, servable_only=True):
+            assert r.node_id != dead
+
+
+class TestResolveCandidates:
+    def test_ranked_and_live_only(self, rig):
+        _, server, seg, hosts = rig
+        ranked = server.resolve_candidates(seg, AuthorId("alice"))
+        assert [c.replica.node_id for c in ranked[:1]] == [
+            server.resolve(seg, AuthorId("alice")).replica.node_id
+        ]
+        assert {c.replica.node_id for c in ranked} == hosts
+        dead = ranked[0].replica.node_id
+        server.set_liveness_oracle(lambda n: n != dead)
+        assert dead not in {
+            c.replica.node_id for c in server.resolve_candidates(seg, AuthorId("alice"))
+        }
+
+    def test_limit(self, rig):
+        _, server, seg, _ = rig
+        assert len(server.resolve_candidates(seg, AuthorId("alice"), limit=2)) == 2
+
+    def test_pure_query_records_nothing(self, rig):
+        _, server, seg, _ = rig
+        before = {n: server.repository(n).reads_served for n in AUTHORS}
+        server.resolve_candidates(seg, AuthorId("alice"))
+        after = {n: server.repository(n).reads_served for n in AUTHORS}
+        assert before == after
+
+    def test_record_failover_counts(self, rig):
+        registry, server, seg, _ = rig
+        server.record_failover(
+            seg, AuthorId("alice"), from_node=NodeId("bob"), to_node=NodeId("carol")
+        )
+        snap = registry.snapshot()
+        assert snap["counters"]["alloc.resolve.failover"]["value"] == 1
+
+
+class FailFromTransfer(TransferClient):
+    """Transfer stub that exhausts its retries for designated source nodes."""
+
+    def __init__(self, network, bad_sources, **kwargs):
+        super().__init__(network, **kwargs)
+        self.bad_sources = set(bad_sources)
+        self.sources_tried: list = []
+
+    def execute(self, request):
+        self.sources_tried.append(request.source)
+        if request.source in self.bad_sources:
+            return TransferResult(
+                transfer_id=TransferId(f"fail-{len(self.sources_tried)}"),
+                request=request,
+                ok=False,
+                duration_s=5.0,
+                attempts=self.retry.max_attempts,
+            )
+        return super().execute(request)
+
+
+def make_client(server, registry, requester, bad_sources):
+    network = NetworkModel(base_latency_s=0.01, default_bandwidth_bps=8e6)
+    for a in AUTHORS:
+        network.add_node(NodeId(a), GeoPoint(0.0, float(AUTHORS.index(a))))
+    transfer = FailFromTransfer(network, bad_sources, registry=registry)
+    repo = server.repository(NodeId(requester))
+    return CDNClient(AuthorId(requester), repo, server, transfer), transfer
+
+
+class TestClientFailover:
+    def _requester(self, hosts):
+        """An author whose own repo does not host the segment."""
+        return next(a for a in AUTHORS if NodeId(a) not in hosts)
+
+    def test_failed_primary_fails_over_to_backup(self, rig):
+        registry, server, seg, hosts = rig
+        requester = self._requester(hosts)
+        primary = server.resolve_candidates(seg, AuthorId(requester))[0]
+        bad = primary.replica.node_id
+        client, transfer = make_client(server, registry, requester, {bad})
+        outcome = client.access_segment(seg)
+        assert outcome.ok
+        assert client.stats.failovers == 1
+        assert transfer.sources_tried[0] == bad
+        assert transfer.sources_tried[1] != bad
+        # the failed source's full cost lands in the outcome duration
+        assert outcome.duration_s > 5.0
+        snap = registry.snapshot()
+        assert snap["counters"]["alloc.resolve.failover"]["value"] == 1
+
+    def test_all_sources_failing_reports_failure(self, rig):
+        registry, server, seg, hosts = rig
+        requester = self._requester(hosts)
+        client, transfer = make_client(server, registry, requester, hosts)
+        outcome = client.access_segment(seg)
+        assert not outcome.ok
+        assert client.stats.failed == 1
+        assert client.stats.failovers == len(hosts) - 1
+        assert set(transfer.sources_tried) == hosts
+        snap = registry.snapshot()
+        assert snap["counters"]["alloc.resolve.failover"]["value"] == len(hosts) - 1
+
+    def test_backup_read_is_recorded_on_server(self, rig):
+        registry, server, seg, hosts = rig
+        requester = self._requester(hosts)
+        ranked = server.resolve_candidates(seg, AuthorId(requester))
+        bad, backup = ranked[0].replica.node_id, ranked[1].replica.node_id
+        reads_before = server.repository(backup).reads_served
+        client, _ = make_client(server, registry, requester, {bad})
+        assert client.access_segment(seg).ok
+        assert server.repository(backup).reads_served == reads_before + 1
+
+
+class TestInjectorServerWiring:
+    def _wired(self, rig, *, policy=False, repair_delay_s=0.0):
+        registry, server, seg, hosts = rig
+        engine = SimulationEngine(registry=registry)
+        nodes = [NodeId(a) for a in AUTHORS]
+        injector = FailureInjector(engine, nodes, seed=0)
+        pol = (
+            ReplicationPolicy(server, registry=registry) if policy else None
+        )
+        injector.attach_server(server, policy=pol, repair_delay_s=repair_delay_s)
+        return registry, server, engine, injector, seg, hosts, pol
+
+    def test_oracle_installed(self, rig):
+        _, server, engine, injector, seg, hosts, _ = self._wired(rig)
+        victim = next(iter(sorted(hosts)))
+        injector.crash(victim, at=1.0)
+        engine.run()
+        assert not server.is_online(victim)
+
+    def test_crash_migrates_replicas(self, rig):
+        _, server, engine, injector, seg, hosts, _ = self._wired(rig)
+        victim = next(iter(sorted(hosts)))
+        injector.crash(victim, at=1.0)
+        engine.run()
+        live_hosts = {
+            r.node_id
+            for r in server.catalog.replicas_of_segment(seg, servable_only=True)
+        }
+        assert victim not in live_hosts
+        assert len(live_hosts) == 3  # budget restored elsewhere
+
+    def test_outage_toggles_offline_online(self, rig):
+        _, server, engine, injector, seg, hosts, _ = self._wired(rig)
+        victim = next(iter(sorted(hosts)))
+        injector.outage(victim, start=1.0, duration=5.0)
+        engine.run(until=2.0)
+        assert not server.is_online(victim)
+        engine.run()
+        assert server.is_online(victim)
+
+    def test_disruptions_schedule_repair_audits(self, rig):
+        _, server, engine, injector, seg, hosts, pol = self._wired(
+            rig, policy=True, repair_delay_s=2.0
+        )
+        victim = next(iter(sorted(hosts)))
+        injector.crash(victim, at=1.0)
+        engine.run()
+        assert pol.reports and pol.reports[0].time == 3.0
+        assert pol.reports[0].under_replicated == 0
+
+    def test_invalid_repair_delay_rejected(self, rig):
+        server = rig[1]
+        engine = SimulationEngine()
+        injector = FailureInjector(engine, [NodeId(a) for a in AUTHORS], seed=0)
+        with pytest.raises(ConfigurationError):
+            injector.attach_server(server, repair_delay_s=-1.0)

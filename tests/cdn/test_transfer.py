@@ -6,7 +6,8 @@ import pytest
 
 from repro.errors import ConfigurationError, TransferError
 from repro.ids import NodeId, SegmentId
-from repro.cdn.transfer import TransferClient, TransferRequest
+from repro.cdn.transfer import RetryPolicy, TransferClient, TransferRequest
+from repro.rng import make_rng
 from repro.sim.network import GeoPoint, NetworkModel
 
 
@@ -74,9 +75,11 @@ class TestExecute:
         client = TransferClient(network, failure_prob=0.5, max_attempts=50, seed=0)
         result = client.execute(req())
         assert result.ok
-        # failed attempts cost time: duration is a multiple of single attempt
+        # failed attempts cost time, plus the backoff waits between them
         single = client.estimate_duration(req())
-        assert result.duration_s == pytest.approx(single * result.attempts)
+        assert result.duration_s == pytest.approx(
+            single * result.attempts + result.backoff_s
+        )
 
     def test_gives_up_after_max_attempts(self, network):
         client = TransferClient(network, failure_prob=0.999, max_attempts=3, seed=0)
@@ -97,6 +100,113 @@ class TestExecute:
         assert len(ids) == 5
 
 
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, backoff_multiplier=2.0, max_backoff_s=100.0, jitter=0.0
+        )
+        rng = make_rng(0)
+        waits = [policy.backoff_s(k, rng) for k in (1, 2, 3, 4)]
+        assert waits == [1.0, 2.0, 4.0, 8.0]
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, backoff_multiplier=10.0, max_backoff_s=5.0, jitter=0.0
+        )
+        assert policy.backoff_s(10, make_rng(0)) == 5.0
+
+    def test_jitter_only_shrinks_the_wait(self):
+        policy = RetryPolicy(base_backoff_s=2.0, jitter=0.5)
+        rng = make_rng(3)
+        for k in range(1, 6):
+            raw = RetryPolicy(base_backoff_s=2.0, jitter=0.0).backoff_s(k, rng)
+            jittered = policy.backoff_s(k, rng)
+            assert 0.5 * raw <= jittered <= raw
+
+    def test_zero_base_disables_backoff(self):
+        policy = RetryPolicy(base_backoff_s=0.0)
+        assert policy.backoff_s(5, make_rng(0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_s=2.0, max_backoff_s=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_s(0, make_rng(0))
+
+
+class TestBackoffExecution:
+    def test_duration_includes_backoff(self, network):
+        retry = RetryPolicy(max_attempts=50, base_backoff_s=1.0, jitter=0.0)
+        client = TransferClient(network, failure_prob=0.5, retry=retry, seed=0)
+        result = next(
+            r for r in (client.execute(req()) for _ in range(50)) if r.attempts > 1
+        )
+        single = client.estimate_duration(req())
+        assert result.backoff_s > 0
+        assert result.duration_s == pytest.approx(
+            single * result.attempts + result.backoff_s
+        )
+
+    def test_backoff_deterministic_under_fixed_seed(self, network):
+        def run(seed):
+            retry = RetryPolicy(max_attempts=10, base_backoff_s=0.5, jitter=0.5)
+            client = TransferClient(network, failure_prob=0.4, retry=retry, seed=seed)
+            return [
+                (r.attempts, r.backoff_s, r.duration_s)
+                for r in (client.execute(req()) for _ in range(30))
+            ]
+
+        assert run(123) == run(123)
+        assert run(123) != run(124)
+
+    def test_timeout_bounds_attempt_duration(self, network):
+        # single attempt takes ~1s; a 0.25s deadline times every attempt out
+        retry = RetryPolicy(max_attempts=3, timeout_s=0.25, base_backoff_s=0.0)
+        client = TransferClient(network, failure_prob=0.0, retry=retry, seed=0)
+        result = client.execute(req())
+        assert not result.ok
+        assert result.timeouts == result.attempts == 3
+        assert result.duration_s == pytest.approx(0.75)
+
+    def test_generous_timeout_is_inert(self, network):
+        retry = RetryPolicy(max_attempts=3, timeout_s=1e6)
+        client = TransferClient(network, retry=retry)
+        result = client.execute(req())
+        assert result.ok and result.timeouts == 0
+
+    def test_backoff_metric_recorded(self, network):
+        from repro.obs import Registry
+
+        registry = Registry()
+        retry = RetryPolicy(max_attempts=5, base_backoff_s=1.0)
+        client = TransferClient(
+            network, failure_prob=0.6, retry=retry, seed=2, registry=registry
+        )
+        for _ in range(30):
+            client.execute(req())
+        snap = registry.snapshot()
+        assert snap["histograms"]["transfer.retry.backoff_s"]["count"] > 0
+        assert "transfer.timeouts" in snap["counters"]
+
+    def test_execute_or_raise(self, network):
+        retry = RetryPolicy(max_attempts=2, timeout_s=0.01)
+        client = TransferClient(network, retry=retry)
+        with pytest.raises(TransferError, match="failed after 2 attempts"):
+            client.execute_or_raise(req())
+        ok_client = TransferClient(network)
+        assert ok_client.execute_or_raise(req()).ok
+
+
 class TestConfigValidation:
     def test_bad_failure_prob(self, network):
         with pytest.raises(ConfigurationError):
@@ -105,3 +215,9 @@ class TestConfigValidation:
     def test_bad_attempts(self, network):
         with pytest.raises(ConfigurationError):
             TransferClient(network, max_attempts=0)
+
+    def test_retry_overrides_max_attempts(self, network):
+        client = TransferClient(
+            network, max_attempts=7, retry=RetryPolicy(max_attempts=2)
+        )
+        assert client.max_attempts == 2

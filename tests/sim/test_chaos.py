@@ -1,0 +1,132 @@
+"""Chaos campaign tests (repro.sim.chaos)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId
+from repro.obs import Registry
+from repro.scdn import SCDN
+from repro.sim.chaos import ChaosConfig, ChaosReport, run_chaos_campaign
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+
+from ..conftest import pub
+
+
+def community_graph():
+    pubs = [
+        pub("p1", 2009, "alice", "bob", "carol"),
+        pub("p2", 2010, "carol", "dave", "erin"),
+        pub("p3", 2010, "alice", "bob"),
+        pub("p4", 2010, "dave", "erin"),
+        pub("p5", 2011, "bob", "dave"),
+    ]
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+SMALL = ChaosConfig(
+    horizon_s=600.0,
+    members=5,
+    datasets=2,
+    segments_per_dataset=1,
+    dataset_size_bytes=100_000,
+    n_replicas=2,
+    crash_rate_per_node_s=1e-4,
+    outage_rate_per_node_s=1e-3,
+    outage_mean_duration_s=60.0,
+    slowlink_rate_per_node_s=1e-3,
+    slowlink_mean_duration_s=60.0,
+    audit_interval_s=120.0,
+)
+
+
+def fresh_net(seed=1):
+    return SCDN(community_graph(), seed=seed, registry=Registry())
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ChaosConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(horizon_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(members=1)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(crash_rate_per_node_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(slowlink_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(outage_mean_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(repair_delay_s=-1.0)
+
+    def test_default_request_interval_derived(self):
+        cfg = ChaosConfig(horizon_s=1000.0, members=10)
+        assert cfg.effective_request_interval_s == pytest.approx(5.0)
+        cfg = ChaosConfig(request_interval_s=7.0)
+        assert cfg.effective_request_interval_s == 7.0
+
+
+class TestCampaign:
+    def test_completes_without_unhandled_exceptions(self):
+        report = run_chaos_campaign(fresh_net(), SMALL, seed=7)
+        assert isinstance(report, ChaosReport)
+        assert report.unhandled_exceptions == 0
+        assert report.members == 5 and report.datasets == 2
+        assert report.requests == report.served + report.failed
+        assert 0.0 <= report.availability <= 1.0
+        assert 0.0 <= report.post_repair_redundancy <= 1.0
+
+    def test_deterministic_under_fixed_seeds(self):
+        a = run_chaos_campaign(fresh_net(seed=3), SMALL, seed=11)
+        b = run_chaos_campaign(fresh_net(seed=3), SMALL, seed=11)
+        assert a == b
+
+    def test_different_seed_changes_schedule(self):
+        # higher rates so schedules almost surely differ
+        cfg = ChaosConfig(
+            horizon_s=600.0,
+            members=5,
+            datasets=2,
+            segments_per_dataset=1,
+            dataset_size_bytes=100_000,
+            n_replicas=2,
+            outage_rate_per_node_s=5e-3,
+            outage_mean_duration_s=30.0,
+        )
+        a = run_chaos_campaign(fresh_net(), cfg, seed=1)
+        b = run_chaos_campaign(fresh_net(), cfg, seed=2)
+        assert a != b
+
+    def test_metrics_land_in_registry(self):
+        net = fresh_net()
+        run_chaos_campaign(net, SMALL, seed=7)
+        snap = net.obs_snapshot()
+        for counter in (
+            "chaos.requests",
+            "chaos.served",
+            "chaos.failed",
+            "chaos.denied",
+            "alloc.resolve.failover",
+        ):
+            assert counter in snap["counters"]
+        assert "chaos.repair.latency_s" in snap["histograms"]
+        assert "transfer.retry.backoff_s" in snap["histograms"]
+        assert "chaos.availability" in snap["gauges"]
+        assert snap["counters"]["chaos.requests"]["value"] > 0
+
+    def test_report_lines_render(self):
+        report = run_chaos_campaign(fresh_net(), SMALL, seed=7)
+        text = "\n".join(report.lines())
+        assert "availability=" in text
+        assert "post_repair_redundancy=" in text
+
+    def test_rejects_populated_network(self):
+        net = fresh_net()
+        net.join(AuthorId("alice"))
+        with pytest.raises(ConfigurationError, match="no members"):
+            run_chaos_campaign(net, SMALL, seed=7)

@@ -101,6 +101,39 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             engine.run()
 
+    def test_no_reentrant_step(self):
+        engine = SimulationEngine()
+
+        def bad(e):
+            e.step()
+
+        engine.schedule(1.0, bad)
+        with pytest.raises(SimulationError):
+            engine.step()
+        # the guard releases the running flag: the engine is still usable
+        engine.schedule(2.0, lambda e: None)
+        assert engine.step() is True
+
+    def test_step_updates_pending_gauge(self):
+        from repro.obs import Registry
+
+        registry = Registry()
+        engine = SimulationEngine(registry=registry)
+        engine.schedule(1.0, lambda e: None)
+        engine.schedule(2.0, lambda e: None)
+        engine.step()
+        snap = registry.snapshot()
+        assert snap["gauges"]["sim.pending_events"]["value"] == 1
+
+    def test_step_skips_cancelled(self):
+        engine = SimulationEngine()
+        ran = []
+        ev = engine.schedule(1.0, lambda e: ran.append("a"))
+        engine.schedule(2.0, lambda e: ran.append("b"))
+        engine.cancel(ev)
+        assert engine.step() is True
+        assert ran == ["b"]
+
     def test_processed_counter(self):
         engine = SimulationEngine()
         for t in range(4):
@@ -122,6 +155,30 @@ class TestCancel:
         engine = SimulationEngine()
         ev = engine.schedule(1.0, lambda e: None)
         engine.schedule(2.0, lambda e: None)
+        engine.cancel(ev)
+        assert engine.pending == 1
+
+    def test_cancel_returns_true_once(self):
+        engine = SimulationEngine()
+        ev = engine.schedule(1.0, lambda e: None)
+        assert engine.cancel(ev) is True
+        assert engine.cancel(ev) is False  # double-cancel is a no-op
+
+    def test_cancel_after_execution_is_noop(self):
+        # regression: cancelling an already-executed event used to leak its
+        # seq into the cancelled set forever, making `pending` undercount
+        engine = SimulationEngine()
+        ev = engine.schedule(1.0, lambda e: None)
+        engine.run()
+        assert engine.cancel(ev) is False
+        engine.schedule(2.0, lambda e: None)
+        assert engine.pending == 1
+
+    def test_double_cancel_does_not_undercount_pending(self):
+        engine = SimulationEngine()
+        ev = engine.schedule(1.0, lambda e: None)
+        engine.schedule(2.0, lambda e: None)
+        engine.cancel(ev)
         engine.cancel(ev)
         assert engine.pending == 1
 

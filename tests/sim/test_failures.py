@@ -145,3 +145,57 @@ class TestSlowLink:
             injector.slow_link(NodeId("zz"), net, start=1.0, duration=1.0)
         with pytest.raises(ConfigurationError):
             injector.slow_link(NODES[0], net, start=1.0, duration=0.0)
+
+    def test_skipped_episode_end_does_not_restore(self, rig):
+        # regression: the end callback of an episode whose begin never ran
+        # (node crashed first) used to restore the link and emit
+        # slowlink-end anyway
+        engine, injector = rig
+        net = self._network()
+        injector.slow_link(NODES[0], net, start=2.0, duration=3.0, factor=0.1)
+        injector.crash(NODES[0], at=1.0)
+        net.degrade(NODES[0], factor=0.5)  # unrelated degradation must survive
+        engine.run()
+        assert net.bandwidth(NODES[0]) == pytest.approx(50e6)
+        assert all(not e.kind.startswith("slowlink") for e in injector.history)
+
+    def test_crash_mid_episode_restores_and_suppresses_end(self, rig):
+        engine, injector = rig
+        net = self._network()
+        injector.slow_link(NODES[0], net, start=1.0, duration=10.0, factor=0.1)
+        injector.crash(NODES[0], at=5.0)
+        engine.run(until=6.0)
+        # the crash cleaned up the throttle immediately
+        assert net.bandwidth(NODES[0]) == pytest.approx(100e6)
+        engine.run()
+        kinds = [e.kind for e in injector.history]
+        assert kinds == ["slowlink-start", "crash"]
+
+    def test_overlapping_episodes_restore_once_at_last_end(self, rig):
+        engine, injector = rig
+        net = self._network()
+        injector.slow_link(NODES[0], net, start=1.0, duration=10.0, factor=0.1)
+        injector.slow_link(NODES[0], net, start=5.0, duration=2.0, factor=0.5)
+        engine.run(until=6.0)
+        assert net.bandwidth(NODES[0]) == pytest.approx(50e6)  # inner episode
+        engine.run(until=8.0)
+        # inner episode ended but the outer one still holds the link down
+        assert net.bandwidth(NODES[0]) < 100e6
+        engine.run()
+        assert net.bandwidth(NODES[0]) == pytest.approx(100e6)
+        kinds = [e.kind for e in injector.history]
+        assert kinds.count("slowlink-start") == 2
+        assert kinds.count("slowlink-end") == 2
+
+
+class TestCrashOutageInteraction:
+    def test_crash_during_outage_suppresses_phantom_end(self, rig):
+        # regression: a node crashing mid-outage used to emit outage-end
+        # (and flip back "alive") when the outage timer expired
+        engine, injector = rig
+        injector.outage(NODES[0], start=1.0, duration=10.0)
+        injector.crash(NODES[0], at=5.0)
+        engine.run()
+        kinds = [e.kind for e in injector.history]
+        assert kinds == ["outage-start", "crash"]
+        assert not injector.is_alive(NODES[0])
