@@ -16,9 +16,18 @@ This subpackage implements the paper's Section V architecture as a working
 * :mod:`repro.cdn.client` — the per-researcher CDN client.
 * :mod:`repro.cdn.replication` — redundancy policies and failure repair.
 * :mod:`repro.cdn.partitioning` — social data partitioning.
+* :mod:`repro.cdn.integrity` — content-digest scrubbing and bit-rot
+  quarantine.
 """
 
-from .content import Dataset, DataSegment, Replica, ReplicaState, segment_dataset
+from .content import (
+    Dataset,
+    DataSegment,
+    Replica,
+    ReplicaState,
+    content_digest,
+    segment_dataset,
+)
 from .catalog import ReplicaCatalog
 from .storage import StorageRepository, RepositoryStats
 from .transfer import RetryPolicy, TransferClient, TransferRequest, TransferResult
@@ -50,12 +59,14 @@ from .overlay import (
 from .consistency import ReplicaVersionTracker, UpdatePropagator, WriteRecord
 from .p2p import GossipIndex, LookupResult, index_from_server
 from .server_group import AllocationServerGroup, CatalogSnapshot
+from .integrity import IntegrityScrubber, ScrubReport
 
 __all__ = [
     "Dataset",
     "DataSegment",
     "Replica",
     "ReplicaState",
+    "content_digest",
     "segment_dataset",
     "ReplicaCatalog",
     "StorageRepository",
@@ -95,4 +106,6 @@ __all__ = [
     "index_from_server",
     "AllocationServerGroup",
     "CatalogSnapshot",
+    "IntegrityScrubber",
+    "ScrubReport",
 ]

@@ -27,7 +27,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import CatalogError, ConfigurationError, PlacementError
-from ..ids import AuthorId, DatasetId, NodeId, SegmentId
+from ..ids import AuthorId, DatasetId, NodeId, ReplicaId, SegmentId
 from ..obs import Registry, get_registry, linear_buckets
 from ..rng import SeedLike, make_rng, spawn
 from ..social.ego import hop_distances
@@ -155,6 +155,14 @@ class AllocationServer:
         self._m_repair_starved = obs.counter(
             "alloc.repair.starved",
             help="repair passes that left a segment below budget (no eligible host)",
+        )
+        self._m_repair_no_source = obs.counter(
+            "alloc.repair.no_verified_source",
+            help="segments skipped because every live replica failed verification",
+        )
+        self._m_quarantines = obs.counter(
+            "alloc.quarantine.replicas",
+            help="replicas quarantined after failing a content-digest check",
         )
         self._m_migrations = obs.counter(
             "alloc.migrate.nodes", help="permanent node departures handled"
@@ -308,8 +316,11 @@ class AllocationServer:
     def node_online(self, node: NodeId, *, at: float = 0.0) -> int:
         """Mark a node online again; STALE replicas with intact data reactivate.
 
-        Records the transition time like :meth:`node_offline`. Bringing an
-        already-online node online again is a no-op.
+        Reactivation is digest-verified: a STALE copy whose on-disk digest
+        no longer matches its segment rotted while the host was away and
+        is quarantined (and evicted) instead of being resurrected into
+        service. Records the transition time like :meth:`node_offline`.
+        Bringing an already-online node online again is a no-op.
         """
         if node not in self._repos:
             raise ConfigurationError(f"unknown node {node!r}")
@@ -321,8 +332,14 @@ class AllocationServer:
         n = 0
         for rep in self.catalog.replicas_on_node(node):
             if rep.state is ReplicaState.STALE and repo.hosts_segment(rep.segment_id):
-                self.catalog.activate(rep.replica_id)
-                n += 1
+                segment = self.catalog.segment(rep.segment_id)
+                if repo.verify_replica(rep.segment_id, segment.digest):
+                    self.catalog.activate(rep.replica_id)
+                    n += 1
+                else:
+                    self.quarantine_replica(
+                        rep.replica_id, at=at, reason="reactivation-check"
+                    )
         return n
 
     def is_online(self, node: NodeId) -> bool:
@@ -428,7 +445,9 @@ class AllocationServer:
                         continue
                     if not repo.can_host(segment.size_bytes):
                         continue
-                    repo.store_replica(segment.segment_id, segment.size_bytes)
+                    repo.store_replica(
+                        segment.segment_id, segment.size_bytes, digest=segment.digest
+                    )
                     rep = self.catalog.create_replica(
                         segment.segment_id, node, created_at=at, state=ReplicaState.ACTIVE
                     )
@@ -517,7 +536,9 @@ class AllocationServer:
                         segment.size_bytes
                     ):
                         continue
-                    repo.store_replica(segment.segment_id, segment.size_bytes)
+                    repo.store_replica(
+                        segment.segment_id, segment.size_bytes, digest=segment.digest
+                    )
                     replicas.append(
                         self.catalog.create_replica(
                             segment.segment_id,
@@ -705,6 +726,49 @@ class AllocationServer:
         return best
 
     # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def replica_verified(self, replica: Replica) -> bool:
+        """Whether a replica's on-disk copy matches its segment digest.
+
+        False when the hosting repository no longer holds the segment at
+        all (catalog/disk divergence) or when the stored digest disagrees
+        with the segment's content digest. Legacy undigested copies verify
+        trivially.
+        """
+        repo = self._repos.get(replica.node_id)
+        if repo is None or not repo.hosts_segment(replica.segment_id):
+            return False
+        segment = self.catalog.segment(replica.segment_id)
+        return repo.verify_replica(replica.segment_id, segment.digest)
+
+    def quarantine_replica(
+        self, replica_id: ReplicaId, *, at: float = 0.0, reason: str = "scrub"
+    ) -> Replica:
+        """Quarantine a corrupt replica and evict its rotted bytes.
+
+        The replica leaves every servable lookup (so
+        :meth:`resolve_candidates` never offers it and repair never uses
+        it as a source), and the on-disk copy is evicted so the replica
+        partition's byte accounting returns to baseline once repair
+        re-replicates elsewhere. Counted on ``alloc.quarantine.replicas``.
+        """
+        rep = self.catalog.quarantine(replica_id)
+        repo = self._repos.get(rep.node_id)
+        if repo is not None and repo.hosts_segment(rep.segment_id):
+            repo.evict_replica(rep.segment_id)
+        self._m_quarantines.inc()
+        self.obs.trace(
+            "quarantine",
+            ts=at,
+            replica=str(rep.replica_id),
+            node=str(rep.node_id),
+            segment=str(rep.segment_id),
+            reason=reason,
+        )
+        return rep
+
+    # ------------------------------------------------------------------
     # management: repair, demand, migration
     # ------------------------------------------------------------------
     def under_replicated(self) -> List[Tuple[SegmentId, int]]:
@@ -731,12 +795,18 @@ class AllocationServer:
         """Re-replicate every under-replicated segment onto new hosts.
 
         New hosts are chosen by the placement algorithm over online hosts
-        not already holding the segment. Segments with zero live replicas
-        are unrecoverable (data loss) and are skipped — they surface in
-        :meth:`under_replicated` output, on the
-        ``alloc.repair.unrecoverable`` counter, and as ``repair_skip``
-        trace events. Segments left below budget because no eligible host
-        remained are counted on ``alloc.repair.starved``.
+        not already holding the segment. Re-replication copies from a
+        *verified* source: a live replica whose on-disk digest matches the
+        segment (quarantined replicas are not servable and corrupt-but-
+        undetected copies fail verification, so neither can seed a
+        repair). Segments with zero live replicas are unrecoverable (data
+        loss) and are skipped — they surface in :meth:`under_replicated`
+        output, on the ``alloc.repair.unrecoverable`` counter, and as
+        ``repair_skip`` trace events; segments whose every live replica
+        fails verification are counted on
+        ``alloc.repair.no_verified_source``. Segments left below budget
+        because no eligible host remained are counted on
+        ``alloc.repair.starved``.
         """
         created: List[Replica] = []
         for segment_id, live in self.under_replicated():
@@ -746,10 +816,32 @@ class AllocationServer:
                     "repair_skip", ts=at, segment=str(segment_id), reason="unrecoverable"
                 )
                 continue  # unrecoverable without a live source
+            sources = [
+                r
+                for r in self.catalog.replicas_of_segment(
+                    segment_id, servable_only=True
+                )
+                if self._is_live(r.node_id) and self.replica_verified(r)
+            ]
+            if not sources:
+                self._m_repair_no_source.inc()
+                self.obs.trace(
+                    "repair_skip",
+                    ts=at,
+                    segment=str(segment_id),
+                    reason="no-verified-source",
+                )
+                continue  # every live copy is rotted: nothing safe to copy
             segment = self.catalog.segment(segment_id)
             budget = self.replica_budget(segment.dataset_id)
             need = budget - live
-            holders = self.catalog.nodes_hosting(segment_id)
+            # every non-retired replica blocks its node as a repair target:
+            # servable ones obviously, but also STALE (bytes still on the
+            # offline disk) and QUARANTINED (the node's copy rotted once —
+            # create_replica refuses the node until the entry is retired)
+            holders = {
+                r.node_id for r in self.catalog.replicas_of_segment(segment_id)
+            }
             eligible = [
                 a
                 for a, n in self._node_of_author.items()
@@ -779,7 +871,9 @@ class AllocationServer:
                 repo = self._repos[node]
                 if repo.hosts_segment(segment_id) or not repo.can_host(segment.size_bytes):
                     continue
-                repo.store_replica(segment_id, segment.size_bytes)
+                repo.store_replica(
+                    segment_id, segment.size_bytes, digest=segment.digest
+                )
                 created.append(
                     self.catalog.create_replica(
                         segment_id, node, created_at=at, state=ReplicaState.ACTIVE

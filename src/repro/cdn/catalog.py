@@ -118,6 +118,7 @@ class ReplicaCatalog:
             node_id=node_id,
             created_at=created_at,
             state=state,
+            digest=self._segments[segment_id].digest,
         )
         self._counter += 1
         self._replicas[replica.replica_id] = replica
@@ -172,20 +173,52 @@ class ReplicaCatalog:
         return rep
 
     def activate(self, replica_id: ReplicaId) -> Replica:
-        """Mark a PENDING or STALE replica ACTIVE (transfer/repair done)."""
+        """Mark a PENDING or STALE replica ACTIVE (transfer/repair done).
+
+        QUARANTINED replicas can never be reactivated — a copy that failed
+        a digest check stays out of service until retired (repair creates
+        a *new* replica from a verified source instead).
+        """
         rep = self.replica(replica_id)
         if rep.state is ReplicaState.RETIRED:
             raise CatalogError(f"cannot activate retired replica {replica_id}")
+        if rep.state is ReplicaState.QUARANTINED:
+            raise CatalogError(
+                f"cannot activate quarantined replica {replica_id}; "
+                f"repair from a verified source instead"
+            )
         rep.state = ReplicaState.ACTIVE
         return rep
 
     def mark_stale(self, replica_id: ReplicaId) -> Replica:
-        """Mark a replica STALE (host offline / integrity failure)."""
+        """Mark a replica STALE (host offline)."""
         rep = self.replica(replica_id)
         if rep.state is ReplicaState.RETIRED:
             raise CatalogError(f"cannot mark retired replica {replica_id} stale")
+        if rep.state is ReplicaState.QUARANTINED:
+            return rep  # quarantine outranks staleness; keep the stronger state
         rep.state = ReplicaState.STALE
         return rep
+
+    def quarantine(self, replica_id: ReplicaId) -> Replica:
+        """Mark a replica QUARANTINED (failed a content-digest check).
+
+        Quarantined replicas are excluded from every servable lookup and
+        can only leave the state via :meth:`retire`.
+        """
+        rep = self.replica(replica_id)
+        if rep.state is ReplicaState.RETIRED:
+            raise CatalogError(f"cannot quarantine retired replica {replica_id}")
+        rep.state = ReplicaState.QUARANTINED
+        return rep
+
+    def quarantined_replicas(self) -> List[Replica]:
+        """All replicas currently under quarantine."""
+        return [
+            r
+            for r in self._replicas.values()
+            if r.state is ReplicaState.QUARANTINED
+        ]
 
     # ------------------------------------------------------------------
     # aggregates

@@ -35,6 +35,11 @@ class ClientStats:
     remote_fetches: int = 0
     failed: int = 0
     failovers: int = 0
+    integrity_failovers: int = 0
+    #: local replica-partition hits that silently served rotted bytes —
+    #: harness-level accounting (the client itself cannot tell; only a
+    #: digest check can, and the local read path does not run one)
+    corrupt_reads: int = 0
     bytes_fetched: int = 0
     total_fetch_time_s: float = 0.0
     hop_histogram: Dict[int, int] = field(default_factory=dict)
@@ -95,10 +100,15 @@ class CDNClient:
         missing replica yields ``ok=False``.
         """
         self.stats.requests += 1
-        # 1. CDN-managed replica partition (the user hosts this segment)
+        # 1. CDN-managed replica partition (the user hosts this segment).
+        # No digest check here — local reads are the cheap path, which is
+        # exactly why silent bit rot is dangerous until a scrubber pass
+        # quarantines the copy (and evicts it, turning this into a miss).
         if self.repository.hosts_segment(segment_id):
             self.repository.read_segment(segment_id)
             self.stats.local_hits += 1
+            if self.repository.is_corrupted(segment_id):
+                self.stats.corrupt_reads += 1
             return AccessOutcome(segment_id, "replica-partition", 0, 0.0, True)
         # 2. previously fetched copy in user space
         if self.repository.has_user_file(self._cache_name(segment_id)):
@@ -154,6 +164,7 @@ class CDNClient:
                 source=node,
                 dest=self.repository.node_id,
                 size_bytes=segment.size_bytes,
+                expected_digest=segment.digest or None,
             )
             result: Optional[TransferResult]
             try:
@@ -184,6 +195,10 @@ class CDNClient:
                 to_node=nxt.replica.node_id,
             )
             self.stats.failovers += 1
+            if result is not None and result.checksum_failures:
+                # verified transfer rejected a rotted source: same failover
+                # path as a timeout, tallied separately
+                self.stats.integrity_failovers += 1
             chosen = nxt
 
     def access_dataset(self, dataset_id: DatasetId) -> List[AccessOutcome]:

@@ -9,11 +9,26 @@ copy of a segment hosted on a specific storage repository.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..ids import AuthorId, DatasetId, NodeId, ReplicaId, SegmentId, validate_id
+
+
+def content_digest(segment_id: SegmentId, size_bytes: int) -> str:
+    """Deterministic content digest of a (simulated) segment payload.
+
+    The simulation carries no real bytes, so the canonical payload of a
+    segment is modeled as a function of its identity and size; the digest
+    is a short hex string standing in for a GridFTP/Globus-style per-file
+    checksum. Two copies of the same segment always agree unless one of
+    them has been corrupted (see
+    :meth:`repro.cdn.storage.StorageRepository.corrupt_replica`).
+    """
+    payload = f"{segment_id}:{size_bytes}".encode("utf-8")
+    return hashlib.blake2s(payload, digest_size=16).hexdigest()
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,12 +45,18 @@ class DataSegment:
         Position within the dataset (0-based).
     size_bytes:
         Segment size.
+    digest:
+        Content digest of the canonical payload; defaulted from
+        :func:`content_digest` when omitted. End-to-end integrity checks
+        (verified transfers, the scrubber) compare stored copies against
+        this value.
     """
 
     segment_id: SegmentId
     dataset_id: DatasetId
     index: int
     size_bytes: int
+    digest: str = ""
 
     def __post_init__(self) -> None:
         validate_id(self.segment_id, kind="segment_id")
@@ -45,6 +66,10 @@ class DataSegment:
         if self.size_bytes <= 0:
             raise ConfigurationError(
                 f"segment size must be positive, got {self.size_bytes}"
+            )
+        if not self.digest:
+            object.__setattr__(
+                self, "digest", content_digest(self.segment_id, self.size_bytes)
             )
 
 
@@ -113,16 +138,21 @@ class Dataset:
 class ReplicaState(enum.Enum):
     """Lifecycle of a replica.
 
-    ``PENDING`` — placement decided, data transfer in flight.
-    ``ACTIVE``  — data present and servable.
-    ``STALE``   — host was offline or the copy failed an integrity check;
-                  not servable until repaired.
-    ``RETIRED`` — deliberately removed (migration, eviction).
+    ``PENDING``     — placement decided, data transfer in flight.
+    ``ACTIVE``      — data present and servable.
+    ``STALE``       — host was offline; not servable until the host
+                      returns (with intact data) or the copy is repaired.
+    ``QUARANTINED`` — the copy failed a content-digest check (bit rot).
+                      Never servable, never reactivated, and never used
+                      as a migration/repair source; it exists only for
+                      audit until retired.
+    ``RETIRED``     — deliberately removed (migration, eviction).
     """
 
     PENDING = "pending"
     ACTIVE = "active"
     STALE = "stale"
+    QUARANTINED = "quarantined"
     RETIRED = "retired"
 
 
@@ -140,6 +170,9 @@ class Replica:
     created_at: float = 0.0
     state: ReplicaState = ReplicaState.PENDING
     access_count: int = 0
+    #: the digest the catalog expects this copy to have (normally the
+    #: segment's content digest); a stored copy that disagrees is corrupt
+    digest: str = ""
 
     def __post_init__(self) -> None:
         validate_id(self.replica_id, kind="replica_id")

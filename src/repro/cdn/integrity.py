@@ -1,0 +1,250 @@
+"""Background integrity scrubbing: detect and repair silent bit rot.
+
+The paper's S-CDN stores replicas on *user-contributed* disks (Section
+V-A) and lists reliability and redundancy among its core CDN metrics
+(Section VI); its transfer tooling is modeled on Globus Online, whose
+robustness rests on per-file checksum verification. Verified transfers
+(:mod:`repro.cdn.transfer`) protect the *remote* read path, but a replica
+whose bytes rot on disk is still served to local readers and — without
+this module — would sit in the catalog as ACTIVE forever.
+
+The :class:`IntegrityScrubber` closes that gap: a periodic audit, driven
+by the :class:`~repro.sim.engine.SimulationEngine`, that walks every live
+replica volume, compares each stored copy's digest against its segment's
+content digest, quarantines mismatches through
+:meth:`~repro.cdn.allocation.AllocationServer.quarantine_replica` (which
+also evicts the rotted bytes), and triggers re-replication from a
+verified source via :meth:`~repro.cdn.replication.ReplicationPolicy`.
+Everything is observable: ``integrity.scrub.*`` counters, a wall-clock
+scrub-latency histogram, a virtual-time detection-latency histogram, and
+``scrub`` / ``quarantine`` trace events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..ids import NodeId, SegmentId
+from ..obs import Registry, get_registry
+from ..sim.engine import SimulationEngine
+from .allocation import AllocationServer
+from .content import ReplicaState
+from .replication import ReplicationPolicy
+
+
+@dataclass(frozen=True, slots=True)
+class ScrubReport:
+    """Outcome of one scrub pass.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the pass.
+    nodes_scanned:
+        Live repositories walked.
+    nodes_skipped_offline:
+        Repositories skipped because their host was down (their replicas
+        are STALE anyway and get re-verified on reactivation).
+    replicas_checked:
+        Non-retired, non-quarantined replicas digest-checked.
+    corrupt_found:
+        Replicas whose stored digest disagreed with their segment.
+    quarantined:
+        Replicas quarantined (== ``corrupt_found``; kept separate so a
+        future partial-quarantine policy stays honest in reports).
+    repair_triggered:
+        Whether a repair audit was triggered for this pass's findings.
+    """
+
+    time: float
+    nodes_scanned: int
+    nodes_skipped_offline: int
+    replicas_checked: int
+    corrupt_found: int
+    quarantined: int
+    repair_triggered: bool
+
+
+class IntegrityScrubber:
+    """Periodic digest audit over every replica volume.
+
+    Parameters
+    ----------
+    server:
+        The allocation server whose catalog and repositories are audited.
+    policy:
+        Replication policy used to re-replicate after quarantine. When a
+        pass finds corruption: with an engine attached, a one-shot repair
+        audit is scheduled ``repair_delay_s`` later; without one, the
+        policy audits immediately (synchronous callers — tests, the
+        ``repro scrub`` CLI). ``None`` disables repair triggering (the
+        next periodic audit still picks the shortage up).
+    scrub_interval_s:
+        Period of the scrub when attached to an engine.
+    repair_delay_s:
+        Delay between a corruption-finding pass and its repair audit.
+    registry:
+        Observability registry; defaults to the process-wide one.
+    """
+
+    def __init__(
+        self,
+        server: AllocationServer,
+        *,
+        policy: Optional[ReplicationPolicy] = None,
+        scrub_interval_s: float = 600.0,
+        repair_delay_s: float = 0.0,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        if scrub_interval_s <= 0:
+            raise ConfigurationError("scrub_interval_s must be positive")
+        if repair_delay_s < 0:
+            raise ConfigurationError(f"repair_delay_s must be >= 0, got {repair_delay_s}")
+        self.server = server
+        self.policy = policy
+        self.scrub_interval_s = scrub_interval_s
+        self.repair_delay_s = repair_delay_s
+        self.reports: List[ScrubReport] = []
+        #: every quarantine this scrubber performed: (time, node, segment)
+        self.quarantine_log: List[Tuple[float, NodeId, SegmentId]] = []
+        self._engine: Optional[SimulationEngine] = None
+
+        self.obs = registry if registry is not None else get_registry()
+        self._m_runs = self.obs.counter(
+            "integrity.scrub.runs", help="scrub passes executed"
+        )
+        self._m_checked = self.obs.counter(
+            "integrity.scrub.replicas_checked", help="replica digest checks performed"
+        )
+        self._m_corrupt = self.obs.counter(
+            "integrity.scrub.corrupt_found", help="replicas caught with rotted bytes"
+        )
+        self._m_quarantined = self.obs.counter(
+            "integrity.scrub.quarantined", help="replicas quarantined by scrub passes"
+        )
+        self._m_repairs = self.obs.counter(
+            "integrity.scrub.repairs_triggered",
+            help="repair audits triggered by corruption findings",
+        )
+        self._m_latency = self.obs.histogram(
+            "integrity.scrub.latency_s", help="wall-clock duration of scrub()"
+        )
+        self._m_detect = self.obs.histogram(
+            "integrity.scrub.detect_latency_s",
+            help="virtual time from corruption to its detection by a scrub",
+        )
+        self._g_last_corrupt = self.obs.gauge(
+            "integrity.scrub.last_corrupt",
+            help="corrupt replicas found by the most recent pass",
+        )
+
+    # ------------------------------------------------------------------
+    # the audit
+    # ------------------------------------------------------------------
+    def scrub(self, *, at: float = 0.0) -> ScrubReport:
+        """Run one full pass: verify, quarantine, trigger repair, report.
+
+        Only live nodes are walked (an offline disk cannot be read; its
+        replicas are STALE and get digest-checked on reactivation by
+        :meth:`AllocationServer.node_online`). Quarantining goes through
+        the server so rotted bytes are evicted and byte accounting stays
+        exact.
+        """
+        server = self.server
+        catalog = server.catalog
+        nodes_scanned = 0
+        skipped = 0
+        checked = 0
+        corrupt = 0
+        with self._m_latency.time():
+            for author in server.registered_authors():
+                node = server.node_of(author)
+                if not server.is_online(node):
+                    skipped += 1
+                    continue
+                nodes_scanned += 1
+                repo = server.repository(node)
+                for rep in catalog.replicas_on_node(node):
+                    if rep.state is ReplicaState.QUARANTINED:
+                        continue  # already out of service
+                    if not repo.hosts_segment(rep.segment_id):
+                        continue  # PENDING transfer not landed yet
+                    checked += 1
+                    rotted_since = repo.corrupted_at(rep.segment_id)
+                    if server.replica_verified(rep):
+                        continue
+                    corrupt += 1
+                    server.quarantine_replica(rep.replica_id, at=at, reason="scrub")
+                    self.quarantine_log.append((at, node, rep.segment_id))
+                    self._m_quarantined.inc()
+                    if rotted_since is not None:
+                        self._m_detect.observe(at - rotted_since)
+        repair_triggered = False
+        if corrupt and self.policy is not None:
+            repair_triggered = True
+            self._m_repairs.inc()
+            if self._engine is not None:
+                self.policy.schedule_repair(self._engine, delay_s=self.repair_delay_s)
+            else:
+                self.policy.audit(at=at)
+        report = ScrubReport(
+            time=at,
+            nodes_scanned=nodes_scanned,
+            nodes_skipped_offline=skipped,
+            replicas_checked=checked,
+            corrupt_found=corrupt,
+            quarantined=corrupt,
+            repair_triggered=repair_triggered,
+        )
+        self.reports.append(report)
+        self._m_runs.inc()
+        self._m_checked.inc(checked)
+        self._m_corrupt.inc(corrupt)
+        self._g_last_corrupt.set(corrupt)
+        self.obs.trace(
+            "scrub",
+            ts=at,
+            nodes=nodes_scanned,
+            skipped_offline=skipped,
+            checked=checked,
+            corrupt=corrupt,
+            repair_triggered=repair_triggered,
+        )
+        return report
+
+    def attach(self, engine: SimulationEngine) -> None:
+        """Schedule periodic scrubs on ``engine`` (first after one interval).
+
+        Also remembers the engine so corruption findings schedule their
+        repair audits instead of running them synchronously.
+        """
+        self._engine = engine
+
+        def tick(e: SimulationEngine) -> None:
+            self.scrub(at=e.now)
+
+        engine.every(self.scrub_interval_s, tick, label="integrity-scrub")
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def corrupt_servable(self) -> List[Tuple[NodeId, SegmentId]]:
+        """Servable replicas on live nodes whose stored copy is rotted.
+
+        The scrubber's own success criterion: after a scrub + repair
+        cycle this must be empty — every remaining servable copy
+        verifies, so no future read can deliver corrupt bytes.
+        """
+        out: List[Tuple[NodeId, SegmentId]] = []
+        for rep in self.server.catalog.iter_replicas():
+            if not rep.servable or not self.server.is_online(rep.node_id):
+                continue
+            if not self.server.replica_verified(rep):
+                out.append((rep.node_id, rep.segment_id))
+        return out
+
+    def total_quarantined(self) -> int:
+        """Replicas this scrubber has quarantined over its lifetime."""
+        return len(self.quarantine_log)

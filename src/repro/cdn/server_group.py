@@ -79,6 +79,10 @@ class AllocationServerGroup:
             for _ in range(n_standbys)
         ]
         self.failovers = 0
+        #: replicas reported by repositories during failover rebuilds whose
+        #: stored digest disagreed with the snapshot's segment digest —
+        #: dropped instead of re-cataloged (and their bytes evicted)
+        self.dropped_unverifiable = 0
 
     # ------------------------------------------------------------------
     # replication of the catalog
@@ -127,21 +131,30 @@ class AllocationServerGroup:
         for node in offline:
             new.node_offline(node, at=at)
 
-        known_segments = set()
+        known_digests = {}
         for dataset in snapshot.datasets:
             new.catalog.register_dataset(dataset)
             new._dataset_budget[dataset.dataset_id] = snapshot.budgets.get(
                 dataset.dataset_id, 1
             )
-            known_segments.update(s.segment_id for s in dataset.segments)
+            known_digests.update(
+                (s.segment_id, s.digest) for s in dataset.segments
+            )
 
-        # rebuild replica state from what repositories actually hold
+        # rebuild replica state from what repositories actually hold —
+        # but client reports are untrusted: a copy whose stored digest
+        # disagrees with the snapshot's segment digest is dropped (and its
+        # bytes evicted) rather than resurrected into the catalog
         recovered = 0
         for author, repo in repositories.items():
             node = new.node_of(author)
             for seg_id in sorted(repo.hosted_segments()):
-                if seg_id not in known_segments:
+                if seg_id not in known_digests:
                     continue  # orphan data from an unsynced dataset
+                if not repo.verify_replica(seg_id, known_digests[seg_id]):
+                    repo.evict_replica(seg_id)
+                    self.dropped_unverifiable += 1
+                    continue
                 state = (
                     ReplicaState.ACTIVE
                     if node not in offline

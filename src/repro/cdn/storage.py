@@ -11,7 +11,7 @@ servers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from ..errors import CapacityError, ConfigurationError, StorageError
 from ..ids import NodeId, SegmentId, validate_id
@@ -29,6 +29,8 @@ class RepositoryStats:
     n_user_files: int
     bytes_served: int
     reads_served: int
+    corrupt_replicas: int = 0
+    corrupt_reads_served: int = 0
 
     @property
     def replica_free_bytes(self) -> int:
@@ -75,9 +77,16 @@ class StorageRepository:
         self.capacity_bytes = capacity_bytes
         self.replica_quota_bytes = int(capacity_bytes * replica_quota)
         self._replica_blobs: Dict[SegmentId, int] = {}
+        #: digest of each stored copy's actual on-disk bytes; diverges from
+        #: the segment's content digest when the copy has rotted
+        self._replica_digests: Dict[SegmentId, str] = {}
+        #: corruption bookkeeping: virtual time each rotted copy was flipped
+        self._corrupted_at: Dict[SegmentId, float] = {}
+        self._rot_counter = 0
         self._user_files: Dict[str, int] = {}
         self._bytes_served = 0
         self._reads_served = 0
+        self._corrupt_reads_served = 0
 
     # ------------------------------------------------------------------
     # replica partition (CDN-managed)
@@ -96,8 +105,13 @@ class StorageRepository:
         """Whether the replica partition has room for ``size_bytes``."""
         return size_bytes <= self.replica_free_bytes
 
-    def store_replica(self, segment_id: SegmentId, size_bytes: int) -> None:
+    def store_replica(
+        self, segment_id: SegmentId, size_bytes: int, *, digest: str = ""
+    ) -> None:
         """Place segment data in the replica partition.
+
+        ``digest`` is the content digest of the bytes written (empty for
+        legacy undigested callers; such copies always verify).
 
         Raises
         ------
@@ -116,19 +130,85 @@ class StorageRepository:
                 f"({self.replica_free_bytes} free, {size_bytes} requested)"
             )
         self._replica_blobs[segment_id] = size_bytes
+        self._replica_digests[segment_id] = digest
 
     def evict_replica(self, segment_id: SegmentId) -> int:
         """Remove a segment from the replica partition; returns freed bytes.
 
         Only the CDN (allocation server / replication policy) calls this —
         the paper specifies the replica volume is read-only to the user.
+        Eviction also drops the copy's digest and corruption bookkeeping,
+        so a later re-store of the same segment starts clean (a stale
+        corrupt flag must never outlive the bytes it described).
         """
         try:
-            return self._replica_blobs.pop(segment_id)
+            freed = self._replica_blobs.pop(segment_id)
         except KeyError:
             raise StorageError(
                 f"{self.node_id} does not host segment {segment_id}"
             ) from None
+        self._replica_digests.pop(segment_id, None)
+        self._corrupted_at.pop(segment_id, None)
+        return freed
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def stored_digest(self, segment_id: SegmentId) -> str:
+        """Digest of the bytes actually on disk for ``segment_id``.
+
+        Empty string for legacy undigested copies. Raises
+        :class:`StorageError` if the segment is not hosted.
+        """
+        try:
+            return self._replica_digests[segment_id]
+        except KeyError:
+            raise StorageError(
+                f"{self.node_id} does not host segment {segment_id}"
+            ) from None
+
+    def corrupt_replica(self, segment_id: SegmentId, *, at: float = 0.0) -> str:
+        """Silently rot a stored copy: flip its on-disk digest.
+
+        Models undetected bit rot on commodity hardware — no liveness
+        signal fires, the catalog still believes the replica is ACTIVE,
+        and reads keep being served until a digest check (verified
+        transfer or scrubber pass) notices the mismatch. Re-corrupting an
+        already-rotted copy flips the digest again (the first corruption
+        time is kept). Returns the new on-disk digest.
+        """
+        if segment_id not in self._replica_blobs:
+            raise StorageError(
+                f"{self.node_id} does not host segment {segment_id}"
+            )
+        self._rot_counter += 1
+        rotten = f"rot{self._rot_counter}:{self._replica_digests[segment_id]}"
+        self._replica_digests[segment_id] = rotten
+        self._corrupted_at.setdefault(segment_id, at)
+        return rotten
+
+    def is_corrupted(self, segment_id: SegmentId) -> bool:
+        """Whether the hosted copy of ``segment_id`` has rotted.
+
+        Harness-level omniscience for accounting — the *system* only
+        learns about corruption through digest checks.
+        """
+        return segment_id in self._corrupted_at
+
+    def corrupted_at(self, segment_id: SegmentId) -> Optional[float]:
+        """Virtual time the hosted copy rotted (None if intact)."""
+        return self._corrupted_at.get(segment_id)
+
+    def verify_replica(self, segment_id: SegmentId, expected_digest: str) -> bool:
+        """Whether the stored copy's digest matches ``expected_digest``.
+
+        Legacy undigested copies (empty stored digest) and empty
+        expectations verify trivially.
+        """
+        stored = self.stored_digest(segment_id)
+        if not stored or not expected_digest:
+            return True
+        return stored == expected_digest
 
     def hosts_segment(self, segment_id: SegmentId) -> bool:
         """Whether the replica partition holds ``segment_id``."""
@@ -151,6 +231,9 @@ class StorageRepository:
             ) from None
         self._bytes_served += size
         self._reads_served += 1
+        if segment_id in self._corrupted_at:
+            # harness accounting: rotten bytes left this disk on a read
+            self._corrupt_reads_served += 1
         return size
 
     def delete_from_replica_partition(self, segment_id: SegmentId) -> None:
@@ -231,6 +314,11 @@ class StorageRepository:
         """Bytes served from the replica partition."""
         return self._bytes_served
 
+    @property
+    def corrupt_reads_served(self) -> int:
+        """Reads that served rotted bytes (harness-level accounting)."""
+        return self._corrupt_reads_served
+
     def stats(self) -> RepositoryStats:
         """Snapshot of usage and service counters (reported to allocation
         servers by the CDN client)."""
@@ -243,4 +331,6 @@ class StorageRepository:
             n_user_files=len(self._user_files),
             bytes_served=self._bytes_served,
             reads_served=self._reads_served,
+            corrupt_replicas=len(self._corrupted_at),
+            corrupt_reads_served=self._corrupt_reads_served,
         )

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError, TransferError
+from ..errors import ConfigurationError, IntegrityError, TransferError
 from ..ids import NodeId, SegmentId, TransferId
 from ..obs import Registry, get_registry, linear_buckets
 from ..rng import SeedLike, make_rng
@@ -102,12 +102,20 @@ class RetryPolicy:
 
 @dataclass(frozen=True, slots=True)
 class TransferRequest:
-    """A third-party transfer order: move a segment from ``source`` to ``dest``."""
+    """A third-party transfer order: move a segment from ``source`` to ``dest``.
+
+    ``expected_digest`` enables end-to-end verification: when set (and the
+    client has a digest resolver installed), each otherwise-successful
+    attempt is checked against the digest of the bytes actually read from
+    the source; a mismatch counts as a failed attempt (checksum-and-retry,
+    the Globus behaviour this client models).
+    """
 
     segment_id: SegmentId
     source: NodeId
     dest: NodeId
     size_bytes: int
+    expected_digest: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -132,6 +140,8 @@ class TransferResult:
     attempts: int
     backoff_s: float = 0.0
     timeouts: int = 0
+    #: attempts whose payload arrived but failed the digest check
+    checksum_failures: int = 0
 
     @property
     def effective_bandwidth_bps(self) -> float:
@@ -182,6 +192,7 @@ class TransferClient:
         self.retry = retry if retry is not None else RetryPolicy(max_attempts=max_attempts)
         self._rng = make_rng(seed)
         self._counter = itertools.count()
+        self._digest_resolver: Optional[Callable[[NodeId, SegmentId], Optional[str]]] = None
         self.completed: List[TransferResult] = []
         self.obs = registry if registry is not None else get_registry()
         self._m_total = self.obs.counter(
@@ -209,11 +220,44 @@ class TransferClient:
             "transfer.retry.backoff_s",
             help="simulated backoff wait before each retry",
         )
+        self._m_checksum = self.obs.counter(
+            "transfer.checksum.failures",
+            help="attempts whose payload failed the content-digest check",
+        )
 
     @property
     def max_attempts(self) -> int:
         """Attempts before a transfer is abandoned (from :attr:`retry`)."""
         return self.retry.max_attempts
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def set_digest_resolver(
+        self, resolver: Optional[Callable[[NodeId, SegmentId], Optional[str]]]
+    ) -> None:
+        """Install the source-digest lookup enabling verified transfers.
+
+        ``resolver(node, segment)`` must return the digest of the bytes the
+        source node actually holds for the segment (``None`` when unknown —
+        e.g. an unregistered node). With a resolver installed, any request
+        carrying an ``expected_digest`` is verified on completion: a
+        mismatch is a checksum failure, counted on
+        ``transfer.checksum.failures`` and retried like any other failed
+        attempt. Pass ``None`` to disable verification.
+        """
+        if resolver is not None and not callable(resolver):
+            raise ConfigurationError("digest resolver must be callable or None")
+        self._digest_resolver = resolver
+
+    def _digest_mismatch(self, request: TransferRequest) -> bool:
+        """Whether a completed attempt's payload fails verification."""
+        if request.expected_digest is None or self._digest_resolver is None:
+            return False
+        actual = self._digest_resolver(request.source, request.segment_id)
+        if not actual:
+            return False  # source digest unknown: nothing to verify against
+        return actual != request.expected_digest
 
     def estimate_duration(self, request: TransferRequest) -> float:
         """Single-attempt duration for ``request`` (no failures)."""
@@ -244,6 +288,7 @@ class TransferClient:
         backoff_total = 0.0
         attempts = 0
         timeouts = 0
+        checksum_failures = 0
         ok = False
         while attempts < self.retry.max_attempts:
             attempts += 1
@@ -255,8 +300,14 @@ class TransferClient:
                 self._m_timeouts.inc()
             elif self._rng.random() >= self.failure_prob:
                 total += single
-                ok = True
-                break
+                if self._digest_mismatch(request):
+                    # the payload arrived (and cost its full duration) but
+                    # hashes wrong: discard and retry, Globus-style
+                    checksum_failures += 1
+                    self._m_checksum.inc()
+                else:
+                    ok = True
+                    break
             else:
                 total += single
             if attempts < self.retry.max_attempts:
@@ -273,6 +324,7 @@ class TransferClient:
             attempts=attempts,
             backoff_s=backoff_total,
             timeouts=timeouts,
+            checksum_failures=checksum_failures,
         )
         self.completed.append(result)
         self._m_total.inc()
@@ -293,14 +345,23 @@ class TransferClient:
             attempts=attempts,
             backoff_s=backoff_total,
             timeouts=timeouts,
+            checksum_failures=checksum_failures,
         )
         return result
 
     def execute_or_raise(self, request: TransferRequest) -> TransferResult:
-        """Like :meth:`execute`, but raise :class:`TransferError` when the
-        transfer exhausts its attempts (callers that cannot fail over)."""
+        """Like :meth:`execute`, but raise when the transfer exhausts its
+        attempts (callers that cannot fail over): :class:`IntegrityError`
+        when any attempt failed the digest check, :class:`TransferError`
+        otherwise."""
         result = self.execute(request)
         if not result.ok:
+            if result.checksum_failures:
+                raise IntegrityError(
+                    f"transfer of {request.segment_id} from {request.source} to "
+                    f"{request.dest} failed verification on "
+                    f"{result.checksum_failures} of {result.attempts} attempts"
+                )
             raise TransferError(
                 f"transfer of {request.segment_id} from {request.source} to "
                 f"{request.dest} failed after {result.attempts} attempts "

@@ -9,6 +9,7 @@ Subcommands::
     repro simulate  [--members N] [--days D]         live S-CDN metrics
     repro obs       [--members N] [--days D] [--json F]  observability report
     repro chaos     [--horizon S] [--seed N]         chaos campaign + report
+    repro scrub     [--corrupt K] [--seed N]         bit-rot + scrubber check
 
 All subcommands accept ``--corpus`` (a JSON file from ``repro generate``
 or :func:`repro.social.io.save_corpus`); without it a synthetic corpus is
@@ -220,6 +221,9 @@ def cmd_chaos(args) -> int:
         outage_rate_per_node_s=args.outage_rate,
         slowlink_rate_per_node_s=args.slowlink_rate,
         repair_delay_s=args.repair_delay,
+        corruption_rate_per_node_s=args.corruption_rate,
+        scrub_interval_s=args.scrub_interval,
+        scrub_enabled=not args.no_scrub,
     )
     report = run_chaos_campaign(net, config, seed=args.chaos_seed)
     for line in report.lines():
@@ -240,12 +244,94 @@ def cmd_chaos(args) -> int:
     ok = (
         report.unhandled_exceptions == 0
         and report.post_repair_redundancy >= args.min_redundancy
+        and report.corrupt_servable_after_repair == 0
     )
     if not ok:
         print(
             f"FAIL: unhandled={report.unhandled_exceptions} "
             f"redundancy={report.post_repair_redundancy:.4f} "
-            f"(need 0 and >= {args.min_redundancy})",
+            f"corrupt_servable={report.corrupt_servable_after_repair} "
+            f"(need 0, >= {args.min_redundancy}, and 0)",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+def cmd_scrub(args) -> int:
+    """`repro scrub`: rot a few replicas, run the integrity scrubber, and
+    verify detection + repair.
+
+    Builds the quickstart deployment, publishes datasets, deterministically
+    corrupts ``--corrupt`` on-disk copies (seeded pick over the sorted copy
+    list), runs one scrub pass (which quarantines the rot and triggers a
+    repair audit), and reports. Exit status is 0 only if every injected
+    corruption was quarantined, redundancy is fully restored, and no
+    servable replica fails verification — a CI smoke test for the
+    end-to-end integrity path.
+    """
+    from .errors import ConfigurationError
+    from .obs import Registry
+    from .rng import make_rng
+    from .scdn import SCDN, SCDNConfig
+    from .social.trust import MinCoauthorshipTrust
+
+    if args.corrupt < 0:
+        raise ConfigurationError("--corrupt must be >= 0")
+    registry = Registry()
+    corpus, seed_author = _get_corpus(args)
+    ego = ego_corpus(corpus, seed_author, hops=2)
+    trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
+    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed, registry=registry)
+    members = [AuthorId(a) for a in sorted(trusted.graph.nodes())[: args.members]]
+    for m in members:
+        net.join(m)
+    for i, owner in enumerate(members[: max(1, args.members // 5)]):
+        net.publish(owner, f"data-{i}", 10_000_000, n_segments=2)
+
+    copies = []
+    for author in sorted(net.clients):
+        repo = net.clients[author].repository
+        for seg in sorted(repo.hosted_segments()):
+            copies.append((repo, seg))
+    if not copies:
+        print("error: no replicas on disk, nothing to scrub", file=sys.stderr)
+        return 2
+    rng = make_rng(args.scrub_seed)
+    k = min(args.corrupt, len(copies))
+    picks = sorted(int(i) for i in rng.choice(len(copies), size=k, replace=False))
+    for i in picks:
+        repo, seg = copies[i]
+        repo.corrupt_replica(seg, at=0.0)
+        print(f"corrupted {seg} on {repo.node_id}")
+
+    scrubber = net.integrity_scrubber()
+    pass_report = scrubber.scrub(at=0.0)  # quarantines + triggers repair audit
+    audit = net.replication.reports[-1] if net.replication.reports else None
+    leftover = scrubber.corrupt_servable()
+    print(
+        f"scrub: checked {pass_report.replicas_checked} replicas on "
+        f"{pass_report.nodes_scanned} nodes, found {pass_report.corrupt_found}, "
+        f"quarantined {pass_report.quarantined}"
+    )
+    if audit is not None:
+        print(
+            f"repair audit: {audit.repaired} replicas re-created, "
+            f"{audit.under_replicated} segments still under budget"
+        )
+    print(f"corrupt servable after repair: {len(leftover)}")
+    # with nothing injected, a clean pass (no quarantines, no rot, no
+    # repair audit) is success, not a missing-audit failure
+    ok = (
+        pass_report.quarantined == k
+        and (audit is not None or k == 0)
+        and (audit is None or audit.under_replicated == 0)
+        and not leftover
+    )
+    if not ok:
+        print(
+            f"FAIL: injected={k} quarantined={pass_report.quarantined} "
+            f"under_replicated={audit.under_replicated if audit else 'n/a'} "
+            f"corrupt_servable={len(leftover)}",
             file=sys.stderr,
         )
     return 0 if ok else 1
@@ -325,8 +411,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delay between a disruption and its repair audit")
     p.add_argument("--min-redundancy", type=float, default=0.99,
                    help="post-repair redundancy required for exit status 0")
+    p.add_argument("--corruption-rate", type=float, default=0.0,
+                   help="silent bit-rot rate per node per second")
+    p.add_argument("--scrub-interval", type=float, default=600.0,
+                   help="integrity scrub period in simulated seconds")
+    p.add_argument("--no-scrub", action="store_true",
+                   help="disable the integrity scrubber (rot goes undetected)")
     p.add_argument("--json", help="also write report + obs snapshot to this path")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "scrub", help="corrupt replicas and verify the integrity scrubber"
+    )
+    common(p)
+    p.add_argument("--members", type=int, default=20)
+    p.add_argument("--corrupt", type=int, default=3,
+                   help="number of on-disk copies to rot")
+    p.add_argument("--scrub-seed", type=int, default=7,
+                   help="seed of the corruption pick")
+    p.set_defaults(func=cmd_scrub)
 
     return parser
 

@@ -40,6 +40,13 @@ class TransferError(ReproError):
     """A (simulated) data transfer failed."""
 
 
+class IntegrityError(TransferError):
+    """Data failed a content-digest check (bit rot, corrupt transfer).
+
+    A subclass of :class:`TransferError` so failover paths that already
+    handle transfer failures treat checksum mismatches the same way."""
+
+
 class AuthenticationError(ReproError):
     """A principal could not be authenticated against the social platform."""
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
+    from .cdn.integrity import IntegrityScrubber
     from .sim.failures import FailureInjector
 
 from .errors import AuthenticationError, AuthorizationError, ConfigurationError
@@ -145,6 +146,9 @@ class SCDN:
             seed=transfer_rng,
             registry=self.obs,
         )
+        # verified transfers: the mover checks the source's stored digest
+        # against the request's expected digest at completion
+        self.transfer.set_digest_resolver(self._stored_digest)
         self.engine = SimulationEngine(registry=self.obs)
         self.collector = MetricsCollector()
         self.replication = ReplicationPolicy(self.server, registry=self.obs)
@@ -385,6 +389,43 @@ class SCDN:
             self.server, policy=self.replication, repair_delay_s=repair_delay_s
         )
         return injector
+
+    # ------------------------------------------------------------------
+    # data integrity
+    # ------------------------------------------------------------------
+    def _stored_digest(self, node: NodeId, segment_id) -> Optional[str]:
+        """Digest of the bytes ``node`` actually holds for ``segment_id``
+        (the transfer client's verification source). ``None`` when the
+        node is unregistered or no longer hosts the segment."""
+        if not self.server.has_node(node):
+            return None
+        repo = self.server.repository(node)
+        if not repo.hosts_segment(segment_id):
+            return None
+        return repo.stored_digest(segment_id)
+
+    def integrity_scrubber(
+        self,
+        *,
+        scrub_interval_s: float = 600.0,
+        repair_delay_s: float = 0.0,
+    ) -> "IntegrityScrubber":
+        """An :class:`~repro.cdn.integrity.IntegrityScrubber` over this
+        deployment: it audits every member repository against the catalog's
+        content digests, quarantines rotted replicas through the allocation
+        server, and triggers re-replication on the replication policy.
+        Call :meth:`IntegrityScrubber.attach` with :attr:`engine` for
+        periodic scrubs, or drive :meth:`IntegrityScrubber.scrub` directly.
+        """
+        from .cdn.integrity import IntegrityScrubber
+
+        return IntegrityScrubber(
+            self.server,
+            policy=self.replication,
+            scrub_interval_s=scrub_interval_s,
+            repair_delay_s=repair_delay_s,
+            registry=self.obs,
+        )
 
     # ------------------------------------------------------------------
     # reporting

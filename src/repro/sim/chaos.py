@@ -57,6 +57,9 @@ class ChaosConfig:
     audit_interval_s: float = 600.0
     repair_delay_s: float = 0.0
     request_interval_s: float = 0.0  # 0 → horizon / (20 * members)
+    corruption_rate_per_node_s: float = 0.0
+    scrub_interval_s: float = 600.0
+    scrub_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -73,9 +76,12 @@ class ChaosConfig:
             "crash_rate_per_node_s",
             "outage_rate_per_node_s",
             "slowlink_rate_per_node_s",
+            "corruption_rate_per_node_s",
         ):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
+        if self.scrub_interval_s <= 0:
+            raise ConfigurationError("scrub_interval_s must be positive")
         if self.outage_mean_duration_s <= 0 or self.slowlink_mean_duration_s <= 0:
             raise ConfigurationError("mean durations must be positive")
         if not 0.0 < self.slowlink_factor <= 1.0:
@@ -125,6 +131,14 @@ class ChaosReport:
     unrepaired_disruptions: int = 0
     post_repair_redundancy: float = 1.0
     unhandled_exceptions: int = 0
+    # --- data integrity (all zero when corruption is disabled) ----------
+    corruptions: int = 0
+    corrupt_reads_served: int = 0
+    quarantined: int = 0
+    undetected_at_horizon: int = 0
+    corrupt_servable_after_repair: int = 0
+    mean_time_to_detect_s: float = 0.0
+    mean_time_to_repair_s: float = 0.0
 
     def lines(self) -> List[str]:
         """Human-readable report, one finding per line."""
@@ -147,6 +161,14 @@ class ChaosReport:
             f"repairs: {self.repairs_created} replicas created, "
             f"latency {lat_txt}, {self.unrepaired_disruptions} unrepaired at horizon",
             f"post_repair_redundancy={self.post_repair_redundancy:.4f}",
+            f"corruption: {self.corruptions} events, "
+            f"{self.corrupt_reads_served} corrupt reads served, "
+            f"{self.quarantined} quarantined, "
+            f"{self.undetected_at_horizon} undetected at horizon",
+            f"integrity: corrupt_servable_after_repair="
+            f"{self.corrupt_servable_after_repair} "
+            f"mttd={self.mean_time_to_detect_s:.0f}s "
+            f"mttr={self.mean_time_to_repair_s:.0f}s",
             f"unhandled_exceptions={self.unhandled_exceptions}",
         ]
 
@@ -245,6 +267,19 @@ def run_chaos_campaign(
         net.network,
         factor=config.slowlink_factor,
     )
+    # corruption draws come LAST from the injector's stream, so a zero
+    # corruption rate (which draws nothing) reproduces corruption-free
+    # campaigns bit for bit
+    corruptions = injector.random_corruptions(
+        config.corruption_rate_per_node_s, config.horizon_s
+    )
+    scrubber = None
+    if config.scrub_enabled:
+        scrubber = net.integrity_scrubber(
+            scrub_interval_s=config.scrub_interval_s,
+            repair_delay_s=config.repair_delay_s,
+        )
+        scrubber.attach(net.engine)
 
     # --- workload ---------------------------------------------------------
     counts = {"unhandled": 0}
@@ -273,6 +308,10 @@ def run_chaos_campaign(
 
     # --- run --------------------------------------------------------------
     net.engine.run(until=config.horizon_s)
+    if scrubber is not None:
+        # final sweep: quarantine any rot the periodic cadence missed,
+        # then let the final audit below repair the shortage
+        scrubber.scrub(at=config.horizon_s)
     final_report = net.replication.audit(at=config.horizon_s)
     net.sync_usage()
 
@@ -294,6 +333,53 @@ def run_chaos_campaign(
             latency = cleared - event.time
             latencies.append(latency)
             m_repair_latency.observe(latency)
+
+    # --- data integrity ---------------------------------------------------
+    # detection = the scrubber quarantining the rotted copy; repair = the
+    # first all-clear audit at or after detection. Corrupt copies on
+    # crashed/offline nodes at the horizon count as undetected (a scrubber
+    # cannot read a disk that is down).
+    # random_corruptions() returns *scheduled* events; an event only lands
+    # (and emits) when its node is alive and hosts something at fire time,
+    # so the report counts landed rot — the number the quarantine and
+    # undetected tallies must reconcile against
+    corruptions_landed = sum(1 for e in injector.history if e.kind == "corrupt")
+    corrupt_reads_served = sum(c.stats.corrupt_reads for c in net.clients.values())
+    detect_latencies: List[float] = []
+    integrity_repair_latencies: List[float] = []
+    undetected = 0
+    qlog = list(scrubber.quarantine_log) if scrubber is not None else []
+    for event in injector.history:
+        if event.kind != "corrupt":
+            continue
+        detected_at = next(
+            (
+                t
+                for t, node, seg in qlog
+                if node == event.node and seg == event.segment and t >= event.time
+            ),
+            None,
+        )
+        if detected_at is None:
+            undetected += 1
+            continue
+        detect_latencies.append(detected_at - event.time)
+        cleared = next(
+            (t for t, under in audit_times if t >= detected_at and under == 0),
+            None,
+        )
+        if cleared is not None:
+            integrity_repair_latencies.append(cleared - event.time)
+    quarantined_total = (
+        scrubber.total_quarantined() if scrubber is not None else 0
+    )
+    corrupt_servable = sum(
+        1
+        for rep in net.server.catalog.iter_replicas()
+        if rep.servable
+        and net.server.is_online(rep.node_id)
+        and not net.server.replica_verified(rep)
+    )
 
     # --- post-repair redundancy ------------------------------------------
     ratios: List[float] = []
@@ -327,6 +413,10 @@ def run_chaos_campaign(
         redundancy=redundancy,
         unrepaired=unrepaired,
         final_under_replicated=final_report.under_replicated,
+        corruptions=corruptions_landed,
+        corruptions_scheduled=corruptions,
+        corrupt_reads_served=corrupt_reads_served,
+        corrupt_servable_after_repair=corrupt_servable,
     )
 
     return ChaosReport(
@@ -348,4 +438,17 @@ def run_chaos_campaign(
         unrepaired_disruptions=unrepaired,
         post_repair_redundancy=redundancy,
         unhandled_exceptions=counts["unhandled"],
+        corruptions=corruptions_landed,
+        corrupt_reads_served=corrupt_reads_served,
+        quarantined=quarantined_total,
+        undetected_at_horizon=undetected,
+        corrupt_servable_after_repair=corrupt_servable,
+        mean_time_to_detect_s=(
+            float(np.mean(detect_latencies)) if detect_latencies else 0.0
+        ),
+        mean_time_to_repair_s=(
+            float(np.mean(integrity_repair_latencies))
+            if integrity_repair_latencies
+            else 0.0
+        ),
     )

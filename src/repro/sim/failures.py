@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Literal, Optional, Sequence
 
 from ..errors import ConfigurationError
-from ..ids import NodeId
+from ..ids import NodeId, SegmentId
 from ..rng import SeedLike, make_rng
 from .engine import SimulationEngine
 from .network import NetworkModel
@@ -40,16 +40,23 @@ if TYPE_CHECKING:  # avoid a runtime sim -> cdn import cycle
     from ..cdn.allocation import AllocationServer
     from ..cdn.replication import ReplicationPolicy
 
-FailureKind = Literal["crash", "outage-start", "outage-end", "slowlink-start", "slowlink-end"]
+FailureKind = Literal[
+    "crash", "outage-start", "outage-end", "slowlink-start", "slowlink-end", "corrupt"
+]
 
 
 @dataclass(frozen=True, slots=True)
 class FailureEvent:
-    """One injected failure occurrence."""
+    """One injected failure occurrence.
+
+    ``segment`` is set only for ``corrupt`` events (which rot one replica,
+    not a whole node).
+    """
 
     time: float
     node: NodeId
     kind: FailureKind
+    segment: Optional[SegmentId] = None
 
 
 Handler = Callable[[FailureEvent], None]
@@ -85,6 +92,8 @@ class FailureInjector:
         self._slow_depth: Dict[NodeId, int] = {}
         #: network holding each node's active degradation (for crash cleanup)
         self._slow_net: Dict[NodeId, NetworkModel] = {}
+        #: allocation server wired via attach_server (needed by corrupt())
+        self._server: Optional["AllocationServer"] = None
         self.history: List[FailureEvent] = []
 
     def on_failure(self, handler: Handler) -> None:
@@ -212,6 +221,43 @@ class FailureInjector:
         self.engine.schedule(start, begin, label=f"slowlink:{node}")
         self.engine.schedule(start + duration, end, label=f"slowlink-end:{node}")
 
+    def corrupt(self, node: NodeId, segment: SegmentId, at: float) -> None:
+        """Schedule silent bit rot of ``node``'s copy of ``segment`` at ``at``.
+
+        Unlike crashes and outages, corruption emits **no liveness
+        signal**: the node stays up, the catalog still lists the replica
+        as servable, and nothing schedules a repair — that is the point.
+        Only a digest check (a verified transfer or an
+        :class:`~repro.cdn.integrity.IntegrityScrubber` pass) can notice.
+
+        Requires :meth:`attach_server` to have been called (the rot lands
+        in the server's repositories). The event is skipped at fire time
+        when the node has crashed or no longer hosts the segment.
+        """
+        if self._server is None:
+            raise ConfigurationError(
+                "corrupt() needs attach_server() first: bit rot lands in "
+                "the server's storage repositories"
+            )
+        if node not in self.nodes:
+            raise ConfigurationError(f"unknown node {node!r}")
+        server = self._server
+
+        def fire(engine: SimulationEngine) -> None:
+            if node in self._crashed or not server.has_node(node):
+                return
+            repo = server.repository(node)
+            if not repo.hosts_segment(segment):
+                return  # evicted/migrated before the rot landed
+            repo.corrupt_replica(segment, at=engine.now)
+            self._emit(
+                FailureEvent(
+                    time=engine.now, node=node, kind="corrupt", segment=segment
+                )
+            )
+
+        self.engine.schedule(at, fire, label=f"corrupt:{node}:{segment}")
+
     # ------------------------------------------------------------------
     # server wiring
     # ------------------------------------------------------------------
@@ -245,6 +291,7 @@ class FailureInjector:
                 f"repair_delay_s must be >= 0, got {repair_delay_s}"
             )
         server.set_liveness_oracle(self.is_alive)
+        self._server = server
 
         def handler(event: FailureEvent) -> None:
             if not server.has_node(event.node):
@@ -256,7 +303,9 @@ class FailureInjector:
             elif event.kind == "outage-end":
                 server.node_online(event.node, at=event.time)
             else:
-                return  # slow links degrade, they don't kill
+                # slow links degrade and corruption rots silently —
+                # neither changes liveness nor triggers a repair here
+                return
             if policy is not None:
                 policy.schedule_repair(self.engine, delay_s=repair_delay_s)
 
@@ -334,4 +383,58 @@ class FailureInjector:
                 self.slow_link(node, network, start=t, duration=duration, factor=factor)
                 t += duration
                 n += 1
+        return n
+
+    def random_corruptions(self, rate_per_node_s: float, horizon_s: float) -> int:
+        """Poisson-schedule silent bit-rot events over ``[now, now+horizon)``.
+
+        Each event rots one replica on one node; the victim segment is
+        drawn at fire time from the node's then-hosted segments (sorted,
+        so the pick is deterministic for a given schedule), since the
+        hosting set shifts as migrations and repairs run. Nodes hosting
+        nothing when an event fires lose nothing. Returns the number of
+        events scheduled. Requires :meth:`attach_server` first.
+
+        With ``rate_per_node_s == 0`` this draws **nothing** from the
+        injector's RNG, so corruption-free campaigns reproduce their
+        pre-corruption schedules bit for bit.
+        """
+        if rate_per_node_s < 0 or horizon_s <= 0:
+            raise ConfigurationError("need rate >= 0 and horizon > 0")
+        if rate_per_node_s == 0:
+            return 0
+        if self._server is None:
+            raise ConfigurationError(
+                "random_corruptions() needs attach_server() first"
+            )
+        server = self._server
+        n = 0
+        for node in self.nodes:
+            t = self.engine.now
+            while True:
+                gap = float(self._rng.exponential(1.0 / rate_per_node_s))
+                t += gap
+                if t - self.engine.now >= horizon_s:
+                    break
+                n += 1
+
+                def fire(engine: SimulationEngine, node: NodeId = node) -> None:
+                    if node in self._crashed or not server.has_node(node):
+                        return
+                    repo = server.repository(node)
+                    hosted = sorted(repo.hosted_segments())
+                    if not hosted:
+                        return
+                    segment = hosted[int(self._rng.integers(len(hosted)))]
+                    repo.corrupt_replica(segment, at=engine.now)
+                    self._emit(
+                        FailureEvent(
+                            time=engine.now,
+                            node=node,
+                            kind="corrupt",
+                            segment=segment,
+                        )
+                    )
+
+                self.engine.schedule(t, fire, label=f"corrupt:{node}")
         return n

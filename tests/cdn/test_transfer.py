@@ -221,3 +221,79 @@ class TestConfigValidation:
             network, max_attempts=7, retry=RetryPolicy(max_attempts=2)
         )
         assert client.max_attempts == 2
+
+
+class TestVerifiedTransfers:
+    """Digest verification on completed attempts (the anti-bit-rot path)."""
+
+    def _client(self, network, digests, **kw):
+        client = TransferClient(network, seed=1, **kw)
+        client.set_digest_resolver(lambda node, seg: digests.get(node))
+        return client
+
+    def vreq(self, expected="good"):
+        return TransferRequest(
+            segment_id=SegmentId("d:seg0"),
+            source=NodeId("chicago"),
+            dest=NodeId("karlsruhe"),
+            size_bytes=1_000_000,
+            expected_digest=expected,
+        )
+
+    def test_matching_digest_passes(self, network):
+        client = self._client(network, {NodeId("chicago"): "good"})
+        result = client.execute(self.vreq())
+        assert result.ok and result.checksum_failures == 0
+
+    def test_mismatch_exhausts_attempts(self, network):
+        client = self._client(
+            network,
+            {NodeId("chicago"): "rot1:good"},
+            retry=RetryPolicy(max_attempts=3, base_backoff_s=0.0),
+        )
+        result = client.execute(self.vreq())
+        assert not result.ok
+        assert result.checksum_failures == 3
+        assert result.attempts == 3
+
+    def test_mismatch_raises_integrity_error(self, network):
+        from repro.errors import IntegrityError
+
+        client = self._client(
+            network,
+            {NodeId("chicago"): "rot1:good"},
+            retry=RetryPolicy(max_attempts=2, base_backoff_s=0.0),
+        )
+        with pytest.raises(IntegrityError):
+            client.execute_or_raise(self.vreq())
+        # IntegrityError is a TransferError: existing failover paths catch it
+        with pytest.raises(TransferError):
+            client.execute_or_raise(self.vreq())
+
+    def test_checksum_failures_metric(self, network):
+        from repro.obs import Registry
+
+        registry = Registry()
+        client = TransferClient(network, seed=1, registry=registry)
+        client.set_digest_resolver(lambda node, seg: "rot1:good")
+        client.execute(self.vreq())
+        snap = registry.snapshot()
+        assert snap["counters"]["transfer.checksum.failures"]["value"] == 3
+
+    def test_no_expected_digest_skips_verification(self, network):
+        client = self._client(network, {NodeId("chicago"): "rot1:good"})
+        assert client.execute(self.vreq(expected=None)).ok
+
+    def test_no_resolver_skips_verification(self, network):
+        client = TransferClient(network, seed=1)
+        assert client.execute(self.vreq()).ok
+
+    def test_unknown_source_digest_skips_verification(self, network):
+        client = self._client(network, {})  # resolver returns None
+        assert client.execute(self.vreq()).ok
+
+    def test_resolver_must_be_callable(self, network):
+        client = TransferClient(network)
+        with pytest.raises(ConfigurationError):
+            client.set_digest_resolver("not-callable")
+        client.set_digest_resolver(None)  # explicit disable is fine

@@ -130,3 +130,85 @@ class TestCampaign:
         net.join(AuthorId("alice"))
         with pytest.raises(ConfigurationError, match="no members"):
             run_chaos_campaign(net, SMALL, seed=7)
+
+
+CORRUPT = ChaosConfig(
+    horizon_s=600.0,
+    members=5,
+    datasets=2,
+    segments_per_dataset=1,
+    dataset_size_bytes=100_000,
+    n_replicas=2,
+    crash_rate_per_node_s=0.0,
+    outage_rate_per_node_s=1e-3,
+    outage_mean_duration_s=60.0,
+    slowlink_rate_per_node_s=0.0,
+    audit_interval_s=120.0,
+    corruption_rate_per_node_s=4e-3,
+    scrub_interval_s=120.0,
+)
+
+
+class TestCorruptionCampaigns:
+    def test_scrubber_off_is_bitfor_bit_identical_without_corruption(self):
+        """Regression gate: with corruption disabled, the scrubber (on or
+        off) must not perturb the campaign at all — same seed, same
+        ChaosReport, field for field."""
+        import dataclasses
+
+        on = run_chaos_campaign(
+            fresh_net(), dataclasses.replace(SMALL, scrub_enabled=True), seed=7
+        )
+        off = run_chaos_campaign(
+            fresh_net(), dataclasses.replace(SMALL, scrub_enabled=False), seed=7
+        )
+        assert on == off
+        assert on.corruptions == 0 and on.quarantined == 0
+
+    def test_scrubber_contains_bit_rot(self):
+        """With corruption on, the scrubber must (a) leave zero corrupt
+        servable replicas after the final repair audit and (b) serve
+        strictly fewer corrupt reads than the same campaign without it."""
+        import dataclasses
+
+        on = run_chaos_campaign(fresh_net(), CORRUPT, seed=7)
+        off = run_chaos_campaign(
+            fresh_net(),
+            dataclasses.replace(CORRUPT, scrub_enabled=False),
+            seed=7,
+        )
+        assert on.corruptions > 0
+        assert on.unhandled_exceptions == 0
+        assert on.corrupt_servable_after_repair == 0
+        assert off.corrupt_servable_after_repair > 0  # rot festers unscrubbed
+        assert on.corrupt_reads_served < off.corrupt_reads_served
+        assert on.quarantined > 0
+        assert on.mean_time_to_detect_s > 0.0
+        # without a scrubber nothing detects, nothing quarantines
+        assert off.quarantined == 0 and off.undetected_at_horizon == off.corruptions
+
+    def test_corruption_campaign_deterministic(self):
+        a = run_chaos_campaign(fresh_net(), CORRUPT, seed=7)
+        b = run_chaos_campaign(fresh_net(), CORRUPT, seed=7)
+        assert a == b
+
+    def test_integrity_metrics_land_in_registry(self):
+        net = fresh_net()
+        run_chaos_campaign(net, CORRUPT, seed=7)
+        snap = net.obs_snapshot()
+        assert snap["counters"]["integrity.scrub.runs"]["value"] > 0
+        assert snap["counters"]["integrity.scrub.corrupt_found"]["value"] > 0
+        assert snap["counters"]["alloc.quarantine.replicas"]["value"] > 0
+        assert "integrity.scrub.detect_latency_s" in snap["histograms"]
+
+    def test_report_lines_include_integrity(self):
+        report = run_chaos_campaign(fresh_net(), CORRUPT, seed=7)
+        text = "\n".join(report.lines())
+        assert "corrupt reads served" in text
+        assert "corrupt_servable_after_repair=" in text
+
+    def test_corruption_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(corruption_rate_per_node_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(scrub_interval_s=0.0)

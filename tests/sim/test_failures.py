@@ -199,3 +199,104 @@ class TestCrashOutageInteraction:
         kinds = [e.kind for e in injector.history]
         assert kinds == ["outage-start", "crash"]
         assert not injector.is_alive(NODES[0])
+
+
+class TestCorruption:
+    """Silent bit-rot injection (kind="corrupt")."""
+
+    def _server_rig(self, seed=0):
+        from repro.ids import AuthorId, DatasetId
+        from repro.obs import Registry
+        from repro.social.graph import build_coauthorship_graph
+        from repro.social.records import Corpus
+        from repro.cdn.allocation import AllocationServer
+        from repro.cdn.content import segment_dataset
+        from repro.cdn.placement import RandomPlacement
+        from repro.cdn.storage import StorageRepository
+
+        from ..conftest import pub
+
+        authors = ("alice", "bob", "carol", "dave", "erin")
+        graph = build_coauthorship_graph(
+            Corpus(
+                [
+                    pub("p1", 2009, "alice", "bob", "carol"),
+                    pub("p2", 2010, "carol", "dave", "erin"),
+                    pub("p3", 2010, "alice", "bob"),
+                ]
+            )
+        )
+        server = AllocationServer(
+            graph, RandomPlacement(), seed=seed, registry=Registry()
+        )
+        for a in authors:
+            server.register_repository(
+                AuthorId(a), StorageRepository(NodeId(a), 10_000)
+            )
+        ds = segment_dataset(DatasetId("d"), AuthorId("alice"), 1000)
+        server.publish_dataset(ds, n_replicas=3)
+        engine = SimulationEngine()
+        nodes = [NodeId(a) for a in authors]
+        injector = FailureInjector(engine, nodes, seed=seed)
+        injector.attach_server(server)
+        return engine, injector, server, ds.segments[0].segment_id
+
+    def test_corrupt_requires_attached_server(self, rig):
+        engine, injector = rig
+        with pytest.raises(ConfigurationError, match="attach_server"):
+            injector.corrupt(NODES[0], NODES[0], at=1.0)
+        with pytest.raises(ConfigurationError, match="attach_server"):
+            injector.random_corruptions(1e-3, 100.0)
+
+    def test_corrupt_flips_stored_digest_silently(self):
+        engine, injector, server, seg = self._server_rig()
+        node = sorted(server.catalog.nodes_hosting(seg))[0]
+        injector.corrupt(node, seg, at=5.0)
+        engine.run()
+        assert server.repository(node).is_corrupted(seg)
+        # silent: node still alive, replica still cataloged servable
+        assert injector.is_alive(node)
+        assert node in server.catalog.nodes_hosting(seg)
+        events = [e for e in injector.history if e.kind == "corrupt"]
+        assert len(events) == 1
+        assert events[0].segment == seg and events[0].node == node
+
+    def test_corrupt_skipped_on_crashed_node(self):
+        engine, injector, server, seg = self._server_rig()
+        node = sorted(server.catalog.nodes_hosting(seg))[0]
+        injector.crash(node, at=1.0)
+        injector.corrupt(node, seg, at=5.0)
+        engine.run()
+        assert not any(e.kind == "corrupt" for e in injector.history)
+
+    def test_corrupt_skipped_when_not_hosting(self):
+        engine, injector, server, seg = self._server_rig()
+        non_host = next(
+            n
+            for n in sorted(injector.nodes)
+            if n not in server.catalog.nodes_hosting(seg)
+        )
+        injector.corrupt(non_host, seg, at=5.0)
+        engine.run()
+        assert not any(e.kind == "corrupt" for e in injector.history)
+
+    def test_random_corruptions_deterministic(self):
+        def landed(seed):
+            engine, injector, server, seg = self._server_rig(seed=3)
+            injector._rng = __import__("repro.rng", fromlist=["make_rng"]).make_rng(seed)
+            injector.random_corruptions(5e-3, 500.0)
+            engine.run(until=500.0)
+            return [
+                (e.time, e.node, e.segment)
+                for e in injector.history
+                if e.kind == "corrupt"
+            ]
+
+        assert landed(11) == landed(11)
+        assert landed(11) != landed(12)
+
+    def test_zero_rate_draws_nothing(self):
+        engine, injector, server, seg = self._server_rig()
+        before = injector._rng.bit_generator.state
+        assert injector.random_corruptions(0.0, 500.0) == 0
+        assert injector._rng.bit_generator.state == before
