@@ -18,6 +18,9 @@ This subpackage implements the paper's Section V architecture as a working
 * :mod:`repro.cdn.partitioning` — social data partitioning.
 * :mod:`repro.cdn.integrity` — content-digest scrubbing and bit-rot
   quarantine.
+* :mod:`repro.cdn.demand` — EWMA per-segment demand tracking.
+* :mod:`repro.cdn.migration` — demand- and trust-driven replica
+  migration and rebalancing.
 """
 
 from .content import (
@@ -60,6 +63,16 @@ from .consistency import ReplicaVersionTracker, UpdatePropagator, WriteRecord
 from .p2p import GossipIndex, LookupResult, index_from_server
 from .server_group import AllocationServerGroup, CatalogSnapshot
 from .integrity import IntegrityScrubber, ScrubReport
+from .demand import DemandTracker
+from .migration import (
+    MigrationAction,
+    MigrationConfig,
+    MigrationEngine,
+    MigrationExecutor,
+    MigrationKind,
+    MigrationPlanner,
+    MigrationReport,
+)
 
 __all__ = [
     "Dataset",
@@ -108,4 +121,12 @@ __all__ = [
     "CatalogSnapshot",
     "IntegrityScrubber",
     "ScrubReport",
+    "DemandTracker",
+    "MigrationAction",
+    "MigrationConfig",
+    "MigrationEngine",
+    "MigrationExecutor",
+    "MigrationKind",
+    "MigrationPlanner",
+    "MigrationReport",
 ]

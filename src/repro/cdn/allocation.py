@@ -396,11 +396,17 @@ class AllocationServer:
     # placement / publication
     # ------------------------------------------------------------------
     def _host_subgraph(self) -> CoauthorshipGraph:
-        """The social graph restricted to authors with online repositories."""
+        """The social graph restricted to authors with online repositories.
+
+        Authors who fell out of the trusted graph (a trust re-evaluation
+        swapped in a smaller fabric after they registered) are excluded:
+        the trust boundary is dynamic, and placement must never choose a
+        host the current graph no longer admits.
+        """
         hosts = [
             a
             for a, n in self._node_of_author.items()
-            if self._is_live(n)
+            if a in self._graph and self._is_live(n)
         ]
         if not hosts:
             raise PlacementError("no online repositories registered")
@@ -599,6 +605,17 @@ class AllocationServer:
         self._hop_cache[requester] = hops
         return hops
 
+    def hops_from(self, requester: AuthorId) -> Dict[AuthorId, int]:
+        """Hop distances from ``requester`` over the trusted graph.
+
+        Served from the same cache :meth:`resolve` uses (flushed on
+        membership and graph changes). Treat the returned mapping as
+        read-only — it *is* the cache entry. Authors unreachable from the
+        requester are absent; an unknown requester yields an empty map.
+        The migration planner scores promotion targets with this.
+        """
+        return self._hops_from(requester)
+
     def resolve_candidates(
         self,
         segment_id: SegmentId,
@@ -678,15 +695,21 @@ class AllocationServer:
             to_node=str(to_node),
         )
 
-    def resolve(self, segment_id: SegmentId, requester: AuthorId) -> ResolvedReplica:
+    def resolve(
+        self, segment_id: SegmentId, requester: AuthorId, *, record: bool = True
+    ) -> ResolvedReplica:
         """Find the best servable replica of a segment for ``requester``.
 
         Selection: live hosts only (not offline, alive per the liveness
         oracle when one is installed), ranked by
-        :meth:`resolve_candidates`. Records the access on the chosen
-        replica (the demand signal) and full observability: latency, hop
-        distance, hop-cache hit/miss, chosen-node load, and a ``resolve``
-        trace event.
+        :meth:`resolve_candidates`. By default the access is recorded on
+        the chosen replica (the demand signal); callers that only learn
+        later which replica actually served — the CDN client's failover
+        path — pass ``record=False`` and call :meth:`record_served` on
+        the replica that did, so a host that failed its transfer is never
+        credited with a read it did not serve. Full observability either
+        way: latency, hop distance, hop-cache hit/miss, chosen-node load,
+        and a ``resolve`` trace event.
 
         Raises
         ------
@@ -703,7 +726,8 @@ class AllocationServer:
             raise CatalogError(f"no servable replica of {segment_id}")
         best = candidates[0]
         load = self._repos[best.replica.node_id].reads_served
-        self.record_served(best.replica)
+        if record:
+            self.record_served(best.replica)
         d = best.social_hops
 
         elapsed = perf_counter() - t0
@@ -791,6 +815,45 @@ class AllocationServer:
         out.sort(key=lambda t: (t[1], t[0]))
         return out
 
+    def eligible_migration_targets(self, segment_id: SegmentId) -> List[AuthorId]:
+        """Authors whose nodes may receive a new replica of ``segment_id``.
+
+        A target must be trusted (a member of the *current* graph — the
+        boundary is dynamic after a trust re-evaluation swaps the fabric),
+        live (online and alive per the liveness oracle), and not already
+        holding any non-retired replica of the segment: servable ones
+        obviously, but also STALE (bytes still on the offline disk) and
+        QUARANTINED (the node's copy rotted once — ``create_replica``
+        refuses the node until the entry is retired).
+
+        This is the single target-eligibility rule shared by
+        :meth:`repair` (and therefore :meth:`migrate_node`) and the
+        migration planner (:mod:`repro.cdn.migration`), so crash-driven
+        and demand-driven migration cannot diverge on who may host.
+        Capacity is intentionally not checked here — it changes between
+        planning and execution, so placers re-check ``can_host`` when they
+        actually store bytes.
+        """
+        self.catalog.segment(segment_id)  # raises CatalogError if unknown
+        holders = {r.node_id for r in self.catalog.replicas_of_segment(segment_id)}
+        return [
+            a
+            for a, n in self._node_of_author.items()
+            if a in self._graph and self._is_live(n) and n not in holders
+        ]
+
+    def untrusted_hosts(self) -> List[NodeId]:
+        """Registered nodes whose author the current graph no longer admits.
+
+        Non-empty after a trust-graph swap (or policy change) strands
+        replicas on hosts outside the trust boundary; the migration
+        planner turns each stranded replica into a mandatory
+        ``EVICT_UNTRUSTED`` move. Sorted for determinism.
+        """
+        return sorted(
+            n for a, n in self._node_of_author.items() if a not in self._graph
+        )
+
     def repair(self, *, at: float = 0.0) -> List[Replica]:
         """Re-replicate every under-replicated segment onto new hosts.
 
@@ -835,18 +898,7 @@ class AllocationServer:
             segment = self.catalog.segment(segment_id)
             budget = self.replica_budget(segment.dataset_id)
             need = budget - live
-            # every non-retired replica blocks its node as a repair target:
-            # servable ones obviously, but also STALE (bytes still on the
-            # offline disk) and QUARANTINED (the node's copy rotted once —
-            # create_replica refuses the node until the entry is retired)
-            holders = {
-                r.node_id for r in self.catalog.replicas_of_segment(segment_id)
-            }
-            eligible = [
-                a
-                for a, n in self._node_of_author.items()
-                if self._is_live(n) and n not in holders
-            ]
+            eligible = self.eligible_migration_targets(segment_id)
             if not eligible:
                 self._m_repair_starved.inc()
                 self.obs.trace(

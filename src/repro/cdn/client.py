@@ -114,9 +114,14 @@ class CDNClient:
         if self.repository.has_user_file(self._cache_name(segment_id)):
             self.stats.cache_hits += 1
             return AccessOutcome(segment_id, "user-cache", 0, 0.0, True)
-        # 3. remote: discover, transfer, fail over on transfer failure
+        # 3. remote: discover, transfer, fail over on transfer failure.
+        # record=False: which replica actually serves is only known after
+        # the transfer (failover may reroute), so the read is recorded
+        # there — a primary whose transfer fails must not be credited
+        # with a read (it would inflate its load signal and the demand
+        # tracker's view of where traffic lands)
         try:
-            resolved = self.server.resolve(segment_id, self.author)
+            resolved = self.server.resolve(segment_id, self.author, record=False)
         except CatalogError:
             self.stats.failed += 1
             return AccessOutcome(segment_id, "remote", None, 0.0, False)
@@ -174,10 +179,10 @@ class CDNClient:
             else:
                 total += result.duration_s
             if result is not None and result.ok:
-                if chosen is not primary:
-                    # resolve() recorded the primary; record the backup
-                    # that actually served instead
-                    self.server.record_served(chosen.replica)
+                # the one read record for this access: resolve() ran with
+                # record=False, so only the replica that actually served
+                # is credited — exactly once, failovers included
+                self.server.record_served(chosen.replica)
                 return result, chosen, total
             if backups is None:
                 backups = self.server.resolve_candidates(
@@ -211,6 +216,15 @@ class CDNClient:
         name = self._cache_name(segment_id)
         if size_bytes > self.repository.user_quota_bytes:
             return  # larger than the whole partition: stream-only access
+        # evicting helps only if cache entries actually free enough room;
+        # when the user's own files occupy the space, give up *before*
+        # wiping the cache for nothing (every entry would be deleted and
+        # the segment still wouldn't fit)
+        reclaimable = self.repository.user_free_bytes + sum(
+            self.repository.user_file_size(f) for f in self._cache_files() if f != name
+        )
+        if size_bytes > reclaimable:
+            return  # stream-only: would not fit even after full eviction
         while True:
             try:
                 self.repository.put_user_file(name, size_bytes)

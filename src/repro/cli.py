@@ -10,6 +10,7 @@ Subcommands::
     repro obs       [--members N] [--days D] [--json F]  observability report
     repro chaos     [--horizon S] [--seed N]         chaos campaign + report
     repro scrub     [--corrupt K] [--seed N]         bit-rot + scrubber check
+    repro migrate   [--migrate-seed N]               demand-shift migration check
 
 All subcommands accept ``--corpus`` (a JSON file from ``repro generate``
 or :func:`repro.social.io.save_corpus`); without it a synthetic corpus is
@@ -337,6 +338,88 @@ def cmd_scrub(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_migrate(args) -> int:
+    """`repro migrate`: run the demand-shift scenario with migration off
+    and on, print the comparison, and verify the migration acceptance
+    criteria.
+
+    The scenario (:mod:`repro.sim.scenarios`) publishes datasets near
+    their owner, shifts read demand to a far cluster, and swaps in a
+    trust graph that drops one replica-holding host. Exit status is 0
+    only if migration-on strictly reduces the post-shift mean access
+    time, redundancy never dipped below budget mid-move, no move failed,
+    and zero replicas remain on no-longer-trusted nodes — so the command
+    doubles as a CI smoke test for the migration subsystem.
+    """
+    import json as _json
+
+    from .sim.scenarios import compare_demand_shift
+
+    off, on = compare_demand_shift(seed=args.migrate_seed)
+    print(
+        f"demand shift: {off.post_shift.accesses} post-shift accesses, "
+        f"trust swap evicts {off.evicted_author}"
+    )
+    for r in (off, on):
+        label = "migration on " if r.migration_enabled else "migration off"
+        print(
+            f"{label}: post-shift mean={r.post_shift.mean_duration_s * 1e3:.1f}ms "
+            f"local={r.post_shift.local_hits}/{r.post_shift.accesses} "
+            f"availability={r.post_shift.availability:.4f} "
+            f"moves={r.moves_completed} failed={r.moves_failed} "
+            f"untrusted_leftover={r.untrusted_leftover}"
+        )
+    if on.post_shift.accesses:
+        delta = 1.0 - (
+            on.post_shift.mean_duration_s / off.post_shift.mean_duration_s
+            if off.post_shift.mean_duration_s
+            else 1.0
+        )
+        print(f"post-shift mean access time reduced by {100.0 * delta:.1f}%")
+    if args.json:
+        payload = {
+            "off": {
+                "post_shift_mean_s": off.post_shift.mean_duration_s,
+                "availability": off.post_shift.availability,
+                "untrusted_leftover": off.untrusted_leftover,
+            },
+            "on": {
+                "post_shift_mean_s": on.post_shift.mean_duration_s,
+                "availability": on.post_shift.availability,
+                "moves": on.moves_completed,
+                "failed_moves": on.moves_failed,
+                "min_mid_move_redundancy": on.min_mid_move_redundancy,
+                "untrusted_leftover": on.untrusted_leftover,
+            },
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(payload, fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote migration comparison to {args.json}")
+    ok = (
+        on.post_shift.mean_duration_s < off.post_shift.mean_duration_s
+        and on.moves_completed > 0
+        and on.moves_failed == 0
+        and on.min_mid_move_redundancy is not None
+        and on.min_mid_move_redundancy >= 1.0
+        and on.untrusted_leftover == 0
+        and off.untrusted_leftover > 0
+    )
+    if not ok:
+        print(
+            f"FAIL: on_mean={on.post_shift.mean_duration_s:.6f} "
+            f"off_mean={off.post_shift.mean_duration_s:.6f} "
+            f"moves={on.moves_completed} failed={on.moves_failed} "
+            f"min_redundancy={on.min_mid_move_redundancy} "
+            f"leftover on={on.untrusted_leftover} off={off.untrusted_leftover}",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the `repro` command."""
     parser = argparse.ArgumentParser(
@@ -430,6 +513,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scrub-seed", type=int, default=7,
                    help="seed of the corruption pick")
     p.set_defaults(func=cmd_scrub)
+
+    p = sub.add_parser(
+        "migrate",
+        help="run the demand-shift scenario and verify replica migration",
+    )
+    p.add_argument("--migrate-seed", type=int, default=7,
+                   help="seed of the scenario deployment pair")
+    p.add_argument("--json", help="also write the off/on comparison to this path")
+    p.set_defaults(func=cmd_migrate)
 
     return parser
 

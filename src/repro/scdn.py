@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from .cdn.integrity import IntegrityScrubber
+    from .cdn.migration import MigrationConfig, MigrationEngine
     from .sim.failures import FailureInjector
 
 from .errors import AuthenticationError, AuthorizationError, ConfigurationError
@@ -424,6 +425,33 @@ class SCDN:
             policy=self.replication,
             scrub_interval_s=scrub_interval_s,
             repair_delay_s=repair_delay_s,
+            registry=self.obs,
+        )
+
+    # ------------------------------------------------------------------
+    # replica migration
+    # ------------------------------------------------------------------
+    def migration_engine(
+        self,
+        *,
+        config: Optional["MigrationConfig"] = None,
+        seed: SeedLike = None,
+    ) -> "MigrationEngine":
+        """A :class:`~repro.cdn.migration.MigrationEngine` over this
+        deployment: its demand tracker ingests the shared registry's
+        ``resolve`` traces, its planner reads the allocation server's
+        catalog/trust/load state, and its executor moves replicas through
+        the verified transfer client copy-first/retire-after. Call
+        :meth:`MigrationEngine.attach` with :attr:`engine` for periodic
+        cycles, or drive :meth:`MigrationEngine.run_cycle` directly.
+        """
+        from .cdn.migration import MigrationEngine
+
+        return MigrationEngine(
+            self.server,
+            self.transfer,
+            config=config,
+            seed=seed,
             registry=self.obs,
         )
 

@@ -12,6 +12,8 @@ that platform's engine room:
 * :mod:`repro.sim.failures` — failure injection.
 * :mod:`repro.sim.chaos` — composed failure campaigns with degradation
   reports.
+* :mod:`repro.sim.scenarios` — canned end-to-end scenarios (the
+  demand-shift migration acceptance run).
 """
 
 from .engine import SimulationEngine, Event
@@ -26,6 +28,13 @@ from .availability import (
 from .workload import AccessRequest, WorkloadConfig, SocialWorkloadGenerator
 from .failures import FailureInjector, FailureEvent
 from .chaos import ChaosConfig, ChaosReport, run_chaos_campaign
+from .scenarios import (
+    DemandShiftConfig,
+    DemandShiftResult,
+    PhaseStats,
+    compare_demand_shift,
+    run_demand_shift,
+)
 
 __all__ = [
     "SimulationEngine",
@@ -46,4 +55,9 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "run_chaos_campaign",
+    "DemandShiftConfig",
+    "DemandShiftResult",
+    "PhaseStats",
+    "compare_demand_shift",
+    "run_demand_shift",
 ]

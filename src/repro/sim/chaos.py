@@ -60,6 +60,12 @@ class ChaosConfig:
     corruption_rate_per_node_s: float = 0.0
     scrub_interval_s: float = 600.0
     scrub_enabled: bool = True
+    # Replica migration (off by default: zero-knob configs reproduce
+    # pre-migration campaigns bit for bit — the engine neither runs nor
+    # draws randomness unless enabled).
+    migration_enabled: bool = False
+    migration_interval_s: float = 900.0
+    migration_hot_rate_per_s: float = 1e-3
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -92,6 +98,10 @@ class ChaosConfig:
             raise ConfigurationError("repair_delay_s must be >= 0")
         if self.request_interval_s < 0:
             raise ConfigurationError("request_interval_s must be >= 0")
+        if self.migration_interval_s <= 0:
+            raise ConfigurationError("migration_interval_s must be positive")
+        if self.migration_hot_rate_per_s < 0:
+            raise ConfigurationError("migration_hot_rate_per_s must be >= 0")
 
     @property
     def effective_request_interval_s(self) -> float:
@@ -139,6 +149,16 @@ class ChaosReport:
     corrupt_servable_after_repair: int = 0
     mean_time_to_detect_s: float = 0.0
     mean_time_to_repair_s: float = 0.0
+    # --- replica migration (all defaults when migration is disabled) ----
+    migration_moves: int = 0
+    migration_failed_moves: int = 0
+    #: data-plane availability over accesses made while at least one
+    #: migration copy was in flight (1.0 with no such accesses) — the
+    #: "migration must not starve reads" number
+    availability_during_migration: float = 1.0
+    #: minimum servable-replicas/budget ratio at any move settle point
+    #: (1.0 when no move ran; >= 1.0 means copy-first held everywhere)
+    min_mid_move_redundancy: float = 1.0
 
     def lines(self) -> List[str]:
         """Human-readable report, one finding per line."""
@@ -169,6 +189,11 @@ class ChaosReport:
             f"{self.corrupt_servable_after_repair} "
             f"mttd={self.mean_time_to_detect_s:.0f}s "
             f"mttr={self.mean_time_to_repair_s:.0f}s",
+            f"migration: {self.migration_moves} moves "
+            f"({self.migration_failed_moves} failed), "
+            f"availability_during_migration="
+            f"{self.availability_during_migration:.4f}, "
+            f"min_mid_move_redundancy={self.min_mid_move_redundancy:.4f}",
             f"unhandled_exceptions={self.unhandled_exceptions}",
         ]
 
@@ -280,13 +305,37 @@ def run_chaos_campaign(
             repair_delay_s=config.repair_delay_s,
         )
         scrubber.attach(net.engine)
+    # migration draws come after corruption, and only when enabled: a
+    # disabled engine consumes nothing from the campaign stream
+    migration = None
+    if config.migration_enabled:
+        from ..cdn.migration import MigrationConfig
+
+        (migration_rng,) = spawn(rng, 1)
+        migration = net.migration_engine(
+            config=MigrationConfig(
+                interval_s=config.migration_interval_s,
+                hot_rate_per_s=config.migration_hot_rate_per_s,
+            ),
+            seed=migration_rng,
+        )
+        migration.attach(net.engine)
 
     # --- workload ---------------------------------------------------------
     counts = {"unhandled": 0}
+    m_mig_served = obs.counter(
+        "chaos.migration_window.served",
+        help="accesses served while a migration copy was in flight",
+    )
+    m_mig_failed = obs.counter(
+        "chaos.migration_window.failed",
+        help="accesses failed while a migration copy was in flight",
+    )
 
     def tick(engine) -> None:
         author = authors[int(workload_rng.integers(len(authors)))]
         ds_id = dataset_ids[int(workload_rng.integers(len(dataset_ids)))]
+        in_window = migration is not None and migration.executor.in_flight > 0
         try:
             outcomes = net.access(author, ds_id)
         except ReproError:
@@ -301,13 +350,21 @@ def run_chaos_campaign(
             m_requests.inc()
             if outcome.ok:
                 m_served.inc()
+                if in_window:
+                    m_mig_served.inc()
             else:
                 m_failed.inc()
+                if in_window:
+                    m_mig_failed.inc()
 
     net.engine.every(config.effective_request_interval_s, tick, label="chaos-traffic")
 
     # --- run --------------------------------------------------------------
     net.engine.run(until=config.horizon_s)
+    if migration is not None:
+        # settle copies the horizon cut mid-flight before the final audit
+        # judges redundancy
+        migration.quiesce(at=config.horizon_s)
     if scrubber is not None:
         # final sweep: quarantine any rot the periodic cadence missed,
         # then let the final audit below repair the shortage
@@ -405,6 +462,16 @@ def run_chaos_campaign(
     repairs = snapshot["counters"]["alloc.repair.replicas"]["value"]
     availability = served / (served + failed) if (served + failed) else 1.0
     g_availability.set(availability)
+    mig_served = snapshot["counters"]["chaos.migration_window.served"]["value"]
+    mig_failed = snapshot["counters"]["chaos.migration_window.failed"]["value"]
+    mig_avail = (
+        mig_served / (mig_served + mig_failed)
+        if (mig_served + mig_failed)
+        else 1.0
+    )
+    min_mid_move = 1.0
+    if migration is not None and migration.min_mid_move_redundancy is not None:
+        min_mid_move = migration.min_mid_move_redundancy
     obs.trace(
         "chaos_report",
         ts=config.horizon_s,
@@ -451,4 +518,8 @@ def run_chaos_campaign(
             if integrity_repair_latencies
             else 0.0
         ),
+        migration_moves=migration.total_completed if migration else 0,
+        migration_failed_moves=migration.total_failed if migration else 0,
+        availability_during_migration=mig_avail,
+        min_mid_move_redundancy=min_mid_move,
     )

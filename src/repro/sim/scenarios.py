@@ -1,0 +1,270 @@
+"""Canned end-to-end scenarios with deterministic, assertable outcomes.
+
+The first (and so far only) scenario is the **demand shift**: the
+acceptance experiment of the replica migration subsystem
+(:mod:`repro.cdn.migration`), shared verbatim by the test suite, the
+``repro migrate`` CLI smoke, and ``benchmarks/test_bench_migration.py``
+so all three judge the same run.
+
+Shape: a two-cluster coauthorship graph — a *near* cluster around the
+data owner and a *far* cluster joined by a single bridge edge. Datasets
+publish while only the near cluster has repositories, so every replica
+starts near the owner. Then demand shifts: the far cluster begins
+round-robin reads of all datasets. Far members contribute tiny
+repositories (replica partition fits two segments, user cache two), so
+their caches thrash and, without migration, every post-shift access pays
+a remote fetch forever. With migration on, the demand tracker sees the
+shifted load and the planner promotes replicas into the far cluster —
+turning a third of the accesses into local hits. Mid-run, a trust
+re-evaluation swaps in a graph without one replica-holding near member:
+with migration on, EVICT_UNTRUSTED moves drain that host; off, its
+replicas are stranded outside the trust boundary.
+
+Geography is deliberately uniform (all nodes co-located, equal
+bandwidth): every remote fetch costs the same, so re-routing reads to a
+different replica never changes their duration and the migration-on
+improvement is exactly the local-hit savings — a structural, seeded,
+strictly-positive delta rather than a geographic accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId, NodeId
+from ..obs import Registry
+from ..social.graph import CoauthorshipGraph
+from .network import GeoPoint, NetworkModel
+
+#: Author ids of the scenario graph. The owner and two more "near"
+#: researchers form one complete cluster; three "far" researchers form
+#: another; near-1 -- far-1 is the only bridge.
+_NEAR = [AuthorId("near-owner"), AuthorId("near-1"), AuthorId("near-2")]
+_FAR = [AuthorId("far-1"), AuthorId("far-2"), AuthorId("far-3")]
+
+
+@dataclass(frozen=True)
+class DemandShiftConfig:
+    """Timeline and sizing of the demand-shift scenario; validates itself.
+
+    Defaults give a two-hour run: thirty minutes of near-cluster traffic,
+    then ninety minutes of far-cluster round-robin, with the trust swap at
+    the ninety-minute mark.
+    """
+
+    segment_bytes: int = 1_000_000
+    tick_interval_s: float = 60.0
+    shift_at_s: float = 1_800.0
+    swap_at_s: float = 5_400.0
+    horizon_s: float = 7_200.0
+    migration_interval_s: float = 300.0
+    hot_rate_per_s: float = 0.003
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes <= 0:
+            raise ConfigurationError("segment_bytes must be positive")
+        if self.tick_interval_s <= 0:
+            raise ConfigurationError("tick_interval_s must be positive")
+        if not 0 < self.shift_at_s < self.swap_at_s < self.horizon_s:
+            raise ConfigurationError(
+                "need 0 < shift_at_s < swap_at_s < horizon_s"
+            )
+        if self.migration_interval_s <= 0:
+            raise ConfigurationError("migration_interval_s must be positive")
+        if self.hot_rate_per_s < 0:
+            raise ConfigurationError("hot_rate_per_s must be >= 0")
+
+
+@dataclass
+class PhaseStats:
+    """Access accounting for one phase of the scenario."""
+
+    accesses: int = 0
+    ok: int = 0
+    local_hits: int = 0
+    total_duration_s: float = 0.0
+
+    @property
+    def mean_duration_s(self) -> float:
+        """Mean access duration, local and cache hits included at 0.0
+        (the number migration is supposed to push down)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.total_duration_s / self.accesses
+
+    @property
+    def availability(self) -> float:
+        """Fraction of accesses that succeeded (1.0 with no accesses)."""
+        if self.accesses == 0:
+            return 1.0
+        return self.ok / self.accesses
+
+
+@dataclass(frozen=True)
+class DemandShiftResult:
+    """Outcome of one demand-shift run (one migration setting)."""
+
+    migration_enabled: bool
+    pre_shift: PhaseStats
+    post_shift: PhaseStats
+    moves_completed: int
+    moves_failed: int
+    min_mid_move_redundancy: Optional[float]
+    #: non-retired replicas left on hosts outside the post-swap trust
+    #: boundary at the horizon (the EVICT_UNTRUSTED acceptance number)
+    untrusted_leftover: int
+    evicted_author: AuthorId
+
+
+def _scenario_graph() -> CoauthorshipGraph:
+    g = nx.Graph()
+    clusters = [_NEAR, _FAR]
+    for cluster in clusters:
+        for i, a in enumerate(cluster):
+            for b in cluster[i + 1 :]:
+                g.add_edge(a, b, weight=3, pubs=())
+    g.add_edge(_NEAR[1], _FAR[0], weight=1, pubs=())
+    return CoauthorshipGraph(g, seed=_NEAR[0])
+
+
+def _uniform_network(graph: CoauthorshipGraph) -> NetworkModel:
+    net = NetworkModel()
+    for author in graph.nodes():
+        net.add_node(NodeId(str(author)), GeoPoint(0.0, 0.0))
+    return net
+
+
+def run_demand_shift(
+    *,
+    migration: bool,
+    seed: int = 7,
+    config: Optional[DemandShiftConfig] = None,
+    registry: Optional[Registry] = None,
+) -> DemandShiftResult:
+    """Run the demand-shift scenario once, with or without migration.
+
+    Both settings build bit-identical deployments from ``seed`` (the
+    migration engine draws from its own spawned stream), so the returned
+    phase stats are directly comparable across the pair.
+    """
+    from ..cdn.migration import MigrationConfig, MigrationEngine
+    from ..scdn import SCDN, SCDNConfig
+
+    cfg = config or DemandShiftConfig()
+    registry = registry if registry is not None else Registry()
+    graph = _scenario_graph()
+    seg = cfg.segment_bytes
+    net = SCDN(
+        graph,
+        network=_uniform_network(graph),
+        config=SCDNConfig(
+            n_replicas=2,
+            proximity_hops=6,
+            transfer_failure_prob=0.0,
+        ),
+        seed=seed,
+        registry=registry,
+    )
+    # near cluster joins with roomy repositories and publishes everything
+    # *before* the far cluster contributes storage: every replica starts
+    # near the owner
+    for author in _NEAR:
+        net.join(author, capacity_bytes=64 * seg)
+    datasets = [f"hot-{i}" for i in range(3)]
+    for ds in datasets:
+        net.publish(_NEAR[0], ds, seg, n_segments=1)
+    # far members contribute tiny repositories: the replica partition
+    # fits two segments, the user cache two — reading three datasets
+    # round-robin thrashes the cache forever
+    for author in _FAR:
+        net.join(author, capacity_bytes=4 * seg)
+
+    # the trust swap removes a replica-holding near member (never the
+    # owner, never a requester); holders are placement-determined but
+    # seeded, so both runs of a pair pick the same author
+    holding = {
+        net.server.author_of(r.node_id)
+        for ds in net.server.catalog.datasets()
+        for s in ds.segments
+        for r in net.server.catalog.replicas_of_segment(s.segment_id)
+    }
+    candidates = [a for a in _NEAR[1:] if a in holding]
+    if not candidates:  # placement put everything on the owner (impossible
+        raise ConfigurationError("scenario bug: no evictable replica holder")
+    evicted = sorted(candidates)[-1]
+
+    engine: Optional[MigrationEngine] = None
+    if migration:
+        engine = net.migration_engine(
+            config=MigrationConfig(
+                interval_s=cfg.migration_interval_s,
+                hot_rate_per_s=cfg.hot_rate_per_s,
+            ),
+            seed=seed,
+        )
+        engine.attach(net.engine)
+
+    pre = PhaseStats()
+    post = PhaseStats()
+
+    def _access(stats: PhaseStats, author: AuthorId, ds: str) -> None:
+        for outcome in net.access(author, ds):
+            stats.accesses += 1
+            if outcome.ok:
+                stats.ok += 1
+            if outcome.source in ("replica-partition", "user-cache"):
+                stats.local_hits += 1
+            stats.total_duration_s += outcome.duration_s
+
+    def tick(e) -> None:
+        idx = int(round(e.now / cfg.tick_interval_s))
+        if e.now < cfg.shift_at_s:
+            _access(pre, _NEAR[1], datasets[idx % len(datasets)])
+            _access(pre, _NEAR[2], datasets[(idx + 1) % len(datasets)])
+        else:
+            for i, author in enumerate(_FAR):
+                _access(post, author, datasets[(idx + i) % len(datasets)])
+
+    net.engine.every(cfg.tick_interval_s, tick, label="demand-shift")
+
+    def swap(e) -> None:
+        keep = [a for a in net.graph.nodes() if a != evicted]
+        net.server.graph = net.graph.subgraph(keep)
+
+    net.engine.schedule(cfg.swap_at_s, swap, label="trust-swap")
+    net.engine.run(until=cfg.horizon_s)
+    if engine is not None:
+        engine.quiesce(at=cfg.horizon_s)
+
+    leftover = sum(
+        len(net.server.catalog.replicas_on_node(n))
+        for n in net.server.untrusted_hosts()
+    )
+    return DemandShiftResult(
+        migration_enabled=migration,
+        pre_shift=pre,
+        post_shift=post,
+        moves_completed=engine.total_completed if engine else 0,
+        moves_failed=engine.total_failed if engine else 0,
+        min_mid_move_redundancy=(
+            engine.min_mid_move_redundancy if engine else None
+        ),
+        untrusted_leftover=leftover,
+        evicted_author=evicted,
+    )
+
+
+def compare_demand_shift(
+    *,
+    seed: int = 7,
+    config: Optional[DemandShiftConfig] = None,
+) -> Tuple[DemandShiftResult, DemandShiftResult]:
+    """Run the scenario migration-off then migration-on (fresh registry
+    each, same seed) and return ``(off, on)``."""
+    off = run_demand_shift(migration=False, seed=seed, config=config)
+    on = run_demand_shift(migration=True, seed=seed, config=config)
+    return off, on

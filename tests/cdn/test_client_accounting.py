@@ -1,0 +1,171 @@
+"""Client read-credit and cache byte-accounting regressions (repro.cdn.client).
+
+Three past bugs, pinned:
+
+* a primary whose transfer failed was credited with the read before the
+  failover rerouted it (double-counting load onto a dead host),
+* dataset-level access re-resolved each segment with recording on, so a
+  cached segment could still bump a replica's demand signal,
+* a fetch too large to ever fit in user space wiped every cache entry
+  before discovering it still would not fit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.obs import Registry
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.client import CDNClient
+from repro.cdn.content import ReplicaState, segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.storage import StorageRepository
+from repro.cdn.transfer import TransferClient
+from repro.sim.network import GeoPoint, NetworkModel
+
+from ..conftest import pub
+
+AUTHORS = ("a", "b", "c", "d", "e")
+
+
+def line_graph():
+    pubs = [
+        pub("p1", 2010, "a", "b"),
+        pub("p2", 2010, "b", "c"),
+        pub("p3", 2010, "c", "d"),
+        pub("p4", 2010, "d", "e"),
+    ]
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+def make_rig(*, omit_from_network=(), client_capacity=10_000):
+    """Server + client for author 'a'; replica placement is set per test."""
+    registry = Registry()
+    server = AllocationServer(
+        line_graph(), RandomPlacement(), seed=0, registry=registry
+    )
+    for author in AUTHORS:
+        cap = client_capacity if author == "a" else 10_000
+        server.register_repository(
+            AuthorId(author), StorageRepository(NodeId(author), cap)
+        )
+    network = NetworkModel()
+    for author in AUTHORS:
+        if author not in omit_from_network:
+            network.add_node(NodeId(author), GeoPoint(0.0, 0.0))
+    transfer = TransferClient(network, failure_prob=0.0, seed=1, registry=registry)
+    client = CDNClient(
+        AuthorId("a"), server.repository(NodeId("a")), server, transfer
+    )
+    return server, client
+
+
+def place_on(server, dataset_id, size_bytes, nodes, *, n_segments=1):
+    """Publish a dataset, then force its replicas onto exactly ``nodes``."""
+    ds = segment_dataset(
+        DatasetId(dataset_id), AuthorId("a"), size_bytes, n_segments=n_segments
+    )
+    server.publish_dataset(ds, n_replicas=len(nodes))
+    for segment in ds.segments:
+        seg = segment.segment_id
+        for r in server.catalog.replicas_of_segment(seg):
+            server.catalog.retire(r.replica_id)
+            repo = server.repository(r.node_id)
+            if repo.hosts_segment(seg):
+                repo.evict_replica(seg)
+        for node in nodes:
+            server.catalog.create_replica(seg, node, state=ReplicaState.ACTIVE)
+            server.repository(node).store_replica(
+                seg, segment.size_bytes, digest=segment.digest
+            )
+    return ds
+
+
+def read_counts(server, seg):
+    return {
+        r.node_id: r.access_count
+        for r in server.catalog.replicas_of_segment(seg)
+        if r.state is not ReplicaState.RETIRED
+    }
+
+
+class TestFailoverReadCredit:
+    def test_failed_primary_gets_no_read_credit(self):
+        # replicas at hops 1 (b) and 3 (d) from the requester: b is the
+        # ranked primary, and b is missing from the network so its
+        # transfer raises and the fetch fails over to d
+        server, client = make_rig(omit_from_network=("b",))
+        ds = place_on(server, "ds", 1000, [NodeId("b"), NodeId("d")])
+        seg = ds.segments[0].segment_id
+        outcome = client.access_segment(seg)
+        assert outcome.ok and outcome.source == "remote"
+        assert client.stats.failovers == 1
+        counts = read_counts(server, seg)
+        assert counts[NodeId("b")] == 0  # never served: no credit
+        assert counts[NodeId("d")] == 1  # served exactly once
+        assert server.repository(NodeId("b")).reads_served == 0
+        assert server.repository(NodeId("d")).reads_served == 1
+
+    def test_clean_fetch_credits_exactly_one_read(self):
+        server, client = make_rig()
+        ds = place_on(server, "ds", 1000, [NodeId("b"), NodeId("d")])
+        seg = ds.segments[0].segment_id
+        assert client.access_segment(seg).ok
+        assert sum(read_counts(server, seg).values()) == 1
+
+
+class TestRepeatAccessAccounting:
+    def test_cache_hit_adds_no_read_credit(self):
+        server, client = make_rig()
+        ds = place_on(server, "ds", 1000, [NodeId("b"), NodeId("c")])
+        seg = ds.segments[0].segment_id
+        assert client.access_segment(seg).source == "remote"
+        assert client.access_segment(seg).source == "user-cache"
+        assert sum(read_counts(server, seg).values()) == 1
+        assert client.stats.cache_hits == 1 and client.stats.remote_fetches == 1
+
+    def test_dataset_access_credits_each_segment_once(self):
+        server, client = make_rig()
+        ds = place_on(
+            server, "ds", 2000, [NodeId("b"), NodeId("c")], n_segments=2
+        )
+        outcomes = client.access_dataset(DatasetId("ds"))
+        assert [o.ok for o in outcomes] == [True, True]
+        for segment in ds.segments:
+            assert sum(read_counts(server, segment.segment_id).values()) == 1
+        assert client.stats.bytes_fetched == 2000
+
+
+class TestCacheByteAccounting:
+    def test_unservable_fetch_does_not_wipe_the_cache(self):
+        # user partition: 100 bytes; 60 are the user's own file. A cached
+        # 30-byte segment fits; a 50-byte fetch can never fit (only 40
+        # reclaimable) and must leave the existing cache entry alone.
+        server, client = make_rig(client_capacity=200)
+        client.repository.put_user_file("own-data", 60)
+        small = place_on(server, "small", 30, [NodeId("b")])
+        big = place_on(server, "big", 50, [NodeId("c")])
+        small_seg = small.segments[0].segment_id
+        assert client.access_segment(small_seg).ok
+        assert client.repository.has_user_file(f"cache:{small_seg}")
+        outcome = client.access_segment(big.segments[0].segment_id)
+        assert outcome.ok  # stream-only access still succeeds
+        assert client.repository.has_user_file(f"cache:{small_seg}")
+        assert not client.repository.has_user_file(
+            f"cache:{big.segments[0].segment_id}"
+        )
+
+    def test_eviction_still_runs_when_it_can_help(self):
+        server, client = make_rig(client_capacity=200)
+        first = place_on(server, "first", 60, [NodeId("b")])
+        second = place_on(server, "second", 80, [NodeId("c")])
+        f_seg = first.segments[0].segment_id
+        s_seg = second.segments[0].segment_id
+        assert client.access_segment(f_seg).ok
+        assert client.access_segment(s_seg).ok
+        # 60 + 80 exceed the 100-byte partition: the older entry goes
+        assert not client.repository.has_user_file(f"cache:{f_seg}")
+        assert client.repository.has_user_file(f"cache:{s_seg}")

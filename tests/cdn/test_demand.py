@@ -1,0 +1,132 @@
+"""EWMA demand tracking (repro.cdn.demand)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, SegmentId
+from repro.obs import Registry
+from repro.cdn.demand import DemandTracker
+
+S1 = SegmentId("seg-1")
+S2 = SegmentId("seg-2")
+ALICE = AuthorId("alice")
+BOB = AuthorId("bob")
+
+
+def tracker(**kw):
+    kw.setdefault("registry", Registry())
+    return DemandTracker(**kw)
+
+
+class TestValidation:
+    def test_half_life_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            tracker(half_life_s=0.0)
+        with pytest.raises(ConfigurationError):
+            tracker(half_life_s=-1.0)
+
+    def test_record_count_must_be_positive(self):
+        t = tracker()
+        with pytest.raises(ConfigurationError):
+            t.record_access(S1, count=0)
+
+    def test_hot_segments_min_rate_validated(self):
+        with pytest.raises(ConfigurationError):
+            tracker().hot_segments(-0.1)
+
+
+class TestFolding:
+    def test_first_fold_blends_toward_window_mean(self):
+        # 10 accesses over a 100 s window with half_life 100: the EWMA
+        # blends 0 (decayed by 0.5) with the window mean 0.1 at weight 0.5
+        t = tracker(half_life_s=100.0)
+        t.record_access(S1, count=10)
+        assert t.fold(100.0) == 10
+        assert t.rate(S1) == pytest.approx(0.05)
+
+    def test_idle_segment_decays_by_half_life(self):
+        t = tracker(half_life_s=100.0)
+        t.record_access(S1, count=10)
+        t.fold(100.0)
+        before = t.rate(S1)
+        t.fold(200.0)  # one idle half-life
+        assert t.rate(S1) == pytest.approx(before * 0.5)
+
+    def test_fold_with_zero_dt_keeps_pending(self):
+        t = tracker()
+        t.record_access(S1)
+        assert t.fold(0.0) == 0
+        assert t.rate(S1) == 0.0
+        assert t.fold(10.0) == 1
+        assert t.rate(S1) > 0.0
+
+    def test_rate_floor_evicts_cold_segments(self):
+        t = tracker(half_life_s=1.0)
+        t.record_access(S1)
+        t.fold(1.0)
+        assert t.tracked_segments == 1
+        # ~50 idle half-lives pushes the rate far below the floor
+        t.fold(51.0)
+        assert t.tracked_segments == 0
+        assert t.rate(S1) == 0.0
+        assert t.top_requesters(S1) == []
+
+    def test_fold_is_deterministic(self):
+        def run():
+            t = tracker(half_life_s=60.0)
+            for i in range(5):
+                t.record_access(S1, ALICE, count=i + 1)
+                t.record_access(S2, BOB)
+                t.fold(30.0 * (i + 1))
+            return t.rate(S1), t.rate(S2)
+
+        assert run() == run()
+
+
+class TestQueries:
+    def test_hot_segments_sorted_hottest_first(self):
+        t = tracker()
+        t.record_access(S1, count=2)
+        t.record_access(S2, count=8)
+        t.fold(100.0)
+        hot = t.hot_segments(0.0)
+        assert [s for s, _ in hot] == [S2, S1]
+        assert t.hot_segments(t.rate(S2)) == [(S2, t.rate(S2))]
+
+    def test_top_requesters_attribution_and_cap(self):
+        t = tracker()
+        t.record_access(S1, ALICE, count=5)
+        t.record_access(S1, BOB, count=1)
+        t.record_access(S1)  # unattributed: rate only, no requester weight
+        t.fold(100.0)
+        top = t.top_requesters(S1)
+        assert [a for a, _ in top] == [ALICE, BOB]
+        assert top[0][1] > top[1][1]
+        assert t.top_requesters(S1, n=1) == top[:1]
+
+
+class TestIngest:
+    def test_ingest_consumes_resolve_traces_once(self):
+        reg = Registry()
+        t = DemandTracker(registry=reg)
+        reg.trace("resolve", ts=1.0, segment=str(S1), requester=str(ALICE))
+        reg.trace("resolve", ts=2.0, segment=str(S1), requester=str(BOB))
+        reg.trace("other", ts=3.0, segment=str(S1))
+        assert t.ingest(reg) == 2
+        assert t.ingest(reg) == 0  # same ring, no double-count
+        t.fold(10.0)
+        assert t.rate(S1) > 0.0
+        assert {a for a, _ in t.top_requesters(S1)} == {ALICE, BOB}
+
+    def test_ingest_counts_ring_overwrite_gap(self):
+        reg = Registry(trace_capacity=4)
+        t = DemandTracker(registry=reg)
+        reg.trace("resolve", ts=0.0, segment=str(S1))
+        t.ingest(reg)
+        for i in range(8):  # overwrite the whole ring twice
+            reg.trace("resolve", ts=float(i), segment=str(S1))
+        t.ingest(reg)
+        snap = reg.snapshot()
+        assert snap["counters"]["demand.trace_gap"]["value"] > 0

@@ -1,0 +1,393 @@
+"""Replica migration & rebalancing (repro.cdn.migration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId, SegmentId
+from repro.obs import Registry
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.content import ReplicaState, segment_dataset
+from repro.cdn.demand import DemandTracker
+from repro.cdn.migration import (
+    MigrationAction,
+    MigrationConfig,
+    MigrationEngine,
+    MigrationKind,
+)
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.storage import StorageRepository
+from repro.cdn.transfer import TransferClient
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import GeoPoint, NetworkModel
+from repro.sim.scenarios import compare_demand_shift
+
+from ..conftest import pub
+
+AUTHORS = ("alice", "bob", "carol", "dave", "erin")
+SEG_BYTES = 1000
+
+
+def clique_graph():
+    # one five-author publication: complete graph, all hops equal
+    return build_coauthorship_graph(Corpus([pub("p1", 2010, *AUTHORS)]))
+
+
+class Rig:
+    """Server + uniform network + verified transfers + one 2-replica dataset."""
+
+    def __init__(self, *, n_replicas=2, capacity=10_000):
+        self.registry = Registry()
+        self.graph = clique_graph()
+        self.server = AllocationServer(
+            self.graph, RandomPlacement(), seed=0, registry=self.registry
+        )
+        self.network = NetworkModel()
+        for a in AUTHORS:
+            self.network.add_node(NodeId(a), GeoPoint(0.0, 0.0))
+            self.server.register_repository(
+                AuthorId(a), StorageRepository(NodeId(a), capacity)
+            )
+        self.transfer = TransferClient(
+            self.network, failure_prob=0.0, seed=1, registry=self.registry
+        )
+        self.transfer.set_digest_resolver(self._digest)
+        ds = segment_dataset(DatasetId("d"), AuthorId("alice"), SEG_BYTES)
+        self.server.publish_dataset(ds, n_replicas=n_replicas)
+        self.seg: SegmentId = ds.segments[0].segment_id
+        self.hosts = sorted(
+            r.node_id for r in self.server.catalog.replicas_of_segment(self.seg)
+        )
+        self.engine = MigrationEngine(
+            self.server, self.transfer, registry=self.registry, seed=3
+        )
+
+    def _digest(self, node, segment_id):
+        if not self.server.has_node(node):
+            return None
+        repo = self.server.repository(node)
+        if not repo.hosts_segment(segment_id):
+            return None
+        return repo.stored_digest(segment_id)
+
+    def non_holder(self) -> NodeId:
+        return next(NodeId(a) for a in AUTHORS if NodeId(a) not in self.hosts)
+
+    def servable_nodes(self):
+        return sorted(
+            r.node_id
+            for r in self.server.catalog.replicas_of_segment(
+                self.seg, servable_only=True
+            )
+        )
+
+    def swap_out(self, author: AuthorId):
+        keep = [a for a in self.graph.nodes() if a != author]
+        self.server.graph = self.graph.subgraph(keep)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        MigrationConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"interval_s": 0.0},
+            {"hot_rate_per_s": -1.0},
+            {"promote_headroom": -1},
+            {"load_watermark": 0.0},
+            {"load_watermark": 1.5},
+            {"max_moves_per_cycle": 0},
+            {"max_bytes_per_cycle": -1},
+            {"max_in_flight": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ConfigurationError):
+            MigrationConfig(**kw)
+
+
+class TestPromotion:
+    def test_hot_segment_promoted_near_the_demand(self):
+        rig = Rig()
+        requester = AuthorId(str(rig.non_holder()))
+        rig.engine.demand.record_access(rig.seg, requester, count=100)
+        report = rig.engine.run_cycle(at=100.0)
+        assert report.promotes == 1 and report.started == 1
+        assert rig.engine.total_completed == 1
+        # demand-weighted target: the requester's own node (hops cost 0)
+        assert NodeId(str(requester)) in rig.servable_nodes()
+        assert len(rig.servable_nodes()) == 3
+
+    def test_promotion_stops_at_budget_plus_headroom(self):
+        rig = Rig()  # budget 2, headroom 1
+        requester = AuthorId(str(rig.non_holder()))
+        rig.engine.demand.record_access(rig.seg, requester, count=100)
+        rig.engine.run_cycle(at=100.0)
+        assert len(rig.servable_nodes()) == 3
+        rig.engine.demand.record_access(rig.seg, requester, count=100)
+        report = rig.engine.run_cycle(at=200.0)
+        assert report.promotes == 0
+        assert len(rig.servable_nodes()) == 3
+
+    def test_cold_segments_left_alone(self):
+        rig = Rig()
+        report = rig.engine.run_cycle(at=100.0)
+        assert report.planned == 0
+        assert rig.servable_nodes() == rig.hosts
+
+
+class TestRebalance:
+    def make_overloaded(self, rig):
+        """Put a copy on a tiny repo so its replica partition runs hot."""
+        small = AuthorId("frank")
+        node = NodeId("frank")
+        g = build_coauthorship_graph(Corpus([pub("p1", 2010, *AUTHORS, "frank")]))
+        rig.server.graph = g
+        rig.graph = g
+        rig.network.add_node(node, GeoPoint(0.0, 0.0))
+        # replica quota = capacity / 2 = exactly one segment: util 1.0
+        rig.server.register_repository(small, StorageRepository(node, 2 * SEG_BYTES))
+        segment = rig.server.catalog.segment(rig.seg)
+        rig.server.catalog.create_replica(
+            rig.seg, node, state=ReplicaState.ACTIVE
+        )
+        rig.server.repository(node).store_replica(
+            rig.seg, SEG_BYTES, digest=segment.digest
+        )
+        return node
+
+    def test_overloaded_node_sheds_coldest_replica(self):
+        rig = Rig()
+        node = self.make_overloaded(rig)
+        report = rig.engine.run_cycle(at=10.0)
+        assert report.rebalances == 1
+        assert rig.engine.total_completed == 1
+        assert node not in rig.servable_nodes()
+        assert not rig.server.repository(node).hosts_segment(rig.seg)
+        assert len(rig.servable_nodes()) == 3  # moved, not dropped
+
+    def test_nodes_below_watermark_stay_put(self):
+        rig = Rig()
+        report = rig.engine.run_cycle(at=10.0)
+        assert report.rebalances == 0
+
+
+class TestEviction:
+    def test_untrusted_host_drained_copy_first(self):
+        rig = Rig()  # budget 2 == servable 2: eviction must copy first
+        evicted = AuthorId(str(rig.hosts[0]))
+        rig.swap_out(evicted)
+        report = rig.engine.run_cycle(at=10.0)
+        assert report.evictions == 1 and report.started == 1
+        assert rig.engine.total_completed == 1 and rig.engine.total_failed == 0
+        assert rig.server.untrusted_hosts() == [NodeId(str(evicted))]
+        assert rig.server.catalog.replicas_on_node(NodeId(str(evicted))) == []
+        assert len(rig.servable_nodes()) == 2
+        assert rig.engine.min_mid_move_redundancy >= 1.0
+        assert rig.engine.executor.retired_untrusted_total == 1
+
+    def test_redundant_untrusted_copy_retired_without_transfer(self):
+        rig = Rig()
+        # third copy on a non-holder, then distrust that author: trusted
+        # servable already meets the budget, so no copy is needed
+        extra = rig.non_holder()
+        segment = rig.server.catalog.segment(rig.seg)
+        rig.server.catalog.create_replica(rig.seg, extra, state=ReplicaState.ACTIVE)
+        rig.server.repository(extra).store_replica(
+            rig.seg, SEG_BYTES, digest=segment.digest
+        )
+        rig.swap_out(AuthorId(str(extra)))
+        before = len(rig.transfer.completed)
+        report = rig.engine.run_cycle(at=10.0)
+        assert report.evictions == 1 and report.started == 0
+        assert report.completed == 1
+        assert len(rig.transfer.completed) == before  # no copy happened
+        assert rig.server.catalog.replicas_on_node(extra) == []
+        assert not rig.server.repository(extra).hosts_segment(rig.seg)
+
+    def test_retire_only_revalidated_at_settle_time(self):
+        # a retire-only action whose safety premise no longer holds must
+        # fail (and be re-planned as a copy) rather than dip below budget
+        rig = Rig()
+        rep = rig.server.catalog.replicas_of_segment(rig.seg)[0]
+        action = MigrationAction(
+            kind=MigrationKind.EVICT_UNTRUSTED,
+            segment_id=rig.seg,
+            target_node=None,
+            source_replica_id=rep.replica_id,
+            reason="stale plan",
+        )
+        counts = rig.engine.executor.execute([action], at=5.0)
+        assert counts["failed"] == 1 and counts["completed"] == 0
+        assert rig.server.catalog.replica(rep.replica_id).servable
+        reasons = [
+            ev.fields.get("reason")
+            for ev in rig.registry.traces.events()
+            if ev.kind == "migration_move_failed"
+        ]
+        assert reasons == ["needs-copy-first"]
+
+
+class TestSourceSelection:
+    def promote_action(self, rig, target):
+        return MigrationAction(
+            kind=MigrationKind.PROMOTE,
+            segment_id=rig.seg,
+            target_node=target,
+            source_replica_id=None,
+            reason="test",
+        )
+
+    def test_corrupt_source_never_copied_from(self):
+        rig = Rig()
+        bad, good = rig.hosts
+        rig.server.repository(bad).corrupt_replica(rig.seg)
+        counts = rig.engine.executor.execute(
+            [self.promote_action(rig, rig.non_holder())], at=1.0
+        )
+        assert counts["started"] == 1 and counts["completed"] == 1
+        assert rig.transfer.completed[-1].request.source == good
+
+    def test_quarantined_source_never_copied_from(self):
+        rig = Rig()
+        bad, good = rig.hosts
+        rep = next(
+            r
+            for r in rig.server.catalog.replicas_of_segment(rig.seg)
+            if r.node_id == bad
+        )
+        rig.server.quarantine_replica(rep.replica_id)
+        counts = rig.engine.executor.execute(
+            [self.promote_action(rig, rig.non_holder())], at=1.0
+        )
+        assert counts["started"] == 1
+        assert rig.transfer.completed[-1].request.source == good
+
+    def test_no_verified_source_fails_the_move(self):
+        rig = Rig()
+        for node in rig.hosts:
+            rig.server.repository(node).corrupt_replica(rig.seg)
+        target = rig.non_holder()
+        counts = rig.engine.executor.execute(
+            [self.promote_action(rig, target)], at=1.0
+        )
+        assert counts["failed"] == 1 and counts["started"] == 0
+        assert target not in rig.servable_nodes()
+        reasons = [
+            ev.fields.get("reason")
+            for ev in rig.registry.traces.events()
+            if ev.kind == "migration_move_failed"
+        ]
+        assert reasons == ["no-verified-source"]
+
+
+class TestThrottle:
+    def test_moves_beyond_per_cycle_cap_deferred(self):
+        rig = Rig()
+        rig.engine.config = rig.engine.executor.config = MigrationConfig(
+            max_moves_per_cycle=1
+        )
+        targets = [NodeId(a) for a in AUTHORS if NodeId(a) not in rig.hosts][:2]
+        actions = [
+            MigrationAction(MigrationKind.PROMOTE, rig.seg, t, None, "test")
+            for t in targets
+        ]
+        counts = rig.engine.executor.execute(actions, at=1.0)
+        assert counts["started"] == 1 and counts["deferred"] == 1
+        snap = rig.registry.snapshot()
+        assert snap["counters"]["migration.moves.deferred"]["value"] == 1
+
+    def test_byte_budget_defers(self):
+        rig = Rig()
+        rig.engine.executor.config = MigrationConfig(
+            max_bytes_per_cycle=SEG_BYTES - 1
+        )
+        action = MigrationAction(
+            MigrationKind.PROMOTE, rig.seg, rig.non_holder(), None, "test"
+        )
+        counts = rig.engine.executor.execute([action], at=1.0)
+        assert counts["started"] == 0 and counts["deferred"] == 1
+
+
+class TestCopyFirstTiming:
+    def test_source_stays_servable_until_the_copy_lands(self):
+        rig = Rig()
+        sim = SimulationEngine(registry=rig.registry)
+        rig.engine.executor.bind(sim)
+        source = next(
+            r
+            for r in rig.server.catalog.replicas_of_segment(rig.seg)
+            if r.node_id == rig.hosts[0]
+        )
+        target = rig.non_holder()
+        action = MigrationAction(
+            MigrationKind.REBALANCE, rig.seg, target, source.replica_id, "test"
+        )
+        counts = rig.engine.executor.execute([action], at=0.0)
+        assert counts["started"] == 1
+        # mid-flight: old copy still serves, new copy not yet servable
+        assert rig.engine.executor.in_flight == 1
+        assert rig.server.catalog.replica(source.replica_id).servable
+        assert target not in rig.servable_nodes()
+        sim.run(until=10.0)
+        assert rig.engine.executor.in_flight == 0
+        assert rig.server.catalog.replica(source.replica_id).state is ReplicaState.RETIRED
+        assert target in rig.servable_nodes()
+        assert rig.engine.min_mid_move_redundancy >= 1.0
+
+    def test_quiesce_settles_in_flight_moves(self):
+        rig = Rig()
+        sim = SimulationEngine(registry=rig.registry)
+        rig.engine.executor.bind(sim)
+        target = rig.non_holder()
+        action = MigrationAction(
+            MigrationKind.PROMOTE, rig.seg, target, None, "test"
+        )
+        rig.engine.executor.execute([action], at=0.0)
+        assert rig.engine.executor.in_flight == 1
+        assert rig.engine.quiesce(at=1.0) == 1
+        assert rig.engine.executor.in_flight == 0
+        assert target in rig.servable_nodes()
+        sim.run(until=10.0)  # the queued completion event must be a no-op
+        assert rig.engine.total_completed == 1
+
+
+class TestDemandShiftScenario:
+    """The ISSUE acceptance run, shared with `repro migrate` and the bench."""
+
+    def test_migration_strictly_improves_post_shift_fetch_time(self):
+        off, on = compare_demand_shift(seed=7)
+        assert on.post_shift.mean_duration_s < off.post_shift.mean_duration_s
+        assert on.post_shift.local_hits > 0 and off.post_shift.local_hits == 0
+
+    def test_no_availability_or_redundancy_cost_mid_move(self):
+        off, on = compare_demand_shift(seed=7)
+        assert off.post_shift.availability == 1.0
+        assert on.post_shift.availability == 1.0
+        assert on.moves_completed > 0 and on.moves_failed == 0
+        assert on.min_mid_move_redundancy is not None
+        assert on.min_mid_move_redundancy >= 1.0
+
+    def test_trust_swap_leaves_no_replicas_on_untrusted_hosts(self):
+        off, on = compare_demand_shift(seed=7)
+        assert off.untrusted_leftover > 0  # static placement strands them
+        assert on.untrusted_leftover == 0
+        assert on.evicted_author == off.evicted_author
+
+    def test_scenario_is_deterministic(self):
+        def digest():
+            off, on = compare_demand_shift(seed=7)
+            return (
+                off.post_shift.mean_duration_s,
+                on.post_shift.mean_duration_s,
+                on.moves_completed,
+                on.moves_failed,
+                on.untrusted_leftover,
+            )
+
+        assert digest() == digest()

@@ -1,0 +1,99 @@
+"""Shared migration-target eligibility rule (repro.cdn.allocation).
+
+Regression coverage for the rule `repair` / `migrate_node` and the
+migration planner all share: a target must be trusted, live, and not
+already holding *any* non-retired replica of the segment — quarantined
+and stale entries block a node exactly like active ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.obs import Registry
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import AllocationServer
+from repro.cdn.content import segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.storage import StorageRepository
+
+from ..conftest import pub
+
+AUTHORS = ("alice", "bob", "carol", "dave", "erin")
+
+
+@pytest.fixture
+def rig():
+    graph = build_coauthorship_graph(Corpus([pub("p1", 2010, *AUTHORS)]))
+    registry = Registry()
+    server = AllocationServer(graph, RandomPlacement(), seed=0, registry=registry)
+    for a in AUTHORS:
+        server.register_repository(AuthorId(a), StorageRepository(NodeId(a), 10_000))
+    ds = segment_dataset(DatasetId("d"), AuthorId("alice"), 1000)
+    server.publish_dataset(ds, n_replicas=2)
+    seg = ds.segments[0].segment_id
+    hosts = sorted(r.node_id for r in server.catalog.replicas_of_segment(seg))
+    return graph, server, seg, hosts
+
+
+class TestEligibleTargets:
+    def test_excludes_current_holders(self, rig):
+        _, server, seg, hosts = rig
+        targets = server.eligible_migration_targets(seg)
+        assert {NodeId(str(a)) for a in targets}.isdisjoint(set(hosts))
+        assert len(targets) == len(AUTHORS) - len(hosts)
+
+    def test_quarantined_holder_stays_excluded(self, rig):
+        _, server, seg, hosts = rig
+        rep = server.catalog.replicas_of_segment(seg)[0]
+        server.quarantine_replica(rep.replica_id)
+        # no longer servable, but the node still holds a non-retired entry
+        assert AuthorId(str(rep.node_id)) not in server.eligible_migration_targets(seg)
+
+    def test_offline_nodes_excluded(self, rig):
+        _, server, seg, hosts = rig
+        free = next(AuthorId(a) for a in AUTHORS if NodeId(a) not in hosts)
+        server.set_liveness_oracle(lambda n: n != NodeId(str(free)))
+        assert free not in server.eligible_migration_targets(seg)
+
+    def test_untrusted_authors_excluded_after_swap(self, rig):
+        graph, server, seg, hosts = rig
+        free = next(AuthorId(a) for a in AUTHORS if NodeId(a) not in hosts)
+        server.graph = graph.subgraph([a for a in graph.nodes() if a != free])
+        assert free not in server.eligible_migration_targets(seg)
+        assert server.untrusted_hosts() == [NodeId(str(free))]
+
+    def test_unknown_segment_raises(self, rig):
+        _, server, _, _ = rig
+        with pytest.raises(CatalogError):
+            server.eligible_migration_targets("no-such-segment")
+
+
+class TestRepairUsesTheSharedRule:
+    def test_repair_never_repicks_a_quarantined_holder(self, rig):
+        _, server, seg, hosts = rig
+        rep = server.catalog.replicas_of_segment(seg)[0]
+        server.quarantine_replica(rep.replica_id)
+        created = server.repair()
+        assert len(created) == 1
+        assert created[0].node_id != rep.node_id
+
+    def test_migrate_node_replacements_avoid_holders(self, rig):
+        _, server, seg, hosts = rig
+        moved = server.migrate_node(hosts[0])
+        assert moved
+        for r in moved:
+            assert r.node_id not in hosts
+
+    def test_repair_after_trust_swap_places_only_on_trusted(self, rig):
+        graph, server, seg, hosts = rig
+        gone = AuthorId(str(hosts[0]))
+        server.graph = graph.subgraph([a for a in graph.nodes() if a != gone])
+        server.set_liveness_oracle(lambda n: n != hosts[0])
+        created = server.repair()  # must not crash on the shrunk graph
+        assert created
+        for r in created:
+            assert server.author_of(r.node_id) in server.graph

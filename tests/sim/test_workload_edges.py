@@ -1,0 +1,99 @@
+"""SocialWorkloadGenerator edge cases (repro.sim.workload).
+
+Degenerate universes the main workload tests never visit: no datasets,
+no users, a single dataset, and users with zero social interest in every
+owner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ids import AuthorId, DatasetId
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.sim.workload import SocialWorkloadGenerator, WorkloadConfig
+
+from ..conftest import pub
+
+
+@pytest.fixture
+def split_graph():
+    """Two disconnected components: {a, b} and {c, d}."""
+    pubs = [pub("p1", 2010, "a", "b"), pub("p2", 2010, "c", "d")]
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+OWNERS = {DatasetId("only"): AuthorId("a")}
+
+
+class TestDegenerateUniverses:
+    def test_empty_dataset_universe_rejected(self, split_graph):
+        with pytest.raises(WorkloadError, match="need at least one dataset"):
+            SocialWorkloadGenerator(split_graph, {})
+
+    def test_empty_user_list_rejected(self, split_graph):
+        gen = SocialWorkloadGenerator(split_graph, OWNERS, seed=1)
+        with pytest.raises(WorkloadError, match="no users"):
+            gen.generate(users=[])
+
+    def test_users_default_to_every_graph_node(self, split_graph):
+        cfg = WorkloadConfig(mean_requests_per_user=20.0)
+        gen = SocialWorkloadGenerator(split_graph, OWNERS, config=cfg, seed=1)
+        requesters = {r.requester for r in gen.generate()}
+        assert requesters == set(split_graph.nodes())
+
+
+class TestSingleDataset:
+    def test_every_request_targets_the_only_dataset(self, split_graph):
+        cfg = WorkloadConfig(mean_requests_per_user=10.0)
+        gen = SocialWorkloadGenerator(split_graph, OWNERS, config=cfg, seed=2)
+        requests = gen.generate()
+        assert requests
+        assert {r.dataset_id for r in requests} == {DatasetId("only")}
+        assert requests == sorted(requests, key=lambda r: (r.time, r.requester))
+        assert all(0.0 <= r.time <= cfg.duration_s for r in requests)
+
+
+class TestZeroInterestFallback:
+    def test_unreachable_user_falls_back_to_popularity(self, split_graph):
+        # 'c' is disconnected from every owner and unreachable datasets
+        # carry zero weight: interest degenerates to pure popularity
+        # instead of an all-zero (un-normalizable) vector
+        cfg = WorkloadConfig(unreachable_weight=0.0)
+        gen = SocialWorkloadGenerator(split_graph, OWNERS, config=cfg, seed=3)
+        weights = gen._interest_weights(AuthorId("c"))
+        np.testing.assert_allclose(weights, gen._popularity)
+
+    def test_unreachable_users_still_generate_requests(self, split_graph):
+        owners = {
+            DatasetId("d1"): AuthorId("a"),
+            DatasetId("d2"): AuthorId("b"),
+        }
+        cfg = WorkloadConfig(mean_requests_per_user=20.0, unreachable_weight=0.0)
+        gen = SocialWorkloadGenerator(split_graph, owners, config=cfg, seed=4)
+        requests = gen.generate(users=[AuthorId("c"), AuthorId("d")])
+        assert requests
+        assert {r.dataset_id for r in requests} <= set(owners)
+
+    def test_reachable_user_prefers_the_near_owner(self, split_graph):
+        owners = {
+            DatasetId("near"): AuthorId("b"),
+            DatasetId("far"): AuthorId("c"),
+        }
+        cfg = WorkloadConfig(zipf_exponent=0.0, unreachable_weight=0.0)
+        gen = SocialWorkloadGenerator(split_graph, owners, config=cfg, seed=5)
+        weights = gen._interest_weights(AuthorId("a"))
+        by_ds = dict(zip(sorted(owners), weights))
+        assert by_ds[DatasetId("near")] > by_ds[DatasetId("far")] == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, split_graph):
+        def stream():
+            gen = SocialWorkloadGenerator(split_graph, OWNERS, seed=9)
+            return gen.generate()
+
+        assert stream() == stream()

@@ -269,3 +269,36 @@ class TestScrubCommand:
         )
         assert rc == 2
         assert "error: --corrupt must be >= 0" in capsys.readouterr().err
+
+
+class TestMigrateCommand:
+    def test_acceptance_smoke_passes(self, capsys):
+        assert main(["migrate"]) == 0
+        out = capsys.readouterr().out
+        assert "migration off" in out and "migration on" in out
+        assert "trust swap evicts" in out
+        assert "reduced by" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "migrate.json"
+        assert main(["migrate", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["on"]["post_shift_mean_s"] < payload["off"]["post_shift_mean_s"]
+        assert payload["on"]["untrusted_leftover"] == 0
+        assert payload["off"]["untrusted_leftover"] > 0
+        assert payload["on"]["min_mid_move_redundancy"] >= 1.0
+
+    def test_deterministic_per_seed(self, capsys):
+        argv = ["migrate", "--migrate-seed", "11"]
+        rc_first = main(argv)
+        first = capsys.readouterr().out
+        rc_second = main(argv)
+        assert rc_first == rc_second
+        assert capsys.readouterr().out == first
+
+    def test_unwritable_json_path_exits_cleanly(self, capsys):
+        rc = main(["migrate", "--json", "/no/such/dir/migrate.json"])
+        assert rc == 2
+        assert "cannot write" in capsys.readouterr().err
