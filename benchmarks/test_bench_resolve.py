@@ -1,0 +1,78 @@
+"""Bench: resolve fast path and parallel campaign runner.
+
+Runs the two measurements of :mod:`repro.perf` and emits
+``BENCH_resolve.json`` at the repo root — the perf trajectory of the
+hop-index work:
+
+* resolves-per-second for the retained pre-index reference (per-call
+  BFS), the :class:`~repro.cdn.hopindex.HopIndex` fast path, and the
+  ``resolve_many`` batch API, with the >= 5x speedup floor asserted;
+* campaign wall clock, serial vs. :func:`run_campaign_parallel`, with the
+  bit-identical-reports contract asserted. The wall-clock *speedup* is
+  recorded but deliberately not gated: on a single-core runner the pool
+  can never win, and correctness — not the host's core count — is the
+  regression this bench guards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.perf import bench_to_dict, campaign_speedup, resolve_throughput
+from repro.sim.campaign import CampaignConfig
+from repro.sim.chaos import ChaosConfig
+
+from conftest import CAMPAIGN_ROOT_SEED, RESOLVE_SEED
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_resolve.json"
+
+#: Workload shape (scenario scale x request count) where the index's
+#: advantage is stable; see resolve_throughput's docstring.
+FAR_CLUSTERS = 40
+REQUESTS = 5000
+
+CAMPAIGN_SEEDS = 4
+CAMPAIGN_WORKERS = 2
+CAMPAIGN_HORIZON_S = 900.0
+
+
+def _run_both():
+    resolve = resolve_throughput(
+        far_clusters=FAR_CLUSTERS, requests=REQUESTS, seed=RESOLVE_SEED
+    )
+    campaign = campaign_speedup(
+        CampaignConfig(chaos=ChaosConfig(horizon_s=CAMPAIGN_HORIZON_S)),
+        n_seeds=CAMPAIGN_SEEDS,
+        root_seed=CAMPAIGN_ROOT_SEED,
+        workers=CAMPAIGN_WORKERS,
+    )
+    return resolve, campaign
+
+
+def test_resolve_fast_path_and_parallel_campaign(benchmark):
+    resolve, campaign = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    payload = bench_to_dict(resolve, campaign)
+    payload["seeds"] = {
+        "resolve_seed": RESOLVE_SEED,
+        "campaign_root_seed": CAMPAIGN_ROOT_SEED,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    for line in resolve.lines():
+        print(line)
+    for line in campaign.lines():
+        print(line)
+    print(f"-> {OUT.name}")
+
+    # correctness gates: identical resolutions, identical reports
+    assert resolve.identical
+    assert campaign.identical
+    # perf gate: the hop index must beat the per-call BFS by >= 5x; the
+    # batch API must not be slower than the single-request fast path
+    assert resolve.indexed_speedup >= 5.0
+    assert resolve.batched_speedup >= resolve.indexed_speedup
+    # campaign speedup is recorded, not asserted (single-core runners)
+    assert campaign.parallel_s > 0.0

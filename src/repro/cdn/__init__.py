@@ -13,6 +13,8 @@ This subpackage implements the paper's Section V architecture as a working
 * :mod:`repro.cdn.transfer` — a simulated GlobusTransfer-like mover.
 * :mod:`repro.cdn.allocation` — allocation servers: placement, discovery,
   demand-driven re-replication, migration.
+* :mod:`repro.cdn.hopindex` — the CSR-backed social hop index behind
+  discovery's distance lookups.
 * :mod:`repro.cdn.client` — the per-researcher CDN client.
 * :mod:`repro.cdn.replication` — redundancy policies and failure repair.
 * :mod:`repro.cdn.partitioning` — social data partitioning.
@@ -49,7 +51,8 @@ from .placement import (
     paper_placements,
     all_placements,
 )
-from .allocation import AllocationServer
+from .allocation import AllocationServer, ResolvedReplica, resolve_candidates_reference
+from .hopindex import HopIndex
 from .client import CDNClient
 from .replication import ReplicationPolicy, RedundancyReport
 from .partitioning import SocialPartitioner, PartitionAssignment
@@ -102,6 +105,9 @@ __all__ = [
     "paper_placements",
     "all_placements",
     "AllocationServer",
+    "ResolvedReplica",
+    "resolve_candidates_reference",
+    "HopIndex",
     "CDNClient",
     "ReplicationPolicy",
     "RedundancyReport",

@@ -34,6 +34,8 @@ from ..social.ego import hop_distances
 from ..social.graph import CoauthorshipGraph
 from .catalog import ReplicaCatalog
 from .content import Dataset, Replica, ReplicaState
+from .demand import DemandTracker
+from .hopindex import HopIndex
 from .partitioning import PartitionAssignment
 from .placement.base import PlacementAlgorithm
 from .storage import StorageRepository
@@ -80,6 +82,7 @@ class AllocationServer:
         *,
         seed: SeedLike = None,
         registry: Optional[Registry] = None,
+        hop_cache_sources: int = 1024,
     ) -> None:
         self._graph = graph
         self.placement = placement
@@ -91,7 +94,11 @@ class AllocationServer:
         self._offline: Set[NodeId] = set()
         self._liveness: Optional[Callable[[NodeId], bool]] = None
         self._dataset_budget: Dict[DatasetId, int] = {}
-        self._hop_cache: Dict[AuthorId, Dict[AuthorId, int]] = {}
+        self._hop_cache_sources = hop_cache_sources
+        self._hops = HopIndex(graph, max_sources=hop_cache_sources)
+        # high-water mark of index evictions already mirrored to obs; the
+        # index is replaced on graph swaps, so the mark resets with it
+        self._hop_evictions_seen = 0
         #: per-node (time, "online"|"offline") transitions, in record order
         self._state_log: Dict[NodeId, List[Tuple[float, str]]] = {}
 
@@ -127,7 +134,25 @@ class AllocationServer:
         )
         self._m_hop_cache_invalidations = obs.counter(
             "alloc.hop_cache.invalidations",
-            help="hop-cache flushes (membership or graph changes)",
+            help="full hop-index rebuilds (graph swaps)",
+        )
+        self._m_hop_partial_invalidations = obs.counter(
+            "alloc.hop_index.partial_invalidations",
+            help="cached hop sources dropped by selective membership invalidation",
+        )
+        self._m_hop_evictions = obs.counter(
+            "alloc.hop_index.evictions",
+            help="cached hop sources evicted by the index's LRU bound",
+        )
+        self._g_hop_index_size = obs.gauge(
+            "alloc.hop_index.size", help="hop sources currently cached by the index"
+        )
+        self._m_resolve_batches = obs.counter(
+            "alloc.resolve.batches", help="resolve_many() batches processed"
+        )
+        self._m_batch_latency = obs.histogram(
+            "alloc.resolve.batch_latency_s",
+            help="wall-clock duration of a resolve_many() batch",
         )
         self._m_chosen_load = obs.gauge(
             "alloc.resolve.chosen_node_load",
@@ -178,8 +203,8 @@ class AllocationServer:
     def graph(self) -> CoauthorshipGraph:
         """The trusted social graph the overlay runs on.
 
-        Assigning a new graph (e.g. after a trust re-evaluation) flushes
-        the hop cache so discovery never serves distances from the old
+        Assigning a new graph (e.g. after a trust re-evaluation) rebuilds
+        the hop index so discovery never serves distances from the old
         fabric.
         """
         return self._graph
@@ -187,11 +212,26 @@ class AllocationServer:
     @graph.setter
     def graph(self, graph: CoauthorshipGraph) -> None:
         self._graph = graph
-        self._invalidate_hop_cache(reason="graph-swap")
+        self._rebuild_hop_index(reason="graph-swap")
 
-    def _invalidate_hop_cache(self, *, reason: str) -> None:
-        if self._hop_cache:
-            self._hop_cache.clear()
+    @property
+    def hop_index(self) -> HopIndex:
+        """The CSR-backed :class:`~repro.cdn.hopindex.HopIndex` behind
+        discovery's distance lookups. Rebuilt on graph swaps; read-only
+        for callers (tests inspect cache state through it)."""
+        return self._hops
+
+    def _rebuild_hop_index(self, *, reason: str) -> None:
+        """Replace the hop index wholesale (the graph structure changed).
+
+        Counted on ``alloc.hop_cache.invalidations`` — the historical
+        full-flush counter, which since the :class:`HopIndex` rewrite
+        moves only on graph swaps, never on membership events (those are
+        ``alloc.hop_index.partial_invalidations``).
+        """
+        self._hops = HopIndex(self._graph, max_sources=self._hop_cache_sources)
+        self._hop_evictions_seen = 0
+        self._g_hop_index_size.set(0)
         self._m_hop_cache_invalidations.inc()
         self.obs.trace("hop_cache_invalidate", reason=reason)
 
@@ -205,8 +245,12 @@ class AllocationServer:
 
         The author must be a member of the social graph — the paper's trust
         boundary: only community members may host replicas. Registration is
-        a membership change, so the hop cache is invalidated (a requester
-        previously cached as unreachable may now be served by the newcomer).
+        a membership change, so the hop index selectively invalidates:
+        only cached sources in the newcomer's connected component are
+        dropped (they are the only requesters whose view of the overlay
+        the newcomer can change); cached sources in other components keep
+        their entries. Dropped entries are counted on
+        ``alloc.hop_index.partial_invalidations``.
         """
         if author not in self._graph:
             raise ConfigurationError(
@@ -220,7 +264,16 @@ class AllocationServer:
         self._repos[node] = repository
         self._node_of_author[author] = node
         self._author_of_node[node] = author
-        self._invalidate_hop_cache(reason="register")
+        dropped = self._hops.invalidate_reachable(author)
+        if dropped:
+            self._m_hop_partial_invalidations.inc(dropped)
+            self._g_hop_index_size.set(self._hops.n_cached)
+        self.obs.trace(
+            "hop_index_invalidate",
+            reason="register",
+            author=str(author),
+            dropped=dropped,
+        )
         return node
 
     def repository(self, node: NodeId) -> StorageRepository:
@@ -593,26 +646,28 @@ class AllocationServer:
     # discovery
     # ------------------------------------------------------------------
     def _hops_from(self, requester: AuthorId) -> Dict[AuthorId, int]:
-        cached = self._hop_cache.get(requester)
-        if cached is not None:
+        hops, hit = self._hops.distances(requester)
+        if hit:
             self._m_hop_cache_hits.inc()
-            return cached
-        self._m_hop_cache_misses.inc()
-        if requester in self._graph:
-            hops = hop_distances(self._graph, {requester})
         else:
-            hops = {}
-        self._hop_cache[requester] = hops
+            self._m_hop_cache_misses.inc()
+            evicted = self._hops.evictions - self._hop_evictions_seen
+            if evicted:
+                self._m_hop_evictions.inc(evicted)
+                self._hop_evictions_seen = self._hops.evictions
+            self._g_hop_index_size.set(self._hops.n_cached)
         return hops
 
     def hops_from(self, requester: AuthorId) -> Dict[AuthorId, int]:
         """Hop distances from ``requester`` over the trusted graph.
 
-        Served from the same cache :meth:`resolve` uses (flushed on
-        membership and graph changes). Treat the returned mapping as
-        read-only — it *is* the cache entry. Authors unreachable from the
-        requester are absent; an unknown requester yields an empty map.
-        The migration planner scores promotion targets with this.
+        Served from the :class:`~repro.cdn.hopindex.HopIndex` behind
+        :meth:`resolve` (rebuilt on graph swaps, selectively invalidated
+        on membership events, LRU-bounded). Treat the returned mapping as
+        read-only — it *is* the index's cache entry. Authors unreachable
+        from the requester are absent; an unknown requester yields an
+        empty map. The migration planner scores promotion targets with
+        this.
         """
         return self._hops_from(requester)
 
@@ -748,6 +803,73 @@ class AllocationServer:
             latency_s=elapsed,
         )
         return best
+
+    def resolve_many(
+        self,
+        requests: List[Tuple[SegmentId, AuthorId]],
+        *,
+        record: bool = True,
+        demand: Optional[DemandTracker] = None,
+    ) -> List[Optional[ResolvedReplica]]:
+        """Resolve a batch of ``(segment_id, requester)`` requests at once.
+
+        Returns one entry per request, in order: the same
+        :class:`ResolvedReplica` that :meth:`resolve` would have chosen,
+        or ``None`` where :meth:`resolve` would have raised
+        :class:`~repro.errors.CatalogError` (a batch never aborts halfway
+        on one unresolvable segment).
+
+        The batch amortizes the per-call overhead of the single-request
+        path: hop-index lookups are shared across requests from the same
+        requester within the batch, per-request outcome counters
+        (``alloc.resolve.total`` / ``failed`` / ``unreachable``, hop
+        histogram, hop-cache hit/miss) move exactly as ``len(requests)``
+        sequential :meth:`resolve` calls would, but latency is measured
+        once per batch (``alloc.resolve.batch_latency_s``, plus the
+        ``alloc.resolve.batches`` counter and one ``resolve_batch`` trace
+        event) instead of per request — no per-request ``resolve`` traces,
+        no per-request ``perf_counter`` pairs.
+
+        When ``record=True`` (default), each served request is recorded on
+        its chosen replica exactly like :meth:`resolve`. Passing a
+        ``demand`` tracker additionally feeds all served accesses to
+        :meth:`~repro.cdn.demand.DemandTracker.record_many` in one ingest
+        — the batched alternative to trace-ring ingestion (which cannot
+        see batches, since no per-request trace events are emitted).
+        """
+        t0 = perf_counter()
+        out: List[Optional[ResolvedReplica]] = []
+        served: List[Tuple[SegmentId, Optional[AuthorId]]] = []
+        for segment_id, requester in requests:
+            candidates = self.resolve_candidates(segment_id, requester)
+            if not candidates:
+                self._m_resolve_failed.inc()
+                out.append(None)
+                continue
+            best = candidates[0]
+            load = self._repos[best.replica.node_id].reads_served
+            if record:
+                self.record_served(best.replica)
+            self._m_resolve_total.inc()
+            self._m_chosen_load.set(load)
+            if best.social_hops is not None:
+                self._m_resolve_hops.observe(best.social_hops)
+            else:
+                self._m_resolve_unreachable.inc()
+            served.append((segment_id, requester))
+            out.append(best)
+        if demand is not None and served:
+            demand.record_many(served)
+        elapsed = perf_counter() - t0
+        self._m_resolve_batches.inc()
+        self._m_batch_latency.observe(elapsed)
+        self.obs.trace(
+            "resolve_batch",
+            requests=len(requests),
+            served=len(served),
+            latency_s=elapsed,
+        )
+        return out
 
     # ------------------------------------------------------------------
     # integrity
@@ -992,3 +1114,51 @@ class AllocationServer:
         self._m_migrations.inc()
         self.obs.trace("migrate", ts=at, node=str(node))
         return self.repair(at=at)
+
+
+def resolve_candidates_reference(
+    server: AllocationServer,
+    segment_id: SegmentId,
+    requester: AuthorId,
+    *,
+    limit: Optional[int] = None,
+) -> List[ResolvedReplica]:
+    """The pre-index ``resolve_candidates``, retained as a differential oracle.
+
+    Recomputes hop distances with a fresh per-call Python BFS
+    (:func:`repro.social.ego.hop_distances`) — no cache, no CSR index —
+    and applies the identical servable/live filter, hoisted load lookup,
+    and ``(hops, load, node id)`` sort. Tests assert the fast path's
+    output is byte-identical to this on arbitrary deployments; benchmarks
+    use it as the resolves-per-second baseline. Moves no counters.
+    """
+    reps = [
+        r
+        for r in server.catalog.replicas_of_segment(segment_id, servable_only=True)
+        if server._is_live(r.node_id)
+    ]
+    if not reps:
+        return []
+    if requester in server.graph:
+        hops = hop_distances(server.graph, {requester})
+    else:
+        hops = {}
+
+    loads: Dict[NodeId, int] = {}
+    for r in reps:
+        if r.node_id not in loads:
+            loads[r.node_id] = server.repository(r.node_id).reads_served
+
+    author_of = server.author_of
+
+    def sort_key(r: Replica) -> Tuple[int, int, str]:
+        d = hops.get(author_of(r.node_id), 10**9)
+        return (d, loads[r.node_id], str(r.node_id))
+
+    reps.sort(key=sort_key)
+    if limit is not None:
+        reps = reps[:limit]
+    return [
+        ResolvedReplica(replica=r, social_hops=hops.get(author_of(r.node_id)))
+        for r in reps
+    ]

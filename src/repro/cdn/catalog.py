@@ -26,6 +26,11 @@ class ReplicaCatalog:
         self._replicas: Dict[ReplicaId, Replica] = {}
         self._by_segment: Dict[SegmentId, List[Replica]] = {}
         self._by_node: Dict[NodeId, List[Replica]] = {}
+        # per-segment servable-replica index: memoized filtered view of
+        # _by_segment, dropped whenever a replica of the segment is created
+        # or changes state. Every state transition flows through the catalog
+        # methods below, so the cache cannot go stale.
+        self._servable_cache: Dict[SegmentId, List[Replica]] = {}
         self._counter = 0
 
     # ------------------------------------------------------------------
@@ -62,6 +67,7 @@ class ReplicaCatalog:
         for seg in ds.segments:
             self._segments.pop(seg.segment_id, None)
             self._by_segment.pop(seg.segment_id, None)
+            self._servable_cache.pop(seg.segment_id, None)
         del self._datasets[dataset_id]
 
     def dataset(self, dataset_id: DatasetId) -> Dataset:
@@ -124,6 +130,7 @@ class ReplicaCatalog:
         self._replicas[replica.replica_id] = replica
         self._by_segment[segment_id].append(replica)
         self._by_node.setdefault(node_id, []).append(replica)
+        self._servable_cache.pop(segment_id, None)
         return replica
 
     def replica(self, replica_id: ReplicaId) -> Replica:
@@ -136,12 +143,23 @@ class ReplicaCatalog:
     def replicas_of_segment(
         self, segment_id: SegmentId, *, servable_only: bool = False
     ) -> List[Replica]:
-        """Replicas of one segment (optionally only ACTIVE ones)."""
+        """Replicas of one segment (optionally only ACTIVE ones).
+
+        The servable view is memoized per segment (the resolve hot path
+        asks for it on every request) and invalidated by any state
+        transition or replica creation touching the segment; callers get
+        a fresh list copy either way, so mutating the returned list never
+        corrupts the index.
+        """
         if segment_id not in self._segments:
             raise CatalogError(f"unknown segment {segment_id!r}")
         reps = self._by_segment[segment_id]
         if servable_only:
-            return [r for r in reps if r.servable]
+            cached = self._servable_cache.get(segment_id)
+            if cached is None:
+                cached = [r for r in reps if r.servable]
+                self._servable_cache[segment_id] = cached
+            return list(cached)
         return [r for r in reps if r.state is not ReplicaState.RETIRED]
 
     def replicas_of_dataset(
@@ -170,6 +188,7 @@ class ReplicaCatalog:
         """Mark a replica RETIRED (kept for audit; excluded from lookups)."""
         rep = self.replica(replica_id)
         rep.state = ReplicaState.RETIRED
+        self._servable_cache.pop(rep.segment_id, None)
         return rep
 
     def activate(self, replica_id: ReplicaId) -> Replica:
@@ -188,6 +207,7 @@ class ReplicaCatalog:
                 f"repair from a verified source instead"
             )
         rep.state = ReplicaState.ACTIVE
+        self._servable_cache.pop(rep.segment_id, None)
         return rep
 
     def mark_stale(self, replica_id: ReplicaId) -> Replica:
@@ -198,6 +218,7 @@ class ReplicaCatalog:
         if rep.state is ReplicaState.QUARANTINED:
             return rep  # quarantine outranks staleness; keep the stronger state
         rep.state = ReplicaState.STALE
+        self._servable_cache.pop(rep.segment_id, None)
         return rep
 
     def quarantine(self, replica_id: ReplicaId) -> Replica:
@@ -210,6 +231,7 @@ class ReplicaCatalog:
         if rep.state is ReplicaState.RETIRED:
             raise CatalogError(f"cannot quarantine retired replica {replica_id}")
         rep.state = ReplicaState.QUARANTINED
+        self._servable_cache.pop(rep.segment_id, None)
         return rep
 
     def quarantined_replicas(self) -> List[Replica]:

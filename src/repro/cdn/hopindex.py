@@ -1,0 +1,236 @@
+"""CSR-backed social hop index: the allocation servers' discovery fast path.
+
+Every ``resolve`` ranks replicas by social hop distance from the requester,
+which the pre-index implementation computed with a per-call Python BFS over
+the networkx adjacency — and cached in a dict that any membership change
+wiped wholesale. Iamnitchi et al. ("Locating Data in (Small-World?)
+Peer-to-Peer Scientific Collaborations") frame data location in scientific
+collaboration graphs as exactly this hop-bounded small-world search, worth
+a real index. :class:`HopIndex` provides one:
+
+* the graph's adjacency is compiled once into numpy CSR arrays
+  (:meth:`~repro.social.graph.CoauthorshipGraph.csr_adjacency`), so a BFS
+  expands whole frontiers with vectorized gathers instead of per-node
+  Python loops;
+* full single-source distance maps are cached under an LRU bound
+  (``max_sources``), so memory stays proportional to the active requester
+  set, not the author universe;
+* bounded-radius queries (:meth:`within`) stop the BFS at a hop limit;
+* invalidation is **selective**: a membership event touching one author
+  drops only cached sources in that author's connected component
+  (:meth:`invalidate_reachable`) instead of clearing everything — sources
+  in other components provably cannot have changed reachability.
+
+The index is a pure data structure — no observability, no locking; the
+:class:`~repro.cdn.allocation.AllocationServer` wires its counters
+(``alloc.hop_cache.*`` hit/miss continuity plus the new
+``alloc.hop_index.*`` family) around it.
+
+Distance semantics are identical to :func:`repro.social.ego.hop_distances`
+restricted to one source: the source maps to 0, unreachable authors are
+absent, and a source outside the graph yields an empty map (cached too, so
+repeat lookups by outside requesters stay O(1)).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId
+from ..social.graph import CoauthorshipGraph
+
+
+class HopIndex:
+    """Single-source hop distances over a fixed graph, cached with an LRU.
+
+    Parameters
+    ----------
+    graph:
+        The social graph to index. The index snapshots its structure at
+        construction; a graph swap means building a new :class:`HopIndex`.
+    max_sources:
+        Maximum number of cached single-source distance maps. The least
+        recently used entry is evicted beyond this bound (each eviction
+        increments :attr:`evictions`).
+    """
+
+    def __init__(self, graph: CoauthorshipGraph, *, max_sources: int = 1024) -> None:
+        if max_sources < 1:
+            raise ConfigurationError(
+                f"max_sources must be >= 1, got {max_sources}"
+            )
+        self.max_sources = max_sources
+        self._nodes: List[AuthorId] = graph.nodes()
+        self._index: Dict[AuthorId, int] = {a: i for i, a in enumerate(self._nodes)}
+        self._indptr, self._indices = graph.csr_adjacency()
+        self._component = self._label_components()
+        self._cache: "OrderedDict[AuthorId, Dict[AuthorId, int]]" = OrderedDict()
+        #: cumulative LRU evictions since construction
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of indexed authors."""
+        return len(self._nodes)
+
+    @property
+    def n_cached(self) -> int:
+        """Number of cached single-source distance maps."""
+        return len(self._cache)
+
+    def __contains__(self, author: object) -> bool:
+        return author in self._index
+
+    def component_of(self, author: AuthorId) -> Optional[int]:
+        """Connected-component label of ``author`` (None if not indexed).
+
+        Labels are dense ints assigned in node-index order; two authors
+        share a label iff they are connected — the predicate behind
+        :meth:`invalidate_reachable`.
+        """
+        i = self._index.get(author)
+        if i is None:
+            return None
+        return int(self._component[i])
+
+    def is_cached(self, source: AuthorId) -> bool:
+        """Whether a distance map for ``source`` is cached (no LRU touch)."""
+        return source in self._cache
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def distances(self, source: AuthorId) -> Tuple[Dict[AuthorId, int], bool]:
+        """Hop distances from ``source`` to every reachable author.
+
+        Returns ``(hops, hit)`` where ``hit`` says whether the map came
+        from the cache. The returned dict *is* the cache entry — treat it
+        as read-only (the allocation server's public ``hops_from`` carries
+        the same contract). A source outside the graph yields ``{}``.
+        """
+        cached = self._cache.get(source)
+        if cached is not None:
+            self._cache.move_to_end(source)
+            return cached, True
+        hops = self._bfs_dict(source, None)
+        self._cache[source] = hops
+        if len(self._cache) > self.max_sources:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+        return hops, False
+
+    def within(self, source: AuthorId, max_hops: int) -> Dict[AuthorId, int]:
+        """Authors within ``max_hops`` of ``source`` with their distances.
+
+        Served by slicing the cached full map when one exists; otherwise a
+        radius-bounded BFS that stops expanding at ``max_hops`` (the
+        bounded result is *not* cached — it would poison full-map reuse).
+        """
+        if max_hops < 0:
+            raise ConfigurationError(f"max_hops must be >= 0, got {max_hops}")
+        cached = self._cache.get(source)
+        if cached is not None:
+            self._cache.move_to_end(source)
+            return {a: d for a, d in cached.items() if d <= max_hops}
+        return self._bfs_dict(source, max_hops)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate_source(self, source: AuthorId) -> bool:
+        """Drop the cached map of one source. Returns whether it existed."""
+        return self._cache.pop(source, None) is not None
+
+    def invalidate_reachable(self, author: AuthorId) -> int:
+        """Drop every cached source in ``author``'s connected component.
+
+        This is the selective-invalidation rule for membership events: a
+        change at ``author`` can only matter to sources that can reach it,
+        i.e. sources in the same component. Cached sources in other
+        components — and sources outside the graph entirely (whose maps
+        are empty, and registration adds no edges) — keep their entries.
+        Returns the number of entries dropped.
+        """
+        i = self._index.get(author)
+        if i is None:
+            return 0
+        comp = int(self._component[i])
+        doomed = [
+            s
+            for s in self._cache
+            if (j := self._index.get(s)) is not None and int(self._component[j]) == comp
+        ]
+        for s in doomed:
+            del self._cache[s]
+        return len(doomed)
+
+    def invalidate_all(self) -> int:
+        """Drop every cached map. Returns the number of entries dropped."""
+        n = len(self._cache)
+        self._cache.clear()
+        return n
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _bfs_dict(
+        self, source: AuthorId, max_hops: Optional[int]
+    ) -> Dict[AuthorId, int]:
+        i = self._index.get(source)
+        if i is None:
+            return {}
+        dist = self._bfs(i, max_hops)
+        nodes = self._nodes
+        return {nodes[int(j)]: int(dist[j]) for j in np.flatnonzero(dist >= 0)}
+
+    def _bfs(self, start: int, max_hops: Optional[int] = None) -> np.ndarray:
+        """Frontier-vectorized BFS from node index ``start``.
+
+        Returns an int64 distance array with -1 for unreached nodes. Each
+        level expands the whole frontier at once: CSR slice bounds are
+        gathered for every frontier node, flattened into one fancy-indexed
+        neighbor fetch, and deduplicated with ``np.unique`` — no per-node
+        Python loop.
+        """
+        n = len(self._nodes)
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[start] = 0
+        frontier = np.array([start], dtype=np.int64)
+        d = 0
+        indptr, indices = self._indptr, self._indices
+        while frontier.size and (max_hops is None or d < max_hops):
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # flatten the frontier's CSR slices: for slice k of length
+            # counts[k], emit starts[k] + (0..counts[k]-1)
+            ends = np.cumsum(counts)
+            offsets = np.arange(total) - np.repeat(ends - counts, counts)
+            neigh = indices[np.repeat(starts, counts) + offsets]
+            neigh = np.unique(neigh[dist[neigh] < 0])
+            if neigh.size == 0:
+                break
+            d += 1
+            dist[neigh] = d
+            frontier = neigh
+        return dist
+
+    def _label_components(self) -> np.ndarray:
+        comp = np.full(len(self._nodes), -1, dtype=np.int64)
+        label = 0
+        for i in range(len(self._nodes)):
+            if comp[i] >= 0:
+                continue
+            dist = self._bfs(i)
+            comp[dist >= 0] = label
+            label += 1
+        return comp

@@ -233,7 +233,7 @@ def cmd_chaos(args) -> int:
         try:
             with open(args.json, "w", encoding="utf-8") as fh:
                 _json.dump(
-                    {"report": report.__dict__, "obs": net.obs_snapshot()},
+                    {"report": report.to_dict(), "obs": net.obs_snapshot()},
                     fh,
                     indent=2,
                     default=str,
@@ -420,6 +420,64 @@ def cmd_migrate(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_perf(args) -> int:
+    """`repro perf`: resolve-throughput and campaign-speedup harness.
+
+    Measures resolves-per-second on a scaled demand-shift scenario graph
+    (pre-index reference BFS vs. the HopIndex fast path vs. the
+    ``resolve_many`` batch API) and, unless ``--quick``, the wall-clock
+    speedup of the parallel campaign runner over the serial one. Exit
+    status is 0 only if the fast path's candidate rankings are
+    byte-identical to the reference's AND (when campaigns ran) the
+    parallel reports match the serial ones bit for bit — speed itself is
+    never gated here (CI machines vary; ``benchmarks/`` asserts the
+    speedup floor).
+    """
+    import json as _json
+
+    from .perf import bench_to_dict, campaign_speedup, resolve_throughput
+    from .sim.campaign import CampaignConfig
+    from .sim.chaos import ChaosConfig
+
+    if args.quick:
+        requests = min(args.requests, 1000)
+        scale = min(args.scale, 20)
+    else:
+        requests = args.requests
+        scale = args.scale
+    resolve = resolve_throughput(far_clusters=scale, requests=requests)
+    for line in resolve.lines():
+        print(line)
+
+    campaign = None
+    if not args.quick:
+        campaign = campaign_speedup(
+            CampaignConfig(chaos=ChaosConfig(horizon_s=args.horizon)),
+            n_seeds=args.seeds,
+            workers=args.workers,
+        )
+        for line in campaign.lines():
+            print(line)
+
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(bench_to_dict(resolve, campaign), fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote perf report to {args.json}")
+
+    ok = resolve.identical and (campaign is None or campaign.identical)
+    if not ok:
+        print(
+            f"FAIL: resolve_identical={resolve.identical} "
+            f"campaign_identical={campaign.identical if campaign else 'n/a'}",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the `repro` command."""
     parser = argparse.ArgumentParser(
@@ -513,6 +571,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scrub-seed", type=int, default=7,
                    help="seed of the corruption pick")
     p.set_defaults(func=cmd_scrub)
+
+    p = sub.add_parser(
+        "perf",
+        help="measure resolve throughput and campaign parallel speedup",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="resolve-only smoke: capped requests/scale, no campaigns")
+    p.add_argument("--requests", type=int, default=5000,
+                   help="resolve requests per measured mode")
+    p.add_argument("--scale", type=int, default=40,
+                   help="scenario-graph far clusters (3 authors each)")
+    p.add_argument("--seeds", type=int, default=4,
+                   help="campaign seed-grid size")
+    p.add_argument("--workers", type=int, default=2,
+                   help="campaign worker processes")
+    p.add_argument("--horizon", type=float, default=900.0,
+                   help="per-seed campaign horizon in simulated seconds")
+    p.add_argument("--json", help="also write the perf report to this path")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(
         "migrate",

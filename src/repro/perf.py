@@ -1,0 +1,289 @@
+"""Throughput harness for the fast-path work: resolve RPS and campaign speedup.
+
+Two measurements back the performance claims of the hop-index /
+batched-resolution / parallel-campaign work, shared by the ``repro perf``
+CLI and ``benchmarks/test_bench_resolve.py`` (which persists them to
+``BENCH_resolve.json``):
+
+* :func:`resolve_throughput` — resolves-per-second on a scaled
+  demand-shift scenario graph (:func:`repro.sim.scenarios.scenario_graph`),
+  comparing the retained pre-index reference implementation
+  (:func:`repro.cdn.allocation.resolve_candidates_reference`, fresh BFS
+  per call) against the :class:`~repro.cdn.hopindex.HopIndex`-backed
+  ``resolve_candidates`` and the ``resolve_many`` batch API — and
+  differentially checking that all three rank candidates identically.
+* :func:`campaign_speedup` — wall-clock of a chaos seed grid run serially
+  vs. over :func:`repro.sim.campaign.run_campaign_parallel` workers, with
+  the bit-identical-reports contract checked on the same run.
+
+Everything is seeded; the only nondeterminism in the emitted numbers is
+the host's actual speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from .errors import ConfigurationError
+from .ids import AuthorId, DatasetId, NodeId, SegmentId
+from .obs import Registry
+from .cdn.allocation import AllocationServer, resolve_candidates_reference
+from .cdn.content import segment_dataset
+from .cdn.placement import RandomPlacement
+from .cdn.storage import StorageRepository
+from .sim.campaign import (
+    CampaignConfig,
+    _trusted_graph,
+    run_campaign_parallel,
+    run_campaign_serial,
+    seed_grid,
+)
+from .sim.scenarios import scenario_graph
+
+
+@dataclass(frozen=True)
+class ResolveBenchResult:
+    """Resolve-throughput numbers (requests per second, wall-clock based).
+
+    ``identical`` is the differential guarantee: over every distinct
+    ``(segment, requester)`` pair of the workload, the indexed fast path
+    and the batch API ranked candidates exactly like the pre-index
+    reference (same replica ids, same hop annotations, same order).
+    """
+
+    far_clusters: int
+    graph_nodes: int
+    requests: int
+    reference_rps: float
+    indexed_rps: float
+    batched_rps: float
+    identical: bool
+
+    @property
+    def indexed_speedup(self) -> float:
+        """Indexed single-request throughput over the reference's."""
+        return self.indexed_rps / self.reference_rps if self.reference_rps else 0.0
+
+    @property
+    def batched_speedup(self) -> float:
+        """Batch-API throughput over the reference's."""
+        return self.batched_rps / self.reference_rps if self.reference_rps else 0.0
+
+    def lines(self) -> List[str]:
+        """Human-readable summary, one finding per line."""
+        return [
+            f"resolve throughput: {self.graph_nodes}-node scenario graph "
+            f"(scale {self.far_clusters}), {self.requests} requests per mode",
+            f"reference (per-call BFS): {self.reference_rps:,.0f} rps",
+            f"indexed (HopIndex):       {self.indexed_rps:,.0f} rps "
+            f"({self.indexed_speedup:.1f}x)",
+            f"batched (resolve_many):   {self.batched_rps:,.0f} rps "
+            f"({self.batched_speedup:.1f}x)",
+            f"differential check: {'identical' if self.identical else 'DIVERGED'}",
+        ]
+
+
+@dataclass(frozen=True)
+class CampaignBenchResult:
+    """Serial-vs-parallel campaign wall clock over one seed grid.
+
+    ``identical`` asserts the determinism contract held on this very run:
+    the parallel runner's reports equal the serial runner's bit for bit.
+    """
+
+    seeds: int
+    workers: int
+    serial_s: float
+    parallel_s: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall clock over parallel wall clock."""
+        return self.serial_s / self.parallel_s if self.parallel_s else 0.0
+
+    def lines(self) -> List[str]:
+        """Human-readable summary, one finding per line."""
+        return [
+            f"campaign grid: {self.seeds} seeds, {self.workers} workers",
+            f"serial:   {self.serial_s:.2f}s wall clock",
+            f"parallel: {self.parallel_s:.2f}s wall clock "
+            f"({self.speedup:.2f}x)",
+            f"reports bit-identical: {self.identical}",
+        ]
+
+
+def build_resolve_deployment(
+    *,
+    far_clusters: int = 40,
+    datasets: int = 6,
+    n_replicas: int = 3,
+    seed: int = 7,
+    registry: Optional[Registry] = None,
+) -> Tuple[AllocationServer, List[SegmentId], List[AuthorId]]:
+    """Build the throughput benchmark's allocation deployment.
+
+    A scaled demand-shift scenario graph, one repository per author
+    (``node-<author>``), and ``datasets`` single-segment datasets
+    published at ``n_replicas`` copies by random placement. Returns the
+    server, the published segment ids, and the author list (sorted — the
+    request workload round-robins over it).
+    """
+    if datasets < 1:
+        raise ConfigurationError(f"datasets must be >= 1, got {datasets}")
+    graph = scenario_graph(far_clusters=far_clusters)
+    server = AllocationServer(
+        graph,
+        RandomPlacement(),
+        seed=seed,
+        registry=registry if registry is not None else Registry(),
+    )
+    authors = sorted(graph.nodes())
+    for author in authors:
+        server.register_repository(
+            author, StorageRepository(NodeId(f"node-{author}"), 10_000_000)
+        )
+    owner = graph.seed if graph.seed is not None else authors[0]
+    segments: List[SegmentId] = []
+    for i in range(datasets):
+        ds = segment_dataset(DatasetId(f"bench-{i}"), owner, 1_000)
+        server.publish_dataset(ds, n_replicas=n_replicas)
+        segments.extend(s.segment_id for s in ds.segments)
+    return server, segments, authors
+
+
+def _request_workload(
+    segments: List[SegmentId], authors: List[AuthorId], requests: int
+) -> List[Tuple[SegmentId, AuthorId]]:
+    """Deterministic round-robin workload over segments x authors."""
+    return [
+        (segments[i % len(segments)], authors[i % len(authors)])
+        for i in range(requests)
+    ]
+
+
+def resolve_throughput(
+    *,
+    far_clusters: int = 40,
+    datasets: int = 6,
+    n_replicas: int = 3,
+    requests: int = 5000,
+    seed: int = 7,
+) -> ResolveBenchResult:
+    """Measure reference vs. indexed vs. batched resolve throughput.
+
+    All three modes replay the same request list against one deployment.
+    Every mode is a pure query (nothing records reads), so no mode
+    perturbs the state the next one measures; the indexed mode starts
+    with a cold hop index and pays its misses inside the measurement,
+    which is the honest amortized number. The differential check then
+    replays every distinct ``(segment, requester)`` pair, comparing full
+    candidate rankings between the reference and the fast path.
+    """
+    if requests < 1:
+        raise ConfigurationError(f"requests must be >= 1, got {requests}")
+
+    server, segments, authors = build_resolve_deployment(
+        far_clusters=far_clusters,
+        datasets=datasets,
+        n_replicas=n_replicas,
+        seed=seed,
+    )
+    workload = _request_workload(segments, authors, requests)
+
+    t0 = perf_counter()
+    for seg, req in workload:
+        resolve_candidates_reference(server, seg, req)
+    ref_s = max(perf_counter() - t0, 1e-9)
+
+    t0 = perf_counter()
+    for seg, req in workload:
+        server.resolve_candidates(seg, req)
+    idx_s = max(perf_counter() - t0, 1e-9)
+
+    t0 = perf_counter()
+    server.resolve_many(workload, record=False)
+    batch_s = max(perf_counter() - t0, 1e-9)
+
+    identical = True
+    for seg, req in sorted(set(workload), key=lambda t: (str(t[0]), str(t[1]))):
+        fast = server.resolve_candidates(seg, req)
+        ref = resolve_candidates_reference(server, seg, req)
+        if [(c.replica.replica_id, c.social_hops) for c in fast] != [
+            (c.replica.replica_id, c.social_hops) for c in ref
+        ]:
+            identical = False
+            break
+
+    return ResolveBenchResult(
+        far_clusters=far_clusters,
+        graph_nodes=server.graph.n_nodes,
+        requests=requests,
+        reference_rps=requests / ref_s,
+        indexed_rps=requests / idx_s,
+        batched_rps=requests / batch_s,
+        identical=identical,
+    )
+
+
+def campaign_speedup(
+    config: Optional[CampaignConfig] = None,
+    *,
+    n_seeds: int = 4,
+    root_seed: int = 11,
+    workers: int = 2,
+) -> CampaignBenchResult:
+    """Time one seed grid serially and in parallel; check bit-identity.
+
+    Both runs use the exact same :func:`repro.sim.campaign.seed_grid`
+    seeds, so ``identical`` is the determinism contract evaluated on real
+    campaigns, not a toy fixture.
+    """
+    cfg = config if config is not None else CampaignConfig()
+    seeds = seed_grid(root_seed, n_seeds)
+    # warm the per-process graph memo so the serial run isn't charged the
+    # one-time corpus/prune build that forked workers inherit for free
+    _trusted_graph(cfg.corpus_seed, cfg.ego_hops)
+    serial = run_campaign_serial(cfg, seeds)
+    parallel = run_campaign_parallel(cfg, seeds, workers=workers)
+    return CampaignBenchResult(
+        seeds=len(seeds),
+        workers=parallel.workers,
+        serial_s=serial.wall_clock_s,
+        parallel_s=parallel.wall_clock_s,
+        identical=(
+            serial.reports == parallel.reports
+            and serial.aggregate == parallel.aggregate
+        ),
+    )
+
+
+def bench_to_dict(
+    resolve: ResolveBenchResult, campaign: Optional[CampaignBenchResult] = None
+) -> Dict[str, object]:
+    """JSON-ready dict combining the two measurements (campaign optional)."""
+    out: Dict[str, object] = {
+        "resolve": {
+            "far_clusters": resolve.far_clusters,
+            "graph_nodes": resolve.graph_nodes,
+            "requests": resolve.requests,
+            "reference_rps": resolve.reference_rps,
+            "indexed_rps": resolve.indexed_rps,
+            "batched_rps": resolve.batched_rps,
+            "indexed_speedup": resolve.indexed_speedup,
+            "batched_speedup": resolve.batched_speedup,
+            "identical": resolve.identical,
+        }
+    }
+    if campaign is not None:
+        out["campaign"] = {
+            "seeds": campaign.seeds,
+            "workers": campaign.workers,
+            "serial_s": campaign.serial_s,
+            "parallel_s": campaign.parallel_s,
+            "speedup": campaign.speedup,
+            "identical": campaign.identical,
+        }
+    return out

@@ -12,6 +12,8 @@ that platform's engine room:
 * :mod:`repro.sim.failures` — failure injection.
 * :mod:`repro.sim.chaos` — composed failure campaigns with degradation
   reports.
+* :mod:`repro.sim.campaign` — seed-grid campaign runners, serial and
+  parallel (multiprocessing), with a merged aggregate.
 * :mod:`repro.sim.scenarios` — canned end-to-end scenarios (the
   demand-shift migration acceptance run).
 """
@@ -28,12 +30,22 @@ from .availability import (
 from .workload import AccessRequest, WorkloadConfig, SocialWorkloadGenerator
 from .failures import FailureInjector, FailureEvent
 from .chaos import ChaosConfig, ChaosReport, run_chaos_campaign
+from .campaign import (
+    CampaignAggregate,
+    CampaignConfig,
+    CampaignResult,
+    merge_reports,
+    run_campaign_parallel,
+    run_campaign_serial,
+    seed_grid,
+)
 from .scenarios import (
     DemandShiftConfig,
     DemandShiftResult,
     PhaseStats,
     compare_demand_shift,
     run_demand_shift,
+    scenario_graph,
 )
 
 __all__ = [
@@ -55,6 +67,14 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "run_chaos_campaign",
+    "CampaignAggregate",
+    "CampaignConfig",
+    "CampaignResult",
+    "merge_reports",
+    "run_campaign_parallel",
+    "run_campaign_serial",
+    "seed_grid",
+    "scenario_graph",
     "DemandShiftConfig",
     "DemandShiftResult",
     "PhaseStats",

@@ -1,0 +1,273 @@
+"""Seed-grid chaos campaigns: serial and multiprocessing runners.
+
+One chaos campaign (:func:`repro.sim.chaos.run_chaos_campaign`) answers
+"what happened under *this* seed"; a ROADMAP-grade claim ("repair restores
+full redundancy under churn") needs a grid of seeds. This module runs such
+grids — serially, or fanned out over :mod:`multiprocessing` workers — and
+merges the per-seed :class:`~repro.sim.chaos.ChaosReport` objects into one
+:class:`CampaignAggregate`.
+
+**Determinism contract.** Both runners execute the *identical* per-seed
+function (:func:`_run_one_seed`): a fresh observability registry, a fresh
+deployment built from ``(corpus_seed, ego_hops, deployment_seed)``, and a
+campaign driven solely by the per-seed RNG. Nothing about a seed's
+simulation depends on process identity, scheduling, or which other seeds
+run beside it — so for the same :class:`CampaignConfig` and seed list,
+:func:`run_campaign_parallel` returns reports **bit-for-bit equal** to
+:func:`run_campaign_serial` (``ChaosReport`` is a frozen dataclass; the
+test suite asserts ``==`` across runners). Only ``wall_clock_s`` may
+differ. Seed grids come from :func:`seed_grid`, which fans a root seed out
+through :class:`numpy.random.SeedSequence` spawns.
+
+The trusted deployment graph is immutable once built, so it is memoized
+per process (:func:`_trusted_graph`): a serial grid builds it once, and
+forked workers inherit the parent's copy for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache, partial
+from time import perf_counter
+from typing import List, Sequence, Tuple
+
+import multiprocessing
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .chaos import ChaosConfig, ChaosReport
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters shared by every seed of a campaign grid.
+
+    The deployment is the CLI's standard one: a generated corpus
+    (``corpus_seed``), the seed author's ``ego_hops``-hop ego network,
+    double-coauthorship trust pruning, and an SCDN built with
+    ``deployment_seed``. Per-seed variation comes only from the campaign
+    seed handed to :func:`repro.sim.chaos.run_chaos_campaign`.
+    """
+
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
+    corpus_seed: int = 42
+    deployment_seed: int = 42
+    ego_hops: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ego_hops < 1:
+            raise ConfigurationError("ego_hops must be >= 1")
+
+
+@dataclass(frozen=True)
+class CampaignAggregate:
+    """Merged view of a grid's per-seed reports (see :func:`merge_reports`).
+
+    Counts are sums across seeds; ``availability`` is pooled (total served
+    over total served + failed), not a mean of per-seed ratios, so short
+    and long seeds weigh by their actual traffic.
+    """
+
+    seeds: int
+    requests: int
+    served: int
+    failed: int
+    denied: int
+    availability: float
+    crashes: int
+    outages: int
+    slowlinks: int
+    failovers: int
+    repairs_created: int
+    unrepaired_disruptions: int
+    unhandled_exceptions: int
+    mean_post_repair_redundancy: float
+    min_post_repair_redundancy: float
+
+    def lines(self) -> List[str]:
+        """Human-readable aggregate, one finding per line."""
+        return [
+            f"campaign grid: {self.seeds} seeds",
+            f"requests: {self.requests} ({self.served} served, "
+            f"{self.failed} failed, {self.denied} denied)",
+            f"pooled availability={self.availability:.4f} "
+            f"failovers={self.failovers}",
+            f"injected: {self.crashes} crashes, {self.outages} outages, "
+            f"{self.slowlinks} slow links",
+            f"repairs: {self.repairs_created} replicas created, "
+            f"{self.unrepaired_disruptions} unrepaired at horizon",
+            f"post_repair_redundancy: mean="
+            f"{self.mean_post_repair_redundancy:.4f} "
+            f"min={self.min_post_repair_redundancy:.4f}",
+            f"unhandled_exceptions={self.unhandled_exceptions}",
+        ]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one grid run: per-seed reports plus the merged view.
+
+    ``reports[i]`` corresponds to ``seeds[i]``. Everything except
+    ``wall_clock_s`` and ``workers`` is bit-identical between the serial
+    and parallel runners for the same config and seeds.
+    """
+
+    seeds: Tuple[int, ...]
+    reports: Tuple[ChaosReport, ...]
+    aggregate: CampaignAggregate
+    wall_clock_s: float
+    workers: int
+
+    def lines(self) -> List[str]:
+        """Aggregate lines prefixed with the runner's shape."""
+        head = (
+            f"ran {len(self.seeds)} campaigns on {self.workers} worker(s) "
+            f"in {self.wall_clock_s:.2f}s wall clock"
+        )
+        return [head, *self.aggregate.lines()]
+
+
+def seed_grid(root_seed: int, n: int) -> Tuple[int, ...]:
+    """Derive ``n`` independent campaign seeds from one root seed.
+
+    Fans out through :class:`numpy.random.SeedSequence` spawning — the
+    same mechanism :func:`repro.rng.spawn` uses — so grids are
+    reproducible, order-stable, and collision-resistant regardless of how
+    the seeds are later distributed over workers.
+    """
+    if n < 1:
+        raise ConfigurationError(f"need at least one seed, got {n}")
+    children = np.random.SeedSequence(root_seed).spawn(n)
+    return tuple(int(c.generate_state(1)[0]) for c in children)
+
+
+@lru_cache(maxsize=8)
+def _trusted_graph(corpus_seed: int, ego_hops: int):
+    """Build (once per process) the trusted deployment graph.
+
+    The corpus, ego network, and pruned trust graph are all deterministic
+    functions of the two keys and immutable afterwards, so one build
+    serves every seed of a grid — and every grid sharing the keys.
+    """
+    from ..social import generate_corpus
+    from ..social.ego import ego_corpus
+    from ..social.trust import MinCoauthorshipTrust
+
+    corpus, seed_author = generate_corpus(seed=corpus_seed)
+    ego = ego_corpus(corpus, seed_author, hops=ego_hops)
+    return MinCoauthorshipTrust(2).prune(ego, seed=seed_author).graph
+
+
+def _run_one_seed(config: CampaignConfig, seed: int) -> ChaosReport:
+    """Run one campaign seed in full isolation.
+
+    Fresh registry, fresh SCDN, fresh catalog — the only state shared with
+    other seeds is the immutable trusted graph. This is the single code
+    path both runners execute, which is what makes their reports
+    comparable bit for bit.
+    """
+    from ..obs import Registry
+    from ..scdn import SCDN, SCDNConfig
+    from .chaos import run_chaos_campaign
+
+    graph = _trusted_graph(config.corpus_seed, config.ego_hops)
+    net = SCDN(
+        graph,
+        config=SCDNConfig(),
+        seed=config.deployment_seed,
+        registry=Registry(),
+    )
+    return run_chaos_campaign(net, config.chaos, seed=seed)
+
+
+def merge_reports(reports: Sequence[ChaosReport]) -> CampaignAggregate:
+    """Merge per-seed reports into one :class:`CampaignAggregate`."""
+    if not reports:
+        raise ConfigurationError("cannot merge an empty report list")
+    served = sum(r.served for r in reports)
+    failed = sum(r.failed for r in reports)
+    denom = served + failed
+    redundancy = [r.post_repair_redundancy for r in reports]
+    return CampaignAggregate(
+        seeds=len(reports),
+        requests=sum(r.requests for r in reports),
+        served=served,
+        failed=failed,
+        denied=sum(r.denied for r in reports),
+        availability=(served / denom) if denom else 1.0,
+        crashes=sum(r.crashes for r in reports),
+        outages=sum(r.outages for r in reports),
+        slowlinks=sum(r.slowlinks for r in reports),
+        failovers=sum(r.failovers for r in reports),
+        repairs_created=sum(r.repairs_created for r in reports),
+        unrepaired_disruptions=sum(r.unrepaired_disruptions for r in reports),
+        unhandled_exceptions=sum(r.unhandled_exceptions for r in reports),
+        mean_post_repair_redundancy=float(np.mean(redundancy)),
+        min_post_repair_redundancy=min(redundancy),
+    )
+
+
+def run_campaign_serial(
+    config: CampaignConfig, seeds: Sequence[int]
+) -> CampaignResult:
+    """Run every seed in-process, in order. The determinism baseline."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    t0 = perf_counter()
+    reports = tuple(_run_one_seed(config, s) for s in seeds)
+    wall = perf_counter() - t0
+    return CampaignResult(
+        seeds=tuple(int(s) for s in seeds),
+        reports=reports,
+        aggregate=merge_reports(reports),
+        wall_clock_s=wall,
+        workers=1,
+    )
+
+
+def run_campaign_parallel(
+    config: CampaignConfig,
+    seeds: Sequence[int],
+    *,
+    workers: int = 2,
+) -> CampaignResult:
+    """Fan the seed grid out over ``workers`` processes.
+
+    ``Pool.map`` preserves seed order, so ``reports[i]`` still matches
+    ``seeds[i]``; with ``workers=1`` (or a single seed) the run degrades
+    to the serial path without spawning a pool. The ``fork`` start method
+    is preferred where the platform offers it — workers then inherit the
+    parent's memoized trusted graph instead of rebuilding it.
+
+    For identical ``config`` and ``seeds``, the returned ``reports`` and
+    ``aggregate`` are bit-for-bit equal to :func:`run_campaign_serial`'s
+    (asserted by the test suite and the ``repro perf`` harness).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    n_workers = min(workers, len(seeds))
+    if n_workers == 1:
+        result = run_campaign_serial(config, seeds)
+        return CampaignResult(
+            seeds=result.seeds,
+            reports=result.reports,
+            aggregate=result.aggregate,
+            wall_clock_s=result.wall_clock_s,
+            workers=1,
+        )
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    ctx = multiprocessing.get_context(method)
+    t0 = perf_counter()
+    with ctx.Pool(processes=n_workers) as pool:
+        reports = tuple(pool.map(partial(_run_one_seed, config), seeds))
+    wall = perf_counter() - t0
+    return CampaignResult(
+        seeds=tuple(int(s) for s in seeds),
+        reports=reports,
+        aggregate=merge_reports(reports),
+        wall_clock_s=wall,
+        workers=n_workers,
+    )

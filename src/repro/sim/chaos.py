@@ -19,7 +19,7 @@ into independent streams for the failure schedule and the workload, so a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
@@ -196,6 +196,15 @@ class ChaosReport:
             f"min_mid_move_redundancy={self.min_mid_move_redundancy:.4f}",
             f"unhandled_exceptions={self.unhandled_exceptions}",
         ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSON emission (nested fields included).
+
+        Uses :func:`dataclasses.asdict`, so the ``repair_latency_s``
+        mapping is deep-copied — mutating the result never touches the
+        (frozen) report.
+        """
+        return asdict(self)
 
 
 def _percentiles(latencies: List[float]) -> Dict[str, float]:

@@ -120,14 +120,31 @@ class DemandShiftResult:
     evicted_author: AuthorId
 
 
-def _scenario_graph() -> CoauthorshipGraph:
+def scenario_graph(*, far_clusters: int = 1) -> CoauthorshipGraph:
+    """The demand-shift coauthorship graph, optionally scaled.
+
+    With the default ``far_clusters=1`` this is exactly the scenario's
+    legacy two-cluster graph: the three-member *near* clique around the
+    owner, the three-member *far* clique, one ``near-1 -- far-1`` bridge.
+    Larger values append additional three-member far cliques
+    (``far{k}-1 .. far{k}-3`` for ``k >= 2``), each bridged to ``near-1``
+    by its own weight-1 edge — same topology family, more nodes. The
+    scaled variants exist for the resolve throughput benchmarks
+    (:mod:`repro.perf`), which need a graph big enough that per-request
+    BFS cost dominates; the scenario itself always runs at scale 1.
+    """
+    if far_clusters < 1:
+        raise ConfigurationError(f"far_clusters must be >= 1, got {far_clusters}")
     g = nx.Graph()
     clusters = [_NEAR, _FAR]
+    for k in range(2, far_clusters + 1):
+        clusters.append([AuthorId(f"far{k}-{i}") for i in range(1, 4)])
     for cluster in clusters:
         for i, a in enumerate(cluster):
             for b in cluster[i + 1 :]:
                 g.add_edge(a, b, weight=3, pubs=())
-    g.add_edge(_NEAR[1], _FAR[0], weight=1, pubs=())
+    for cluster in clusters[1:]:
+        g.add_edge(_NEAR[1], cluster[0], weight=1, pubs=())
     return CoauthorshipGraph(g, seed=_NEAR[0])
 
 
@@ -156,7 +173,7 @@ def run_demand_shift(
 
     cfg = config or DemandShiftConfig()
     registry = registry if registry is not None else Registry()
-    graph = _scenario_graph()
+    graph = scenario_graph()
     seg = cfg.segment_bytes
     net = SCDN(
         graph,

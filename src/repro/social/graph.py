@@ -10,6 +10,7 @@ needs, while exposing the raw graph for algorithms that want it.
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from weakref import WeakKeyDictionary
 
 import networkx as nx
 import numpy as np
@@ -161,7 +162,7 @@ class CoauthorshipGraph:
 
         Intended for the modest graph sizes of the case study (thousands of
         nodes); larger graphs should use the sparse representation via
-        ``networkx.to_scipy_sparse_array``.
+        :meth:`csr_adjacency`.
         """
         n = self.n_nodes
         mat = np.zeros((n, n), dtype=bool)
@@ -171,6 +172,36 @@ class CoauthorshipGraph:
             mat[i, j] = True
             mat[j, i] = True
         return mat
+
+    def csr_adjacency(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Compressed-sparse-row adjacency ``(indptr, indices)`` in
+        :meth:`node_index` order.
+
+        The neighbors of node ``i`` are ``indices[indptr[i]:indptr[i + 1]]``,
+        sorted ascending for determinism. This is the sparse counterpart of
+        :meth:`adjacency_matrix` — O(V + E) memory instead of O(V^2) — and
+        the backing store of :class:`repro.cdn.hopindex.HopIndex`'s
+        frontier-vectorized BFS.
+        """
+        n = self.n_nodes
+        m = self.n_edges
+        idx = self.node_index()
+        rows = np.empty(2 * m, dtype=np.int64)
+        cols = np.empty(2 * m, dtype=np.int64)
+        k = 0
+        for a, b in self._g.edges():
+            i, j = idx[a], idx[b]
+            rows[k] = i
+            cols[k] = j
+            rows[k + 1] = j
+            cols[k + 1] = i
+            k += 2
+        order = np.lexsort((cols, rows))
+        indices = cols[order]
+        counts = np.bincount(rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, indices
 
 
 def _double_sweep_diameter(g: nx.Graph, restarts: int = 4) -> int:
@@ -226,3 +257,26 @@ def build_coauthorship_graph(
     if seed is not None and seed not in g:
         raise GraphError(f"seed author {seed!r} does not appear in the corpus")
     return CoauthorshipGraph(g, seed=seed)
+
+
+# One base graph per corpus object. Corpora are immutable after construction
+# (derived corpora are new objects), so the cached graph never goes stale; the
+# weak key lets a discarded corpus release its graph.
+_SHARED_GRAPH_CACHE: "WeakKeyDictionary[Corpus, CoauthorshipGraph]" = WeakKeyDictionary()
+
+
+def shared_coauthorship_graph(corpus: Corpus) -> CoauthorshipGraph:
+    """Memoized :func:`build_coauthorship_graph` keyed by corpus identity.
+
+    Every trust heuristic's first step is building the full (unpruned,
+    ``min_weight=1``) coauthorship graph of its input corpus; running the
+    paper's three heuristics over the same ego corpus used to pay for that
+    build three times. This returns one shared, **immutable** graph per
+    corpus object — callers that mutate must ``.nx.copy()`` first (the
+    pruning heuristics already do).
+    """
+    cached = _SHARED_GRAPH_CACHE.get(corpus)
+    if cached is None:
+        cached = build_coauthorship_graph(corpus)
+        _SHARED_GRAPH_CACHE[corpus] = cached
+    return cached

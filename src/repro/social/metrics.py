@@ -48,19 +48,20 @@ def clustering_coefficients(graph: CoauthorshipGraph) -> Dict[AuthorId, float]:
     triangle count ``((A @ A) * A).sum(axis=1) / 2`` over a dense adjacency
     matrix (one BLAS matmul); larger graphs fall back to
     :func:`networkx.clustering`. Results are cached per graph (graphs are
-    immutable by construction in this library). Isolated and degree-1
-    nodes have coefficient 0.0.
+    immutable by construction in this library); callers get a fresh dict
+    copy each call, so mutating a result never poisons the cache.
+    Isolated and degree-1 nodes have coefficient 0.0.
     """
     n = graph.n_nodes
     if n == 0:
         return {}
     cached = _CLUSTERING_CACHE.get(graph.nx)
     if cached is not None:
-        return cached
+        return dict(cached)
     if n > _DENSE_LIMIT:
         result = {a: float(c) for a, c in nx.clustering(graph.nx).items()}
         _CLUSTERING_CACHE[graph.nx] = result
-        return result
+        return dict(result)
     a_mat = graph.adjacency_matrix().astype(np.float64)
     deg = a_mat.sum(axis=1)
     # paths of length 2 between i's neighbors that close a triangle
@@ -71,7 +72,7 @@ def clustering_coefficients(graph: CoauthorshipGraph) -> Dict[AuthorId, float]:
     nodes = list(graph.nx.nodes())
     result = {a: float(coeff[i]) for i, a in enumerate(nodes)}
     _CLUSTERING_CACHE[graph.nx] = result
-    return result
+    return dict(result)
 
 
 def betweenness(
@@ -88,7 +89,8 @@ def betweenness(
     call's pivot sample is reused by later calls regardless of ``seed``,
     so repeated-placement sweeps pay for betweenness once per graph
     (callers needing an independent pivot sample should use a fresh graph
-    object).
+    object). Callers get a fresh dict copy each call — mutating a result
+    never poisons the cache.
     """
     n = graph.n_nodes
     if n == 0:
@@ -96,7 +98,7 @@ def betweenness(
     key = (approximate_above, n_pivots)
     per_graph = _BETWEENNESS_CACHE.setdefault(graph.nx, {})
     if key in per_graph:
-        return per_graph[key]
+        return dict(per_graph[key])
     k: Optional[int] = None
     if n > approximate_above:
         k = min(n_pivots, n)
@@ -106,7 +108,7 @@ def betweenness(
     )
     out = {a: float(v) for a, v in result.items()}
     per_graph[key] = out
-    return out
+    return dict(out)
 
 
 def closeness(graph: CoauthorshipGraph) -> Dict[AuthorId, float]:
@@ -124,19 +126,20 @@ def pagerank_scores(
 
     With ``weighted=True`` the walk follows publication-count edge weights,
     biasing toward repeat collaborators (the "proven trust" signal).
-    Results are cached per (graph, alpha, weighted).
+    Results are cached per (graph, alpha, weighted); callers get a fresh
+    dict copy each call, so mutating a result never poisons the cache.
     """
     if graph.n_nodes == 0:
         return {}
     key = (alpha, weighted)
     per_graph = _PAGERANK_CACHE.setdefault(graph.nx, {})
     if key in per_graph:
-        return per_graph[key]
+        return dict(per_graph[key])
     weight = "weight" if weighted else None
     result = nx.pagerank(graph.nx, alpha=alpha, weight=weight)
     out = {a: float(v) for a, v in result.items()}
     per_graph[key] = out
-    return out
+    return dict(out)
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,7 @@ import networkx as nx
 
 from ..errors import ConfigurationError
 from ..ids import AuthorId
-from .graph import CoauthorshipGraph, build_coauthorship_graph
+from .graph import CoauthorshipGraph, shared_coauthorship_graph
 from .records import Corpus
 
 
@@ -100,7 +100,13 @@ class TrustHeuristic(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def prune(self, corpus: Corpus, *, seed: Optional[AuthorId] = None) -> TrustedSubgraph:
+    def prune(
+        self,
+        corpus: Corpus,
+        *,
+        seed: Optional[AuthorId] = None,
+        graph: Optional[CoauthorshipGraph] = None,
+    ) -> TrustedSubgraph:
         """Apply the heuristic to ``corpus`` and return the trusted subgraph.
 
         Parameters
@@ -109,6 +115,14 @@ class TrustHeuristic(ABC):
             Publications to build from (typically an ego corpus).
         seed:
             Ego seed; always retained in the pruned graph if present.
+        graph:
+            Optional prebuilt full (``min_weight=1``) coauthorship graph
+            of ``corpus``, shared across heuristics to skip the rebuild.
+            When omitted, heuristics fetch one from
+            :func:`repro.social.graph.shared_coauthorship_graph`, which
+            memoizes by corpus identity — so running the paper's three
+            heuristics over the same corpus object builds the base graph
+            once either way. The graph is never mutated (pruning copies).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -120,8 +134,14 @@ class BaselineTrust(TrustHeuristic):
 
     name = "baseline"
 
-    def prune(self, corpus: Corpus, *, seed: Optional[AuthorId] = None) -> TrustedSubgraph:
-        g = build_coauthorship_graph(corpus, seed=seed if seed in corpus.author_ids else None)
+    def prune(
+        self,
+        corpus: Corpus,
+        *,
+        seed: Optional[AuthorId] = None,
+        graph: Optional[CoauthorshipGraph] = None,
+    ) -> TrustedSubgraph:
+        g = graph if graph is not None else shared_coauthorship_graph(corpus)
         return _finalize(self.name, g.nx.copy(), corpus, seed)
 
 
@@ -140,8 +160,15 @@ class MinCoauthorshipTrust(TrustHeuristic):
         self.min_count = min_count
         self.name = f"double-coauthorship" if min_count == 2 else f"min-coauthorship-{min_count}"
 
-    def prune(self, corpus: Corpus, *, seed: Optional[AuthorId] = None) -> TrustedSubgraph:
-        g = build_coauthorship_graph(corpus).nx.copy()
+    def prune(
+        self,
+        corpus: Corpus,
+        *,
+        seed: Optional[AuthorId] = None,
+        graph: Optional[CoauthorshipGraph] = None,
+    ) -> TrustedSubgraph:
+        base = graph if graph is not None else shared_coauthorship_graph(corpus)
+        g = base.nx.copy()
         weak = [(a, b) for a, b, w in g.edges(data="weight", default=1) if w < self.min_count]
         g.remove_edges_from(weak)
         return _finalize(self.name, g, corpus, seed)
@@ -164,9 +191,20 @@ class MaxAuthorsTrust(TrustHeuristic):
             "number-of-authors" if max_authors == 5 else f"max-authors-{max_authors}"
         )
 
-    def prune(self, corpus: Corpus, *, seed: Optional[AuthorId] = None) -> TrustedSubgraph:
+    def prune(
+        self,
+        corpus: Corpus,
+        *,
+        seed: Optional[AuthorId] = None,
+        graph: Optional[CoauthorshipGraph] = None,
+    ) -> TrustedSubgraph:
+        # This heuristic filters *publications* first, so a prebuilt graph
+        # of the unfiltered corpus cannot be reused: edges must be recounted
+        # over the surviving publications. ``graph`` is accepted for
+        # interface uniformity but the build always runs on the filtered
+        # corpus (memoized by its identity like any other).
         filtered = corpus.filter_max_authors(self.max_authors)
-        g = build_coauthorship_graph(filtered).nx.copy()
+        g = shared_coauthorship_graph(filtered).nx.copy()
         return _finalize(self.name, g, filtered, seed)
 
 
@@ -185,11 +223,19 @@ class CompositeTrust(TrustHeuristic):
         self.stages = list(stages)
         self.name = name or "+".join(s.name for s in self.stages)
 
-    def prune(self, corpus: Corpus, *, seed: Optional[AuthorId] = None) -> TrustedSubgraph:
+    def prune(
+        self,
+        corpus: Corpus,
+        *,
+        seed: Optional[AuthorId] = None,
+        graph: Optional[CoauthorshipGraph] = None,
+    ) -> TrustedSubgraph:
         current = corpus
         result: Optional[TrustedSubgraph] = None
-        for stage in self.stages:
-            result = stage.prune(current, seed=seed)
+        for i, stage in enumerate(self.stages):
+            # only the first stage sees the caller's prebuilt graph: later
+            # stages run on pruned corpora with different edge sets
+            result = stage.prune(current, seed=seed, graph=graph if i == 0 else None)
             current = result.corpus
         assert result is not None
         return TrustedSubgraph(name=self.name, graph=result.graph, corpus=result.corpus)

@@ -70,13 +70,37 @@ class TestHopCacheInvalidation:
         ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
         server.publish_dataset(ds, n_replicas=2)
         seg = ds.segments[0].segment_id
-        server.resolve(seg, AuthorId("a"))  # populate the cache
-        before = reg.counter("alloc.hop_cache.invalidations").value
+        server.resolve(seg, AuthorId("a"))  # populate the index
+        assert server.hop_index.is_cached(AuthorId("a"))
+        before = reg.counter("alloc.hop_index.partial_invalidations").value
         server.register_repository(
             AuthorId("c"), StorageRepository(NodeId("node-c"), 10_000)
         )
-        assert reg.counter("alloc.hop_cache.invalidations").value == before + 1
-        assert server._hop_cache == {}
+        # c is connected to the cached source a, so a's entry is dropped —
+        # selectively, not via a full flush
+        assert not server.hop_index.is_cached(AuthorId("a"))
+        assert reg.counter("alloc.hop_index.partial_invalidations").value == before + 1
+        assert reg.counter("alloc.hop_cache.invalidations").value == 0
+
+    def test_register_disconnected_keeps_cached_sources(self):
+        """Registering a node with no social path to any cached source must
+        keep their entries (the over-invalidation regression)."""
+        g = graph_of(pub("p1", 2009, "a", "b"), pub("p2", 2009, "x", "y"))
+        reg = Registry()
+        server = make_server(g, ["a", "b"], registry=reg)
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=2)
+        seg = ds.segments[0].segment_id
+        server.resolve(seg, AuthorId("a"))  # cache source a
+        assert server.hop_index.is_cached(AuthorId("a"))
+        server.register_repository(
+            AuthorId("x"), StorageRepository(NodeId("node-x"), 10_000)
+        )
+        # x lives in the {x, y} island: a's cached distances are untouched
+        assert server.hop_index.is_cached(AuthorId("a"))
+        assert reg.counter("alloc.hop_index.partial_invalidations").value == 0
+        server.resolve(seg, AuthorId("a"))
+        assert reg.counter("alloc.hop_cache.hits").value == 1
 
     def test_hit_miss_counters(self):
         g = graph_of(pub("p1", 2009, "a", "b"))

@@ -1,0 +1,216 @@
+"""Differential tests for the hop-index resolve fast path.
+
+The tentpole contract: swapping the per-call BFS for the CSR
+:class:`~repro.cdn.hopindex.HopIndex` must not change a single resolution.
+``resolve_candidates`` is checked byte-for-byte against the retained
+pre-index reference implementation
+(:func:`repro.cdn.allocation.resolve_candidates_reference`), and
+``resolve_many`` is checked against sequential ``resolve`` calls on a twin
+deployment — same choices, same counters, same recorded demand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ids import AuthorId, DatasetId, NodeId, SegmentId
+from repro.obs import Registry
+from repro.perf import _request_workload, build_resolve_deployment
+from repro.cdn.allocation import resolve_candidates_reference
+from repro.cdn.content import segment_dataset
+from repro.cdn.demand import DemandTracker
+
+from .test_allocation_bugfixes import graph_of, make_server
+from ..conftest import pub
+
+
+def ranking(candidates):
+    """Comparable projection of a candidate list."""
+    return [(c.replica.replica_id, c.replica.node_id, c.social_hops) for c in candidates]
+
+
+def twin_deployments(**kwargs):
+    """Two deployments built identically (same seeds, same placement)."""
+    a = build_resolve_deployment(registry=Registry(), **kwargs)
+    b = build_resolve_deployment(registry=Registry(), **kwargs)
+    return a, b
+
+
+class TestDifferentialCandidates:
+    def test_matches_reference_on_scenario_deployment(self):
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=4, datasets=3, registry=Registry()
+        )
+        for seg, req in _request_workload(segments, authors, 200):
+            fast = server.resolve_candidates(seg, req)
+            ref = resolve_candidates_reference(server, seg, req)
+            assert ranking(fast) == ranking(ref)
+
+    def test_matches_reference_after_load_skew(self):
+        """The ranking must track mutable load identically in both paths."""
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=2, registry=Registry()
+        )
+        for seg, req in _request_workload(segments, authors, 50):
+            server.resolve(seg, req)  # records reads: loads diverge per node
+        for seg in segments:
+            for req in authors[:5]:
+                assert ranking(server.resolve_candidates(seg, req)) == ranking(
+                    resolve_candidates_reference(server, seg, req)
+                )
+
+    def test_matches_reference_for_outside_requester(self):
+        server, segments, _ = build_resolve_deployment(
+            far_clusters=2, registry=Registry()
+        )
+        ghost = AuthorId("nobody-knows-me")
+        for seg in segments:
+            fast = server.resolve_candidates(seg, ghost)
+            ref = resolve_candidates_reference(server, seg, ghost)
+            assert ranking(fast) == ranking(ref)
+            assert all(c.social_hops is None for c in fast)
+
+    def test_limit_respected(self):
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=2, registry=Registry()
+        )
+        full = server.resolve_candidates(segments[0], authors[0])
+        head = server.resolve_candidates(segments[0], authors[0], limit=2)
+        assert ranking(head) == ranking(full)[:2]
+        assert ranking(head) == ranking(
+            resolve_candidates_reference(server, segments[0], authors[0], limit=2)
+        )
+
+
+class TestResolveManyEquivalence:
+    def test_same_choices_as_sequential_resolve(self):
+        (s1, segments, authors), (s2, _, _) = twin_deployments(far_clusters=3)
+        workload = _request_workload(segments, authors, 120)
+        sequential = [s1.resolve(seg, req) for seg, req in workload]
+        batched = s2.resolve_many(workload)
+        assert [(r.replica.replica_id, r.social_hops) for r in sequential] == [
+            (r.replica.replica_id, r.social_hops) for r in batched
+        ]
+
+    def test_same_counters_as_sequential_resolve(self):
+        (s1, segments, authors), (s2, _, _) = twin_deployments(far_clusters=3)
+        workload = _request_workload(segments, authors, 120)
+        for seg, req in workload:
+            s1.resolve(seg, req)
+        s2.resolve_many(workload)
+        for name in (
+            "alloc.resolve.total",
+            "alloc.resolve.failed",
+            "alloc.resolve.unreachable",
+            "alloc.hop_cache.hits",
+            "alloc.hop_cache.misses",
+        ):
+            assert (
+                s2.obs.counter(name).value == s1.obs.counter(name).value
+            ), name
+
+    def test_same_recorded_load_as_sequential_resolve(self):
+        (s1, segments, authors), (s2, _, _) = twin_deployments(far_clusters=3)
+        workload = _request_workload(segments, authors, 120)
+        for seg, req in workload:
+            s1.resolve(seg, req)
+        s2.resolve_many(workload)
+        for author in authors:
+            node = NodeId(f"node-{author}")
+            assert (
+                s2.repository(node).reads_served == s1.repository(node).reads_served
+            )
+
+    def test_record_false_leaves_no_load(self):
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=2, registry=Registry()
+        )
+        workload = _request_workload(segments, authors, 40)
+        server.resolve_many(workload, record=False)
+        assert all(
+            server.repository(NodeId(f"node-{a}")).reads_served == 0 for a in authors
+        )
+
+    def test_none_for_unresolvable_segment(self):
+        g = graph_of(pub("p1", 2009, "a", "b"))
+        reg = Registry()
+        server = make_server(g, ["a", "b"], registry=reg)
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=2)
+        seg = ds.segments[0].segment_id
+        server.node_offline(NodeId("node-a"), at=1.0)
+        server.node_offline(NodeId("node-b"), at=1.0)
+        out = server.resolve_many([(seg, AuthorId("a")), (seg, AuthorId("b"))])
+        assert out == [None, None]
+        assert reg.counter("alloc.resolve.failed").value == 2
+        assert reg.counter("alloc.resolve.total").value == 0
+
+    def test_batch_counters_and_trace(self):
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=2, registry=Registry()
+        )
+        workload = _request_workload(segments, authors, 30)
+        server.resolve_many(workload, record=False)
+        assert server.obs.counter("alloc.resolve.batches").value == 1
+        events = server.obs.traces.events(kind="resolve_batch")
+        assert len(events) == 1
+        assert events[0].fields["requests"] == 30
+        assert events[0].fields["served"] == 30
+        # no per-request resolve traces from the batch path
+        assert server.obs.traces.events(kind="resolve") == []
+
+    def test_demand_tracker_fed_in_one_ingest(self):
+        (s1, segments, authors), (s2, _, _) = twin_deployments(far_clusters=2)
+        workload = _request_workload(segments, authors, 60)
+        t1, t2 = DemandTracker(), DemandTracker()
+        for seg, req in workload:
+            s1.resolve(seg, req)
+            t1.record_access(seg, req)
+        s2.resolve_many(workload, demand=t2)
+        t1.fold(at=10.0)
+        t2.fold(at=10.0)
+        assert t1.tracked_segments == t2.tracked_segments
+        for seg in segments:
+            assert t2.rate(seg) == pytest.approx(t1.rate(seg))
+            assert t2.top_requesters(seg) == t1.top_requesters(seg)
+
+    def test_empty_batch(self):
+        server, _, _ = build_resolve_deployment(far_clusters=2, registry=Registry())
+        assert server.resolve_many([]) == []
+        assert server.obs.counter("alloc.resolve.batches").value == 1
+
+
+class TestEvictionAccounting:
+    def test_eviction_counter_mirrors_index(self):
+        """Under a tiny hop-cache bound the server must surface evictions."""
+        from repro.social.graph import build_coauthorship_graph
+        from repro.social.records import Corpus
+        from repro.cdn.allocation import AllocationServer
+        from repro.cdn.placement import RandomPlacement
+        from repro.cdn.storage import StorageRepository
+
+        g = build_coauthorship_graph(
+            Corpus(
+                [
+                    pub("p1", 2009, "a", "b"),
+                    pub("p2", 2009, "b", "c"),
+                    pub("p3", 2009, "c", "d"),
+                ]
+            )
+        )
+        reg = Registry()
+        server = AllocationServer(
+            g, RandomPlacement(), seed=0, registry=reg, hop_cache_sources=2
+        )
+        for a in ["a", "b", "c", "d"]:
+            server.register_repository(
+                AuthorId(a), StorageRepository(NodeId(f"node-{a}"), 10_000)
+            )
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=2)
+        seg = ds.segments[0].segment_id
+        for a in ["a", "b", "c", "d"]:
+            server.resolve(seg, AuthorId(a), record=False)
+        assert server.hop_index.evictions == 2
+        assert reg.counter("alloc.hop_index.evictions").value == 2
+        assert reg.gauge("alloc.hop_index.size").value == 2

@@ -1,0 +1,135 @@
+"""Tests for the seed-grid campaign runners (:mod:`repro.sim.campaign`).
+
+The headline contract is determinism: for the same config and seed grid,
+the multiprocessing runner must return reports **bit-for-bit equal** to
+the serial runner's — same frozen ``ChaosReport`` tuples, same merged
+aggregate. CI runs the 2-worker x 4-seed equivalence below as the
+parallel-correctness gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.campaign import (
+    CampaignConfig,
+    merge_reports,
+    run_campaign_parallel,
+    run_campaign_serial,
+    seed_grid,
+)
+from repro.sim.chaos import ChaosConfig
+
+
+#: Small horizon keeps each seed sub-second while still injecting faults.
+QUICK = CampaignConfig(chaos=ChaosConfig(horizon_s=600.0))
+
+
+class TestSeedGrid:
+    def test_deterministic(self):
+        assert seed_grid(11, 4) == seed_grid(11, 4)
+
+    def test_distinct_seeds(self):
+        grid = seed_grid(11, 16)
+        assert len(set(grid)) == 16
+
+    def test_prefix_stable(self):
+        """Growing a grid keeps the existing seeds (SeedSequence spawning)."""
+        assert seed_grid(11, 8)[:4] == seed_grid(11, 4)
+
+    def test_root_seed_matters(self):
+        assert seed_grid(11, 4) != seed_grid(12, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            seed_grid(11, 0)
+
+
+class TestSerialRunner:
+    def test_reports_align_with_seeds(self):
+        seeds = seed_grid(11, 2)
+        result = run_campaign_serial(QUICK, seeds)
+        assert result.seeds == seeds
+        assert len(result.reports) == 2
+        assert result.workers == 1
+        assert result.aggregate == merge_reports(result.reports)
+
+    def test_deterministic_across_runs(self):
+        seeds = seed_grid(11, 2)
+        a = run_campaign_serial(QUICK, seeds)
+        b = run_campaign_serial(QUICK, seeds)
+        assert a.reports == b.reports
+        assert a.aggregate == b.aggregate
+
+    def test_rejects_empty_seed_list(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign_serial(QUICK, [])
+
+
+class TestParallelEquivalence:
+    def test_parallel_bit_identical_to_serial(self):
+        """The CI gate: 2 workers x 4 seeds, reports equal bit for bit."""
+        seeds = seed_grid(11, 4)
+        serial = run_campaign_serial(QUICK, seeds)
+        parallel = run_campaign_parallel(QUICK, seeds, workers=2)
+        assert parallel.reports == serial.reports
+        assert parallel.aggregate == serial.aggregate
+        assert parallel.seeds == serial.seeds
+        assert parallel.workers == 2
+
+    def test_workers_one_degrades_to_serial(self):
+        seeds = seed_grid(11, 2)
+        result = run_campaign_parallel(QUICK, seeds, workers=1)
+        assert result.workers == 1
+        assert result.reports == run_campaign_serial(QUICK, seeds).reports
+
+    def test_workers_capped_by_seed_count(self):
+        seeds = seed_grid(11, 1)
+        result = run_campaign_parallel(QUICK, seeds, workers=4)
+        assert result.workers == 1  # one seed -> serial path, no pool
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign_parallel(QUICK, seed_grid(11, 2), workers=0)
+
+    def test_rejects_empty_seed_list(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign_parallel(QUICK, [], workers=2)
+
+
+class TestMergeReports:
+    def test_sums_and_pooled_availability(self):
+        seeds = seed_grid(11, 3)
+        result = run_campaign_serial(QUICK, seeds)
+        agg = result.aggregate
+        reports = result.reports
+        assert agg.seeds == 3
+        assert agg.requests == sum(r.requests for r in reports)
+        assert agg.served == sum(r.served for r in reports)
+        assert agg.failed == sum(r.failed for r in reports)
+        assert agg.crashes == sum(r.crashes for r in reports)
+        assert agg.repairs_created == sum(r.repairs_created for r in reports)
+        denom = agg.served + agg.failed
+        assert agg.availability == pytest.approx(
+            agg.served / denom if denom else 1.0
+        )
+        assert agg.min_post_repair_redundancy == min(
+            r.post_repair_redundancy for r in reports
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            merge_reports([])
+
+    def test_lines_render(self):
+        result = run_campaign_serial(QUICK, seed_grid(11, 2))
+        text = "\n".join(result.lines())
+        assert "2 campaigns" in text
+        assert "pooled availability" in text
+
+
+class TestCampaignConfig:
+    def test_rejects_bad_ego_hops(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(ego_hops=0)

@@ -146,22 +146,46 @@ class TestGraphSummary:
 
 
 class TestCaching:
-    def test_clustering_cached_per_graph(self, triangle_plus_tail):
+    def test_clustering_cached_per_graph(self, triangle_plus_tail, monkeypatch):
+        import networkx as _nx
+
         a = clustering_coefficients(triangle_plus_tail)
+        # a second call must not recompute: poison the underlying kernels
+        monkeypatch.setattr(
+            _nx, "clustering", lambda *args, **kw: pytest.fail("cache missed")
+        )
+        monkeypatch.setattr(
+            type(triangle_plus_tail),
+            "adjacency_matrix",
+            lambda self: pytest.fail("cache missed"),
+        )
         b = clustering_coefficients(triangle_plus_tail)
-        assert a is b  # cached object returned
+        assert a == b
 
-    def test_pagerank_cache_keyed_by_params(self, triangle_plus_tail):
+    def test_pagerank_cache_keyed_by_params(self, triangle_plus_tail, monkeypatch):
+        import networkx as _nx
+
         a = pagerank_scores(triangle_plus_tail, alpha=0.85)
+        monkeypatch.setattr(
+            _nx, "pagerank", lambda *args, **kw: pytest.fail("cache missed")
+        )
         b = pagerank_scores(triangle_plus_tail, alpha=0.85)
+        assert a == b
+        monkeypatch.undo()
         c = pagerank_scores(triangle_plus_tail, alpha=0.5)
-        assert a is b
-        assert c is not a
+        assert c != a
 
-    def test_betweenness_cached_ignoring_seed(self, triangle_plus_tail):
+    def test_betweenness_cached_ignoring_seed(self, triangle_plus_tail, monkeypatch):
+        import networkx as _nx
+
         a = betweenness(triangle_plus_tail, seed=1)
+        monkeypatch.setattr(
+            _nx,
+            "betweenness_centrality",
+            lambda *args, **kw: pytest.fail("cache missed"),
+        )
         b = betweenness(triangle_plus_tail, seed=999)
-        assert a is b
+        assert a == b
 
     def test_new_graph_object_not_cached(self, tiny_corpus):
         g1 = build_coauthorship_graph(tiny_corpus)
@@ -170,3 +194,27 @@ class TestCaching:
         b = clustering_coefficients(g2)
         assert a is not b
         assert a == b
+
+    def test_subgraph_misses_cache(self, triangle_plus_tail):
+        """A subgraph is a new nx.Graph object: its scores are computed
+        fresh, never served from the parent's cache entry."""
+        full = clustering_coefficients(triangle_plus_tail)
+        sub = triangle_plus_tail.subgraph(list(triangle_plus_tail.nodes())[:3])
+        sub_scores = clustering_coefficients(sub)
+        assert set(sub_scores) == set(sub.nodes())
+        assert set(sub_scores) != set(full)
+
+    def test_cached_dicts_are_defensive_copies(self, triangle_plus_tail):
+        """Mutating a returned dict must not poison the cache."""
+        a = clustering_coefficients(triangle_plus_tail)
+        victim = next(iter(a))
+        a[victim] = 123.0
+        assert clustering_coefficients(triangle_plus_tail)[victim] != 123.0
+
+        p = pagerank_scores(triangle_plus_tail)
+        p.clear()
+        assert pagerank_scores(triangle_plus_tail)  # still populated
+
+        bt = betweenness(triangle_plus_tail)
+        bt[next(iter(bt))] = -1.0
+        assert betweenness(triangle_plus_tail) != bt

@@ -132,3 +132,65 @@ class TestPaperHeuristics:
         ego = ego_corpus(corpus, seed, hops=3)
         sub = MinCoauthorshipTrust(2).prune(ego, seed=seed)
         assert sub.graph.n_components() > 1
+
+
+class TestSharedGraphMemo:
+    """The base-graph memoization behind the trust heuristics.
+
+    All heuristics fetch their full coauthorship graph through
+    :func:`repro.social.graph.shared_coauthorship_graph`, memoized by
+    corpus identity — so Table I's three prunings over one ego corpus
+    build the base graph once, and pruning results are unchanged whether
+    the graph is shared, passed in prebuilt, or rebuilt fresh.
+    """
+
+    def test_same_corpus_object_shares_graph(self, tiny_corpus):
+        from repro.social.graph import shared_coauthorship_graph
+
+        assert shared_coauthorship_graph(tiny_corpus) is shared_coauthorship_graph(
+            tiny_corpus
+        )
+
+    def test_equal_but_distinct_corpus_builds_fresh(self, synthetic):
+        from repro.social.ego import ego_corpus
+        from repro.social.graph import shared_coauthorship_graph
+
+        corpus, seed = synthetic
+        e1 = ego_corpus(corpus, seed, hops=2)
+        e2 = ego_corpus(corpus, seed, hops=2)
+        assert e1 is not e2
+        assert shared_coauthorship_graph(e1) is not shared_coauthorship_graph(e2)
+
+    def test_heuristics_do_not_mutate_shared_graph(self, tiny_corpus):
+        from repro.social.graph import shared_coauthorship_graph
+
+        shared = shared_coauthorship_graph(tiny_corpus)
+        n_edges_before = shared.n_edges
+        MinCoauthorshipTrust(2).prune(tiny_corpus)
+        BaselineTrust().prune(tiny_corpus)
+        assert shared_coauthorship_graph(tiny_corpus) is shared
+        assert shared.n_edges == n_edges_before
+
+    def test_prebuilt_graph_gives_identical_pruning(self, synthetic):
+        from repro.social.graph import build_coauthorship_graph
+
+        corpus, seed = synthetic
+        ego = ego_corpus(corpus, seed, hops=2)
+        prebuilt = build_coauthorship_graph(ego)
+        for heuristic in paper_trust_heuristics():
+            with_graph = heuristic.prune(ego, seed=seed, graph=prebuilt)
+            without = heuristic.prune(ego, seed=seed)
+            assert with_graph.table_row() == without.table_row()
+            assert set(with_graph.graph.nodes()) == set(without.graph.nodes())
+            assert set(with_graph.graph.nx.edges()) == set(without.graph.nx.edges())
+
+    def test_composed_pruning_unchanged_with_prebuilt_graph(self, synthetic):
+        from repro.social.graph import build_coauthorship_graph
+
+        corpus, seed = synthetic
+        ego = ego_corpus(corpus, seed, hops=2)
+        comp = CompositeTrust([MaxAuthorsTrust(5), MinCoauthorshipTrust(2)])
+        with_graph = comp.prune(ego, seed=seed, graph=build_coauthorship_graph(ego))
+        without = comp.prune(ego, seed=seed)
+        assert with_graph.table_row() == without.table_row()
+        assert set(with_graph.graph.nx.edges()) == set(without.graph.nx.edges())
