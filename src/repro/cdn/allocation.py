@@ -463,7 +463,9 @@ class AllocationServer:
         ]
         if not hosts:
             raise PlacementError("no online repositories registered")
-        return self._graph.subgraph(hosts)
+        # a throwaway read-only view: placement only ranks over it, so the
+        # O(V + E) copy of subgraph() would be pure overhead on this path
+        return self._graph.subgraph_view(hosts)
 
     def publish_dataset(
         self,
@@ -1027,7 +1029,7 @@ class AllocationServer:
                     "repair_skip", ts=at, segment=str(segment_id), reason="no-eligible-host"
                 )
                 continue
-            sub = self._graph.subgraph(eligible)
+            sub = self._graph.subgraph_view(eligible)
             (rng,) = spawn(self._rng, 1)
             try:
                 picks = self.placement.select(sub, min(need * 2 + 2, sub.n_nodes), rng=rng)

@@ -468,7 +468,7 @@ class MigrationPlanner:
                 if best is None or key < best:
                     best = key
             return best[3] if best is not None else None
-        sub = server.graph.subgraph(eligible)
+        sub = server.graph.subgraph_view(eligible)
         (rng,) = spawn(self._rng, 1)
         try:
             picks = server.placement.select(sub, 1, rng=rng)

@@ -202,6 +202,12 @@ def cmd_chaos(args) -> int:
     status is 0 only if the campaign ran without unhandled exceptions
     AND post-repair redundancy reached ``--min-redundancy`` — so the
     command doubles as a CI smoke test for the fault-tolerance path.
+
+    With ``--grid N`` the single campaign becomes an N-seed grid
+    (seeds derived from ``--chaos-seed`` via ``seed_grid``) fanned over
+    ``--workers`` processes on a :class:`~repro.sim.campaign.
+    CampaignExecutor`; the pooled aggregate is printed and gated
+    instead.
     """
     import json as _json
 
@@ -210,11 +216,6 @@ def cmd_chaos(args) -> int:
     from .sim.chaos import ChaosConfig, run_chaos_campaign
     from .social.trust import MinCoauthorshipTrust
 
-    registry = Registry()
-    corpus, seed_author = _get_corpus(args)
-    ego = ego_corpus(corpus, seed_author, hops=2)
-    trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
-    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed, registry=registry)
     config = ChaosConfig(
         horizon_s=args.horizon,
         members=args.members,
@@ -226,6 +227,74 @@ def cmd_chaos(args) -> int:
         scrub_interval_s=args.scrub_interval,
         scrub_enabled=not args.no_scrub,
     )
+
+    if args.grid:
+        from dataclasses import asdict
+
+        from .sim.campaign import (
+            CampaignConfig,
+            run_campaign_parallel,
+            seed_grid,
+        )
+
+        if args.corpus:
+            print(
+                "error: --grid builds its deployment from --seed "
+                "(generated corpus); --corpus is not supported",
+                file=sys.stderr,
+            )
+            return 2
+        cfg = CampaignConfig(
+            chaos=config,
+            corpus_seed=args.seed,
+            deployment_seed=args.seed,
+            ego_hops=2,
+        )
+        result = run_campaign_parallel(
+            cfg,
+            seed_grid(args.chaos_seed, args.grid),
+            workers=args.workers,
+            start_method=args.start_method,
+        )
+        for line in result.lines():
+            print(line)
+        agg = result.aggregate
+        if args.json:
+            try:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    _json.dump(
+                        {
+                            "seeds": list(result.seeds),
+                            "workers": result.workers,
+                            "wall_clock_s": result.wall_clock_s,
+                            "aggregate": asdict(agg),
+                        },
+                        fh,
+                        indent=2,
+                        default=str,
+                    )
+            except OSError as exc:
+                print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+                return 2
+            print(f"wrote campaign aggregate to {args.json}")
+        ok = (
+            agg.unhandled_exceptions == 0
+            and agg.mean_post_repair_redundancy >= args.min_redundancy
+        )
+        if not ok:
+            print(
+                f"FAIL: unhandled={agg.unhandled_exceptions} "
+                f"mean_redundancy={agg.mean_post_repair_redundancy:.4f} "
+                f"(need 0 and >= {args.min_redundancy})",
+                file=sys.stderr,
+            )
+        return 0 if ok else 1
+
+    registry = Registry()
+    corpus, seed_author = _get_corpus(args)
+    ego = ego_corpus(corpus, seed_author, hops=2)
+    trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
+    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed, registry=registry)
     report = run_chaos_campaign(net, config, seed=args.chaos_seed)
     for line in report.lines():
         print(line)
@@ -426,12 +495,14 @@ def cmd_perf(args) -> int:
     Measures resolves-per-second on a scaled demand-shift scenario graph
     (pre-index reference BFS vs. the HopIndex fast path vs. the
     ``resolve_many`` batch API) and, unless ``--quick``, the wall-clock
-    speedup of the parallel campaign runner over the serial one. Exit
-    status is 0 only if the fast path's candidate rankings are
-    byte-identical to the reference's AND (when campaigns ran) the
-    parallel reports match the serial ones bit for bit — speed itself is
-    never gated here (CI machines vary; ``benchmarks/`` asserts the
-    speedup floor).
+    speedup of a prewarmed :class:`~repro.sim.campaign.CampaignExecutor`
+    over the serial runner. Exit status is 0 only if the fast path's
+    candidate rankings are byte-identical to the reference's AND (when
+    campaigns ran) the parallel reports match the serial ones bit for
+    bit AND the measured speedup clears ``--min-speedup`` — the speed
+    gate only arms when the machine actually has ``--workers`` usable
+    cores, so single-core runners check correctness without flaking on
+    physics (``--quick`` stays ungated for exactly that reason).
     """
     import json as _json
 
@@ -450,14 +521,30 @@ def cmd_perf(args) -> int:
         print(line)
 
     campaign = None
+    speedup_ok = True
     if not args.quick:
         campaign = campaign_speedup(
             CampaignConfig(chaos=ChaosConfig(horizon_s=args.horizon)),
             n_seeds=args.seeds,
             workers=args.workers,
+            start_method=args.start_method,
+            chunk_size=args.chunk_size,
         )
         for line in campaign.lines():
             print(line)
+        if args.min_speedup > 0:
+            if campaign.cores >= args.workers:
+                speedup_ok = campaign.speedup >= args.min_speedup
+                verdict = "ok" if speedup_ok else "FAIL"
+                print(
+                    f"speedup gate: {campaign.speedup:.2f}x >= "
+                    f"{args.min_speedup:.2f}x required ... {verdict}"
+                )
+            else:
+                print(
+                    f"speedup gate: skipped ({campaign.cores} usable core(s) "
+                    f"< {args.workers} workers — cannot win on this machine)"
+                )
 
     if args.json:
         try:
@@ -468,11 +555,16 @@ def cmd_perf(args) -> int:
             return 2
         print(f"wrote perf report to {args.json}")
 
-    ok = resolve.identical and (campaign is None or campaign.identical)
+    ok = (
+        resolve.identical
+        and (campaign is None or campaign.identical)
+        and speedup_ok
+    )
     if not ok:
         print(
             f"FAIL: resolve_identical={resolve.identical} "
-            f"campaign_identical={campaign.identical if campaign else 'n/a'}",
+            f"campaign_identical={campaign.identical if campaign else 'n/a'} "
+            f"speedup_ok={speedup_ok}",
             file=sys.stderr,
         )
     return 0 if ok else 1
@@ -558,6 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="integrity scrub period in simulated seconds")
     p.add_argument("--no-scrub", action="store_true",
                    help="disable the integrity scrubber (rot goes undetected)")
+    p.add_argument("--grid", type=int, default=0,
+                   help="run an N-seed campaign grid (seeds derived from "
+                        "--chaos-seed) instead of a single campaign")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes for --grid")
+    p.add_argument("--start-method", choices=["fork", "spawn", "forkserver"],
+                   help="pool start method for --grid (default: fork "
+                        "where available)")
     p.add_argument("--json", help="also write report + obs snapshot to this path")
     p.set_defaults(func=cmd_chaos)
 
@@ -588,6 +688,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign worker processes")
     p.add_argument("--horizon", type=float, default=900.0,
                    help="per-seed campaign horizon in simulated seconds")
+    p.add_argument("--start-method", choices=["fork", "spawn", "forkserver"],
+                   help="pool start method (default: fork where available)")
+    p.add_argument("--chunk-size", type=int,
+                   help="seeds per map chunk (default: ceil(n/(workers*2)))")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="fail if campaign speedup falls below this when the "
+                        "machine has at least --workers usable cores "
+                        "(0 disables the gate)")
     p.add_argument("--json", help="also write the perf report to this path")
     p.set_defaults(func=cmd_perf)
 

@@ -382,23 +382,30 @@ def run_chaos_campaign(
     net.sync_usage()
 
     # --- repair latency: first all-clear audit after each disruption ------
-    audit_times: List[Tuple[float, int]] = [
-        (r.time, r.under_replicated) for r in net.replication.reports
+    # audits are appended in engine-time order, so the all-clear times are
+    # sorted and one vectorized searchsorted replaces a linear scan per
+    # disruption (the scans were O(events x audits) on long campaigns)
+    clear_times = np.asarray(
+        [r.time for r in net.replication.reports if r.under_replicated == 0],
+        dtype=np.float64,
+    )
+    disruptions = np.asarray(
+        [
+            e.time
+            for e in injector.history
+            if e.kind in ("crash", "outage-start")
+        ],
+        dtype=np.float64,
+    )
+    cleared_idx = np.searchsorted(clear_times, disruptions, side="left")
+    repaired_mask = cleared_idx < len(clear_times)
+    unrepaired = int((~repaired_mask).sum())
+    latencies: List[float] = [
+        float(x)
+        for x in clear_times[cleared_idx[repaired_mask]] - disruptions[repaired_mask]
     ]
-    latencies: List[float] = []
-    unrepaired = 0
-    for event in injector.history:
-        if event.kind not in ("crash", "outage-start"):
-            continue
-        cleared = next(
-            (t for t, under in audit_times if t >= event.time and under == 0), None
-        )
-        if cleared is None:
-            unrepaired += 1
-        else:
-            latency = cleared - event.time
-            latencies.append(latency)
-            m_repair_latency.observe(latency)
+    for latency in latencies:
+        m_repair_latency.observe(latency)
 
     # --- data integrity ---------------------------------------------------
     # detection = the scrubber quarantining the rotted copy; repair = the
@@ -414,28 +421,28 @@ def run_chaos_campaign(
     detect_latencies: List[float] = []
     integrity_repair_latencies: List[float] = []
     undetected = 0
-    qlog = list(scrubber.quarantine_log) if scrubber is not None else []
+    # quarantine log entries are chronological too: index them per
+    # (node, segment) so each corrupt event does one binary search
+    # instead of rescanning the whole log
+    qtimes: Dict[Tuple[object, object], np.ndarray] = {}
+    if scrubber is not None:
+        grouped: Dict[Tuple[object, object], List[float]] = {}
+        for t, node, seg in scrubber.quarantine_log:
+            grouped.setdefault((node, seg), []).append(t)
+        qtimes = {k: np.asarray(v, dtype=np.float64) for k, v in grouped.items()}
     for event in injector.history:
         if event.kind != "corrupt":
             continue
-        detected_at = next(
-            (
-                t
-                for t, node, seg in qlog
-                if node == event.node and seg == event.segment and t >= event.time
-            ),
-            None,
-        )
-        if detected_at is None:
+        times = qtimes.get((event.node, event.segment))
+        i = np.searchsorted(times, event.time, side="left") if times is not None else 0
+        if times is None or i == len(times):
             undetected += 1
             continue
+        detected_at = float(times[i])
         detect_latencies.append(detected_at - event.time)
-        cleared = next(
-            (t for t, under in audit_times if t >= detected_at and under == 0),
-            None,
-        )
-        if cleared is not None:
-            integrity_repair_latencies.append(cleared - event.time)
+        j = np.searchsorted(clear_times, detected_at, side="left")
+        if j < len(clear_times):
+            integrity_repair_latencies.append(float(clear_times[j]) - event.time)
     quarantined_total = (
         scrubber.total_quarantined() if scrubber is not None else 0
     )

@@ -4,6 +4,13 @@ Single-threaded by design (per the HPC guide: the simulated entities carry
 the concurrency, not host threads): events are ``(time, seq, callback)``
 triples in a binary heap; ties break by insertion sequence so runs are
 fully reproducible.
+
+The heap stores plain ``(time, seq, Event)`` tuples rather than the
+:class:`Event` objects themselves: heap sift comparisons then run on
+C-level tuple ordering instead of a Python ``__lt__`` call per
+comparison, which is where a large campaign's event loop spends its
+time. Ordering is unchanged — ``(time, seq)`` — so execution order, and
+therefore every simulation result, is identical.
 """
 
 from __future__ import annotations
@@ -51,7 +58,7 @@ class SimulationEngine:
     """
 
     def __init__(self, *, registry: Optional[Registry] = None) -> None:
-        self._queue: List[Event] = []
+        self._queue: List[tuple] = []  # (time, seq, Event) heap entries
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
@@ -97,7 +104,7 @@ class SimulationEngine:
                 f"cannot schedule event at {time} (now is {self._now})"
             )
         ev = Event(time=time, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, (ev.time, ev.seq, ev))
         self._pending_seqs.add(ev.seq)
         return ev
 
@@ -132,31 +139,37 @@ class SimulationEngine:
             raise SimulationError("engine is already running (no re-entrant run())")
         self._running = True
         ran = 0
+        # the hot loop: locals beat attribute lookups, and the heap holds
+        # (time, seq, Event) tuples so sift comparisons stay in C
+        queue = self._queue
+        cancelled = self._cancelled
+        pending_seqs = self._pending_seqs
+        heappop = heapq.heappop
         try:
             with self._m_run_wall.time():
-                while self._queue:
+                while queue:
                     if max_events is not None and ran >= max_events:
                         break
-                    ev = self._queue[0]
-                    if until is not None and ev.time > until:
+                    time, seq, ev = queue[0]
+                    if until is not None and time > until:
                         break
-                    heapq.heappop(self._queue)
-                    self._pending_seqs.discard(ev.seq)
-                    if ev.seq in self._cancelled:
-                        self._cancelled.discard(ev.seq)
+                    heappop(queue)
+                    pending_seqs.discard(seq)
+                    if seq in cancelled:
+                        cancelled.discard(seq)
                         continue
-                    self._now = ev.time
+                    self._now = time
                     ev.callback(self)
                     ran += 1
-                    self._processed += 1
         finally:
             self._running = False
+            self._processed += ran
             self._m_events.inc(ran)
             self._m_runs.inc()
             self._m_vtime.set(self._now)
             self._m_pending.set(self.pending)
         if until is not None and self._now < until and (
-            not self._queue or self._queue[0].time > until
+            not self._queue or self._queue[0][0] > until
         ):
             self._now = until
             self._m_vtime.set(self._now)
@@ -182,12 +195,12 @@ class SimulationEngine:
         self._running = True
         try:
             while self._queue:
-                ev = heapq.heappop(self._queue)
-                self._pending_seqs.discard(ev.seq)
-                if ev.seq in self._cancelled:
-                    self._cancelled.discard(ev.seq)
+                time, seq, ev = heapq.heappop(self._queue)
+                self._pending_seqs.discard(seq)
+                if seq in self._cancelled:
+                    self._cancelled.discard(seq)
                     continue
-                self._now = ev.time
+                self._now = time
                 ev.callback(self)
                 self._processed += 1
                 self._m_events.inc()

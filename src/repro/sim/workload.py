@@ -111,19 +111,66 @@ class SocialWorkloadGenerator:
         for owner in set(self._owners.values()):
             if owner in graph:
                 self._owner_dist[owner] = hop_distances(graph, {owner})
+        self._build_interest_tables()
+
+    def _build_interest_tables(self) -> None:
+        """Precompute the dense (owner-row x user) social-weight table.
+
+        ``_interest_weights`` is called once per user per ``generate()``;
+        the original per-dataset Python loop made it O(datasets) of
+        interpreter work each time. The table turns it into one numpy
+        gather. Weights are built from the *same* scalar operations
+        (``social_decay ** hops`` per distinct hop count, the raw
+        ``unreachable_weight`` otherwise), so results are bit-identical
+        to the scalar path.
+        """
+        cfg = self.config
+        users = list(self.graph.nx.nodes())
+        self._user_index: Dict[AuthorId, int] = {u: i for i, u in enumerate(users)}
+        owners = sorted(set(self._owners.values()))
+        # one row per distinct owner, plus a trailing all-unreachable row
+        # for owners outside the graph
+        row_of = {o: i for i, o in enumerate(owners)}
+        unreachable_row = len(owners)
+        social = np.full(
+            (len(owners) + 1, max(len(users), 1)),
+            cfg.unreachable_weight,
+            dtype=np.float64,
+        )
+        max_hop = max(
+            (d for dist in self._owner_dist.values() for d in dist.values()),
+            default=0,
+        )
+        decay_pow = np.array(
+            [cfg.social_decay**h for h in range(max_hop + 1)], dtype=np.float64
+        )
+        for owner, dist in self._owner_dist.items():
+            row = social[row_of[owner]]
+            for user, d in dist.items():
+                row[self._user_index[user]] = decay_pow[d]
+        self._social = social
+        self._dataset_row = np.array(
+            [
+                row_of[self._owners[ds]]
+                if self._owners[ds] in self._owner_dist
+                else unreachable_row
+                for ds in self._datasets
+            ],
+            dtype=np.intp,
+        )
 
     def _interest_weights(self, user: AuthorId) -> np.ndarray:
         """Per-dataset request weights for one user (popularity x locality)."""
         cfg = self.config
-        weights = np.empty(len(self._datasets), dtype=np.float64)
-        for i, ds in enumerate(self._datasets):
-            owner = self._owners[ds]
-            dist = self._owner_dist.get(owner, {}).get(user)
-            if dist is None:
-                social = cfg.unreachable_weight
-            else:
-                social = cfg.social_decay**dist
-            weights[i] = self._popularity[i] * social
+        j = self._user_index.get(user)
+        if j is None:
+            # not a graph member: socially unreachable from every owner
+            social = np.full(
+                len(self._datasets), cfg.unreachable_weight, dtype=np.float64
+            )
+        else:
+            social = self._social[self._dataset_row, j]
+        weights = self._popularity * social
         total = weights.sum()
         if total <= 0:
             # degenerate: user unreachable from every owner and

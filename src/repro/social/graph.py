@@ -20,6 +20,43 @@ from ..ids import AuthorId
 from .records import Corpus
 
 
+class _OrderedNodeFilter:
+    """Node-membership filter with a deterministic ``nodes`` container.
+
+    Drop-in replacement for ``networkx.classes.filters.show_nodes``,
+    which keeps its nodes in a ``set``. networkx's ``FilterAtlas``
+    iterates ``filter.nodes`` directly whenever the filter is smaller
+    than the graph, so a set-backed filter leaks hash-randomized
+    iteration order into subgraph node/edge order. An insertion-ordered
+    dict gives O(1) membership with a stable order instead.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, ordered_nodes: Iterable[AuthorId]) -> None:
+        self.nodes = dict.fromkeys(ordered_nodes)
+
+    def __call__(self, node: AuthorId) -> bool:
+        return node in self.nodes
+
+
+def ordered_induced_view(g: nx.Graph, nodes: Iterable[AuthorId]) -> nx.Graph:
+    """Induced-subgraph *view* of ``g`` with deterministic iteration order.
+
+    ``networkx.Graph.subgraph`` keeps its node filter in a ``set`` and
+    iterates that set directly whenever it is smaller than the graph, so
+    node — and therefore edge and adjacency — order varies with
+    ``PYTHONHASHSEED``. Every subgraph this package takes (trust pruning,
+    ego networks, placement host subsets) must instead come through here:
+    the filter iterates in *base-graph insertion order*, which is the same
+    in every process. Call ``.copy()`` on the result for an independent
+    graph; the copy inherits the deterministic order.
+    """
+    node_set = nodes if isinstance(nodes, (set, frozenset)) else set(nodes)
+    ordered = [n for n in g if n in node_set]
+    return nx.subgraph_view(g, filter_node=_OrderedNodeFilter(ordered))
+
+
 class CoauthorshipGraph:
     """A weighted, undirected coauthorship graph.
 
@@ -133,15 +170,57 @@ class CoauthorshipGraph:
                 best = max(best, _double_sweep_diameter(sub))
         return best
 
-    def subgraph(self, nodes: Iterable[AuthorId]) -> "CoauthorshipGraph":
-        """Induced subgraph on ``nodes`` (copied, safe to mutate the result)."""
+    def _induced_view(self, nodes: Iterable[AuthorId]) -> nx.Graph:
+        """A networkx induced-subgraph view with *deterministic* node order.
+
+        ``networkx.Graph.subgraph`` stores the node filter as a plain
+        ``set`` and, when that set is small relative to the graph,
+        iterates the set itself instead of the graph — so node (and
+        therefore edge) iteration order depends on ``PYTHONHASHSEED``.
+        Any placement decision made over such a subgraph silently varies
+        across interpreter processes: ``fork`` workers inherit the
+        parent's hash seed and hide the bug, ``spawn`` workers do not.
+        This helper installs a filter whose ``nodes`` container is an
+        insertion-ordered dict in *base-graph order*, which both
+        branches of networkx's filtered iteration preserve.
+        """
         node_set = set(nodes)
         unknown = node_set - set(self._g)
         if unknown:
             raise GraphError(f"unknown authors in subgraph request: {sorted(unknown)[:5]}")
-        sub = self._g.subgraph(node_set).copy()
+        return ordered_induced_view(self._g, node_set)
+
+    def subgraph(self, nodes: Iterable[AuthorId]) -> "CoauthorshipGraph":
+        """Induced subgraph on ``nodes`` (copied, safe to mutate the result).
+
+        Node order in the copy is the base graph's insertion order
+        restricted to ``nodes`` — never hash order — so downstream
+        algorithms behave identically in every process (see
+        :meth:`_induced_view`).
+        """
+        node_set = set(nodes)
+        sub = self._induced_view(node_set).copy()
         seed = self._seed if self._seed in node_set else None
         return CoauthorshipGraph(sub, seed=seed)
+
+    def subgraph_view(self, nodes: Iterable[AuthorId]) -> "CoauthorshipGraph":
+        """Read-only induced subgraph on ``nodes`` — no copy.
+
+        O(V) to build versus the O(V + E) copy of :meth:`subgraph`, which
+        is what makes it the right choice for hot paths that build a
+        throwaway host subgraph per placement/repair decision. Node
+        iteration order is the base graph's insertion order filtered to
+        ``nodes`` — exactly the order :meth:`subgraph` yields — so any
+        deterministic algorithm over the view ranks identically.
+
+        Do **not** mutate the result (it would write through to this
+        graph), and do not hold it across mutations of the base graph
+        (the view is live). Use :meth:`subgraph` when you need an
+        independent copy.
+        """
+        node_set = set(nodes)
+        seed = self._seed if self._seed in node_set else None
+        return CoauthorshipGraph(self._induced_view(node_set), seed=seed)
 
     def publications_on_edges(self) -> FrozenSet[str]:
         """Ids of all publications contributing at least one edge."""
@@ -246,7 +325,10 @@ def build_coauthorship_graph(
     decide separately what to do with isolated nodes.
     """
     g = nx.Graph()
-    g.add_nodes_from(corpus.author_ids)
+    # sorted: author_ids is a frozenset, and node insertion order is the
+    # order every downstream iteration (placement, BFS, subgraphs) sees —
+    # it must not vary with PYTHONHASHSEED across processes
+    g.add_nodes_from(sorted(corpus.author_ids))
     edge_pubs: Dict[Tuple[AuthorId, AuthorId], List[str]] = {}
     for pub in corpus:
         for pair in pub.coauthor_pairs():

@@ -34,7 +34,7 @@ import networkx as nx
 
 from ..errors import ConfigurationError
 from ..ids import AuthorId
-from .graph import CoauthorshipGraph, shared_coauthorship_graph
+from .graph import CoauthorshipGraph, ordered_induced_view, shared_coauthorship_graph
 from .records import Corpus
 
 
@@ -86,7 +86,10 @@ def _finalize(
     keep = {n for n, d in graph.degree() if d > 0}
     if seed is not None and seed in graph:
         keep.add(seed)
-    pruned = graph.subgraph(keep).copy()
+    # ordered view, not nx subgraph(set): the pruned graph's node order
+    # feeds every downstream placement decision and must not vary with
+    # PYTHONHASHSEED (spawn-started pool workers get fresh hash seeds)
+    pruned = ordered_induced_view(graph, keep).copy()
     cg = CoauthorshipGraph(pruned, seed=seed if seed in pruned else None)
     surviving_pub_ids = cg.publications_on_edges()
     surviving = Corpus(p for p in corpus if str(p.pub_id) in surviving_pub_ids)

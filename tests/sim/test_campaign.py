@@ -3,17 +3,23 @@
 The headline contract is determinism: for the same config and seed grid,
 the multiprocessing runner must return reports **bit-for-bit equal** to
 the serial runner's — same frozen ``ChaosReport`` tuples, same merged
-aggregate. CI runs the 2-worker x 4-seed equivalence below as the
-parallel-correctness gate.
+aggregate — under *both* ``fork`` and ``spawn`` start methods (spawn
+workers get fresh interpreters and fresh ``PYTHONHASHSEED``s, which is
+exactly the regime that exposes hash-order bugs). CI runs the 2-worker x
+4-seed equivalence below as the parallel-correctness gate.
 """
 
 from __future__ import annotations
+
+import multiprocessing
+from unittest import mock
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim.campaign import (
     CampaignConfig,
+    CampaignExecutor,
     merge_reports,
     run_campaign_parallel,
     run_campaign_serial,
@@ -24,6 +30,12 @@ from repro.sim.chaos import ChaosConfig
 
 #: Small horizon keeps each seed sub-second while still injecting faults.
 QUICK = CampaignConfig(chaos=ChaosConfig(horizon_s=600.0))
+
+
+def _start_methods():
+    """Both start methods where the platform has them (fork is Unix-only)."""
+    have = multiprocessing.get_all_start_methods()
+    return [m for m in ("fork", "spawn") if m in have]
 
 
 class TestSeedGrid:
@@ -78,6 +90,19 @@ class TestParallelEquivalence:
         assert parallel.seeds == serial.seeds
         assert parallel.workers == 2
 
+    @pytest.mark.parametrize("method", _start_methods())
+    def test_bit_identical_under_each_start_method(self, method):
+        """Fork inherits the parent's hash seed; spawn does not. Reports
+        must be bit-identical either way — this is the test that catches
+        hash-order-dependent placement."""
+        seeds = seed_grid(17, 2)
+        serial = run_campaign_serial(QUICK, seeds)
+        parallel = run_campaign_parallel(
+            QUICK, seeds, workers=2, start_method=method
+        )
+        assert parallel.reports == serial.reports
+        assert parallel.aggregate == serial.aggregate
+
     def test_workers_one_degrades_to_serial(self):
         seeds = seed_grid(11, 2)
         result = run_campaign_parallel(QUICK, seeds, workers=1)
@@ -89,6 +114,19 @@ class TestParallelEquivalence:
         result = run_campaign_parallel(QUICK, seeds, workers=4)
         assert result.workers == 1  # one seed -> serial path, no pool
 
+    def test_degenerate_grids_never_create_a_pool(self):
+        """workers=1 and single-seed grids must return the serial result
+        directly — no Pool construction, no IPC, no report rebuilding."""
+        seeds = seed_grid(11, 2)
+        with mock.patch(
+            "repro.sim.campaign.multiprocessing.get_context",
+            side_effect=AssertionError("pool created for degenerate grid"),
+        ):
+            one_worker = run_campaign_parallel(QUICK, seeds, workers=1)
+            one_seed = run_campaign_parallel(QUICK, seeds[:1], workers=4)
+        assert one_worker.workers == 1
+        assert one_seed.workers == 1
+
     def test_rejects_bad_workers(self):
         with pytest.raises(ConfigurationError):
             run_campaign_parallel(QUICK, seed_grid(11, 2), workers=0)
@@ -96,6 +134,78 @@ class TestParallelEquivalence:
     def test_rejects_empty_seed_list(self):
         with pytest.raises(ConfigurationError):
             run_campaign_parallel(QUICK, [], workers=2)
+
+    def test_rejects_duplicate_seeds(self):
+        """Concatenated grids from related roots collide (prefix-stable
+        spawning); the runner must refuse rather than double-count."""
+        seeds = list(seed_grid(11, 4)) + list(seed_grid(11, 2))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_campaign_parallel(QUICK, seeds, workers=2)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_campaign_serial(QUICK, seeds)
+
+
+class TestCampaignExecutor:
+    def test_reuse_across_grids(self):
+        """One executor, two grids: the pool persists and both results
+        match their serial baselines bit for bit."""
+        first = seed_grid(11, 2)
+        second = seed_grid(23, 2)
+        with CampaignExecutor(QUICK, workers=2) as ex:
+            r1 = ex.run(first)
+            assert ex.pool_started
+            r2 = ex.run(second)
+            assert ex.grids_run == 2
+        assert ex.closed
+        assert r1.reports == run_campaign_serial(QUICK, first).reports
+        assert r2.reports == run_campaign_serial(QUICK, second).reports
+
+    @pytest.mark.parametrize("method", _start_methods())
+    def test_no_worker_rebuilds_after_warm(self, method):
+        """The pool initializer must leave nothing for tasks to build:
+        every task reports 0 post-warm trusted-graph builds, under fork
+        (COW-inherited memo) and spawn (initializer prebuild) alike."""
+        with CampaignExecutor(QUICK, workers=2, start_method=method) as ex:
+            ex.run(seed_grid(11, 4))
+            ex.run(seed_grid(23, 2))
+            assert ex.worker_rebuilds == 0
+
+    def test_workers_one_never_starts_pool(self):
+        with CampaignExecutor(QUICK, workers=1) as ex:
+            ex.warm()  # explicitly requested warm-up is still a no-op
+            result = ex.run(seed_grid(11, 2))
+            assert not ex.pool_started
+        assert result.workers == 1
+
+    def test_single_seed_grid_skips_pool(self):
+        with CampaignExecutor(QUICK, workers=4) as ex:
+            result = ex.run(seed_grid(11, 1))
+            assert not ex.pool_started
+        assert result.workers == 1
+
+    def test_closed_executor_refuses_to_run(self):
+        ex = CampaignExecutor(QUICK, workers=2)
+        ex.close()
+        assert ex.closed
+        with pytest.raises(ConfigurationError, match="closed"):
+            ex.run(seed_grid(11, 2))
+        ex.close()  # idempotent
+
+    def test_chunk_sizing(self):
+        ex = CampaignExecutor(QUICK, workers=2)
+        assert ex.chunk_size_for(8) == 2  # ceil(8 / (2 workers * 2))
+        assert ex.chunk_size_for(1) == 1
+        assert ex.chunk_size_for(9) == 3
+        fixed = CampaignExecutor(QUICK, workers=2, chunk_size=5)
+        assert fixed.chunk_size_for(100) == 5
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(QUICK, workers=0)
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(QUICK, workers=2, chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            CampaignExecutor(QUICK, workers=2, start_method="no-such-method")
 
 
 class TestMergeReports:

@@ -8,7 +8,11 @@ import pytest
 
 from repro.errors import GraphError
 from repro.ids import AuthorId
-from repro.social.graph import CoauthorshipGraph, build_coauthorship_graph
+from repro.social.graph import (
+    CoauthorshipGraph,
+    build_coauthorship_graph,
+    ordered_induced_view,
+)
 from repro.social.records import Corpus
 
 from ..conftest import pub
@@ -106,6 +110,39 @@ class TestStructure:
     def test_subgraph_unknown_node_raises(self, tiny_graph):
         with pytest.raises(GraphError):
             tiny_graph.subgraph([AuthorId("nobody")])
+
+    def test_subgraph_view_matches_subgraph(self, tiny_graph):
+        nodes = [AuthorId("alice"), AuthorId("bob"), AuthorId("eve")]
+        view = tiny_graph.subgraph_view(nodes)
+        copy = tiny_graph.subgraph(nodes)
+        assert list(view.nx.nodes()) == list(copy.nx.nodes())
+        assert sorted(map(sorted, view.nx.edges())) == sorted(
+            map(sorted, copy.nx.edges())
+        )
+        assert view.seed == copy.seed == "alice"
+
+    def test_subgraph_view_unknown_node_raises(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.subgraph_view([AuthorId("nobody")])
+
+    def test_subgraph_order_is_base_order_not_input_order(self, tiny_graph):
+        """Subgraphs iterate in base-graph insertion order regardless of
+        how the node subset is ordered (or hashed) — the property the
+        cross-process determinism contract rests on."""
+        base = [n for n in tiny_graph.nx if n in {"alice", "bob", "eve"}]
+        for request in (["eve", "alice", "bob"], ["bob", "eve", "alice"]):
+            nodes = [AuthorId(n) for n in request]
+            assert list(tiny_graph.subgraph_view(nodes).nx.nodes()) == base
+            assert list(tiny_graph.subgraph(nodes).nx.nodes()) == base
+
+    def test_ordered_induced_view_small_subset(self, tiny_graph):
+        """The small-subset regime is where raw nx.subgraph iterates the
+        filter set (hash order); ours must stay in base order."""
+        g = tiny_graph.nx
+        subset = {"eve", "frank"}
+        view = ordered_induced_view(g, subset)
+        assert list(view.nodes()) == [n for n in g if n in subset]
+        assert view.number_of_edges() == 1
 
     def test_publications_on_edges(self, tiny_graph):
         assert tiny_graph.publications_on_edges() == {
