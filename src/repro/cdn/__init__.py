@@ -33,7 +33,7 @@ from .content import (
     content_digest,
     segment_dataset,
 )
-from .catalog import ReplicaCatalog
+from .catalog import ReplicaCatalog, ReplicaIdAllocator
 from .storage import StorageRepository, RepositoryStats
 from .transfer import RetryPolicy, TransferClient, TransferRequest, TransferResult
 from .placement import (
@@ -51,7 +51,12 @@ from .placement import (
     paper_placements,
     all_placements,
 )
-from .allocation import AllocationServer, ResolvedReplica, resolve_candidates_reference
+from .allocation import (
+    AllocationFabric,
+    AllocationServer,
+    ResolvedReplica,
+    resolve_candidates_reference,
+)
 from .hopindex import HopIndex
 from .client import CDNClient
 from .replication import ReplicationPolicy, RedundancyReport
@@ -76,6 +81,14 @@ from .migration import (
     MigrationPlanner,
     MigrationReport,
 )
+from .syscat import (
+    ConsistentHashRing,
+    Fragment,
+    Site,
+    SystemCatalog,
+    build_system_catalog,
+)
+from .sharding import FederatedCatalog, ShardedAllocationRouter
 
 __all__ = [
     "Dataset",
@@ -85,6 +98,7 @@ __all__ = [
     "content_digest",
     "segment_dataset",
     "ReplicaCatalog",
+    "ReplicaIdAllocator",
     "StorageRepository",
     "RepositoryStats",
     "RetryPolicy",
@@ -104,6 +118,7 @@ __all__ = [
     "get_placement",
     "paper_placements",
     "all_placements",
+    "AllocationFabric",
     "AllocationServer",
     "ResolvedReplica",
     "resolve_candidates_reference",
@@ -135,4 +150,11 @@ __all__ = [
     "MigrationKind",
     "MigrationPlanner",
     "MigrationReport",
+    "ConsistentHashRing",
+    "Fragment",
+    "Site",
+    "SystemCatalog",
+    "build_system_catalog",
+    "FederatedCatalog",
+    "ShardedAllocationRouter",
 ]

@@ -32,7 +32,7 @@ from ..obs import Registry, get_registry, linear_buckets
 from ..rng import SeedLike, make_rng, spawn
 from ..social.ego import hop_distances
 from ..social.graph import CoauthorshipGraph
-from .catalog import ReplicaCatalog
+from .catalog import ReplicaCatalog, ReplicaIdAllocator
 from .content import Dataset, Replica, ReplicaState
 from .demand import DemandTracker
 from .hopindex import HopIndex
@@ -49,6 +49,47 @@ class ResolvedReplica:
 
     replica: Replica
     social_hops: Optional[int]
+
+
+class AllocationFabric:
+    """Shared membership/trust state for a federation of allocation servers.
+
+    One fabric = one Social Cloud: the trusted graph, registered
+    repositories, author<->node maps, offline set, liveness oracle, node
+    state logs, the hop index, and the placement RNG. A standalone
+    :class:`AllocationServer` builds a private fabric; the sharded router
+    (:mod:`repro.cdn.sharding`) builds one and hands it to every shard, so
+    membership events, liveness, and hop-distance caching behave exactly
+    as on a single server while the *replica catalog* is partitioned.
+
+    Containers (``repos``, ``node_of_author``, ``offline``, ...) are
+    mutated in place and never rebound, so servers may hold direct
+    aliases. ``graph``, ``hops``, ``liveness``, and
+    ``hop_evictions_seen`` are rebound on events (graph swaps, oracle
+    installs) and must be read through the fabric.
+    """
+
+    def __init__(
+        self,
+        graph: CoauthorshipGraph,
+        *,
+        seed: SeedLike = None,
+        hop_cache_sources: int = 1024,
+    ) -> None:
+        self.graph = graph
+        self.repos: Dict[NodeId, StorageRepository] = {}
+        self.node_of_author: Dict[AuthorId, NodeId] = {}
+        self.author_of_node: Dict[NodeId, AuthorId] = {}
+        self.offline: Set[NodeId] = set()
+        self.liveness: Optional[Callable[[NodeId], bool]] = None
+        #: per-node (time, "online"|"offline") transitions, in record order
+        self.state_log: Dict[NodeId, List[Tuple[float, str]]] = {}
+        self.rng = make_rng(seed)
+        self.hop_cache_sources = hop_cache_sources
+        self.hops = HopIndex(graph, max_sources=hop_cache_sources)
+        # high-water mark of index evictions already mirrored to obs; the
+        # index is replaced on graph swaps, so the mark resets with it
+        self.hop_evictions_seen = 0
 
 
 class AllocationServer:
@@ -83,24 +124,28 @@ class AllocationServer:
         seed: SeedLike = None,
         registry: Optional[Registry] = None,
         hop_cache_sources: int = 1024,
+        fabric: Optional[AllocationFabric] = None,
+        id_allocator: Optional[ReplicaIdAllocator] = None,
     ) -> None:
-        self._graph = graph
+        if fabric is None:
+            fabric = AllocationFabric(
+                graph, seed=seed, hop_cache_sources=hop_cache_sources
+            )
+        # When a fabric is passed (shard mode), it wins over the graph /
+        # seed / hop_cache_sources arguments: the router owns those.
+        self.fabric = fabric
         self.placement = placement
-        self.catalog = ReplicaCatalog()
-        self._rng = make_rng(seed)
-        self._repos: Dict[NodeId, StorageRepository] = {}
-        self._node_of_author: Dict[AuthorId, NodeId] = {}
-        self._author_of_node: Dict[NodeId, AuthorId] = {}
-        self._offline: Set[NodeId] = set()
-        self._liveness: Optional[Callable[[NodeId], bool]] = None
+        self.catalog = ReplicaCatalog(id_allocator=id_allocator)
+        # Direct aliases into the fabric: these containers are mutated in
+        # place and never rebound, so every shard sharing the fabric sees
+        # one membership map (and standalone servers behave as before).
+        self._rng = fabric.rng
+        self._repos = fabric.repos
+        self._node_of_author = fabric.node_of_author
+        self._author_of_node = fabric.author_of_node
+        self._offline = fabric.offline
+        self._state_log = fabric.state_log
         self._dataset_budget: Dict[DatasetId, int] = {}
-        self._hop_cache_sources = hop_cache_sources
-        self._hops = HopIndex(graph, max_sources=hop_cache_sources)
-        # high-water mark of index evictions already mirrored to obs; the
-        # index is replaced on graph swaps, so the mark resets with it
-        self._hop_evictions_seen = 0
-        #: per-node (time, "online"|"offline") transitions, in record order
-        self._state_log: Dict[NodeId, List[Tuple[float, str]]] = {}
 
         self.obs = registry if registry is not None else get_registry()
         obs = self.obs
@@ -207,11 +252,11 @@ class AllocationServer:
         the hop index so discovery never serves distances from the old
         fabric.
         """
-        return self._graph
+        return self.fabric.graph
 
     @graph.setter
     def graph(self, graph: CoauthorshipGraph) -> None:
-        self._graph = graph
+        self.fabric.graph = graph
         self._rebuild_hop_index(reason="graph-swap")
 
     @property
@@ -219,7 +264,7 @@ class AllocationServer:
         """The CSR-backed :class:`~repro.cdn.hopindex.HopIndex` behind
         discovery's distance lookups. Rebuilt on graph swaps; read-only
         for callers (tests inspect cache state through it)."""
-        return self._hops
+        return self.fabric.hops
 
     def _rebuild_hop_index(self, *, reason: str) -> None:
         """Replace the hop index wholesale (the graph structure changed).
@@ -229,11 +274,29 @@ class AllocationServer:
         moves only on graph swaps, never on membership events (those are
         ``alloc.hop_index.partial_invalidations``).
         """
-        self._hops = HopIndex(self._graph, max_sources=self._hop_cache_sources)
-        self._hop_evictions_seen = 0
-        self._g_hop_index_size.set(0)
+        fabric = self.fabric
+        fabric.hops = HopIndex(fabric.graph, max_sources=fabric.hop_cache_sources)
+        fabric.hop_evictions_seen = 0
+        self._sync_hop_metrics()
         self._m_hop_cache_invalidations.inc()
         self.obs.trace("hop_cache_invalidate", reason=reason)
+
+    def _sync_hop_metrics(self) -> None:
+        """Mirror the hop index's eviction count and size to obs.
+
+        Runs after every event that can change the index — lookups (hits
+        *and* misses), membership invalidations, and full rebuilds — so
+        the ``alloc.hop_index.size`` gauge can never go stale. The
+        historical bug: the sync only ran on cache misses, so an
+        invalidation followed by nothing but hits left the gauge at its
+        pre-invalidation value.
+        """
+        fabric = self.fabric
+        evicted = fabric.hops.evictions - fabric.hop_evictions_seen
+        if evicted:
+            self._m_hop_evictions.inc(evicted)
+            fabric.hop_evictions_seen = fabric.hops.evictions
+        self._g_hop_index_size.set(fabric.hops.n_cached)
 
     # ------------------------------------------------------------------
     # membership
@@ -252,7 +315,7 @@ class AllocationServer:
         their entries. Dropped entries are counted on
         ``alloc.hop_index.partial_invalidations``.
         """
-        if author not in self._graph:
+        if author not in self.fabric.graph:
             raise ConfigurationError(
                 f"author {author!r} is not in the trusted social graph"
             )
@@ -264,10 +327,10 @@ class AllocationServer:
         self._repos[node] = repository
         self._node_of_author[author] = node
         self._author_of_node[node] = author
-        dropped = self._hops.invalidate_reachable(author)
+        dropped = self.fabric.hops.invalidate_reachable(author)
         if dropped:
             self._m_hop_partial_invalidations.inc(dropped)
-            self._g_hop_index_size.set(self._hops.n_cached)
+        self._sync_hop_metrics()
         self.obs.trace(
             "hop_index_invalidate",
             reason="register",
@@ -328,13 +391,14 @@ class AllocationServer:
         """
         if oracle is not None and not callable(oracle):
             raise ConfigurationError("liveness oracle must be callable or None")
-        self._liveness = oracle
+        self.fabric.liveness = oracle
 
     def _is_live(self, node: NodeId) -> bool:
         """Server-side liveness: not offline, and alive per the oracle."""
         if node in self._offline:
             return False
-        if self._liveness is not None and not self._liveness(node):
+        liveness = self.fabric.liveness
+        if liveness is not None and not liveness(node):
             return False
         return True
     def _record_transition(self, node: NodeId, at: float, state: str) -> None:
@@ -456,16 +520,17 @@ class AllocationServer:
         the trust boundary is dynamic, and placement must never choose a
         host the current graph no longer admits.
         """
+        graph = self.fabric.graph
         hosts = [
             a
             for a, n in self._node_of_author.items()
-            if a in self._graph and self._is_live(n)
+            if a in graph and self._is_live(n)
         ]
         if not hosts:
             raise PlacementError("no online repositories registered")
         # a throwaway read-only view: placement only ranks over it, so the
         # O(V + E) copy of subgraph() would be pure overhead on this path
-        return self._graph.subgraph_view(hosts)
+        return graph.subgraph_view(hosts)
 
     def publish_dataset(
         self,
@@ -648,16 +713,12 @@ class AllocationServer:
     # discovery
     # ------------------------------------------------------------------
     def _hops_from(self, requester: AuthorId) -> Dict[AuthorId, int]:
-        hops, hit = self._hops.distances(requester)
+        hops, hit = self.fabric.hops.distances(requester)
         if hit:
             self._m_hop_cache_hits.inc()
         else:
             self._m_hop_cache_misses.inc()
-            evicted = self._hops.evictions - self._hop_evictions_seen
-            if evicted:
-                self._m_hop_evictions.inc(evicted)
-                self._hop_evictions_seen = self._hops.evictions
-            self._g_hop_index_size.set(self._hops.n_cached)
+        self._sync_hop_metrics()
         return hops
 
     def hops_from(self, requester: AuthorId) -> Dict[AuthorId, int]:
@@ -832,6 +893,14 @@ class AllocationServer:
         event) instead of per request — no per-request ``resolve`` traces,
         no per-request ``perf_counter`` pairs.
 
+        Failures are traced in aggregate: where single :meth:`resolve`
+        emits one ``resolve_failed`` event per miss, a batch with any
+        unresolvable request emits one ``resolve_batch_failed`` event
+        carrying the failure count and a bounded sample of the failed
+        segment ids (first 8), and the ``resolve_batch`` trace carries a
+        ``failed`` field — so trace-ring consumers never miss batch
+        failures, without per-request event volume.
+
         When ``record=True`` (default), each served request is recorded on
         its chosen replica exactly like :meth:`resolve`. Passing a
         ``demand`` tracker additionally feeds all served accesses to
@@ -842,10 +911,12 @@ class AllocationServer:
         t0 = perf_counter()
         out: List[Optional[ResolvedReplica]] = []
         served: List[Tuple[SegmentId, Optional[AuthorId]]] = []
+        failed: List[SegmentId] = []
         for segment_id, requester in requests:
             candidates = self.resolve_candidates(segment_id, requester)
             if not candidates:
                 self._m_resolve_failed.inc()
+                failed.append(segment_id)
                 out.append(None)
                 continue
             best = candidates[0]
@@ -865,10 +936,17 @@ class AllocationServer:
         elapsed = perf_counter() - t0
         self._m_resolve_batches.inc()
         self._m_batch_latency.observe(elapsed)
+        if failed:
+            self.obs.trace(
+                "resolve_batch_failed",
+                failed=len(failed),
+                segments=[str(s) for s in failed[:8]],
+            )
         self.obs.trace(
             "resolve_batch",
             requests=len(requests),
             served=len(served),
+            failed=len(failed),
             latency_s=elapsed,
         )
         return out
@@ -960,10 +1038,11 @@ class AllocationServer:
         """
         self.catalog.segment(segment_id)  # raises CatalogError if unknown
         holders = {r.node_id for r in self.catalog.replicas_of_segment(segment_id)}
+        graph = self.fabric.graph
         return [
             a
             for a, n in self._node_of_author.items()
-            if a in self._graph and self._is_live(n) and n not in holders
+            if a in graph and self._is_live(n) and n not in holders
         ]
 
     def untrusted_hosts(self) -> List[NodeId]:
@@ -975,7 +1054,7 @@ class AllocationServer:
         ``EVICT_UNTRUSTED`` move. Sorted for determinism.
         """
         return sorted(
-            n for a, n in self._node_of_author.items() if a not in self._graph
+            n for a, n in self._node_of_author.items() if a not in self.fabric.graph
         )
 
     def repair(self, *, at: float = 0.0) -> List[Replica]:
@@ -997,74 +1076,88 @@ class AllocationServer:
         """
         created: List[Replica] = []
         for segment_id, live in self.under_replicated():
-            if live == 0:
-                self._m_repair_unrecoverable.inc()
-                self.obs.trace(
-                    "repair_skip", ts=at, segment=str(segment_id), reason="unrecoverable"
-                )
-                continue  # unrecoverable without a live source
-            sources = [
-                r
-                for r in self.catalog.replicas_of_segment(
-                    segment_id, servable_only=True
-                )
-                if self._is_live(r.node_id) and self.replica_verified(r)
-            ]
-            if not sources:
-                self._m_repair_no_source.inc()
-                self.obs.trace(
-                    "repair_skip",
-                    ts=at,
-                    segment=str(segment_id),
-                    reason="no-verified-source",
-                )
-                continue  # every live copy is rotted: nothing safe to copy
-            segment = self.catalog.segment(segment_id)
-            budget = self.replica_budget(segment.dataset_id)
-            need = budget - live
-            eligible = self.eligible_migration_targets(segment_id)
-            if not eligible:
-                self._m_repair_starved.inc()
-                self.obs.trace(
-                    "repair_skip", ts=at, segment=str(segment_id), reason="no-eligible-host"
-                )
-                continue
-            sub = self._graph.subgraph_view(eligible)
-            (rng,) = spawn(self._rng, 1)
-            try:
-                picks = self.placement.select(sub, min(need * 2 + 2, sub.n_nodes), rng=rng)
-            except PlacementError:
-                self._m_repair_starved.inc()
-                self.obs.trace(
-                    "repair_skip", ts=at, segment=str(segment_id), reason="placement-failed"
-                )
-                continue
-            placed = 0
-            for author in picks:
-                if placed >= need:
-                    break
-                node = self._node_of_author[author]
-                repo = self._repos[node]
-                if repo.hosts_segment(segment_id) or not repo.can_host(segment.size_bytes):
-                    continue
-                repo.store_replica(
-                    segment_id, segment.size_bytes, digest=segment.digest
-                )
-                created.append(
-                    self.catalog.create_replica(
-                        segment_id, node, created_at=at, state=ReplicaState.ACTIVE
-                    )
-                )
-                placed += 1
-            if placed < need:
-                self._m_repair_starved.inc()
-                self.obs.trace(
-                    "repair_skip",
-                    ts=at,
-                    segment=str(segment_id),
-                    reason="insufficient-capacity",
-                )
+            created.extend(self._repair_segment(segment_id, live, at=at))
         self._m_repairs.inc(len(created))
+        return created
+
+    def _repair_segment(
+        self, segment_id: SegmentId, live: int, *, at: float = 0.0
+    ) -> List[Replica]:
+        """Re-replicate one under-replicated segment.
+
+        The per-segment body of :meth:`repair`, factored out so the
+        sharded router can drive a *federation-wide* repair in the same
+        global segment order — and therefore the same placement-RNG draw
+        sequence — as a single server, dispatching each segment to the
+        shard that owns it. Does not touch ``alloc.repair.replicas``;
+        the caller counts the grand total.
+        """
+        if live == 0:
+            self._m_repair_unrecoverable.inc()
+            self.obs.trace(
+                "repair_skip", ts=at, segment=str(segment_id), reason="unrecoverable"
+            )
+            return []  # unrecoverable without a live source
+        sources = [
+            r
+            for r in self.catalog.replicas_of_segment(
+                segment_id, servable_only=True
+            )
+            if self._is_live(r.node_id) and self.replica_verified(r)
+        ]
+        if not sources:
+            self._m_repair_no_source.inc()
+            self.obs.trace(
+                "repair_skip",
+                ts=at,
+                segment=str(segment_id),
+                reason="no-verified-source",
+            )
+            return []  # every live copy is rotted: nothing safe to copy
+        segment = self.catalog.segment(segment_id)
+        budget = self.replica_budget(segment.dataset_id)
+        need = budget - live
+        eligible = self.eligible_migration_targets(segment_id)
+        if not eligible:
+            self._m_repair_starved.inc()
+            self.obs.trace(
+                "repair_skip", ts=at, segment=str(segment_id), reason="no-eligible-host"
+            )
+            return []
+        sub = self.fabric.graph.subgraph_view(eligible)
+        (rng,) = spawn(self._rng, 1)
+        try:
+            picks = self.placement.select(sub, min(need * 2 + 2, sub.n_nodes), rng=rng)
+        except PlacementError:
+            self._m_repair_starved.inc()
+            self.obs.trace(
+                "repair_skip", ts=at, segment=str(segment_id), reason="placement-failed"
+            )
+            return []
+        created: List[Replica] = []
+        for author in picks:
+            if len(created) >= need:
+                break
+            node = self._node_of_author[author]
+            repo = self._repos[node]
+            if repo.hosts_segment(segment_id) or not repo.can_host(segment.size_bytes):
+                continue
+            repo.store_replica(
+                segment_id, segment.size_bytes, digest=segment.digest
+            )
+            created.append(
+                self.catalog.create_replica(
+                    segment_id, node, created_at=at, state=ReplicaState.ACTIVE
+                )
+            )
+        if len(created) < need:
+            self._m_repair_starved.inc()
+            self.obs.trace(
+                "repair_skip",
+                ts=at,
+                segment=str(segment_id),
+                reason="insufficient-capacity",
+            )
         return created
 
     def hot_segments(self, threshold: int) -> List[Tuple[SegmentId, int]]:

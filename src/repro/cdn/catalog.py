@@ -10,17 +10,49 @@ their segments receive replicas.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import CatalogError
 from ..ids import DatasetId, NodeId, ReplicaId, SegmentId
 from .content import Dataset, DataSegment, Replica, ReplicaState
 
 
-class ReplicaCatalog:
-    """Indexed store of datasets and their replicas."""
+class ReplicaIdAllocator:
+    """Monotonic source of globally unique replica ids (``r-0``, ``r-1``, ...).
+
+    A catalog builds a private allocator by default. A federation of
+    sharded catalogs shares *one* allocator so replica ids stay globally
+    unique — and, because every create flows through the same counter,
+    the id sequence matches what a single unsharded catalog would have
+    produced for the same global creation order. That is what lets the
+    sharded tier reconstruct creation order by sorting on the numeric id
+    suffix, and what makes sharded deployments bit-comparable to
+    unsharded ones.
+    """
+
+    __slots__ = ("_next",)
 
     def __init__(self) -> None:
+        self._next = 0
+
+    def next_id(self) -> ReplicaId:
+        """Mint the next replica id in sequence."""
+        rid = ReplicaId(f"r-{self._next}")
+        self._next += 1
+        return rid
+
+
+class ReplicaCatalog:
+    """Indexed store of datasets and their replicas.
+
+    Parameters
+    ----------
+    id_allocator:
+        Source of replica ids; private by default. Sharded catalogs pass
+        a shared :class:`ReplicaIdAllocator` for global uniqueness.
+    """
+
+    def __init__(self, *, id_allocator: Optional[ReplicaIdAllocator] = None) -> None:
         self._datasets: Dict[DatasetId, Dataset] = {}
         self._segments: Dict[SegmentId, DataSegment] = {}
         self._replicas: Dict[ReplicaId, Replica] = {}
@@ -31,7 +63,7 @@ class ReplicaCatalog:
         # or changes state. Every state transition flows through the catalog
         # methods below, so the cache cannot go stale.
         self._servable_cache: Dict[SegmentId, List[Replica]] = {}
-        self._counter = 0
+        self._ids = id_allocator if id_allocator is not None else ReplicaIdAllocator()
 
     # ------------------------------------------------------------------
     # datasets
@@ -119,14 +151,13 @@ class ReplicaCatalog:
                     f"node {node_id} already hosts a replica of {segment_id}"
                 )
         replica = Replica(
-            replica_id=ReplicaId(f"r-{self._counter}"),
+            replica_id=self._ids.next_id(),
             segment_id=segment_id,
             node_id=node_id,
             created_at=created_at,
             state=state,
             digest=self._segments[segment_id].digest,
         )
-        self._counter += 1
         self._replicas[replica.replica_id] = replica
         self._by_segment[segment_id].append(replica)
         self._by_node.setdefault(node_id, []).append(replica)
@@ -139,6 +170,14 @@ class ReplicaCatalog:
             return self._replicas[replica_id]
         except KeyError:
             raise CatalogError(f"unknown replica {replica_id!r}") from None
+
+    def has_replica(self, replica_id: ReplicaId) -> bool:
+        """Whether this catalog indexes ``replica_id`` (any state).
+
+        The federated catalog uses this to locate a replica's owning
+        shard without the exception overhead of :meth:`replica`.
+        """
+        return replica_id in self._replicas
 
     def replicas_of_segment(
         self, segment_id: SegmentId, *, servable_only: bool = False

@@ -99,7 +99,13 @@ class SocialPartitioner:
             if communities is not None
             else detect_communities(graph)
         )
-        covered = set().union(*self.communities) if self.communities else set()
+        covered: Set[AuthorId] = set()
+        for c in self.communities:
+            if covered & c:
+                raise ConfigurationError(
+                    "communities overlap; expected a partition"
+                )
+            covered |= c
         missing = set(graph.nx.nodes()) - covered
         if missing:
             raise ConfigurationError(

@@ -503,26 +503,55 @@ def cmd_perf(args) -> int:
     gate only arms when the machine actually has ``--workers`` usable
     cores, so single-core runners check correctness without flaking on
     physics (``--quick`` stays ungated for exactly that reason).
+
+    ``--shards N [N ...]`` additionally runs the sharded-allocation
+    bench at each given shard count (unsharded vs routed vs
+    partition-parallel federated resolve) and extends the exit gate with
+    its differential check: every shard count must rank candidates
+    bit-identically to the unsharded server and the pre-index reference.
+    The shard bench runs even under ``--quick`` (capped like the resolve
+    bench), which is what the CI shard-equivalence gate uses; a
+    ``--shards`` run is shard-focused and skips the campaign bench.
     """
     import json as _json
 
-    from .perf import bench_to_dict, campaign_speedup, resolve_throughput
+    from .perf import (
+        bench_to_dict,
+        campaign_speedup,
+        resolve_throughput,
+        shard_throughput,
+    )
     from .sim.campaign import CampaignConfig
     from .sim.chaos import ChaosConfig
 
+    if args.shards and any(n < 1 for n in args.shards):
+        print("error: --shards counts must be >= 1", file=sys.stderr)
+        return 2
+    # The shard bench wants a graph big enough that the community
+    # partition has real work per site; default 10x the resolve bench.
+    scale = args.scale if args.scale is not None else (400 if args.shards else 40)
     if args.quick:
         requests = min(args.requests, 1000)
-        scale = min(args.scale, 20)
+        scale = min(scale, 20)
     else:
         requests = args.requests
-        scale = args.scale
     resolve = resolve_throughput(far_clusters=scale, requests=requests)
     for line in resolve.lines():
         print(line)
 
+    shard_results = []
+    shards_ok = True
+    for n in args.shards or ():
+        sb = shard_throughput(far_clusters=scale, requests=requests, n_shards=n)
+        print()
+        for line in sb.lines():
+            print(line)
+        shard_results.append(sb)
+        shards_ok = shards_ok and sb.identical
+
     campaign = None
     speedup_ok = True
-    if not args.quick:
+    if not args.quick and not args.shards:
         campaign = campaign_speedup(
             CampaignConfig(chaos=ChaosConfig(horizon_s=args.horizon)),
             n_seeds=args.seeds,
@@ -549,7 +578,11 @@ def cmd_perf(args) -> int:
     if args.json:
         try:
             with open(args.json, "w", encoding="utf-8") as fh:
-                _json.dump(bench_to_dict(resolve, campaign), fh, indent=2)
+                _json.dump(
+                    bench_to_dict(resolve, campaign, shard_results or None),
+                    fh,
+                    indent=2,
+                )
         except OSError as exc:
             print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
             return 2
@@ -557,12 +590,14 @@ def cmd_perf(args) -> int:
 
     ok = (
         resolve.identical
+        and shards_ok
         and (campaign is None or campaign.identical)
         and speedup_ok
     )
     if not ok:
         print(
             f"FAIL: resolve_identical={resolve.identical} "
+            f"shards_identical={shards_ok if shard_results else 'n/a'} "
             f"campaign_identical={campaign.identical if campaign else 'n/a'} "
             f"speedup_ok={speedup_ok}",
             file=sys.stderr,
@@ -680,8 +715,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resolve-only smoke: capped requests/scale, no campaigns")
     p.add_argument("--requests", type=int, default=5000,
                    help="resolve requests per measured mode")
-    p.add_argument("--scale", type=int, default=40,
-                   help="scenario-graph far clusters (3 authors each)")
+    p.add_argument("--scale", type=int, default=None,
+                   help="scenario-graph far clusters (3 authors each; "
+                        "default 40, or 400 when --shards runs)")
+    p.add_argument("--shards", type=int, nargs="+", metavar="N",
+                   help="also run the sharded-allocation bench at these "
+                        "shard counts (skips the campaign bench)")
     p.add_argument("--seeds", type=int, default=4,
                    help="campaign seed-grid size")
     p.add_argument("--workers", type=int, default=2,

@@ -37,6 +37,7 @@ from .obs import Registry
 from .cdn.allocation import AllocationServer, resolve_candidates_reference
 from .cdn.content import segment_dataset
 from .cdn.placement import RandomPlacement
+from .cdn.sharding import ShardedAllocationRouter
 from .cdn.storage import StorageRepository
 from .sim.campaign import (
     CampaignConfig,
@@ -136,6 +137,76 @@ class CampaignBenchResult:
         ]
 
 
+@dataclass(frozen=True)
+class ShardBenchResult:
+    """Sharded-allocation throughput and the single-shard equivalence gate.
+
+    ``identical`` is the differential guarantee of the sharded tier: over
+    every distinct ``(segment, requester)`` pair of the workload, the
+    router's candidate ranking equals both the unsharded
+    :class:`~repro.cdn.allocation.AllocationServer`'s and the pre-index
+    reference's — same replica ids (the shared id allocator reproduces
+    the unsharded id sequence exactly), same hop annotations, same order.
+
+    ``routed_rps`` is one thread driving the router (routing overhead on
+    top of ``unsharded_rps``). ``federated_rps`` is the partition-
+    parallel number: each site's shard serves only its own partition of
+    the workload, and the federation's wall clock is the slowest site's —
+    the throughput N single-site allocation servers would sustain side by
+    side. ``site_requests`` shows how evenly the community partition
+    spread the workload.
+    """
+
+    far_clusters: int
+    graph_nodes: int
+    n_shards: int
+    requests: int
+    unsharded_rps: float
+    routed_rps: float
+    federated_rps: float
+    site_requests: List[int]
+    identical: bool
+
+    @property
+    def federated_speedup(self) -> float:
+        """Partition-parallel federation throughput over the unsharded server's."""
+        return (
+            self.federated_rps / self.unsharded_rps if self.unsharded_rps else 0.0
+        )
+
+    def lines(self) -> List[str]:
+        """Human-readable summary, one finding per line."""
+        spread = ", ".join(str(n) for n in self.site_requests)
+        return [
+            f"sharded allocation: {self.graph_nodes}-node scenario graph "
+            f"(scale {self.far_clusters}), {self.n_shards} shard(s), "
+            f"{self.requests} requests per mode",
+            f"unsharded server:   {self.unsharded_rps:,.0f} rps",
+            f"routed (1 thread):  {self.routed_rps:,.0f} rps",
+            f"federated (1/site): {self.federated_rps:,.0f} rps "
+            f"({self.federated_speedup:.1f}x, slowest-site wall clock)",
+            f"workload per site:  [{spread}]",
+            f"differential check: {'identical' if self.identical else 'DIVERGED'}",
+        ]
+
+
+def _bench_owners(
+    graph, authors: List[AuthorId], datasets: int, spread_owners: bool
+) -> List[AuthorId]:
+    """Dataset owners for the bench deployments.
+
+    The classic resolve bench publishes everything under the scenario
+    seed author. The shard bench spreads owners at a fixed stride across
+    the sorted author list instead, landing them in distinct far
+    clusters — and therefore distinct communities and sites — so the
+    partitioned workload actually exercises every shard.
+    """
+    if spread_owners:
+        return [authors[(i * len(authors)) // datasets] for i in range(datasets)]
+    owner = graph.seed if graph.seed is not None else authors[0]
+    return [owner] * datasets
+
+
 def build_resolve_deployment(
     *,
     far_clusters: int = 40,
@@ -143,6 +214,7 @@ def build_resolve_deployment(
     n_replicas: int = 3,
     seed: int = 7,
     registry: Optional[Registry] = None,
+    spread_owners: bool = False,
 ) -> Tuple[AllocationServer, List[SegmentId], List[AuthorId]]:
     """Build the throughput benchmark's allocation deployment.
 
@@ -150,7 +222,9 @@ def build_resolve_deployment(
     (``node-<author>``), and ``datasets`` single-segment datasets
     published at ``n_replicas`` copies by random placement. Returns the
     server, the published segment ids, and the author list (sorted — the
-    request workload round-robins over it).
+    request workload round-robins over it). ``spread_owners`` scatters
+    dataset ownership across the graph (see :func:`_bench_owners`);
+    the default keeps the classic single-owner deployment byte-stable.
     """
     if datasets < 1:
         raise ConfigurationError(f"datasets must be >= 1, got {datasets}")
@@ -166,13 +240,58 @@ def build_resolve_deployment(
         server.register_repository(
             author, StorageRepository(NodeId(f"node-{author}"), 10_000_000)
         )
-    owner = graph.seed if graph.seed is not None else authors[0]
+    owners = _bench_owners(graph, authors, datasets, spread_owners)
     segments: List[SegmentId] = []
     for i in range(datasets):
-        ds = segment_dataset(DatasetId(f"bench-{i}"), owner, 1_000)
+        ds = segment_dataset(DatasetId(f"bench-{i}"), owners[i], 1_000)
         server.publish_dataset(ds, n_replicas=n_replicas)
         segments.extend(s.segment_id for s in ds.segments)
     return server, segments, authors
+
+
+def build_sharded_deployment(
+    *,
+    far_clusters: int = 40,
+    datasets: int = 6,
+    n_replicas: int = 3,
+    seed: int = 7,
+    n_shards: int = 1,
+    registry: Optional[Registry] = None,
+    spread_owners: bool = False,
+) -> Tuple[ShardedAllocationRouter, List[SegmentId], List[AuthorId]]:
+    """The sharded twin of :func:`build_resolve_deployment`.
+
+    Identical graph, repositories, datasets, placement seed, and
+    operation order — only the allocation tier differs: a
+    :class:`~repro.cdn.sharding.ShardedAllocationRouter` over
+    ``n_shards`` community-keyed catalog shards. Because the shards share
+    one id allocator and one placement RNG, the resulting replica ids
+    and placements are byte-identical to the unsharded deployment's,
+    which is what makes the differential check in
+    :func:`shard_throughput` meaningful at any shard count.
+    """
+    if datasets < 1:
+        raise ConfigurationError(f"datasets must be >= 1, got {datasets}")
+    graph = scenario_graph(far_clusters=far_clusters)
+    router = ShardedAllocationRouter(
+        graph,
+        RandomPlacement(),
+        n_shards=n_shards,
+        seed=seed,
+        registry=registry if registry is not None else Registry(),
+    )
+    authors = sorted(graph.nodes())
+    for author in authors:
+        router.register_repository(
+            author, StorageRepository(NodeId(f"node-{author}"), 10_000_000)
+        )
+    owners = _bench_owners(graph, authors, datasets, spread_owners)
+    segments: List[SegmentId] = []
+    for i in range(datasets):
+        ds = segment_dataset(DatasetId(f"bench-{i}"), owners[i], 1_000)
+        router.publish_dataset(ds, n_replicas=n_replicas)
+        segments.extend(s.segment_id for s in ds.segments)
+    return router, segments, authors
 
 
 def _request_workload(
@@ -249,6 +368,106 @@ def resolve_throughput(
     )
 
 
+def shard_throughput(
+    *,
+    far_clusters: int = 400,
+    datasets: int = 12,
+    n_replicas: int = 3,
+    requests: int = 5000,
+    seed: int = 7,
+    n_shards: int = 1,
+) -> ShardBenchResult:
+    """Measure unsharded vs routed vs partition-parallel federated resolve.
+
+    Three deployments are built from the same seed and operation order:
+    an unsharded :class:`~repro.cdn.allocation.AllocationServer` (the
+    baseline and differential oracle) and two sharded federations (one
+    timed through the router, one timed site by site, so neither
+    measurement inherits the other's warm hop index). Owners are spread
+    across communities (``spread_owners=True``) so the community-keyed
+    partition routes real work to every site.
+
+    ``federated_rps`` models one allocation server per site: each site
+    serves only its own partition of the workload, and the federation's
+    wall clock is the slowest site's elapsed time — throughput scales
+    with shard count as long as the partition keeps sites busy evenly.
+
+    The differential check replays every distinct ``(segment,
+    requester)`` pair against the router, the unsharded server, and the
+    pre-index reference, comparing full ``(replica id, hops)`` rankings.
+    At ``n_shards=1`` this is exactly the single-shard ≡ unsharded gate
+    the sharded tier's contract requires; at higher counts it is the
+    same guarantee federation-wide.
+    """
+    if requests < 1:
+        raise ConfigurationError(f"requests must be >= 1, got {requests}")
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+
+    build = dict(
+        far_clusters=far_clusters,
+        datasets=datasets,
+        n_replicas=n_replicas,
+        seed=seed,
+        spread_owners=True,
+    )
+    server, segments, authors = build_resolve_deployment(**build)
+    router, r_segments, _ = build_sharded_deployment(**build, n_shards=n_shards)
+    assert list(segments) == list(r_segments)
+    workload = _request_workload(segments, authors, requests)
+
+    t0 = perf_counter()
+    for seg, req in workload:
+        server.resolve_candidates(seg, req)
+    unsharded_s = max(perf_counter() - t0, 1e-9)
+
+    t0 = perf_counter()
+    for seg, req in workload:
+        router.resolve_candidates(seg, req)
+    routed_s = max(perf_counter() - t0, 1e-9)
+
+    # Partition-parallel measurement on a fresh federation: each site's
+    # shard serves its own requests; the federation finishes when the
+    # slowest site does.
+    fed, _, _ = build_sharded_deployment(**build, n_shards=n_shards)
+    by_site: Dict[int, List[Tuple[SegmentId, AuthorId]]] = {}
+    for seg, req in workload:
+        by_site.setdefault(fed._site_of_segment(seg), []).append((seg, req))
+    site_requests = [len(by_site.get(s, ())) for s in range(n_shards)]
+    slowest = 1e-9
+    for site, site_load in by_site.items():
+        shard = fed.shards[site]
+        t0 = perf_counter()
+        for seg, req in site_load:
+            shard.resolve_candidates(seg, req)
+        slowest = max(slowest, perf_counter() - t0)
+
+    identical = True
+    for seg, req in sorted(set(workload), key=lambda t: (str(t[0]), str(t[1]))):
+        routed = router.resolve_candidates(seg, req)
+        flat = server.resolve_candidates(seg, req)
+        ref = resolve_candidates_reference(server, seg, req)
+        keys = [
+            [(c.replica.replica_id, c.social_hops) for c in cs]
+            for cs in (routed, flat, ref)
+        ]
+        if keys[0] != keys[1] or keys[0] != keys[2]:
+            identical = False
+            break
+
+    return ShardBenchResult(
+        far_clusters=far_clusters,
+        graph_nodes=server.graph.n_nodes,
+        n_shards=n_shards,
+        requests=requests,
+        unsharded_rps=requests / unsharded_s,
+        routed_rps=requests / routed_s,
+        federated_rps=requests / slowest,
+        site_requests=site_requests,
+        identical=identical,
+    )
+
+
 def available_cores() -> int:
     """CPUs this process may actually schedule on.
 
@@ -312,9 +531,11 @@ def campaign_speedup(
 
 
 def bench_to_dict(
-    resolve: ResolveBenchResult, campaign: Optional[CampaignBenchResult] = None
+    resolve: ResolveBenchResult,
+    campaign: Optional[CampaignBenchResult] = None,
+    shards: Optional[List[ShardBenchResult]] = None,
 ) -> Dict[str, object]:
-    """JSON-ready dict combining the two measurements (campaign optional)."""
+    """JSON-ready dict combining the measurements (campaign/shards optional)."""
     out: Dict[str, object] = {
         "resolve": {
             "far_clusters": resolve.far_clusters,
@@ -342,4 +563,20 @@ def bench_to_dict(
             "cores": campaign.cores,
             "worker_rebuilds": campaign.worker_rebuilds,
         }
+    if shards:
+        out["shards"] = [
+            {
+                "far_clusters": s.far_clusters,
+                "graph_nodes": s.graph_nodes,
+                "n_shards": s.n_shards,
+                "requests": s.requests,
+                "unsharded_rps": s.unsharded_rps,
+                "routed_rps": s.routed_rps,
+                "federated_rps": s.federated_rps,
+                "federated_speedup": s.federated_speedup,
+                "site_requests": s.site_requests,
+                "identical": s.identical,
+            }
+            for s in shards
+        ]
     return out

@@ -31,6 +31,7 @@ from .rng import SeedLike, make_rng, spawn
 from .social.graph import CoauthorshipGraph
 from .cdn.allocation import AllocationServer
 from .cdn.client import AccessOutcome, CDNClient
+from .cdn.sharding import ShardedAllocationRouter
 from .cdn.content import Dataset, segment_dataset
 from .cdn.placement.base import PlacementAlgorithm
 from .cdn.placement import CommunityNodeDegreePlacement
@@ -76,6 +77,13 @@ class SCDNConfig:
     transfer_retry:
         Retry/backoff/timeout policy of the simulated mover (see
         :class:`repro.cdn.transfer.RetryPolicy`); it validates itself.
+    shards:
+        Number of allocation shards. 1 (default) wires the classic
+        single :class:`~repro.cdn.allocation.AllocationServer`; above 1
+        the allocation tier is a
+        :class:`~repro.cdn.sharding.ShardedAllocationRouter` over a
+        community-partitioned catalog — same interface, bit-identical
+        behavior (see :mod:`repro.cdn.sharding`).
     """
 
     n_replicas: int = 3
@@ -83,6 +91,7 @@ class SCDNConfig:
     proximity_hops: int = 2
     transfer_failure_prob: float = 0.02
     transfer_retry: RetryPolicy = RetryPolicy()
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -93,6 +102,8 @@ class SCDNConfig:
             raise ConfigurationError("proximity_hops must be >= 0")
         if not 0.0 <= self.transfer_failure_prob < 1.0:
             raise ConfigurationError("transfer_failure_prob must be in [0, 1)")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
 
 
 class SCDN:
@@ -134,12 +145,21 @@ class SCDN:
         )
         self.platform = SocialNetworkPlatform(graph)
         self.sessions = SessionManager(self.platform)
-        self.server = AllocationServer(
-            graph,
-            placement or CommunityNodeDegreePlacement(),
-            seed=alloc_rng,
-            registry=self.obs,
-        )
+        if self.config.shards > 1:
+            self.server = ShardedAllocationRouter(
+                graph,
+                placement or CommunityNodeDegreePlacement(),
+                n_shards=self.config.shards,
+                seed=alloc_rng,
+                registry=self.obs,
+            )
+        else:
+            self.server = AllocationServer(
+                graph,
+                placement or CommunityNodeDegreePlacement(),
+                seed=alloc_rng,
+                registry=self.obs,
+            )
         self.transfer = TransferClient(
             self.network,
             failure_prob=self.config.transfer_failure_prob,

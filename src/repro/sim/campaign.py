@@ -81,10 +81,16 @@ class CampaignConfig:
     corpus_seed: int = 42
     deployment_seed: int = 42
     ego_hops: int = 2
+    #: allocation shards per deployment; reports are bit-identical at any
+    #: count (the sharded tier's equivalence contract, tested in
+    #: tests/cdn/test_sharding.py)
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.ego_hops < 1:
             raise ConfigurationError("ego_hops must be >= 1")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -243,7 +249,7 @@ def _run_one_seed(config: CampaignConfig, seed: int) -> ChaosReport:
     graph = _trusted_graph(config.corpus_seed, config.ego_hops)
     net = SCDN(
         graph,
-        config=SCDNConfig(),
+        config=SCDNConfig(shards=config.shards),
         seed=config.deployment_seed,
         registry=Registry(),
     )

@@ -43,6 +43,15 @@ def detect_communities(
     -----
     Isolated nodes form singleton communities. The result is a partition:
     every node appears in exactly one community.
+
+    The returned order is deterministic: communities sort largest first,
+    and equal-size communities sort by their sorted member tuple — never
+    by networkx's set-iteration order, which depends on
+    ``PYTHONHASHSEED``. Community *indices* feed
+    :class:`repro.cdn.partitioning.SocialPartitioner`'s round-robin
+    cold-start assignment and the sharded allocation tier's shard key, so
+    a hash-order-dependent order here would leak into placement and
+    routing across processes and start methods.
     """
     if graph.n_nodes == 0:
         raise GraphError("cannot detect communities in an empty graph")
@@ -57,7 +66,10 @@ def detect_communities(
     else:
         raise ConfigurationError(f"unknown community method {method!r}")
     result = [set(c) for c in comms]
-    result.sort(key=len, reverse=True)
+    # Sort key is computed once per community; sorted member tuples give a
+    # total order over disjoint sets, so equal-size communities land in a
+    # hash-seed-independent position.
+    result.sort(key=lambda c: (-len(c), sorted(c)))
     return result
 
 

@@ -36,6 +36,14 @@ class TestConstruction:
         with pytest.raises(ConfigurationError, match="cover"):
             SocialPartitioner(two_communities, communities=[{AuthorId("a1")}])
 
+    def test_overlapping_communities_rejected(self, two_communities):
+        """A covering family that double-assigns an author is not a
+        partition and must be rejected like ``modularity`` rejects it."""
+        left = {AuthorId(a) for a in ("a1", "a2", "a3", "a4", "b1")}
+        right = {AuthorId(a) for a in ("b1", "b2", "b3", "b4")}
+        with pytest.raises(ConfigurationError, match="overlap"):
+            SocialPartitioner(two_communities, communities=[left, right])
+
     def test_empty_graph_rejected(self):
         import networkx as nx
 
@@ -104,6 +112,28 @@ class TestLocality:
         p = SocialPartitioner(two_communities)
         result = p.partition(SEGS[:1])
         assert result.locality([]) == 1.0
+
+    def test_unknown_author_counts_against_locality(self, two_communities):
+        """Accesses by authors outside every community are non-local."""
+        p = SocialPartitioner(two_communities)
+        result = p.partition(SEGS[:1], [(AuthorId("a1"), SEGS[0])])
+        stream = [
+            (AuthorId("a1"), SEGS[0]),
+            (AuthorId("stranger"), SEGS[0]),
+        ]
+        assert result.locality(stream) == 0.5
+
+    def test_unassigned_segment_counts_against_locality(self, two_communities):
+        """Accesses to segments the partition never assigned are non-local."""
+        p = SocialPartitioner(two_communities)
+        result = p.partition(SEGS[:1], [(AuthorId("a1"), SEGS[0])])
+        ghost = SegmentId("never-partitioned:seg0")
+        stream = [
+            (AuthorId("a1"), SEGS[0]),
+            (AuthorId("a1"), ghost),
+        ]
+        assert result.locality(stream) == 0.5
+        assert result.locality([(AuthorId("a1"), ghost)]) == 0.0
 
     def test_segments_of_community(self, two_communities):
         p = SocialPartitioner(two_communities)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ids import AuthorId, DatasetId, NodeId, SegmentId
+from repro.ids import AuthorId, DatasetId, NodeId
 from repro.obs import Registry
 from repro.perf import _request_workload, build_resolve_deployment
 from repro.cdn.allocation import resolve_candidates_reference
@@ -159,6 +159,40 @@ class TestResolveManyEquivalence:
         # no per-request resolve traces from the batch path
         assert server.obs.traces.events(kind="resolve") == []
 
+    def test_batch_failure_trace_aggregates_misses(self):
+        """A batch with unresolvable requests must emit one aggregate
+        ``resolve_batch_failed`` event (the batch path never emits the
+        per-request ``resolve_failed`` traces single resolve does)."""
+        g = graph_of(pub("p1", 2009, "a", "b"))
+        reg = Registry()
+        server = make_server(g, ["a", "b"], registry=reg)
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=2)
+        seg = ds.segments[0].segment_id
+        server.node_offline(NodeId("node-a"), at=1.0)
+        server.node_offline(NodeId("node-b"), at=1.0)
+        out = server.resolve_many([(seg, AuthorId("a")), (seg, AuthorId("b"))])
+        assert out == [None, None]
+        failures = server.obs.traces.events(kind="resolve_batch_failed")
+        assert len(failures) == 1
+        assert failures[0].fields["failed"] == 2
+        assert failures[0].fields["segments"] == [str(seg), str(seg)]
+        batch = server.obs.traces.events(kind="resolve_batch")
+        assert batch[0].fields["failed"] == 2
+        assert batch[0].fields["served"] == 0
+        # failure counter parity with the sequential path
+        assert reg.counter("alloc.resolve.failed").value == 2
+        assert server.obs.traces.events(kind="resolve_failed") == []
+
+    def test_no_failure_trace_when_all_served(self):
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=2, registry=Registry()
+        )
+        server.resolve_many(_request_workload(segments, authors, 12), record=False)
+        assert server.obs.traces.events(kind="resolve_batch_failed") == []
+        batch = server.obs.traces.events(kind="resolve_batch")
+        assert batch[0].fields["failed"] == 0
+
     def test_demand_tracker_fed_in_one_ingest(self):
         (s1, segments, authors), (s2, _, _) = twin_deployments(far_clusters=2)
         workload = _request_workload(segments, authors, 60)
@@ -214,3 +248,52 @@ class TestEvictionAccounting:
         assert server.hop_index.evictions == 2
         assert reg.counter("alloc.hop_index.evictions").value == 2
         assert reg.gauge("alloc.hop_index.size").value == 2
+
+    def test_gauge_synced_on_index_rebuild(self):
+        """A hop-index rebuild must refresh the size gauge immediately —
+        it used to stay stale until the next cache miss."""
+        reg = Registry()
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=2, registry=reg
+        )
+        for seg, req in _request_workload(segments, authors, 10):
+            server.resolve_candidates(seg, req)
+        assert reg.gauge("alloc.hop_index.size").value > 0
+        server.graph = server.graph  # swap triggers a full rebuild
+        assert reg.gauge("alloc.hop_index.size").value == 0
+        assert server.hop_index.n_cached == 0
+
+    def test_gauge_synced_on_membership_invalidation(self):
+        """Registering a repository drops reachable cached sources; the
+        gauge must reflect that without waiting for a miss."""
+        g = graph_of(pub("p1", 2009, "a", "b"), pub("p2", 2009, "b", "c"))
+        server = make_server(g, ["a", "b"])  # c in graph, not yet registered
+        server_reg = server.obs
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=2)
+        seg = ds.segments[0].segment_id
+        server.resolve(seg, AuthorId("a"), record=False)
+        server.resolve(seg, AuthorId("b"), record=False)
+        assert server_reg.gauge("alloc.hop_index.size").value == 2
+        from repro.cdn.storage import StorageRepository
+
+        server.register_repository(
+            AuthorId("c"), StorageRepository(NodeId("node-c"), 10_000)
+        )
+        # a and b both reach c, so both cached sources were invalidated
+        assert server.hop_index.n_cached == 0
+        assert server_reg.gauge("alloc.hop_index.size").value == 0
+
+    def test_gauge_stays_fresh_on_pure_hits(self):
+        """After an invalidation, a workload of pure cache hits must not
+        resurrect a stale gauge value."""
+        reg = Registry()
+        server, segments, authors = build_resolve_deployment(
+            far_clusters=2, registry=reg
+        )
+        server.resolve_candidates(segments[0], authors[0])  # one cached source
+        size = reg.gauge("alloc.hop_index.size").value
+        assert size == 1
+        for _ in range(5):
+            server.resolve_candidates(segments[0], authors[0])  # hits only
+        assert reg.gauge("alloc.hop_index.size").value == size

@@ -1,0 +1,304 @@
+"""Differential tests for the sharded allocation tier.
+
+The equivalence contract of :class:`~repro.cdn.sharding.ShardedAllocationRouter`:
+with one shard, every operation is bit-identical to an unsharded
+:class:`~repro.cdn.allocation.AllocationServer`; with N shards, resolves,
+repairs, migrations, and whole chaos campaigns still produce the exact
+same replica ids, rankings, and reports — the shared fabric, shared id
+allocator, shared RNG, and globally ordered repair queue make the
+federation indistinguishable from one server for the same operation
+sequence.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import CatalogError, ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId, SegmentId
+from repro.obs import Registry
+from repro.perf import (
+    _request_workload,
+    build_resolve_deployment,
+    build_sharded_deployment,
+)
+from repro.social.graph import CoauthorshipGraph
+from repro.cdn.allocation import resolve_candidates_reference
+from repro.cdn.content import segment_dataset
+from repro.cdn.placement import RandomPlacement
+from repro.cdn.sharding import ShardedAllocationRouter, _creation_key
+from repro.cdn.storage import StorageRepository
+
+from ..conftest import pub
+from .test_allocation_bugfixes import graph_of
+
+
+def ranking(candidates):
+    """Comparable projection of a candidate list."""
+    return [
+        (c.replica.replica_id, c.replica.node_id, c.social_hops)
+        for c in candidates
+    ]
+
+
+def twin(n_shards, **kwargs):
+    """An unsharded deployment and its sharded twin (same seeds/ops)."""
+    kwargs.setdefault("spread_owners", True)
+    flat = build_resolve_deployment(registry=Registry(), **kwargs)
+    sharded = build_sharded_deployment(
+        registry=Registry(), n_shards=n_shards, **kwargs
+    )
+    return flat, sharded
+
+
+def make_router(graph, authors, *, n_shards=2, capacity=10_000, seed=0):
+    """A router over ``graph`` with one registered repo per author."""
+    router = ShardedAllocationRouter(
+        graph, RandomPlacement(), n_shards=n_shards, seed=seed, registry=Registry()
+    )
+    for a in authors:
+        router.register_repository(
+            AuthorId(a), StorageRepository(NodeId(f"node-{a}"), capacity)
+        )
+    return router
+
+
+class TestConstruction:
+    def test_bad_shard_count_rejected(self):
+        g = graph_of(pub("p", 2009, "a", "b"))
+        with pytest.raises(ConfigurationError):
+            ShardedAllocationRouter(g, RandomPlacement(), n_shards=0)
+
+    def test_counters_shared_across_shards(self):
+        """All shards resolve instruments by name from one registry —
+        the same objects an unsharded server would own."""
+        _, (router, _, _) = twin(2, far_clusters=4)
+        for shard in router.shards[1:]:
+            assert shard.obs is router.shards[0].obs
+            assert (
+                shard._m_resolve_total is router.shards[0]._m_resolve_total
+            )
+
+
+class TestSingleShardEquivalence:
+    """n_shards=1: the router must be bit-identical to today's server."""
+
+    def test_replica_id_sequence_identical(self):
+        (flat, _, _), (router, _, _) = twin(1, far_clusters=4)
+        flat_ids = [r.replica_id for r in flat.catalog.iter_replicas()]
+        routed_ids = [r.replica_id for r in router.catalog.iter_replicas()]
+        assert flat_ids == routed_ids
+
+    def test_resolution_identical_and_matches_reference(self):
+        (flat, segments, authors), (router, _, _) = twin(1, far_clusters=4)
+        for seg, req in _request_workload(segments, authors, 150):
+            routed = router.resolve_candidates(seg, req)
+            assert ranking(routed) == ranking(flat.resolve_candidates(seg, req))
+            # the pre-index reference runs unmodified against the router
+            assert ranking(routed) == ranking(
+                resolve_candidates_reference(router, seg, req)
+            )
+
+
+class TestMultiShardEquivalence:
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_resolution_identical(self, n_shards):
+        (flat, segments, authors), (router, _, _) = twin(
+            n_shards, far_clusters=6, datasets=8
+        )
+        assert [r.replica_id for r in flat.catalog.iter_replicas()] == [
+            r.replica_id for r in router.catalog.iter_replicas()
+        ]
+        for seg, req in _request_workload(segments, authors, 200):
+            assert ranking(router.resolve_candidates(seg, req)) == ranking(
+                flat.resolve_candidates(seg, req)
+            )
+
+    def test_resolve_many_matches_sequential_order(self):
+        (flat, segments, authors), (router, _, _) = twin(
+            3, far_clusters=6, datasets=6
+        )
+        workload = _request_workload(segments, authors, 90)
+        flat_out = [flat.resolve(seg, req) for seg, req in workload]
+        routed_out = router.resolve_many(workload)
+        assert [(r.replica.replica_id, r.social_hops) for r in flat_out] == [
+            (r.replica.replica_id, r.social_hops) for r in routed_out
+        ]
+
+    def test_resolve_many_rejects_unknown_segment_up_front(self):
+        _, (router, segments, authors) = twin(2, far_clusters=4)
+        with pytest.raises(CatalogError):
+            router.resolve_many(
+                [(segments[0], authors[0]), (SegmentId("no:seg0"), authors[0])]
+            )
+
+    def test_segments_actually_spread_across_shards(self):
+        """The bench twin must exercise more than one site, or the
+        multi-shard assertions above test nothing."""
+        _, (router, segments, _) = twin(4, far_clusters=6, datasets=8)
+        sites = {router._site_of_segment(s) for s in segments}
+        assert len(sites) > 1
+
+
+class TestNodeStateParity:
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_offline_online_counts_match(self, n_shards):
+        (flat, _, authors), (router, _, _) = twin(
+            n_shards, far_clusters=4, datasets=6
+        )
+        nodes = [NodeId(f"node-{a}") for a in authors[:6]]
+        for node in nodes:
+            assert flat.node_offline(node, at=1.0) == router.node_offline(
+                node, at=1.0
+            )
+        for node in nodes:
+            assert flat.node_online(node, at=2.0) == router.node_online(
+                node, at=2.0
+            )
+        for node in nodes:
+            assert router.state_transitions(node) == flat.state_transitions(node)
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_repair_identical(self, n_shards):
+        (flat, _, authors), (router, _, _) = twin(
+            n_shards, far_clusters=4, datasets=6
+        )
+        for a in authors[:4]:
+            flat.node_offline(NodeId(f"node-{a}"), at=1.0)
+            router.node_offline(NodeId(f"node-{a}"), at=1.0)
+        assert router.under_replicated() == flat.under_replicated()
+        flat_created = flat.repair(at=2.0)
+        routed_created = router.repair(at=2.0)
+        assert [(r.replica_id, r.node_id) for r in flat_created] == [
+            (r.replica_id, r.node_id) for r in routed_created
+        ]
+        assert (
+            router.obs.counter("alloc.repair.replicas").value
+            == flat.obs.counter("alloc.repair.replicas").value
+        )
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_migrate_node_identical(self, n_shards):
+        (flat, _, authors), (router, _, _) = twin(
+            n_shards, far_clusters=4, datasets=6
+        )
+        node = NodeId(f"node-{authors[0]}")
+        flat_created = flat.migrate_node(node, at=3.0)
+        routed_created = router.migrate_node(node, at=3.0)
+        assert [(r.replica_id, r.node_id) for r in flat_created] == [
+            (r.replica_id, r.node_id) for r in routed_created
+        ]
+        assert router.catalog.replicas_on_node(node) == []
+
+    def test_scale_hot_identical(self):
+        (flat, segments, authors), (router, _, _) = twin(
+            2, far_clusters=4, datasets=4
+        )
+        for seg, req in _request_workload(segments, authors, 40):
+            flat.resolve(seg, req)
+            router.resolve(seg, req)
+        flat_created = flat.scale_hot(5, extra=1, at=4.0)
+        routed_created = router.scale_hot(5, extra=1, at=4.0)
+        assert [(r.replica_id, r.node_id) for r in flat_created] == [
+            (r.replica_id, r.node_id) for r in routed_created
+        ]
+
+
+class TestCampaignEquivalence:
+    """Whole chaos campaigns — crash, outage, failover, repair, scrub —
+    must report bit-identically with sharding on or off."""
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_reports_bit_identical(self, n_shards):
+        from repro.sim.campaign import CampaignConfig, _run_one_seed
+        from repro.sim.chaos import ChaosConfig
+
+        chaos = ChaosConfig(horizon_s=600.0)
+        base = _run_one_seed(CampaignConfig(chaos=chaos, shards=1), 7)
+        sharded = _run_one_seed(
+            CampaignConfig(chaos=chaos, shards=n_shards), 7
+        )
+        assert sharded == base
+
+
+class TestFallbackAssignment:
+    def test_edgeless_graph_routes_via_hash_ring(self):
+        g = nx.Graph()
+        g.add_nodes_from(["a", "b", "c", "d"])
+        router = make_router(CoauthorshipGraph(g), ["a", "b", "c", "d"])
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        router.publish_dataset(ds, n_replicas=2)
+        seg = ds.segments[0].segment_id
+        assert router.syscat.has_segment(seg)
+        assert len(router.resolve_candidates(seg, AuthorId("b"))) == 2
+
+    def test_late_joiner_owner_assigned_on_publish(self):
+        """A dataset owner the community partition never saw lands on a
+        sticky hash-ring site."""
+        _, (router, _, _) = twin(2, far_clusters=3)
+        ghost = AuthorId("late-joiner")
+        assert router.syscat.site_of_author(ghost) is None
+        ds = segment_dataset(DatasetId("late-ds"), ghost, 100)
+        router.publish_dataset(ds, n_replicas=2)
+        site = router.syscat.site_of_author(ghost)
+        assert site is not None
+        assert router.syscat.site_of_dataset(DatasetId("late-ds")) == site
+
+    def test_failed_publish_leaves_no_metadata(self):
+        """System-catalog registration happens only after the shard
+        commits — a rolled-back publication leaves no fragments."""
+        g = graph_of(pub("p", 2009, "a", "b"))
+        router = make_router(g, ["a", "b"], capacity=10)  # too small
+        ds = segment_dataset(DatasetId("big"), AuthorId("a"), 1_000)
+        with pytest.raises(Exception):
+            router.publish_dataset(ds, n_replicas=2)
+        assert not router.syscat.has_dataset(DatasetId("big"))
+        assert not router.syscat.has_segment(ds.segments[0].segment_id)
+        assert DatasetId("big") not in router.catalog
+
+
+class TestFederatedCatalog:
+    def test_iter_replicas_in_creation_order(self):
+        _, (router, _, _) = twin(3, far_clusters=5, datasets=6)
+        reps = list(router.catalog.iter_replicas())
+        assert reps == sorted(reps, key=_creation_key)
+        suffixes = [int(str(r.replica_id).rpartition("-")[2]) for r in reps]
+        assert suffixes == sorted(suffixes)
+
+    def test_datasets_in_registration_order(self):
+        _, (router, _, _) = twin(3, far_clusters=5, datasets=6)
+        assert [d.dataset_id for d in router.catalog.datasets()] == [
+            DatasetId(f"bench-{i}") for i in range(6)
+        ]
+
+    def test_replica_routing_and_lookup(self):
+        _, (router, segments, _) = twin(2, far_clusters=4)
+        rep = router.catalog.replicas_of_segment(segments[0])[0]
+        assert router.catalog.has_replica(rep.replica_id)
+        assert router.catalog.replica(rep.replica_id) == rep
+        assert not router.catalog.has_replica("r-99999")
+        with pytest.raises(CatalogError):
+            router.catalog.replica("r-99999")
+
+    def test_quarantine_merges_in_creation_order(self):
+        _, (router, segments, _) = twin(2, far_clusters=4, datasets=4)
+        picked = []
+        for seg in segments:
+            picked.append(router.catalog.replicas_of_segment(seg)[0])
+        for rep in reversed(picked):
+            router.catalog.quarantine(rep.replica_id)
+        quarantined = router.catalog.quarantined_replicas()
+        assert quarantined == sorted(quarantined, key=_creation_key)
+        assert {r.replica_id for r in quarantined} == {
+            r.replica_id for r in picked
+        }
+
+    def test_unknown_routing_targets_rejected(self):
+        _, (router, _, _) = twin(2, far_clusters=3)
+        with pytest.raises(CatalogError):
+            router.catalog.shard_of_segment(SegmentId("no:seg0"))
+        with pytest.raises(CatalogError):
+            router.catalog.shard_of_dataset(DatasetId("no"))
+        with pytest.raises(CatalogError):
+            router.catalog.shard_of_replica("r-404040")

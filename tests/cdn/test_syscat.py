@@ -1,0 +1,225 @@
+"""Unit tests for repro.cdn.syscat — the federation's system catalog."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.errors import CatalogError, ConfigurationError
+from repro.ids import AuthorId, DatasetId, SegmentId
+from repro.social.graph import CoauthorshipGraph, build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.syscat import (
+    ConsistentHashRing,
+    Fragment,
+    Site,
+    SystemCatalog,
+    build_system_catalog,
+)
+
+from ..conftest import pub
+
+
+def two_site_catalog() -> SystemCatalog:
+    cat = SystemCatalog()
+    cat.register_site(Site(site_id=0, name="site-0"))
+    cat.register_site(Site(site_id=1, name="site-1"))
+    return cat
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = ConsistentHashRing([0, 1, 2])
+        b = ConsistentHashRing([0, 1, 2])
+        keys = [f"author-{i}" for i in range(200)]
+        assert [a.site_of(k) for k in keys] == [b.site_of(k) for k in keys]
+
+    def test_all_sites_reachable(self):
+        ring = ConsistentHashRing([0, 1, 2, 3])
+        hit = {ring.site_of(f"k{i}") for i in range(500)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_adding_a_site_moves_few_keys(self):
+        """The consistent-hash property: growing the federation only
+        remaps the keys the new site takes over."""
+        keys = [f"author-{i}" for i in range(400)]
+        before = ConsistentHashRing([0, 1, 2])
+        after = ConsistentHashRing([0, 1, 2, 3])
+        moved = sum(
+            1
+            for k in keys
+            if before.site_of(k) != after.site_of(k)
+        )
+        remapped = [k for k in keys if after.site_of(k) == 3]
+        assert moved == len(remapped)  # only keys claimed by the new site move
+        assert 0 < moved < len(keys) // 2
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing([])
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing([0], replicas=0)
+
+
+class TestSites:
+    def test_sites_in_id_order(self):
+        cat = SystemCatalog()
+        cat.register_site(Site(site_id=2, name="late"))
+        cat.register_site(Site(site_id=0, name="early"))
+        assert [s.site_id for s in cat.sites()] == [0, 2]
+        assert cat.n_sites == 2
+
+    def test_duplicate_site_rejected(self):
+        cat = two_site_catalog()
+        with pytest.raises(CatalogError):
+            cat.register_site(Site(site_id=0, name="again"))
+
+
+class TestAuthors:
+    def test_assignment_and_lookup(self):
+        cat = two_site_catalog()
+        cat.assign_author(AuthorId("a"), 0)
+        cat.assign_author(AuthorId("b"), 1)
+        assert cat.site_of_author(AuthorId("a")) == 0
+        assert cat.site_of_author(AuthorId("b")) == 1
+        assert cat.site_of_author(AuthorId("ghost")) is None
+        assert cat.authors_of_site(0) == [AuthorId("a")]
+
+    def test_double_assignment_rejected(self):
+        cat = two_site_catalog()
+        cat.assign_author(AuthorId("a"), 0)
+        with pytest.raises(CatalogError):
+            cat.assign_author(AuthorId("a"), 1)
+
+    def test_unknown_site_rejected(self):
+        cat = two_site_catalog()
+        with pytest.raises(CatalogError):
+            cat.assign_author(AuthorId("a"), 9)
+        with pytest.raises(CatalogError):
+            cat.authors_of_site(9)
+
+    def test_fallback_is_sticky_and_recorded(self):
+        cat = two_site_catalog()
+        first = cat.assign_author_fallback(AuthorId("late-joiner"))
+        assert cat.site_of_author(AuthorId("late-joiner")) == first
+        assert cat.assign_author_fallback(AuthorId("late-joiner")) == first
+
+    def test_fallback_respects_existing_assignment(self):
+        cat = two_site_catalog()
+        cat.assign_author(AuthorId("a"), 1)
+        assert cat.assign_author_fallback(AuthorId("a")) == 1
+
+    def test_fallback_without_sites_rejected(self):
+        with pytest.raises(CatalogError):
+            SystemCatalog().assign_author_fallback(AuthorId("a"))
+
+
+class TestDatasetsAndFragments:
+    def test_registration_order_and_lookup(self):
+        cat = two_site_catalog()
+        cat.register_dataset(DatasetId("d2"), 1)
+        cat.register_dataset(DatasetId("d1"), 0)
+        assert cat.datasets() == [DatasetId("d2"), DatasetId("d1")]
+        assert cat.site_of_dataset(DatasetId("d2")) == 1
+        frag = cat.register_fragment(SegmentId("d1:seg0"), DatasetId("d1"), 0)
+        assert frag == Fragment(SegmentId("d1:seg0"), DatasetId("d1"), 0)
+        assert cat.site_of_segment(SegmentId("d1:seg0")) == 0
+        assert cat.has_dataset(DatasetId("d1"))
+        assert cat.has_segment(SegmentId("d1:seg0"))
+        assert cat.fragments_of_site(0) == [frag]
+        assert cat.fragments_of_site(1) == []
+
+    def test_duplicate_and_unknown_registrations_rejected(self):
+        cat = two_site_catalog()
+        cat.register_dataset(DatasetId("d"), 0)
+        with pytest.raises(CatalogError):
+            cat.register_dataset(DatasetId("d"), 1)
+        with pytest.raises(CatalogError):
+            cat.register_fragment(SegmentId("x:seg0"), DatasetId("missing"), 0)
+        cat.register_fragment(SegmentId("d:seg0"), DatasetId("d"), 0)
+        with pytest.raises(CatalogError):
+            cat.register_fragment(SegmentId("d:seg0"), DatasetId("d"), 0)
+        with pytest.raises(CatalogError):
+            cat.site_of_segment(SegmentId("nope:seg0"))
+        with pytest.raises(CatalogError):
+            cat.site_of_dataset(DatasetId("nope"))
+
+    def test_drop_dataset_removes_fragments(self):
+        cat = two_site_catalog()
+        cat.register_dataset(DatasetId("d"), 0)
+        cat.register_fragment(SegmentId("d:seg0"), DatasetId("d"), 0)
+        cat.register_fragment(SegmentId("d:seg1"), DatasetId("d"), 0)
+        cat.drop_dataset(DatasetId("d"))
+        assert not cat.has_dataset(DatasetId("d"))
+        assert not cat.has_segment(SegmentId("d:seg0"))
+        assert cat.datasets() == []
+        assert cat.fragments_of_site(0) == []
+
+    def test_snapshot_is_json_able(self):
+        cat = two_site_catalog()
+        cat.assign_author(AuthorId("a"), 0)
+        cat.register_dataset(DatasetId("d"), 0)
+        cat.register_fragment(SegmentId("d:seg0"), DatasetId("d"), 0)
+        snap = json.loads(json.dumps(cat.snapshot()))
+        assert snap["authors"] == {"a": 0}
+        assert snap["datasets"] == [{"dataset_id": "d", "site_id": 0}]
+        assert snap["fragments"][0]["segment_id"] == "d:seg0"
+
+
+class TestBuildSystemCatalog:
+    def test_communities_land_whole_and_balanced(self):
+        pubs = [
+            pub("l", 2009, "a1", "a2", "a3", "a4"),
+            pub("r", 2009, "b1", "b2", "b3", "b4"),
+            pub("bridge", 2010, "a1", "b1"),
+        ]
+        g = build_coauthorship_graph(Corpus(pubs))
+        cat = build_system_catalog(g, 2)
+        site_of = {a: cat.site_of_author(AuthorId(a)) for a in g.nodes()}
+        a_sites = {site_of[a] for a in ("a1", "a2", "a3", "a4")}
+        b_sites = {site_of[b] for b in ("b1", "b2", "b3", "b4")}
+        assert len(a_sites) == 1 and len(b_sites) == 1  # never split
+        assert a_sites != b_sites  # balance: second community on the other site
+
+    def test_single_site_takes_everything(self):
+        g = build_coauthorship_graph(Corpus([pub("p", 2009, "a", "b")]))
+        cat = build_system_catalog(g, 1)
+        assert cat.site_of_author(AuthorId("a")) == 0
+        assert cat.site_of_author(AuthorId("b")) == 0
+
+    def test_edgeless_graph_uses_hash_ring(self):
+        g = nx.Graph()
+        g.add_nodes_from(["a", "b", "c", "d"])
+        cat = build_system_catalog(CoauthorshipGraph(g), 2)
+        ring = ConsistentHashRing([0, 1])
+        for a in ("a", "b", "c", "d"):
+            assert cat.site_of_author(AuthorId(a)) == ring.site_of(a)
+
+    def test_empty_graph_has_no_assignments(self):
+        cat = build_system_catalog(CoauthorshipGraph(nx.Graph()), 2)
+        assert cat.n_sites == 2
+        assert cat.authors_of_site(0) == []
+        assert cat.authors_of_site(1) == []
+
+    def test_bad_site_count_rejected(self):
+        g = build_coauthorship_graph(Corpus([pub("p", 2009, "a", "b")]))
+        with pytest.raises(ConfigurationError):
+            build_system_catalog(g, 0)
+
+    def test_deterministic(self):
+        pubs = [
+            pub("l", 2009, "a1", "a2", "a3"),
+            pub("r", 2009, "b1", "b2", "b3"),
+            pub("m", 2009, "c1", "c2", "c3"),
+            pub("bridge", 2010, "a1", "b1"),
+            pub("bridge2", 2010, "b1", "c1"),
+        ]
+        g = build_coauthorship_graph(Corpus(pubs))
+        assert (
+            build_system_catalog(g, 3).snapshot()
+            == build_system_catalog(g, 3).snapshot()
+        )

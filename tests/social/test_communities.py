@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+
 import networkx as nx
 import pytest
 
@@ -48,6 +53,14 @@ class TestDetect:
         with pytest.raises(GraphError):
             detect_communities(CoauthorshipGraph(nx.Graph()))
 
+    def test_equal_size_communities_ordered_by_members(self, two_cliques):
+        """Same-size communities must sort by member list, not hash order."""
+        comms = detect_communities(two_cliques)
+        assert [sorted(c) for c in comms] == [
+            ["a1", "a2", "a3", "a4"],
+            ["b1", "b2", "b3", "b4"],
+        ]
+
     def test_largest_first_ordering(self, synthetic):
         from repro.social.ego import ego_corpus
 
@@ -80,3 +93,75 @@ class TestCommunityOf:
     def test_inversion(self):
         mapping = community_of([{"a", "b"}, {"c"}])
         assert mapping == {"a": 0, "b": 0, "c": 1}
+
+
+# Computes the full community -> partition chain in a fresh interpreter and
+# prints it canonically; run under different PYTHONHASHSEED values, every
+# byte must match (the headline hash-order-nondeterminism regression).
+_HASHSEED_SCRIPT = """
+import json
+from repro.ids import SegmentId
+from repro.sim.scenarios import scenario_graph
+from repro.social.communities import community_of, detect_communities
+from repro.cdn.partitioning import SocialPartitioner
+
+graph = scenario_graph(far_clusters=5)
+comms = detect_communities(graph)
+part = SocialPartitioner(graph, communities=comms)
+segs = [SegmentId(f"d:seg{i}") for i in range(6)]
+result = part.partition(segs)
+print(json.dumps({
+    "communities": [sorted(c) for c in comms],
+    "community_of": sorted(community_of(comms).items()),
+    "segments": sorted(
+        (str(s), c) for s, c in result.community_of_segment.items()
+    ),
+    "hosts": sorted(
+        (str(s), str(a)) for s, a in result.host_of_segment.items()
+    ),
+}))
+"""
+
+
+class TestHashSeedDeterminism:
+    """detect_communities and everything keyed on it must not depend on
+    the interpreter's hash seed — the bug that made community indices
+    (and thus shard assignment) differ between fork and spawn workers."""
+
+    def _run(self, hashseed: str) -> dict:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(out.stdout)
+
+    def test_partition_identical_across_hash_seeds(self):
+        runs = [self._run(seed) for seed in ("0", "1", "31337")]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_subprocess_matches_in_process(self):
+        """A freshly spawned interpreter (any hash seed) must reproduce
+        the current process's partition exactly."""
+        from repro.ids import SegmentId
+        from repro.sim.scenarios import scenario_graph
+        from repro.cdn.partitioning import SocialPartitioner
+
+        graph = scenario_graph(far_clusters=5)
+        comms = detect_communities(graph)
+        part = SocialPartitioner(graph, communities=comms)
+        segs = [SegmentId(f"d:seg{i}") for i in range(6)]
+        result = part.partition(segs)
+        sub = self._run("random")
+        assert sub["communities"] == [sorted(c) for c in comms]
+        assert sub["segments"] == sorted(
+            [str(s), c] for s, c in result.community_of_segment.items()
+        )
