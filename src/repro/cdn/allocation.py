@@ -45,10 +45,17 @@ from .storage import StorageRepository
 class ResolvedReplica:
     """Outcome of a discovery query: the chosen replica and its social
     distance from the requester (None when the requester is outside the
-    graph or disconnected from every replica host)."""
+    graph or disconnected from every replica host).
+
+    ``degraded`` marks a result served from a stale federated view while
+    the replica's owning shard was unreachable (network partition): the
+    replica was reachable and servable when chosen, but the authoritative
+    catalog could not be consulted, so it may be short on freshness
+    guarantees the owning shard would have enforced."""
 
     replica: Replica
     social_hops: Optional[int]
+    degraded: bool = False
 
 
 class AllocationFabric:
@@ -82,6 +89,9 @@ class AllocationFabric:
         self.author_of_node: Dict[NodeId, AuthorId] = {}
         self.offline: Set[NodeId] = set()
         self.liveness: Optional[Callable[[NodeId], bool]] = None
+        #: reachability oracle (a NetworkModel-like object with
+        #: ``reachable(a, b)`` and ``partitioned``); None = fully connected
+        self.reachability: Optional[object] = None
         #: per-node (time, "online"|"offline") transitions, in record order
         self.state_log: Dict[NodeId, List[Tuple[float, str]]] = {}
         self.rng = make_rng(seed)
@@ -166,6 +176,11 @@ class AllocationServer:
         )
         self._m_resolve_failed = obs.counter(
             "alloc.resolve.failed", help="resolve() calls with no servable replica"
+        )
+        self._m_resolve_degraded = obs.counter(
+            "alloc.resolve.degraded",
+            help="resolves served from a stale federated view while the "
+            "owning shard was partitioned away",
         )
         self._m_failovers = obs.counter(
             "alloc.resolve.failover",
@@ -392,6 +407,25 @@ class AllocationServer:
         if oracle is not None and not callable(oracle):
             raise ConfigurationError("liveness oracle must be callable or None")
         self.fabric.liveness = oracle
+
+    def set_reachability_oracle(self, model: Optional[object]) -> None:
+        """Install a network reachability oracle (typically the
+        deployment's :class:`~repro.sim.network.NetworkModel`).
+
+        The oracle is any object exposing ``reachable(a, b) -> bool`` and
+        a ``partitioned`` property. While it reports a partition,
+        discovery filters candidates down to replicas the *requester's
+        node* can actually reach — a replica across the partition
+        boundary is unservable no matter how alive its host is. When the
+        network is whole the filter is a no-op (resolution stays
+        bit-identical to a partition-unaware server). Pass ``None`` to
+        remove.
+        """
+        if model is not None and not callable(getattr(model, "reachable", None)):
+            raise ConfigurationError(
+                "reachability oracle must expose reachable(a, b) or be None"
+            )
+        self.fabric.reachability = model
 
     def _is_live(self, node: NodeId) -> bool:
         """Server-side liveness: not offline, and alive per the oracle."""
@@ -760,6 +794,11 @@ class AllocationServer:
             for r in self.catalog.replicas_of_segment(segment_id, servable_only=True)
             if self._is_live(r.node_id)
         ]
+        net = self.fabric.reachability
+        if reps and net is not None and getattr(net, "partitioned", False):
+            origin = self._node_of_author.get(requester)
+            if origin is not None:
+                reps = [r for r in reps if net.reachable(origin, r.node_id)]
         if not reps:
             return []
         hops = self._hops_from(requester)
@@ -1081,7 +1120,12 @@ class AllocationServer:
         return created
 
     def _repair_segment(
-        self, segment_id: SegmentId, live: int, *, at: float = 0.0
+        self,
+        segment_id: SegmentId,
+        live: int,
+        *,
+        at: float = 0.0,
+        origin: Optional[NodeId] = None,
     ) -> List[Replica]:
         """Re-replicate one under-replicated segment.
 
@@ -1091,7 +1135,18 @@ class AllocationServer:
         sequence — as a single server, dispatching each segment to the
         shard that owns it. Does not touch ``alloc.repair.replicas``;
         the caller counts the grand total.
+
+        With ``origin`` given while the network is partitioned, both copy
+        sources and placement targets are confined to nodes reachable
+        from ``origin`` — a partitioned repair must not pretend to copy
+        bytes across a severed link. When the network is whole the filter
+        is a no-op (identical RNG draws to a partition-unaware repair).
         """
+        net = self.fabric.reachability
+        if origin is None or net is None or not getattr(net, "partitioned", False):
+            reach = None
+        else:
+            reach = net.reachable
         if live == 0:
             self._m_repair_unrecoverable.inc()
             self.obs.trace(
@@ -1103,7 +1158,9 @@ class AllocationServer:
             for r in self.catalog.replicas_of_segment(
                 segment_id, servable_only=True
             )
-            if self._is_live(r.node_id) and self.replica_verified(r)
+            if self._is_live(r.node_id)
+            and (reach is None or reach(origin, r.node_id))
+            and self.replica_verified(r)
         ]
         if not sources:
             self._m_repair_no_source.inc()
@@ -1118,6 +1175,12 @@ class AllocationServer:
         budget = self.replica_budget(segment.dataset_id)
         need = budget - live
         eligible = self.eligible_migration_targets(segment_id)
+        if reach is not None:
+            eligible = [
+                a
+                for a in eligible
+                if reach(origin, self._node_of_author[a])
+            ]
         if not eligible:
             self._m_repair_starved.inc()
             self.obs.trace(

@@ -43,6 +43,8 @@ to the owning site.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import CatalogError, ConfigurationError
@@ -281,6 +283,20 @@ class FederatedCatalog:
         return out
 
 
+@dataclass(frozen=True, slots=True)
+class ReconcileReport:
+    """Outcome of one post-heal anti-entropy sweep.
+
+    ``remaining`` counts hints still queued after the sweep (non-zero
+    only when the sweep ran while a partition was still active and some
+    destinations stayed unreachable)."""
+
+    replayed_publishes: int
+    replayed_repairs: int
+    repaired: int
+    remaining: int
+
+
 class ShardedAllocationRouter:
     """N allocation-server shards behind the single-server interface.
 
@@ -306,9 +322,14 @@ class ShardedAllocationRouter:
         seed: SeedLike = None,
         registry: Optional[Registry] = None,
         hop_cache_sources: int = 1024,
+        handoff_limit: int = 256,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        if handoff_limit < 1:
+            raise ConfigurationError(
+                f"handoff_limit must be >= 1, got {handoff_limit}"
+            )
         self.placement = placement
         self.fabric = AllocationFabric(
             graph, seed=seed, hop_cache_sources=hop_cache_sources
@@ -331,6 +352,26 @@ class ShardedAllocationRouter:
             self.syscat,
             [shard.catalog for shard in self.shards],
             self._site_of_owner,
+        )
+        #: bounded hinted-handoff log: writes destined for a partitioned-
+        #: away site wait here until reconcile_after_heal() drains them
+        self.handoff_limit = handoff_limit
+        self._handoff: List[Tuple] = []
+        self._handoff_repairs: Set[SegmentId] = set()
+        self._m_handoff_queued = self.obs.counter(
+            "alloc.handoff.queued",
+            help="writes queued for a partitioned-away site",
+        )
+        self._m_handoff_replayed = self.obs.counter(
+            "alloc.handoff.replayed",
+            help="queued handoff hints replayed after a partition healed",
+        )
+        self._m_handoff_dropped = self.obs.counter(
+            "alloc.handoff.dropped",
+            help="writes rejected because the hinted-handoff log was full",
+        )
+        self._m_reconciles = self.obs.counter(
+            "alloc.reconcile.runs", help="post-heal anti-entropy sweeps"
         )
 
     @property
@@ -372,6 +413,56 @@ class ShardedAllocationRouter:
             if shard.catalog.has_replica(replica_id):
                 return shard
         raise CatalogError(f"unknown replica {replica_id!r}")
+
+    # ------------------------------------------------------------------
+    # partition awareness
+    # ------------------------------------------------------------------
+    def _site_origin(self, site: SiteId) -> Optional[NodeId]:
+        """The deterministic coordinator node of a site: the smallest node
+        id among registered authors assigned to it (None when the site has
+        no registered members yet). A site's allocation shard "runs" at
+        its coordinator for reachability purposes: an operation can reach
+        the shard iff it can reach this node."""
+        best: Optional[NodeId] = None
+        for author, node in self.fabric.node_of_author.items():
+            if self.syscat.site_of_author(author) != site:
+                continue
+            if best is None or str(node) < str(best):
+                best = node
+        return best
+
+    def _degraded_site(self, site: SiteId, requester: AuthorId) -> bool:
+        """Whether ``requester`` must fall back to degraded mode for an
+        operation owned by ``site``: a partition is active and the
+        requester's node cannot reach the site's coordinator. Always
+        False on a whole network — the fast path is untouched."""
+        net = self.fabric.reachability
+        if net is None or not getattr(net, "partitioned", False):
+            return False
+        origin = self.fabric.node_of_author.get(requester)
+        if origin is None:
+            return False
+        coordinator = self._site_origin(site)
+        if coordinator is None:
+            return False
+        return not net.reachable(origin, coordinator)
+
+    def _queue_handoff(self, hint: Tuple) -> None:
+        """Append a write hint to the bounded handoff log (or reject)."""
+        if len(self._handoff) >= self.handoff_limit:
+            self._m_handoff_dropped.inc()
+            self.obs.trace("handoff_dropped", hint=hint[0])
+            raise CatalogError(
+                f"hinted-handoff log full ({self.handoff_limit} hints): "
+                f"cannot queue {hint[0]} for a partitioned-away site"
+            )
+        self._handoff.append(hint)
+        self._m_handoff_queued.inc()
+        self.obs.trace("handoff_queued", hint=hint[0])
+
+    def pending_handoff(self) -> List[Tuple]:
+        """Queued handoff hints (copy), oldest first."""
+        return list(self._handoff)
 
     # ------------------------------------------------------------------
     # graph (overlay fabric) — shared; one hop index for the federation
@@ -431,6 +522,14 @@ class ShardedAllocationRouter:
     ) -> None:
         """Install a liveness oracle on the shared fabric."""
         self._home.set_liveness_oracle(oracle)
+
+    def set_reachability_oracle(self, model: Optional[object]) -> None:
+        """Install a reachability oracle on the shared fabric (see
+        :meth:`AllocationServer.set_reachability_oracle`). Beyond the
+        per-shard candidate filtering, the router uses it to detect
+        unreachable owning sites and fall back to degraded resolves and
+        hinted handoff."""
+        self._home.set_reachability_oracle(model)
 
     def _is_live(self, node: NodeId) -> bool:
         return self._home._is_live(node)
@@ -528,8 +627,16 @@ class ShardedAllocationRouter:
         allocator); the system catalog records the dataset and its
         fragments only after the shard commits, so a rolled-back
         publication leaves no metadata behind.
+
+        When the owner is partitioned away from the owning site, the
+        publish queues in the bounded hinted-handoff log instead of
+        erroring (returns ``[]``; no replicas exist and no metadata is
+        registered until :meth:`reconcile_after_heal` replays the hint).
         """
         site = self._site_of_owner(dataset.owner)
+        if self._degraded_site(site, dataset.owner):
+            self._queue_handoff(("publish", dataset, n_replicas, at))
+            return []
         replicas = self.shards[site].publish_dataset(
             dataset, n_replicas=n_replicas, at=at
         )
@@ -550,9 +657,16 @@ class ShardedAllocationRouter:
 
         The post-publish redundancy repair this method runs internally is
         scoped to the owning shard (a documented N > 1 divergence; the
-        federation-wide :meth:`repair` covers every site).
+        federation-wide :meth:`repair` covers every site). Like
+        :meth:`publish_dataset`, an owner partitioned away from the
+        owning site queues a hint instead of publishing.
         """
         site = self._site_of_owner(dataset.owner)
+        if self._degraded_site(site, dataset.owner):
+            self._queue_handoff(
+                ("publish_partitioned", dataset, assignment, extra_replicas, at)
+            )
+            return []
         replicas = self.shards[site].publish_dataset_partitioned(
             dataset, assignment, extra_replicas=extra_replicas, at=at
         )
@@ -571,18 +685,98 @@ class ShardedAllocationRouter:
         *,
         limit: Optional[int] = None,
     ) -> List[ResolvedReplica]:
-        """Rank a segment's servable replicas on its owning shard."""
-        return self._shard_of_segment(segment_id).resolve_candidates(
+        """Rank a segment's servable replicas on its owning shard.
+
+        When the owning site is partitioned away from the requester, the
+        ranking comes from the stale federated view restricted to
+        replicas the requester can reach, and every result is flagged
+        ``degraded=True``.
+        """
+        site = self._site_of_segment(segment_id)
+        candidates = self.shards[site].resolve_candidates(
             segment_id, requester, limit=limit
+        )
+        if candidates and self._degraded_site(site, requester):
+            candidates = [
+                ResolvedReplica(
+                    replica=c.replica, social_hops=c.social_hops, degraded=True
+                )
+                for c in candidates
+            ]
+        return candidates
+
+    def _resolve_degraded(
+        self,
+        site: SiteId,
+        segment_id: SegmentId,
+        requester: AuthorId,
+        *,
+        record: bool,
+    ) -> ResolvedReplica:
+        """Serve a resolve whose owning shard is unreachable.
+
+        Candidates come from the stale federated view (the fragment map
+        plus the shard catalog contents as of the partition) filtered to
+        replicas the requester's side can reach; bookkeeping mirrors the
+        single-server :meth:`AllocationServer.resolve` plus the
+        ``alloc.resolve.degraded`` counter and a ``resolve_degraded``
+        trace, and the returned replica is flagged ``degraded=True``.
+        """
+        shard = self.shards[site]
+        t0 = perf_counter()
+        candidates = shard.resolve_candidates(segment_id, requester)
+        if not candidates:
+            shard._m_resolve_failed.inc()
+            self.obs.trace(
+                "resolve_failed", segment=str(segment_id), requester=str(requester)
+            )
+            raise CatalogError(
+                f"no reachable servable replica of {segment_id} "
+                "(owning site partitioned away)"
+            )
+        best = candidates[0]
+        load = self.fabric.repos[best.replica.node_id].reads_served
+        if record:
+            shard.record_served(best.replica)
+        elapsed = perf_counter() - t0
+        shard._m_resolve_latency.observe(elapsed)
+        shard._m_resolve_total.inc()
+        shard._m_resolve_degraded.inc()
+        shard._m_chosen_load.set(load)
+        d = best.social_hops
+        if d is not None:
+            shard._m_resolve_hops.observe(d)
+        else:
+            shard._m_resolve_unreachable.inc()
+        self.obs.trace(
+            "resolve_degraded",
+            segment=str(segment_id),
+            requester=str(requester),
+            node=str(best.replica.node_id),
+            hops=d,
+            load=load,
+            latency_s=elapsed,
+        )
+        return ResolvedReplica(
+            replica=best.replica, social_hops=d, degraded=True
         )
 
     def resolve(
         self, segment_id: SegmentId, requester: AuthorId, *, record: bool = True
     ) -> ResolvedReplica:
-        """Resolve a segment on its owning shard (single-server semantics)."""
-        return self._shard_of_segment(segment_id).resolve(
-            segment_id, requester, record=record
-        )
+        """Resolve a segment on its owning shard (single-server semantics).
+
+        When the owning site is partitioned away from the requester the
+        resolve degrades instead of failing: any replica on the
+        requester's side of the partition can still serve (flagged
+        ``degraded=True``, counted on ``alloc.resolve.degraded``).
+        """
+        site = self._site_of_segment(segment_id)
+        if self._degraded_site(site, requester):
+            return self._resolve_degraded(
+                site, segment_id, requester, record=record
+            )
+        return self.shards[site].resolve(segment_id, requester, record=record)
 
     def resolve_many(
         self,
@@ -608,9 +802,26 @@ class ShardedAllocationRouter:
         out: List[Optional[ResolvedReplica]] = [None] * len(requests)
         for site in sorted(by_site):
             idx = by_site[site]
-            sub = [requests[i] for i in idx]
+            # degraded requests (owning site unreachable from *this*
+            # requester) peel off into the per-request fallback; the rest
+            # keep the batched fast path (the common case: no partition)
+            batched: List[int] = []
+            for i in idx:
+                segment_id, requester = requests[i]
+                if self._degraded_site(site, requester):
+                    try:
+                        out[i] = self._resolve_degraded(
+                            site, segment_id, requester, record=record
+                        )
+                    except CatalogError:
+                        out[i] = None
+                else:
+                    batched.append(i)
+            if not batched:
+                continue
+            sub = [requests[i] for i in batched]
             res = self.shards[site].resolve_many(sub, record=record, demand=demand)
-            for i, r in zip(idx, res):
+            for i, r in zip(batched, res):
                 out[i] = r
         return out
 
@@ -675,13 +886,103 @@ class ShardedAllocationRouter:
         its owning shard's per-segment repair, then counts the grand
         total once — identical counters, traces, and placement-RNG draws
         to the single server's :meth:`~AllocationServer.repair`.
+
+        Under an active partition the sweep degrades instead of copying
+        bytes across severed links: segments owned by a site whose
+        coordinator the control plane (the home site's coordinator)
+        cannot reach queue a repair hint for :meth:`reconcile_after_heal`
+        (deduplicated per segment), and repairs that do run are confined
+        to the owning coordinator's side of the partition.
         """
+        net = self.fabric.reachability
+        partitioned = net is not None and getattr(net, "partitioned", False)
+        home_origin = self._site_origin(0) if partitioned else None
         created: List[Replica] = []
         for segment_id, live in self.under_replicated():
-            shard = self._shard_of_segment(segment_id)
-            created.extend(shard._repair_segment(segment_id, live, at=at))
+            site = self._site_of_segment(segment_id)
+            shard = self.shards[site]
+            if not partitioned:
+                created.extend(shard._repair_segment(segment_id, live, at=at))
+                continue
+            coordinator = self._site_origin(site)
+            if (
+                home_origin is not None
+                and coordinator is not None
+                and not net.reachable(home_origin, coordinator)
+            ):
+                if segment_id not in self._handoff_repairs:
+                    self._handoff_repairs.add(segment_id)
+                    self._queue_handoff(("repair", segment_id))
+                continue
+            created.extend(
+                shard._repair_segment(
+                    segment_id, live, at=at, origin=coordinator
+                )
+            )
         self._home._m_repairs.inc(len(created))
         return created
+
+    def reconcile_after_heal(self, *, at: float = 0.0) -> ReconcileReport:
+        """Deterministic post-heal anti-entropy sweep.
+
+        Drains the hinted-handoff log in FIFO order — queued publishes
+        replay as normal publications (placement, system-catalog
+        registration, metadata), queued repair hints dissolve into the
+        closing federation-wide :meth:`repair` — then runs that repair so
+        every segment stranded under-replicated by the partition
+        re-converges to budget. Hints whose destination is *still*
+        unreachable (a sweep mid-partition) re-queue instead of being
+        lost. Returns a :class:`ReconcileReport`.
+        """
+        self._m_reconciles.inc()
+        pending = self._handoff
+        self._handoff = []
+        self._handoff_repairs = set()
+        replayed_publishes = 0
+        replayed_repairs = 0
+        for hint in pending:
+            kind = hint[0]
+            if kind == "publish":
+                _, dataset, n_replicas, _t = hint
+                if self._degraded_site(
+                    self._site_of_owner(dataset.owner), dataset.owner
+                ):
+                    self._queue_handoff(hint)  # still partitioned away
+                    continue
+                self.publish_dataset(dataset, n_replicas=n_replicas, at=at)
+                replayed_publishes += 1
+                self._m_handoff_replayed.inc()
+            elif kind == "publish_partitioned":
+                _, dataset, assignment, extra_replicas, _t = hint
+                if self._degraded_site(
+                    self._site_of_owner(dataset.owner), dataset.owner
+                ):
+                    self._queue_handoff(hint)
+                    continue
+                self.publish_dataset_partitioned(
+                    dataset, assignment, extra_replicas=extra_replicas, at=at
+                )
+                replayed_publishes += 1
+                self._m_handoff_replayed.inc()
+            else:  # "repair": the closing sweep below covers it
+                replayed_repairs += 1
+                self._m_handoff_replayed.inc()
+        created = self.repair(at=at)
+        report = ReconcileReport(
+            replayed_publishes=replayed_publishes,
+            replayed_repairs=replayed_repairs,
+            repaired=len(created),
+            remaining=len(self._handoff),
+        )
+        self.obs.trace(
+            "reconcile",
+            ts=at,
+            replayed_publishes=replayed_publishes,
+            replayed_repairs=replayed_repairs,
+            repaired=len(created),
+            remaining=len(self._handoff),
+        )
+        return report
 
     def hot_segments(self, threshold: int) -> List[Tuple[SegmentId, int]]:
         """Hot segments across the federation, hottest first."""

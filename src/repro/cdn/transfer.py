@@ -19,7 +19,12 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError, IntegrityError, TransferError
+from ..errors import (
+    ConfigurationError,
+    IntegrityError,
+    TransferError,
+    UnreachableError,
+)
 from ..ids import NodeId, SegmentId, TransferId
 from ..obs import Registry, get_registry, linear_buckets
 from ..rng import SeedLike, make_rng
@@ -224,6 +229,10 @@ class TransferClient:
             "transfer.checksum.failures",
             help="attempts whose payload failed the content-digest check",
         )
+        self._m_unreachable = self.obs.counter(
+            "transfer.unreachable",
+            help="transfers refused because the endpoints are partitioned apart",
+        )
 
     @property
     def max_attempts(self) -> int:
@@ -279,11 +288,28 @@ class TransferClient:
         ------
         TransferError
             If either endpoint is not in the network.
+        UnreachableError
+            If the endpoints are partitioned apart. Raised *before* any
+            RNG draw: a severed link fails fast (no retries, no backoff),
+            so partitions never perturb the failure/jitter stream of
+            unrelated transfers.
         """
         if request.source not in self.network:
             raise TransferError(f"source node {request.source} not in network")
         if request.dest not in self.network:
             raise TransferError(f"dest node {request.dest} not in network")
+        if not self.network.reachable(request.source, request.dest):
+            self._m_unreachable.inc()
+            self.obs.trace(
+                "transfer_unreachable",
+                source=str(request.source),
+                dest=str(request.dest),
+                segment=str(request.segment_id),
+            )
+            raise UnreachableError(
+                f"transfer of {request.segment_id}: {request.source} cannot "
+                f"reach {request.dest} (network partitioned)"
+            )
         total = 0.0
         backoff_total = 0.0
         attempts = 0

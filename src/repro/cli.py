@@ -11,6 +11,7 @@ Subcommands::
     repro chaos     [--horizon S] [--seed N]         chaos campaign + report
     repro scrub     [--corrupt K] [--seed N]         bit-rot + scrubber check
     repro migrate   [--migrate-seed N]               demand-shift migration check
+    repro partition [--partition-seed N]             community-split partition check
 
 All subcommands accept ``--corpus`` (a JSON file from ``repro generate``
 or :func:`repro.social.io.save_corpus`); without it a synthetic corpus is
@@ -226,6 +227,9 @@ def cmd_chaos(args) -> int:
         corruption_rate_per_node_s=args.corruption_rate,
         scrub_interval_s=args.scrub_interval,
         scrub_enabled=not args.no_scrub,
+        partition_rate_s=args.partition_rate,
+        partition_mean_duration_s=args.partition_duration,
+        partition_fraction=args.partition_fraction,
     )
 
     if args.grid:
@@ -315,13 +319,15 @@ def cmd_chaos(args) -> int:
         report.unhandled_exceptions == 0
         and report.post_repair_redundancy >= args.min_redundancy
         and report.corrupt_servable_after_repair == 0
+        and report.divergence_after_heal == 0
     )
     if not ok:
         print(
             f"FAIL: unhandled={report.unhandled_exceptions} "
             f"redundancy={report.post_repair_redundancy:.4f} "
             f"corrupt_servable={report.corrupt_servable_after_repair} "
-            f"(need 0, >= {args.min_redundancy}, and 0)",
+            f"divergence_after_heal={report.divergence_after_heal} "
+            f"(need 0, >= {args.min_redundancy}, 0, and 0)",
             file=sys.stderr,
         )
     return 0 if ok else 1
@@ -484,6 +490,90 @@ def cmd_migrate(args) -> int:
             f"moves={on.moves_completed} failed={on.moves_failed} "
             f"min_redundancy={on.min_mid_move_redundancy} "
             f"leftover on={on.untrusted_leftover} off={off.untrusted_leftover}",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
+def cmd_partition(args) -> int:
+    """`repro partition`: run the community-split scenario with the split
+    off and on, print the comparison, and verify the partition-tolerance
+    acceptance criteria.
+
+    The scenario (:mod:`repro.sim.scenarios`) publishes a dataset whose
+    replicas spill from community B into community A, cuts B's core away
+    from everyone else, keeps the majority reading through degraded
+    resolves, parks a mid-partition publish in the handoff log, and
+    reconciles at the heal. Exit status is 0 only if the majority side's
+    acceptance stayed at or above ``--min-acceptance``, degraded serves
+    actually happened, the parked publish replayed and resolved, and the
+    healed run converged with zero divergence against the
+    never-partitioned oracle — so the command doubles as a CI smoke test
+    for the partition-tolerance path.
+    """
+    import json as _json
+
+    from .sim.scenarios import compare_community_split
+
+    off, on = compare_community_split(seed=args.partition_seed)
+    print(
+        f"community split: {on.minority.accesses} minority / "
+        f"{on.majority.accesses} majority accesses while partitioned"
+    )
+    for r in (off, on):
+        label = "split on " if r.partitions_enabled else "split off"
+        print(
+            f"{label}: minority_acceptance={r.minority.availability:.4f} "
+            f"majority_acceptance={r.majority.availability:.4f} "
+            f"degraded={r.degraded_serves} "
+            f"handoff queued={r.handoff_queued} replayed={r.handoff_replayed} "
+            f"divergence={r.divergence_after_heal} "
+            f"late_served={r.late_dataset_served} lost={r.final_lost}"
+        )
+    if args.json:
+        payload = {
+            "off": {
+                "divergence_after_heal": off.divergence_after_heal,
+                "datasets_converged": off.datasets_converged,
+                "final_lost": off.final_lost,
+            },
+            "on": {
+                "minority_acceptance": on.minority.availability,
+                "majority_acceptance": on.majority.availability,
+                "degraded_serves": on.degraded_serves,
+                "handoff_queued": on.handoff_queued,
+                "handoff_replayed": on.handoff_replayed,
+                "divergence_after_heal": on.divergence_after_heal,
+                "late_dataset_served": on.late_dataset_served,
+                "datasets_converged": on.datasets_converged,
+                "final_lost": on.final_lost,
+            },
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(payload, fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote partition comparison to {args.json}")
+    ok = (
+        on.majority.availability >= args.min_acceptance
+        and on.degraded_serves > 0
+        and on.handoff_queued > 0
+        and on.handoff_replayed == on.handoff_queued
+        and on.divergence_after_heal == 0
+        and on.late_dataset_served
+        and on.final_lost == 0
+        and on.datasets_converged == off.datasets_converged
+        and off.divergence_after_heal == 0
+    )
+    if not ok:
+        print(
+            f"FAIL: majority_acceptance={on.majority.availability:.4f} "
+            f"(need >= {args.min_acceptance}) degraded={on.degraded_serves} "
+            f"queued={on.handoff_queued} replayed={on.handoff_replayed} "
+            f"divergence={on.divergence_after_heal} "
+            f"late_served={on.late_dataset_served} lost={on.final_lost}",
             file=sys.stderr,
         )
     return 0 if ok else 1
@@ -685,6 +775,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="integrity scrub period in simulated seconds")
     p.add_argument("--no-scrub", action="store_true",
                    help="disable the integrity scrubber (rot goes undetected)")
+    p.add_argument("--partition-rate", type=float, default=0.0,
+                   help="network-partition rate per second (0 disables)")
+    p.add_argument("--partition-duration", type=float, default=300.0,
+                   help="mean partition duration in simulated seconds")
+    p.add_argument("--partition-fraction", type=float, default=0.3,
+                   help="fraction of nodes on the minority side of a split")
     p.add_argument("--grid", type=int, default=0,
                    help="run an N-seed campaign grid (seeds derived from "
                         "--chaos-seed) instead of a single campaign")
@@ -746,6 +842,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seed of the scenario deployment pair")
     p.add_argument("--json", help="also write the off/on comparison to this path")
     p.set_defaults(func=cmd_migrate)
+
+    p = sub.add_parser(
+        "partition",
+        help="run the community-split scenario and verify partition tolerance",
+    )
+    p.add_argument("--partition-seed", type=int, default=7,
+                   help="seed of the scenario deployment pair")
+    p.add_argument("--min-acceptance", type=float, default=0.9,
+                   help="majority-side acceptance required for exit status 0")
+    p.add_argument("--json", help="also write the off/on comparison to this path")
+    p.set_defaults(func=cmd_partition)
 
     return parser
 

@@ -47,6 +47,15 @@ class IntegrityError(TransferError):
     handle transfer failures treat checksum mismatches the same way."""
 
 
+class UnreachableError(TransferError):
+    """Two endpoints are on opposite sides of a network partition.
+
+    A subclass of :class:`TransferError` so retry/failover paths handle
+    a severed link like any other failed transfer — fail fast (no retry
+    budget is burned on a partitioned link) and move to the next ranked
+    replica."""
+
+
 class AuthenticationError(ReproError):
     """A principal could not be authenticated against the social platform."""
 

@@ -160,6 +160,9 @@ class SCDN:
                 seed=alloc_rng,
                 registry=self.obs,
             )
+        # partition awareness: discovery filters candidates by requester
+        # reachability whenever the network model reports a partition
+        self.server.set_reachability_oracle(self.network)
         self.transfer = TransferClient(
             self.network,
             failure_prob=self.config.transfer_failure_prob,

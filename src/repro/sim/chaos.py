@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError, ReproError
+from ..errors import CatalogError, ConfigurationError, ReproError
 from ..rng import SeedLike, make_rng, spawn
 
 if TYPE_CHECKING:  # avoid a runtime sim -> scdn import cycle
@@ -66,6 +66,12 @@ class ChaosConfig:
     migration_enabled: bool = False
     migration_interval_s: float = 900.0
     migration_hot_rate_per_s: float = 1e-3
+    # Network partitions (off by default: a zero rate draws nothing from
+    # the injector stream, so partition-free configs reproduce
+    # pre-partition campaigns bit for bit).
+    partition_rate_s: float = 0.0
+    partition_mean_duration_s: float = 300.0
+    partition_fraction: float = 0.3
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -102,6 +108,15 @@ class ChaosConfig:
             raise ConfigurationError("migration_interval_s must be positive")
         if self.migration_hot_rate_per_s < 0:
             raise ConfigurationError("migration_hot_rate_per_s must be >= 0")
+        if self.partition_rate_s < 0:
+            raise ConfigurationError("partition_rate_s must be >= 0")
+        if self.partition_mean_duration_s <= 0:
+            raise ConfigurationError("partition_mean_duration_s must be positive")
+        if not 0.0 < self.partition_fraction <= 0.5:
+            raise ConfigurationError(
+                "partition_fraction must be in (0, 0.5] — it sizes the "
+                "minority side of each split"
+            )
 
     @property
     def effective_request_interval_s(self) -> float:
@@ -159,6 +174,21 @@ class ChaosReport:
     #: minimum servable-replicas/budget ratio at any move settle point
     #: (1.0 when no move ran; >= 1.0 means copy-first held everywhere)
     min_mid_move_redundancy: float = 1.0
+    # --- network partitions (all defaults when partitions are disabled) -
+    partitions: int = 0
+    #: resolves answered from a stale federated view while the owning
+    #: shard was unreachable (the ``alloc.resolve.degraded`` counter)
+    degraded_serves: int = 0
+    degraded_serve_ratio: float = 0.0
+    #: served/(served+failed) over accesses made from each partition side
+    #: while a split was active (1.0 with no such accesses)
+    minority_acceptance: float = 1.0
+    majority_acceptance: float = 1.0
+    #: mean virtual time from each heal to the first all-clear audit
+    time_to_reconverge_s: float = 0.0
+    #: un-replayed handoff hints plus datasets missing from the catalog
+    #: at the horizon — must be 0 after reconciliation
+    divergence_after_heal: int = 0
 
     def lines(self) -> List[str]:
         """Human-readable report, one finding per line."""
@@ -194,6 +224,13 @@ class ChaosReport:
             f"availability_during_migration="
             f"{self.availability_during_migration:.4f}, "
             f"min_mid_move_redundancy={self.min_mid_move_redundancy:.4f}",
+            f"partitions: {self.partitions} episodes, "
+            f"{self.degraded_serves} degraded serves "
+            f"(ratio={self.degraded_serve_ratio:.4f})",
+            f"partition acceptance: minority={self.minority_acceptance:.4f} "
+            f"majority={self.majority_acceptance:.4f}, "
+            f"time_to_reconverge={self.time_to_reconverge_s:.0f}s, "
+            f"divergence_after_heal={self.divergence_after_heal}",
             f"unhandled_exceptions={self.unhandled_exceptions}",
         ]
 
@@ -239,7 +276,7 @@ def run_chaos_campaign(
     counted (failed/denied); any *other* exception increments
     ``unhandled_exceptions`` — a campaign with a nonzero count is a bug.
     """
-    from ..ids import AuthorId
+    from ..ids import AuthorId, DatasetId, NodeId
 
     if net.clients:
         raise ConfigurationError("run_chaos_campaign needs an SCDN with no members")
@@ -301,11 +338,18 @@ def run_chaos_campaign(
         net.network,
         factor=config.slowlink_factor,
     )
-    # corruption draws come LAST from the injector's stream, so a zero
-    # corruption rate (which draws nothing) reproduces corruption-free
-    # campaigns bit for bit
+    # corruption, then partition, draws sit at the tail of the injector's
+    # stream in that order: a zero rate draws nothing, so disabling the
+    # newer knobs reproduces older campaigns bit for bit
     corruptions = injector.random_corruptions(
         config.corruption_rate_per_node_s, config.horizon_s
+    )
+    partitions = injector.random_partitions(
+        config.partition_rate_s,
+        config.partition_mean_duration_s,
+        config.horizon_s,
+        net.network,
+        fraction=config.partition_fraction,
     )
     scrubber = None
     if config.scrub_enabled:
@@ -340,16 +384,30 @@ def run_chaos_campaign(
         "chaos.migration_window.failed",
         help="accesses failed while a migration copy was in flight",
     )
+    m_side = {
+        (side, ok): obs.counter(
+            f"chaos.partition.{side}.{'served' if ok else 'failed'}",
+            help=f"accesses {'served' if ok else 'failed'} from the "
+            f"{side} side of an active partition",
+        )
+        for side in ("minority", "majority")
+        for ok in (True, False)
+    }
 
     def tick(engine) -> None:
         author = authors[int(workload_rng.integers(len(authors)))]
         ds_id = dataset_ids[int(workload_rng.integers(len(dataset_ids)))]
         in_window = migration is not None and migration.executor.in_flight > 0
+        side = injector.partition_side(NodeId(str(author)))
         try:
             outcomes = net.access(author, ds_id)
-        except ReproError:
+        except ReproError as exc:
             # authorization/session refusals are policy working as designed
             m_denied.inc()
+            if side is not None and isinstance(exc, CatalogError):
+                # ...but a requester a partition cut off from every replica
+                # is an availability loss its side's acceptance must see
+                m_side[(side, False)].inc()
             return
         except Exception:
             counts["unhandled"] += 1
@@ -365,11 +423,21 @@ def run_chaos_campaign(
                 m_failed.inc()
                 if in_window:
                     m_mig_failed.inc()
+            if side is not None:
+                m_side[(side, outcome.ok)].inc()
 
     net.engine.every(config.effective_request_interval_s, tick, label="chaos-traffic")
 
     # --- run --------------------------------------------------------------
     net.engine.run(until=config.horizon_s)
+    if net.network.partitioned:
+        # a split spanning the horizon heals at the cut: rejoin the
+        # network and reconcile so the final audit judges a converged
+        # control plane, not a partition frozen mid-flight
+        net.network.heal()
+        reconcile = getattr(net.server, "reconcile_after_heal", None)
+        if callable(reconcile):
+            reconcile(at=config.horizon_s)
     if migration is not None:
         # settle copies the horizon cut mid-flight before the final audit
         # judges redundancy
@@ -488,6 +556,35 @@ def run_chaos_campaign(
     min_mid_move = 1.0
     if migration is not None and migration.min_mid_move_redundancy is not None:
         min_mid_move = migration.min_mid_move_redundancy
+
+    # --- partition tolerance ----------------------------------------------
+    degraded_serves = snapshot["counters"]["alloc.resolve.degraded"]["value"]
+    degraded_ratio = degraded_serves / served if served else 0.0
+
+    def _acceptance(side: str) -> float:
+        s = snapshot["counters"][f"chaos.partition.{side}.served"]["value"]
+        f = snapshot["counters"][f"chaos.partition.{side}.failed"]["value"]
+        return s / (s + f) if (s + f) else 1.0
+
+    # reconvergence: first all-clear audit at or after each heal; a heal
+    # with no later all-clear counts its remaining horizon as a lower bound
+    heal_times = np.unique(
+        np.asarray(
+            [e.time for e in injector.history if e.kind == "partition-end"],
+            dtype=np.float64,
+        )
+    )
+    heal_idx = np.searchsorted(clear_times, heal_times, side="left")
+    reconverge: List[float] = []
+    for t, i in zip(heal_times, heal_idx):
+        cleared = float(clear_times[i]) if i < len(clear_times) else config.horizon_s
+        reconverge.append(max(cleared - float(t), 0.0))
+    pending = getattr(net.server, "pending_handoff", None)
+    divergence = len(pending()) if callable(pending) else 0
+    divergence += sum(
+        1 for ds_id in dataset_ids if DatasetId(ds_id) not in net.server.catalog
+    )
+
     obs.trace(
         "chaos_report",
         ts=config.horizon_s,
@@ -500,6 +597,9 @@ def run_chaos_campaign(
         corruptions_scheduled=corruptions,
         corrupt_reads_served=corrupt_reads_served,
         corrupt_servable_after_repair=corrupt_servable,
+        partitions=partitions,
+        degraded_serves=degraded_serves,
+        divergence_after_heal=divergence,
     )
 
     return ChaosReport(
@@ -538,4 +638,11 @@ def run_chaos_campaign(
         migration_failed_moves=migration.total_failed if migration else 0,
         availability_during_migration=mig_avail,
         min_mid_move_redundancy=min_mid_move,
+        partitions=partitions,
+        degraded_serves=degraded_serves,
+        degraded_serve_ratio=degraded_ratio,
+        minority_acceptance=_acceptance("minority"),
+        majority_acceptance=_acceptance("majority"),
+        time_to_reconverge_s=float(np.mean(reconverge)) if reconverge else 0.0,
+        divergence_after_heal=divergence,
     )

@@ -28,7 +28,16 @@ schedules a repair audit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Literal, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Literal,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..errors import ConfigurationError
 from ..ids import NodeId, SegmentId
@@ -39,9 +48,19 @@ from .network import NetworkModel
 if TYPE_CHECKING:  # avoid a runtime sim -> cdn import cycle
     from ..cdn.allocation import AllocationServer
     from ..cdn.replication import ReplicationPolicy
+    from ..cdn.sharding import ShardedAllocationRouter
+
+    AttachableServer = Union[AllocationServer, ShardedAllocationRouter]
 
 FailureKind = Literal[
-    "crash", "outage-start", "outage-end", "slowlink-start", "slowlink-end", "corrupt"
+    "crash",
+    "outage-start",
+    "outage-end",
+    "slowlink-start",
+    "slowlink-end",
+    "corrupt",
+    "partition-start",
+    "partition-end",
 ]
 
 
@@ -82,23 +101,48 @@ class FailureInjector:
     ) -> None:
         if not nodes:
             raise ConfigurationError("failure injector needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            seen: set[NodeId] = set()
+            dupes: set[str] = set()
+            for n in nodes:
+                if n in seen:
+                    dupes.add(str(n))
+                seen.add(n)
+            raise ConfigurationError(
+                "duplicate node ids skew failure-draw probabilities: "
+                + ", ".join(sorted(dupes))
+            )
         self.engine = engine
         self.nodes = list(nodes)
         self._rng = make_rng(seed)
         self._handlers: List[Handler] = []
+        self._heal_handlers: List[Callable[[float], None]] = []
         self._crashed: set[NodeId] = set()
         self._in_outage: set[NodeId] = set()
+        #: nodes with a pending ``partition-end`` (crash cancels membership)
+        self._partitioned: set[NodeId] = set()
+        #: groups of the active partition episode (None when healed)
+        self._partition_groups: Optional[List[List[NodeId]]] = None
+        #: node -> "minority" | "majority" for the active episode
+        self._partition_side: Dict[NodeId, str] = {}
         #: live (begun, not yet ended) slow-link episodes per node
         self._slow_depth: Dict[NodeId, int] = {}
         #: network holding each node's active degradation (for crash cleanup)
         self._slow_net: Dict[NodeId, NetworkModel] = {}
-        #: allocation server wired via attach_server (needed by corrupt())
-        self._server: Optional["AllocationServer"] = None
+        #: allocation server or router wired via attach_server
+        self._server: Optional["AttachableServer"] = None
         self.history: List[FailureEvent] = []
 
     def on_failure(self, handler: Handler) -> None:
         """Register a callback invoked for every failure event."""
         self._handlers.append(handler)
+
+    def on_heal(self, handler: Callable[[float], None]) -> None:
+        """Register a callback fired (with the virtual time) after a
+        partition episode heals — after the network is rejoined and all
+        ``partition-end`` events have been emitted. This is the hook the
+        control plane uses to run post-heal reconciliation."""
+        self._heal_handlers.append(handler)
 
     def _emit(self, event: FailureEvent) -> None:
         self.history.append(event)
@@ -119,6 +163,18 @@ class FailureInjector:
     def crashed_nodes(self) -> set[NodeId]:
         """Nodes that have permanently departed."""
         return set(self._crashed)
+
+    def partition_side(self, node: NodeId) -> Optional[str]:
+        """Which side of the active partition ``node`` is on.
+
+        Returns ``"minority"`` for members of the smallest group (ties
+        break to the first group), ``"majority"`` for every other listed
+        group, and ``None`` when no partition is active or the node is
+        not in any group.
+        """
+        if self._partition_groups is None:
+            return None
+        return self._partition_side.get(node)
 
     # ------------------------------------------------------------------
     # direct injections
@@ -143,6 +199,8 @@ class FailureInjector:
             # depth 0 and do nothing
             if self._slow_depth.pop(node, 0):
                 self._slow_net.pop(node).restore(node)
+            # a dead node gets no partition-end restoration either
+            self._partitioned.discard(node)
             self._emit(FailureEvent(time=engine.now, node=node, kind="crash"))
 
         self.engine.schedule(at, fire, label=f"crash:{node}")
@@ -221,6 +279,84 @@ class FailureInjector:
         self.engine.schedule(start, begin, label=f"slowlink:{node}")
         self.engine.schedule(start + duration, end, label=f"slowlink-end:{node}")
 
+    def network_partition(
+        self,
+        network: NetworkModel,
+        groups: Sequence[Sequence[NodeId]],
+        *,
+        start: float,
+        duration: float,
+    ) -> None:
+        """Split ``network`` into reachability groups for ``duration`` s.
+
+        At ``start`` the network partitions per ``groups`` and a
+        ``partition-start`` event fires for every non-crashed listed
+        node; at ``start + duration`` the network heals, ``partition-end``
+        fires for every listed node that neither crashed mid-episode nor
+        was partitioned away by a later conflicting schedule, and the
+        registered :meth:`on_heal` callbacks run. Only one episode can be
+        active at a time: a begin that would overlap an active episode
+        (or an externally partitioned network) is skipped entirely — no
+        start events, no end events, no heal.
+        """
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        groups = [list(g) for g in groups]
+        for group in groups:
+            for node in group:
+                if node not in self.nodes:
+                    raise ConfigurationError(f"unknown node {node!r}")
+        if sum(len(g) for g in groups) < 2 or len(groups) < 2:
+            raise ConfigurationError("a partition needs >= 2 groups of nodes")
+        episode = {"started": False}
+
+        def begin(engine: SimulationEngine) -> None:
+            if self._partition_groups is not None or network.partitioned:
+                return  # overlapping episode: skip entirely
+            network.partition(groups)
+            episode["started"] = True
+            self._partition_groups = groups
+            minority = min(range(len(groups)), key=lambda i: len(groups[i]))
+            self._partition_side = {
+                node: ("minority" if i == minority else "majority")
+                for i, group in enumerate(groups)
+                for node in group
+            }
+            for group in groups:
+                for node in group:
+                    if node in self._crashed:
+                        continue
+                    self._partitioned.add(node)
+                    self._emit(
+                        FailureEvent(
+                            time=engine.now, node=node, kind="partition-start"
+                        )
+                    )
+
+        def end(engine: SimulationEngine) -> None:
+            if not episode["started"]:
+                return  # never began: nothing to heal, nothing to emit
+            network.heal()
+            for group in groups:
+                for node in group:
+                    # crash mid-episode removed the node from _partitioned:
+                    # dead nodes get no restoration event
+                    if node in self._partitioned and node not in self._crashed:
+                        self._partitioned.discard(node)
+                        self._emit(
+                            FailureEvent(
+                                time=engine.now, node=node, kind="partition-end"
+                            )
+                        )
+            self._partitioned.clear()
+            self._partition_groups = None
+            self._partition_side = {}
+            for handler in self._heal_handlers:
+                handler(engine.now)
+
+        self.engine.schedule(start, begin, label="partition")
+        self.engine.schedule(start + duration, end, label="partition-end")
+
     def corrupt(self, node: NodeId, segment: SegmentId, at: float) -> None:
         """Schedule silent bit rot of ``node``'s copy of ``segment`` at ``at``.
 
@@ -263,12 +399,15 @@ class FailureInjector:
     # ------------------------------------------------------------------
     def attach_server(
         self,
-        server: "AllocationServer",
+        server: "AttachableServer",
         *,
         policy: Optional["ReplicationPolicy"] = None,
         repair_delay_s: float = 0.0,
     ) -> None:
-        """Wire this injector's events into an allocation server.
+        """Wire this injector's events into an allocation server (a plain
+        :class:`~repro.cdn.allocation.AllocationServer` or a
+        :class:`~repro.cdn.sharding.ShardedAllocationRouter` — both expose
+        the same control-plane surface).
 
         * installs :meth:`is_alive` as the server's liveness oracle, so
           ``resolve``/placement/repair never pick nodes this injector has
@@ -281,7 +420,11 @@ class FailureInjector:
         * with ``policy`` given, every crash/outage event additionally
           schedules a one-shot repair audit ``repair_delay_s`` after the
           event (the failure-triggered repair path, on top of the
-          policy's periodic cadence).
+          policy's periodic cadence);
+        * every partition heal runs the server's post-heal reconciliation
+          (``reconcile_after_heal``, when the server has one — the router
+          does) and, with ``policy`` given, schedules a repair audit, so
+          replicas stranded under-replicated by the partition recover.
 
         Nodes unknown to the server (injector population wider than the
         membership) are ignored.
@@ -303,13 +446,25 @@ class FailureInjector:
             elif event.kind == "outage-end":
                 server.node_online(event.node, at=event.time)
             else:
-                # slow links degrade and corruption rots silently —
-                # neither changes liveness nor triggers a repair here
+                # slow links degrade, corruption rots silently, and
+                # partitions sever links without taking nodes down —
+                # none changes liveness nor triggers a repair here
+                # (post-heal recovery runs through the on_heal hook)
                 return
             if policy is not None:
                 policy.schedule_repair(self.engine, delay_s=repair_delay_s)
 
         self.on_failure(handler)
+
+        reconcile = getattr(server, "reconcile_after_heal", None)
+
+        def heal_handler(at: float) -> None:
+            if callable(reconcile):
+                reconcile(at=at)
+            if policy is not None:
+                policy.schedule_repair(self.engine, delay_s=repair_delay_s)
+
+        self.on_heal(heal_handler)
 
     # ------------------------------------------------------------------
     # random campaigns
@@ -437,4 +592,53 @@ class FailureInjector:
                     )
 
                 self.engine.schedule(t, fire, label=f"corrupt:{node}")
+        return n
+
+    def random_partitions(
+        self,
+        rate_s: float,
+        mean_duration_s: float,
+        horizon_s: float,
+        network: NetworkModel,
+        *,
+        fraction: float = 0.3,
+    ) -> int:
+        """Poisson-schedule network-partition episodes on one global
+        timeline over ``[now, now+horizon)``.
+
+        Each episode splits the population in two: a ``fraction`` minority
+        (at least 1 node, at most all-but-one) drawn as a seeded
+        permutation prefix, versus the rest. Episodes never overlap (the
+        next gap is drawn after the previous episode ends). Returns the
+        number of episodes scheduled.
+
+        With ``rate_s == 0`` this draws **nothing** from the injector's
+        RNG, so partition-free campaigns reproduce their pre-partition
+        schedules bit for bit (call it after every other ``random_*``
+        campaign so the partition draws come last in the stream).
+        """
+        if rate_s < 0 or mean_duration_s <= 0 or horizon_s <= 0:
+            raise ConfigurationError("invalid partition campaign parameters")
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1), got {fraction}")
+        if rate_s == 0:
+            return 0
+        if len(self.nodes) < 2:
+            raise ConfigurationError("cannot partition fewer than 2 nodes")
+        n = 0
+        t = self.engine.now
+        while True:
+            gap = float(self._rng.exponential(1.0 / rate_s))
+            t += gap
+            if t - self.engine.now >= horizon_s:
+                break
+            duration = max(float(self._rng.exponential(mean_duration_s)), 1e-9)
+            perm = [self.nodes[int(i)] for i in self._rng.permutation(len(self.nodes))]
+            k = max(1, min(int(round(fraction * len(self.nodes))), len(self.nodes) - 1))
+            minority, majority = sorted(perm[:k]), sorted(perm[k:])
+            self.network_partition(
+                network, [minority, majority], start=t, duration=duration
+            )
+            t += duration
+            n += 1
         return n

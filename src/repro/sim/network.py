@@ -17,7 +17,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, UnreachableError
 from ..ids import NodeId
 from ..rng import SeedLike, make_rng
 
@@ -88,6 +88,10 @@ class NetworkModel:
         self._positions: Dict[NodeId, GeoPoint] = {}
         self._bandwidth: Dict[NodeId, float] = {}
         self._degradation: Dict[NodeId, float] = {}
+        #: active partition: node -> group index; ``None`` when healed.
+        #: Nodes not listed in any group share the implicit "rest" group.
+        self._partition: Optional[Dict[NodeId, int]] = None
+        self._partition_rest: int = 0
 
     def add_node(
         self,
@@ -140,14 +144,67 @@ class NetworkModel:
             raise ConfigurationError(f"unknown node {node_id!r}")
         self._degradation.pop(node_id, None)
 
+    def partition(self, groups: Iterable[Iterable[NodeId]]) -> None:
+        """Split the network into disjoint reachability groups.
+
+        Each group is a set of registered node ids; nodes absent from
+        every group form one implicit "rest" group (they can still talk
+        to each other, not to listed nodes). Only one partition can be
+        active at a time; call :meth:`heal` first to replace it.
+        """
+        if self._partition is not None:
+            raise ConfigurationError("network already partitioned; heal() first")
+        mapping: Dict[NodeId, int] = {}
+        for idx, group in enumerate(groups):
+            for node in group:
+                if node not in self._positions:
+                    raise ConfigurationError(
+                        f"partition group {idx} names unknown node {node!r}"
+                    )
+                if node in mapping:
+                    raise ConfigurationError(
+                        f"node {node!r} appears in more than one partition group"
+                    )
+                mapping[node] = idx
+        if not mapping:
+            raise ConfigurationError("partition needs at least one non-empty group")
+        self._partition = mapping
+        self._partition_rest = 1 + max(mapping.values())
+
+    def heal(self) -> None:
+        """Remove the active partition (idempotent)."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether a partition is currently active."""
+        return self._partition is not None
+
+    def reachable(self, a: NodeId, b: NodeId) -> bool:
+        """Whether two nodes can currently exchange traffic.
+
+        Always true for a node and itself and whenever the network is
+        healed. Unregistered nodes are not validated — a reachability
+        filter over a candidate list must never raise.
+        """
+        if self._partition is None or a == b:
+            return True
+        ga = self._partition.get(a, self._partition_rest)
+        gb = self._partition.get(b, self._partition_rest)
+        return ga == gb
+
     def link(self, a: NodeId, b: NodeId) -> LinkSpec:
         """Characterize the path between two nodes.
 
         Latency = base + distance / fiber speed; bandwidth = min of the two
         endpoints' access links. A node's link to itself has zero extra
-        latency and its own bandwidth (local copy).
+        latency and its own bandwidth (local copy). Raises
+        :class:`~repro.errors.UnreachableError` across a partition
+        boundary — there is no path to characterize.
         """
         pa, pb = self.position(a), self.position(b)
+        if not self.reachable(a, b):
+            raise UnreachableError(f"{a} cannot reach {b}: network partitioned")
         if a == b:
             return LinkSpec(latency_s=0.0, bandwidth_bps=self.bandwidth(a))
         dist = pa.distance_km(pb)

@@ -1,10 +1,14 @@
 """Canned end-to-end scenarios with deterministic, assertable outcomes.
 
-The first (and so far only) scenario is the **demand shift**: the
-acceptance experiment of the replica migration subsystem
-(:mod:`repro.cdn.migration`), shared verbatim by the test suite, the
-``repro migrate`` CLI smoke, and ``benchmarks/test_bench_migration.py``
-so all three judge the same run.
+The first scenario is the **demand shift**: the acceptance experiment of
+the replica migration subsystem (:mod:`repro.cdn.migration`), shared
+verbatim by the test suite, the ``repro migrate`` CLI smoke, and
+``benchmarks/test_bench_migration.py`` so all three judge the same run.
+
+The second is the **community split**: the acceptance experiment of the
+partition-tolerance layer (:func:`run_community_split` below), shared by
+the test suite, the ``repro partition`` CLI smoke, and
+``benchmarks/test_bench_partition.py`` the same way.
 
 Shape: a two-cluster coauthorship graph — a *near* cluster around the
 data owner and a *far* cluster joined by a single bridge edge. Datasets
@@ -284,4 +288,276 @@ def compare_demand_shift(
     each, same seed) and return ``(off, on)``."""
     off = run_demand_shift(migration=False, seed=seed, config=config)
     on = run_demand_shift(migration=True, seed=seed, config=config)
+    return off, on
+
+
+# ----------------------------------------------------------------------
+# community split (partition tolerance)
+# ----------------------------------------------------------------------
+#
+# Shape: two coauthorship communities on a two-shard federation — an
+# eight-member community A and a four-member community B, bridged by a
+# single a1 -- b1 edge, so community detection assigns each clique its
+# own allocation shard. b1 publishes a "b-shared" dataset whose replica
+# budget exceeds B's capacity, so half the copies spill across the
+# bridge into A; a1 publishes an "a-shared" dataset that stays home.
+# Tight repositories (user cache fits one segment, members alternate
+# between the two datasets) keep every access on the resolve path
+# instead of the user cache.
+#
+# Then the network splits B's core {b1, b2, b3} — including b1, the
+# owning shard's coordinator — away from everyone else. The majority
+# side (all of A plus the late joiner b4) keeps reading "b-shared":
+# its owning shard is unreachable, so those resolves degrade to the
+# stale federated view restricted to the spilled replicas — served,
+# flagged, and counted. The minority still serves its local copies but
+# loses "a-shared" entirely (every replica is across the cut). Mid-
+# partition b4 publishes "b-late": the owning site's coordinator is on
+# the other side, so the publish parks in the hinted-handoff log. At
+# the heal, the injector's on_heal hook runs the router's
+# reconciliation sweep: the parked publish replays, the handoff log
+# drains, and the run must end with zero divergence against the
+# never-partitioned oracle.
+
+#: Community A (majority side): eight researchers, complete clique.
+_SPLIT_A = [AuthorId(f"a{i}") for i in range(1, 9)]
+#: Community B: four researchers, complete clique; b1 bridges to a1.
+_SPLIT_B = [AuthorId(f"b{i}") for i in range(1, 5)]
+
+
+@dataclass(frozen=True)
+class CommunitySplitConfig:
+    """Timeline and sizing of the community-split scenario.
+
+    Defaults give a fifteen-minute run: five minutes whole, five minutes
+    split (B's core cut off from everyone else), five minutes healed.
+    """
+
+    segment_bytes: int = 1_000_000
+    tick_interval_s: float = 30.0
+    partition_at_s: float = 300.0
+    heal_at_s: float = 600.0
+    horizon_s: float = 900.0
+    #: replica budget of the shared dataset — more than community B can
+    #: hold, so copies spill into A and keep the majority servable
+    shared_replicas: int = 6
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes <= 0:
+            raise ConfigurationError("segment_bytes must be positive")
+        if self.tick_interval_s <= 0:
+            raise ConfigurationError("tick_interval_s must be positive")
+        if not 0 < self.partition_at_s < self.heal_at_s < self.horizon_s:
+            raise ConfigurationError(
+                "need 0 < partition_at_s < heal_at_s < horizon_s"
+            )
+        if self.shared_replicas < 4:
+            raise ConfigurationError(
+                "shared_replicas must be >= 4 (the spill into community A "
+                "is the point of the scenario)"
+            )
+
+
+@dataclass(frozen=True)
+class CommunitySplitResult:
+    """Outcome of one community-split run (one partition setting)."""
+
+    partitions_enabled: bool
+    #: whole-network accesses before the split
+    pre: PhaseStats
+    #: accesses from the cut-off side ({b1, b2, b3}) while split
+    minority: PhaseStats
+    #: accesses from the rest (A plus b4) while split
+    majority: PhaseStats
+    #: whole-network accesses after the heal
+    post: PhaseStats
+    #: resolves served from the stale federated view (degraded=True)
+    degraded_serves: int
+    #: writes parked in the hinted-handoff log during the split
+    handoff_queued: int
+    #: parked writes replayed by the post-heal reconciliation
+    handoff_replayed: int
+    #: un-replayed hints plus expected datasets missing at the horizon
+    divergence_after_heal: int
+    #: the mid-partition publish resolved and served after the heal
+    late_dataset_served: bool
+    #: expected datasets present in the catalog at the horizon (of 3)
+    datasets_converged: int
+    #: segments with zero live replicas at the horizon
+    final_lost: int
+
+
+def community_split_graph() -> CoauthorshipGraph:
+    """The community-split coauthorship graph: two cliques, one bridge."""
+    g = nx.Graph()
+    for cluster in (_SPLIT_A, _SPLIT_B):
+        for i, a in enumerate(cluster):
+            for b in cluster[i + 1 :]:
+                g.add_edge(a, b, weight=3, pubs=())
+    g.add_edge(_SPLIT_A[0], _SPLIT_B[0], weight=1, pubs=())
+    return CoauthorshipGraph(g, seed=_SPLIT_A[0])
+
+
+def run_community_split(
+    *,
+    partitions: bool,
+    seed: int = 7,
+    config: Optional[CommunitySplitConfig] = None,
+    registry: Optional[Registry] = None,
+) -> CommunitySplitResult:
+    """Run the community-split scenario once, with or without the split.
+
+    Both settings build bit-identical deployments from ``seed`` (the
+    partition consumes no randomness), so the returned phase stats are
+    directly comparable across the pair and the ``partitions=False`` run
+    is the never-partitioned convergence oracle.
+    """
+    from ..errors import ReproError
+    from ..ids import DatasetId
+    from ..scdn import SCDN, SCDNConfig
+
+    cfg = config or CommunitySplitConfig()
+    registry = registry if registry is not None else Registry()
+    graph = community_split_graph()
+    seg = cfg.segment_bytes
+    net = SCDN(
+        graph,
+        network=_uniform_network(graph),
+        config=SCDNConfig(
+            shards=2,
+            n_replicas=2,
+            proximity_hops=6,
+            transfer_failure_prob=0.0,
+        ),
+        seed=seed,
+        registry=registry,
+    )
+    sites = {net.server.syscat.site_of_author(a) for a in _SPLIT_B}
+    if len(sites) != 1 or net.server.syscat.site_of_author(_SPLIT_A[0]) in sites:
+        raise ConfigurationError(
+            "scenario bug: community detection did not give each clique "
+            "its own shard"
+        )
+    # tight repositories: the replica partition and the user cache each
+    # fit exactly one segment, so alternating between two datasets
+    # thrashes the cache and every access exercises the resolve path
+    for author in _SPLIT_A + _SPLIT_B[:3]:
+        net.join(author, capacity_bytes=2 * seg)
+    datasets = ["b-shared", "a-shared"]
+    # B can hold at most three copies (one per joined member), so the
+    # budget of six forces the other three across the bridge into A
+    net.publish(_SPLIT_B[0], "b-shared", seg, n_replicas=cfg.shared_replicas)
+    net.publish(_SPLIT_A[0], "a-shared", seg, n_replicas=3)
+    # b4 joins last, after placement: a cold member with no replicas
+    net.join(_SPLIT_B[3], capacity_bytes=2 * seg)
+
+    injector = net.failure_injector(seed=seed)
+    minority_nodes = [NodeId(str(b)) for b in _SPLIT_B[:3]]
+    majority_nodes = [NodeId(str(a)) for a in _SPLIT_A] + [
+        NodeId(str(_SPLIT_B[3]))
+    ]
+    if partitions:
+        injector.network_partition(
+            net.network,
+            [minority_nodes, majority_nodes],
+            start=cfg.partition_at_s,
+            duration=cfg.heal_at_s - cfg.partition_at_s,
+        )
+
+    pre = PhaseStats()
+    minority = PhaseStats()
+    majority = PhaseStats()
+    post = PhaseStats()
+    members = _SPLIT_A + _SPLIT_B
+
+    def _access(stats: PhaseStats, author: AuthorId, ds: str) -> None:
+        try:
+            outcomes = net.access(author, ds)
+        except ReproError:
+            # a requester cut off from every replica fails at resolve
+            # time; the side's acceptance must count the loss
+            stats.accesses += 1
+            return
+        for outcome in outcomes:
+            stats.accesses += 1
+            if outcome.ok:
+                stats.ok += 1
+            if outcome.source in ("replica-partition", "user-cache"):
+                stats.local_hits += 1
+            stats.total_duration_s += outcome.duration_s
+
+    def tick(e) -> None:
+        idx = int(round(e.now / cfg.tick_interval_s))
+        for i, author in enumerate(members):
+            side = injector.partition_side(NodeId(str(author)))
+            if side == "minority":
+                stats = minority
+            elif side == "majority":
+                stats = majority
+            elif e.now < cfg.partition_at_s:
+                stats = pre
+            else:
+                stats = post
+            _access(stats, author, datasets[(idx + i) % len(datasets)])
+
+    net.engine.every(cfg.tick_interval_s, tick, label="community-split")
+
+    # mid-partition, the cold member publishes: with the owning site's
+    # coordinator (b1) across the cut, the write parks in the handoff log
+    def late_publish(e) -> None:
+        net.publish(_SPLIT_B[3], "b-late", seg, n_replicas=2)
+
+    net.engine.schedule(
+        (cfg.partition_at_s + cfg.heal_at_s) / 2.0,
+        late_publish,
+        label="late-publish",
+    )
+
+    late = {"served": False}
+
+    def late_read(e) -> None:
+        try:
+            outcomes = net.access(_SPLIT_A[0], "b-late")
+        except ReproError:
+            return
+        late["served"] = bool(outcomes) and all(o.ok for o in outcomes)
+
+    net.engine.schedule(
+        (cfg.heal_at_s + cfg.horizon_s) / 2.0, late_read, label="late-read"
+    )
+
+    net.engine.run(until=cfg.horizon_s)
+
+    snap = registry.snapshot()["counters"]
+    pending = getattr(net.server, "pending_handoff", None)
+    divergence = len(pending()) if callable(pending) else 0
+    expected = datasets + ["b-late"]
+    present = sum(1 for d in expected if DatasetId(d) in net.server.catalog)
+    divergence += len(expected) - present
+    final = net.replication.snapshot(at=cfg.horizon_s)
+    return CommunitySplitResult(
+        partitions_enabled=partitions,
+        pre=pre,
+        minority=minority,
+        majority=majority,
+        post=post,
+        degraded_serves=snap["alloc.resolve.degraded"]["value"],
+        handoff_queued=snap["alloc.handoff.queued"]["value"],
+        handoff_replayed=snap["alloc.handoff.replayed"]["value"],
+        divergence_after_heal=divergence,
+        late_dataset_served=late["served"],
+        datasets_converged=present,
+        final_lost=final.lost,
+    )
+
+
+def compare_community_split(
+    *,
+    seed: int = 7,
+    config: Optional[CommunitySplitConfig] = None,
+) -> Tuple[CommunitySplitResult, CommunitySplitResult]:
+    """Run the scenario split-off then split-on (fresh registry each,
+    same seed) and return ``(off, on)`` — off is the convergence oracle."""
+    off = run_community_split(partitions=False, seed=seed, config=config)
+    on = run_community_split(partitions=True, seed=seed, config=config)
     return off, on

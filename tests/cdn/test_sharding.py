@@ -23,6 +23,9 @@ from repro.perf import (
     build_resolve_deployment,
     build_sharded_deployment,
 )
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import FailureInjector
+from repro.sim.network import GeoPoint, NetworkModel
 from repro.social.graph import CoauthorshipGraph
 from repro.cdn.allocation import resolve_candidates_reference
 from repro.cdn.content import segment_dataset
@@ -302,3 +305,276 @@ class TestFederatedCatalog:
             router.catalog.shard_of_dataset(DatasetId("no"))
         with pytest.raises(CatalogError):
             router.catalog.shard_of_replica("r-404040")
+
+
+# ----------------------------------------------------------------------
+# partition tolerance: degraded resolve, hinted handoff, reconciliation
+# ----------------------------------------------------------------------
+
+def node(a):
+    """Node id make_router-style registration gives author ``a``."""
+    return NodeId(f"node-{a}")
+
+
+def partition_rig(*, handoff_limit=256, capacities=None):
+    """A two-site router plus a NetworkModel reachability oracle.
+
+    Two tight 3-cliques ({a, b, c} and {x, y, z}) joined by one weak
+    bridge land on distinct sites at ``n_shards=2``; every author has a
+    ``node-<author>`` repository registered both with the router and the
+    network. ``capacities`` overrides per-author repository capacity.
+    """
+    g = graph_of(
+        pub("p1", 2009, "a", "b", "c"),
+        pub("p2", 2010, "a", "b", "c"),
+        pub("q1", 2009, "x", "y", "z"),
+        pub("q2", 2010, "x", "y", "z"),
+        pub("w", 2011, "c", "x"),
+    )
+    router = ShardedAllocationRouter(
+        g,
+        RandomPlacement(),
+        n_shards=2,
+        seed=0,
+        registry=Registry(),
+        handoff_limit=handoff_limit,
+    )
+    caps = capacities or {}
+    net = NetworkModel()
+    for a in "abcxyz":
+        router.register_repository(
+            AuthorId(a), StorageRepository(node(a), caps.get(a, 10_000))
+        )
+        net.add_node(node(a), GeoPoint(0.0, 0.0))
+    router.set_reachability_oracle(net)
+    # every test below depends on the cliques owning different sites
+    assert router.syscat.site_of_author(AuthorId("a")) != router.syscat.site_of_author(
+        AuthorId("x")
+    )
+    return router, net
+
+
+def split_cliques(net):
+    """Partition the rig's network clique-vs-clique."""
+    net.partition([[node(a) for a in "abc"], [node(a) for a in "xyz"]])
+
+
+def degraded_count(router):
+    return router.obs.snapshot()["counters"]["alloc.resolve.degraded"]["value"]
+
+
+class TestDegradedResolve:
+    """Resolution keeps serving across a partition, flagged degraded."""
+
+    def _published(self):
+        """A dataset owned by x with a replica on every node."""
+        router, net = partition_rig()
+        ds = segment_dataset(DatasetId("shared"), AuthorId("x"), 100)
+        router.publish_dataset(ds, n_replicas=6)
+        return router, net, ds.segments[0].segment_id
+
+    def test_whole_network_is_never_degraded(self):
+        router, _, seg = self._published()
+        res = router.resolve(seg, AuthorId("a"))
+        assert not res.degraded
+        assert degraded_count(router) == 0
+
+    def test_partitioned_resolve_serves_degraded_from_own_side(self):
+        router, net, seg = self._published()
+        split_cliques(net)
+        res = router.resolve(seg, AuthorId("a"))
+        assert res.degraded
+        assert res.replica.node_id in {node(c) for c in "abc"}
+        assert degraded_count(router) == 1
+
+    def test_same_side_as_owner_stays_authoritative(self):
+        router, net, seg = self._published()
+        split_cliques(net)
+        res = router.resolve(seg, AuthorId("y"))
+        assert not res.degraded
+        assert degraded_count(router) == 0
+
+    def test_candidates_flagged_and_filtered_to_reachable_side(self):
+        router, net, seg = self._published()
+        split_cliques(net)
+        candidates = router.resolve_candidates(seg, AuthorId("b"))
+        assert candidates
+        assert all(c.degraded for c in candidates)
+        assert {c.replica.node_id for c in candidates} <= {node(c) for c in "abc"}
+
+    def test_resolve_many_mixes_degraded_and_authoritative(self):
+        router, net, seg = self._published()
+        split_cliques(net)
+        out = router.resolve_many([(seg, AuthorId("a")), (seg, AuthorId("x"))])
+        assert out[0] is not None and out[0].degraded
+        assert out[1] is not None and not out[1].degraded
+        assert degraded_count(router) == 1
+
+    def test_no_reachable_replica_raises_and_heals(self):
+        """With every replica across the cut the degraded resolve fails —
+        and recovers the moment the network heals."""
+        router, net = partition_rig(capacities={"a": 10, "b": 10, "c": 10})
+        ds = segment_dataset(DatasetId("far"), AuthorId("x"), 100)
+        router.publish_dataset(ds, n_replicas=3)  # only x/y/z have room
+        seg = ds.segments[0].segment_id
+        split_cliques(net)
+        with pytest.raises(CatalogError):
+            router.resolve(seg, AuthorId("a"))
+        net.heal()
+        assert not router.resolve(seg, AuthorId("a")).degraded
+
+
+class TestHintedHandoff:
+    """Writes bound for a partitioned-away site queue instead of failing."""
+
+    def _cut_off_coordinator(self, net):
+        """Sever node-x (the x-site coordinator) from everyone else, so
+        y's own writes to its site degrade."""
+        net.partition([[node("x")]])
+
+    def test_publish_queues_under_degraded_owner(self):
+        router, net = partition_rig()
+        self._cut_off_coordinator(net)
+        ds = segment_dataset(DatasetId("queued"), AuthorId("y"), 100)
+        assert router.publish_dataset(ds, n_replicas=2) == []
+        assert DatasetId("queued") not in router.catalog
+        assert not router.syscat.has_dataset(DatasetId("queued"))
+        assert [h[0] for h in router.pending_handoff()] == ["publish"]
+        snap = router.obs.snapshot()["counters"]
+        assert snap["alloc.handoff.queued"]["value"] == 1
+
+    def test_handoff_log_is_bounded(self):
+        router, net = partition_rig(handoff_limit=2)
+        self._cut_off_coordinator(net)
+        for i in range(2):
+            ds = segment_dataset(DatasetId(f"q{i}"), AuthorId("y"), 100)
+            router.publish_dataset(ds, n_replicas=2)
+        overflow = segment_dataset(DatasetId("q2"), AuthorId("y"), 100)
+        with pytest.raises(CatalogError, match="full"):
+            router.publish_dataset(overflow, n_replicas=2)
+        assert len(router.pending_handoff()) == 2
+        snap = router.obs.snapshot()["counters"]
+        assert snap["alloc.handoff.dropped"]["value"] == 1
+
+    def test_reconcile_replays_queued_publish_after_heal(self):
+        router, net = partition_rig()
+        self._cut_off_coordinator(net)
+        ds = segment_dataset(DatasetId("late"), AuthorId("y"), 100)
+        router.publish_dataset(ds, n_replicas=2)
+        net.heal()
+        report = router.reconcile_after_heal(at=10.0)
+        assert report.replayed_publishes == 1
+        assert report.remaining == 0
+        assert router.pending_handoff() == []
+        assert DatasetId("late") in router.catalog
+        seg = ds.segments[0].segment_id
+        assert len(router.catalog.replicas_of_segment(seg, servable_only=True)) == 2
+        snap = router.obs.snapshot()["counters"]
+        assert snap["alloc.handoff.replayed"]["value"] == 1
+        assert snap["alloc.reconcile.runs"]["value"] == 1
+
+    def test_reconcile_mid_partition_requeues(self):
+        """A sweep while the cut is still open must not lose hints."""
+        router, net = partition_rig()
+        self._cut_off_coordinator(net)
+        ds = segment_dataset(DatasetId("stuck"), AuthorId("y"), 100)
+        router.publish_dataset(ds, n_replicas=2)
+        report = router.reconcile_after_heal(at=5.0)
+        assert report.replayed_publishes == 0
+        assert report.remaining == 1
+        assert DatasetId("stuck") not in router.catalog
+        net.heal()
+        report = router.reconcile_after_heal(at=10.0)
+        assert report.replayed_publishes == 1
+        assert DatasetId("stuck") in router.catalog
+
+    def test_repair_hints_queue_and_dedupe_across_the_cut(self):
+        """Repair never copies across a severed link: segments owned by an
+        unreachable site queue one hint each, replayed by reconcile."""
+        router, net = partition_rig()
+        away = next(
+            a for a in "ax" if router.syscat.site_of_author(AuthorId(a)) != 0
+        )
+        clique = "abc" if away == "a" else "xyz"
+        ds = segment_dataset(DatasetId("hurt"), AuthorId(away), 100)
+        router.publish_dataset(ds, n_replicas=3)
+        seg = ds.segments[0].segment_id
+        victim = sorted(
+            router.catalog.nodes_hosting(seg), key=str
+        )[0]
+        router.node_offline(victim, at=1.0)
+        assert router.under_replicated()
+        net.partition(
+            [
+                [node(a) for a in "abc" if a not in clique]
+                + [node(a) for a in "xyz" if a not in clique],
+                [node(a) for a in clique],
+            ]
+        )
+        assert router.repair(at=2.0) == []
+        assert [h for h in router.pending_handoff()] == [("repair", seg)]
+        router.repair(at=3.0)  # deduplicated: still one hint
+        assert len(router.pending_handoff()) == 1
+        net.heal()
+        report = router.reconcile_after_heal(at=4.0)
+        assert report.replayed_repairs == 1
+        assert report.repaired >= 1
+        assert router.under_replicated() == []
+        assert router.pending_handoff() == []
+
+
+class TestInjectorRouterWiring:
+    """FailureInjector.attach_server drives a ShardedAllocationRouter
+    exactly like a single server (regression for the widened surface)."""
+
+    def _wired(self):
+        router, net = partition_rig()
+        engine = SimulationEngine(registry=router.obs)
+        injector = FailureInjector(engine, [node(a) for a in "abcxyz"], seed=0)
+        injector.attach_server(router)
+        ds = segment_dataset(DatasetId("wired"), AuthorId("x"), 100)
+        router.publish_dataset(ds, n_replicas=3)
+        seg = ds.segments[0].segment_id
+        return router, net, engine, injector, seg
+
+    def test_crash_migrates_replicas_through_router(self):
+        router, _, engine, injector, seg = self._wired()
+        victim = sorted(router.catalog.nodes_hosting(seg), key=str)[0]
+        injector.crash(victim, at=1.0)
+        engine.run()
+        assert not router.is_online(victim)
+        live = {
+            r.node_id
+            for r in router.catalog.replicas_of_segment(seg, servable_only=True)
+        }
+        assert victim not in live
+        assert len(live) == 3  # budget restored elsewhere
+
+    def test_outage_toggles_offline_online_through_router(self):
+        router, _, engine, injector, seg = self._wired()
+        victim = sorted(router.catalog.nodes_hosting(seg), key=str)[0]
+        injector.outage(victim, start=1.0, duration=5.0)
+        engine.run(until=2.0)
+        assert not router.is_online(victim)
+        engine.run()
+        assert router.is_online(victim)
+
+    def test_heal_reconciles_queued_publish_through_injector(self):
+        """An injector-scheduled partition drains the handoff log on heal
+        without anyone calling reconcile_after_heal by hand."""
+        router, net, engine, injector, _ = self._wired()
+        injector.network_partition(
+            net, [[node("x")], [node(a) for a in "abcyz"]], start=1.0, duration=5.0
+        )
+
+        def publish_mid_partition(e):
+            ds = segment_dataset(DatasetId("mid"), AuthorId("y"), 100)
+            assert router.publish_dataset(ds, n_replicas=2, at=e.now) == []
+
+        engine.schedule(2.0, publish_mid_partition, label="mid-publish")
+        engine.run()
+        assert not net.partitioned
+        assert DatasetId("mid") in router.catalog
+        assert router.pending_handoff() == []
+        snap = router.obs.snapshot()["counters"]
+        assert snap["alloc.handoff.replayed"]["value"] == 1

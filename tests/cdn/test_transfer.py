@@ -297,3 +297,52 @@ class TestVerifiedTransfers:
         with pytest.raises(ConfigurationError):
             client.set_digest_resolver("not-callable")
         client.set_digest_resolver(None)  # explicit disable is fine
+
+
+class TestPartitionedTransfer:
+    def test_unreachable_fails_fast(self, network):
+        from repro.errors import UnreachableError
+        from repro.obs import Registry
+
+        registry = Registry()
+        client = TransferClient(network, registry=registry)
+        network.partition([[NodeId("chicago")], [NodeId("karlsruhe")]])
+        with pytest.raises(UnreachableError):
+            client.execute(req())
+        snap = registry.snapshot()["counters"]
+        assert snap["transfer.unreachable"]["value"] == 1
+        # fail-fast: no attempt was burned, no failure recorded
+        assert snap["transfer.failed"]["value"] == 0
+        network.heal()
+        assert client.execute(req()).ok
+
+    def test_unreachable_is_a_transfer_error(self, network):
+        # failover paths catch TransferError and move to the next replica;
+        # a severed link must take that path, not crash the client
+        from repro.errors import UnreachableError
+
+        client = TransferClient(network)
+        network.partition([[NodeId("chicago")], [NodeId("karlsruhe")]])
+        with pytest.raises(TransferError):
+            client.execute(req())
+        assert issubclass(UnreachableError, TransferError)
+
+    def test_unreachable_consumes_no_randomness(self, network):
+        # the fail-fast check runs before any RNG draw, so a partitioned
+        # request leaves the retry stream exactly where it was
+        a = TransferClient(network, failure_prob=0.5, max_attempts=5, seed=0)
+        b = TransferClient(network, failure_prob=0.5, max_attempts=5, seed=0)
+        network.partition([[NodeId("chicago")], [NodeId("karlsruhe")]])
+        with pytest.raises(TransferError):
+            a.execute(req())
+        network.heal()
+        ra = a.execute(req())
+        rb = b.execute(req())
+        assert (ra.ok, ra.attempts, ra.backoff_s) == (rb.ok, rb.attempts, rb.backoff_s)
+
+    def test_same_side_transfer_unaffected(self, network):
+        client = TransferClient(network)
+        network.partition(
+            [[NodeId("chicago"), NodeId("cardiff")], [NodeId("karlsruhe")]]
+        )
+        assert client.execute(req(dst="cardiff")).ok

@@ -212,3 +212,101 @@ class TestCorruptionCampaigns:
             ChaosConfig(corruption_rate_per_node_s=-1.0)
         with pytest.raises(ConfigurationError):
             ChaosConfig(scrub_interval_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# partition campaigns
+# ----------------------------------------------------------------------
+
+PARTITION = ChaosConfig(
+    horizon_s=1800.0,
+    members=5,
+    datasets=2,
+    segments_per_dataset=1,
+    dataset_size_bytes=100_000,
+    n_replicas=2,
+    crash_rate_per_node_s=0.0,
+    outage_rate_per_node_s=0.0,
+    slowlink_rate_per_node_s=0.0,
+    audit_interval_s=120.0,
+    partition_rate_s=2e-3,
+    partition_mean_duration_s=120.0,
+)
+
+#: new-in-this-layer report fields and their rate-0 values — a
+#: partition-free campaign must not even show the feature existing
+_PARTITION_DEFAULTS = {
+    "partitions": 0,
+    "degraded_serves": 0,
+    "degraded_serve_ratio": 0.0,
+    "minority_acceptance": 1.0,
+    "majority_acceptance": 1.0,
+    "time_to_reconverge_s": 0.0,
+    "divergence_after_heal": 0,
+}
+
+
+class TestPartitionCampaigns:
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_rate_zero_bit_identical_to_pre_partition_baseline(self, n_shards):
+        """The frozen PR-7 gate: with partitions off, a campaign on the
+        partition-aware stack reproduces the pre-partition report bit for
+        bit, and every new field sits at its inert default."""
+        import json
+        from pathlib import Path
+
+        from repro.scdn import SCDNConfig
+
+        baseline = json.loads(
+            (Path(__file__).parent.parent / "data" / "chaos_baseline_pr7.json")
+            .read_text()
+        )[str(n_shards)]
+        net = SCDN(
+            community_graph(),
+            config=SCDNConfig(shards=n_shards),
+            seed=1,
+            registry=Registry(),
+        )
+        report = run_chaos_campaign(net, SMALL, seed=7).to_dict()
+        assert {k: report[k] for k in baseline} == baseline
+        assert {k: report[k] for k in _PARTITION_DEFAULTS} == _PARTITION_DEFAULTS
+
+    @pytest.mark.parametrize("n_shards", [1, 2])
+    def test_partitions_inject_and_reconverge(self, n_shards):
+        from repro.scdn import SCDNConfig
+
+        net = SCDN(
+            community_graph(),
+            config=SCDNConfig(shards=n_shards),
+            seed=1,
+            registry=Registry(),
+        )
+        report = run_chaos_campaign(net, PARTITION, seed=7)
+        assert report.partitions > 0
+        assert report.unhandled_exceptions == 0
+        assert report.divergence_after_heal == 0
+        assert not net.network.partitioned  # campaign always ends healed
+        assert 0.0 <= report.minority_acceptance <= 1.0
+        assert 0.0 <= report.majority_acceptance <= 1.0
+        assert report.time_to_reconverge_s >= 0.0
+
+    def test_partition_campaign_deterministic(self):
+        a = run_chaos_campaign(fresh_net(), PARTITION, seed=7)
+        b = run_chaos_campaign(fresh_net(), PARTITION, seed=7)
+        assert a == b
+
+    def test_report_lines_include_partitions(self):
+        report = run_chaos_campaign(fresh_net(), PARTITION, seed=7)
+        text = "\n".join(report.lines())
+        assert "partitions:" in text
+        assert "divergence_after_heal=" in text
+
+    def test_partition_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(partition_rate_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(partition_mean_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(partition_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(partition_fraction=0.6)

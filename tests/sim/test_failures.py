@@ -300,3 +300,141 @@ class TestCorruption:
         before = injector._rng.bit_generator.state
         assert injector.random_corruptions(0.0, 500.0) == 0
         assert injector._rng.bit_generator.state == before
+
+
+class TestDuplicateNodes:
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FailureInjector(
+                SimulationEngine(), [NODES[0], NODES[1], NODES[0]], seed=0
+            )
+
+    def test_distinct_node_ids_accepted(self):
+        FailureInjector(SimulationEngine(), NODES, seed=0)
+
+
+class TestPartitionInjection:
+    def _net(self):
+        from repro.sim.network import GeoPoint, NetworkModel
+
+        net = NetworkModel()
+        for node in NODES:
+            net.add_node(node, GeoPoint(0, 0))
+        return net
+
+    def _split(self, injector, net, *, start=10.0, duration=5.0):
+        injector.network_partition(
+            net,
+            [[NODES[0], NODES[1]], [NODES[2], NODES[3], NODES[4]]],
+            start=start,
+            duration=duration,
+        )
+
+    def test_partition_start_end_events(self, rig):
+        engine, injector = rig
+        net = self._net()
+        self._split(injector, net)
+        engine.run(until=12.0)
+        assert net.partitioned
+        assert not net.reachable(NODES[0], NODES[2])
+        starts = [e for e in injector.history if e.kind == "partition-start"]
+        assert {e.node for e in starts} == set(NODES)
+        assert all(e.time == 10.0 for e in starts)
+        engine.run()
+        assert not net.partitioned
+        assert net.reachable(NODES[0], NODES[2])
+        ends = [e for e in injector.history if e.kind == "partition-end"]
+        assert {e.node for e in ends} == set(NODES)
+        assert all(e.time == 15.0 for e in ends)
+
+    def test_partition_side(self, rig):
+        engine, injector = rig
+        net = self._net()
+        self._split(injector, net)
+        assert injector.partition_side(NODES[0]) is None  # not active yet
+        engine.run(until=12.0)
+        assert injector.partition_side(NODES[0]) == "minority"
+        assert injector.partition_side(NODES[1]) == "minority"
+        assert injector.partition_side(NODES[4]) == "majority"
+        engine.run()
+        assert injector.partition_side(NODES[0]) is None
+
+    def test_crash_mid_partition_suppresses_restoration(self, rig):
+        engine, injector = rig
+        net = self._net()
+        self._split(injector, net)
+        injector.crash(NODES[0], at=12.0)
+        engine.run()
+        ends = {e.node for e in injector.history if e.kind == "partition-end"}
+        assert NODES[0] not in ends  # dead nodes get no restoration event
+        assert ends == set(NODES) - {NODES[0]}
+        assert not net.partitioned  # the heal itself still happened
+
+    def test_overlapping_episode_skipped_entirely(self, rig):
+        engine, injector = rig
+        net = self._net()
+        self._split(injector, net, start=10.0, duration=10.0)
+        self._split(injector, net, start=15.0, duration=10.0)  # overlaps
+        engine.run()
+        starts = [e for e in injector.history if e.kind == "partition-start"]
+        ends = [e for e in injector.history if e.kind == "partition-end"]
+        assert len(starts) == len(NODES)  # one episode, not two
+        assert len(ends) == len(NODES)
+        assert all(e.time == 20.0 for e in ends)
+        assert not net.partitioned
+
+    def test_on_heal_fires_after_end_events(self, rig):
+        engine, injector = rig
+        net = self._net()
+        heals = []
+        injector.on_heal(heals.append)
+        self._split(injector, net, start=10.0, duration=5.0)
+        engine.run()
+        assert heals == [15.0]
+
+    def test_validation(self, rig):
+        _, injector = rig
+        net = self._net()
+        with pytest.raises(ConfigurationError):
+            self._split(injector, net, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            injector.network_partition(
+                net, [[NodeId("zz")], [NODES[0]]], start=1.0, duration=1.0
+            )
+        with pytest.raises(ConfigurationError):
+            injector.network_partition(
+                net, [[NODES[0], NODES[1]]], start=1.0, duration=1.0
+            )
+        with pytest.raises(ConfigurationError):
+            injector.network_partition(
+                net, [[NODES[0]], []], start=1.0, duration=1.0
+            )
+
+    def test_random_partitions_schedule_and_heal(self, rig):
+        engine, injector = rig
+        net = self._net()
+        n = injector.random_partitions(0.01, 50.0, 1000.0, net)
+        assert n > 0
+        engine.run()
+        starts = [e for e in injector.history if e.kind == "partition-start"]
+        ends = [e for e in injector.history if e.kind == "partition-end"]
+        assert starts and len(starts) == len(ends)
+        assert not net.partitioned  # every episode healed
+
+    def test_random_partitions_zero_rate_draws_nothing(self):
+        net = self._net()
+        a = FailureInjector(SimulationEngine(), NODES, seed=3)
+        b = FailureInjector(SimulationEngine(), NODES, seed=3)
+        assert a.random_partitions(0.0, 100.0, 1000.0, net) == 0
+        # the zero-rate call consumed nothing: both streams still aligned
+        assert a._rng.random() == b._rng.random()
+
+    def test_random_partitions_validation(self, rig):
+        _, injector = rig
+        net = self._net()
+        with pytest.raises(ConfigurationError):
+            injector.random_partitions(-1.0, 10.0, 100.0, net)
+        with pytest.raises(ConfigurationError):
+            injector.random_partitions(1.0, 10.0, 100.0, net, fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            injector.random_partitions(1.0, 10.0, 100.0, net, fraction=1.0)

@@ -164,3 +164,84 @@ class TestDegradation:
         n = NetworkModel()
         n.add_node(NodeId("a"), GeoPoint(0, 0))
         n.restore(NodeId("a"))  # no degradation set: no error
+
+
+class TestPartition:
+    def _net(self):
+        n = NetworkModel()
+        for name in ("a", "b", "c", "d"):
+            n.add_node(NodeId(name), GeoPoint(0, 0))
+        return n
+
+    def test_whole_network_fully_reachable(self):
+        n = self._net()
+        assert not n.partitioned
+        assert n.reachable(NodeId("a"), NodeId("d"))
+
+    def test_partition_separates_groups(self):
+        n = self._net()
+        n.partition([[NodeId("a"), NodeId("b")], [NodeId("c")]])
+        assert n.partitioned
+        assert n.reachable(NodeId("a"), NodeId("b"))
+        assert not n.reachable(NodeId("a"), NodeId("c"))
+        assert not n.reachable(NodeId("b"), NodeId("c"))
+
+    def test_unlisted_nodes_form_rest_group(self):
+        n = self._net()
+        n.add_node(NodeId("e"), GeoPoint(0, 0))
+        n.partition([[NodeId("a")], [NodeId("b")]])
+        # c, d, e are unlisted: they reach each other, no listed node
+        assert n.reachable(NodeId("c"), NodeId("d"))
+        assert n.reachable(NodeId("c"), NodeId("e"))
+        assert not n.reachable(NodeId("c"), NodeId("a"))
+        assert not n.reachable(NodeId("e"), NodeId("b"))
+
+    def test_self_always_reachable(self):
+        n = self._net()
+        n.partition([[NodeId("a")], [NodeId("b")]])
+        for name in ("a", "b", "c"):
+            assert n.reachable(NodeId(name), NodeId(name))
+
+    def test_unregistered_nodes_never_raise(self):
+        n = self._net()
+        n.partition([[NodeId("a")], [NodeId("b")]])
+        # unregistered ids land in the implicit rest group
+        assert n.reachable(NodeId("zz"), NodeId("c"))
+        assert not n.reachable(NodeId("zz"), NodeId("a"))
+
+    def test_link_raises_unreachable_across_boundary(self):
+        from repro.errors import TransferError, UnreachableError
+
+        n = self._net()
+        n.partition([[NodeId("a"), NodeId("b")], [NodeId("c"), NodeId("d")]])
+        with pytest.raises(UnreachableError):
+            n.link(NodeId("a"), NodeId("c"))
+        # failover paths catch TransferError: the subclass must be one
+        assert issubclass(UnreachableError, TransferError)
+        n.link(NodeId("a"), NodeId("b"))  # same side: still characterized
+
+    def test_heal_restores_and_is_idempotent(self):
+        n = self._net()
+        n.partition([[NodeId("a")], [NodeId("b")]])
+        n.heal()
+        assert not n.partitioned
+        assert n.reachable(NodeId("a"), NodeId("b"))
+        n.link(NodeId("a"), NodeId("b"))
+        n.heal()  # no active partition: no error
+
+    def test_second_partition_rejected_until_heal(self):
+        n = self._net()
+        n.partition([[NodeId("a")], [NodeId("b")]])
+        with pytest.raises(ConfigurationError):
+            n.partition([[NodeId("c")], [NodeId("d")]])
+        n.heal()
+        n.partition([[NodeId("c")], [NodeId("d")]])
+
+    def test_validation(self):
+        n = self._net()
+        with pytest.raises(ConfigurationError):
+            n.partition([[NodeId("zz")]])
+        with pytest.raises(ConfigurationError):
+            n.partition([[NodeId("a")], [NodeId("a")]])
+        with pytest.raises(ConfigurationError):
+            n.partition([[], []])

@@ -1,0 +1,108 @@
+"""Community-split scenario tests (repro.sim.scenarios).
+
+The scenario is the partition-tolerance acceptance harness: community
+B's core is cut off from its own site's coordinator while most replicas
+of the shared dataset live in community A, so the majority must keep
+serving (degraded where needed), writes must park in the handoff log,
+and the post-heal reconciliation must converge on the never-partitioned
+oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.scenarios import (
+    CommunitySplitConfig,
+    compare_community_split,
+    run_community_split,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """(off, on): the oracle run and the partitioned run, same seed."""
+    return compare_community_split(seed=7)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CommunitySplitConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommunitySplitConfig(segment_bytes=0)
+        with pytest.raises(ConfigurationError):
+            CommunitySplitConfig(tick_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CommunitySplitConfig(partition_at_s=700.0)  # after heal_at_s
+        with pytest.raises(ConfigurationError):
+            CommunitySplitConfig(heal_at_s=1000.0)  # after horizon_s
+        with pytest.raises(ConfigurationError):
+            CommunitySplitConfig(shared_replicas=3)
+
+
+class TestOracle:
+    """The partitions=False run is the never-partitioned baseline."""
+
+    def test_nothing_degrades_without_a_partition(self, pair):
+        off, _ = pair
+        assert not off.partitions_enabled
+        assert off.degraded_serves == 0
+        assert off.handoff_queued == 0
+        assert off.divergence_after_heal == 0
+        assert off.final_lost == 0
+        for phase in (off.pre, off.minority, off.majority, off.post):
+            assert phase.availability == 1.0
+
+    def test_oracle_serves_every_dataset(self, pair):
+        off, _ = pair
+        assert off.datasets_converged == 3
+        assert off.late_dataset_served
+
+
+class TestPartitionedRun:
+    def test_majority_stays_servable(self, pair):
+        """The headline acceptance gate: group locality keeps the
+        majority side ≥ 0.9 available right through the split."""
+        _, on = pair
+        assert on.partitions_enabled
+        assert on.majority.accesses > 0
+        assert on.majority.availability >= 0.9
+
+    def test_minority_pays_for_the_cut(self, pair):
+        _, on = pair
+        assert on.minority.accesses > 0
+        assert on.minority.availability < on.majority.availability
+
+    def test_degraded_serves_counted(self, pair):
+        _, on = pair
+        assert on.degraded_serves > 0
+
+    def test_writes_park_and_replay(self, pair):
+        _, on = pair
+        assert on.handoff_queued > 0
+        assert on.handoff_replayed == on.handoff_queued
+        assert on.late_dataset_served
+
+    def test_convergence_matches_oracle(self, pair):
+        """Post-heal state must be indistinguishable from never having
+        partitioned: zero divergence, same datasets, nothing lost."""
+        off, on = pair
+        assert on.divergence_after_heal == 0
+        assert on.datasets_converged == off.datasets_converged == 3
+        assert on.final_lost == 0
+        assert on.post.availability == 1.0
+
+    def test_whole_phases_match_oracle(self, pair):
+        """Before the split both runs are bit-identical deployments."""
+        off, on = pair
+        assert on.pre == off.pre
+
+
+class TestDeterminism:
+    def test_partitioned_run_reproduces(self):
+        a = run_community_split(partitions=True, seed=7)
+        b = run_community_split(partitions=True, seed=7)
+        assert a == b
