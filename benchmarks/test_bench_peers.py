@@ -1,0 +1,151 @@
+"""Bench: peer-assisted delivery under a flash crowd.
+
+Runs the conference-deadline scenario pair (peer tier off vs on,
+identical workloads) plus one peer-churn chaos campaign over the same
+topology, and emits ``BENCH_peers.json`` at the repo root — what the
+peer tier buys when one dataset goes hot:
+
+* the repository offload ratio over the spike window (how much of the
+  read storm the origin never saw);
+* the client-side peer hit rate and the p50/p99 spike fetch times;
+* lease admission/expiry traffic and churn survival from the campaign.
+
+Gates (the issue's acceptance criteria): on the 10x spike the peer tier
+must improve p99 fetch time by >= 2x and offload >= 50% of repository
+reads, with full availability in both runs and bit-identical workloads
+(same remote-fetch count). The chaos campaign must keep serving through
+lease churn with zero integrity debt.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import Registry
+from repro.scdn import SCDN, SCDNConfig
+from repro.sim.chaos import ChaosConfig, run_chaos_campaign
+from repro.sim.scenarios import (
+    _flash_network,
+    compare_flash_crowd,
+    flash_crowd_graph,
+)
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_peers.json"
+
+FLASH_SEED = 7
+CHAOS_SEED = 7
+MIN_P99_SPEEDUP = 2.0
+MIN_OFFLOAD = 0.5
+
+CHAOS = ChaosConfig(
+    horizon_s=1800.0,
+    members=13,
+    datasets=2,
+    segments_per_dataset=2,
+    dataset_size_bytes=10_000_000,
+    n_replicas=3,
+    member_capacity_bytes=20_000_000,
+    publish_before_join=True,
+    peer_tier=True,
+    peer_leave_rate_s=0.002,
+)
+
+
+def _chaos_net():
+    graph = flash_crowd_graph()
+    return SCDN(
+        graph,
+        config=SCDNConfig(proximity_hops=6),
+        seed=1,
+        registry=Registry(),
+        network=_flash_network(graph),
+    )
+
+
+def _run_all():
+    off, on = compare_flash_crowd(seed=FLASH_SEED)
+    chaos = run_chaos_campaign(_chaos_net(), CHAOS, seed=CHAOS_SEED)
+    return off, on, chaos
+
+
+def _result(r):
+    return {
+        "spike_accesses": r.spike.accesses,
+        "spike_availability": r.spike.availability,
+        "spike_remote_fetches": r.spike_remote_fetches,
+        "spike_peer_fetches": r.spike_peer_fetches,
+        "spike_fetch_p50_s": r.spike_fetch_p50_s,
+        "spike_fetch_p99_s": r.spike_fetch_p99_s,
+        "offload_ratio": r.offload_ratio,
+        "peer_hit_rate": r.peer_hit_rate,
+        "peers_admitted": r.peers_admitted,
+        "peer_leases_expired": r.peer_leases_expired,
+    }
+
+
+def test_peer_assisted_delivery(benchmark):
+    off, on, chaos = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    speedup = (
+        off.spike_fetch_p99_s / on.spike_fetch_p99_s
+        if on.spike_fetch_p99_s > 0
+        else float("inf")
+    )
+    payload = {
+        "flash_crowd": {
+            "seed": FLASH_SEED,
+            "peers_off": _result(off),
+            "peers_on": _result(on),
+            "p99_speedup": speedup,
+        },
+        "chaos_campaign": {
+            "seed": CHAOS_SEED,
+            "peers_admitted": chaos.peers_admitted,
+            "peer_serves": chaos.peer_serves,
+            "peer_offload_ratio": chaos.peer_offload_ratio,
+            "peer_leases_expired": chaos.peer_leases_expired,
+            "peer_leaves": chaos.peer_leaves,
+            "availability": chaos.availability,
+            "corrupt_servable_after_repair": chaos.corrupt_servable_after_repair,
+            "unhandled_exceptions": chaos.unhandled_exceptions,
+        },
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print(
+        f"flash crowd: p99 {off.spike_fetch_p99_s:.4f}s -> "
+        f"{on.spike_fetch_p99_s:.4f}s ({speedup:.1f}x), "
+        f"offload {on.offload_ratio:.3f}, "
+        f"peer hit rate {on.peer_hit_rate:.3f}, "
+        f"{on.peers_admitted} leases admitted"
+    )
+    print(
+        f"chaos: {chaos.peers_admitted} admitted, {chaos.peer_serves} peer "
+        f"serves (offload {chaos.peer_offload_ratio:.4f}), "
+        f"{chaos.peer_leaves} churn leaves, "
+        f"availability {chaos.availability:.4f}"
+    )
+    print(f"-> {OUT.name}")
+
+    # identical workloads: the peer tier changes who serves, not who asks
+    assert off.spike_remote_fetches == on.spike_remote_fetches
+    assert off.spike.availability == 1.0
+    assert on.spike.availability == 1.0
+    # the acceptance gates: >= 2x p99, >= 50% repository offload
+    assert speedup >= MIN_P99_SPEEDUP, (
+        f"p99 speedup regressed: {speedup:.2f}x < {MIN_P99_SPEEDUP}x"
+    )
+    assert on.offload_ratio >= MIN_OFFLOAD, (
+        f"offload regressed: {on.offload_ratio:.3f} < {MIN_OFFLOAD}"
+    )
+    assert on.peers_admitted > 0
+    # peers off => the tier must be inert
+    assert off.spike_peer_fetches == 0 and off.offload_ratio == 0.0
+    # churn campaign: leases rise and fall, integrity debt stays zero
+    assert chaos.peers_admitted > 0
+    assert chaos.peer_serves > 0
+    assert chaos.peer_leaves > 0
+    assert chaos.corrupt_servable_after_repair == 0
+    assert chaos.unhandled_exceptions == 0

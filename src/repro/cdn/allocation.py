@@ -51,11 +51,18 @@ class ResolvedReplica:
     the replica's owning shard was unreachable (network partition): the
     replica was reachable and servable when chosen, but the authoritative
     catalog could not be consulted, so it may be short on freshness
-    guarantees the owning shard would have enforced."""
+    guarantees the owning shard would have enforced.
+
+    ``peer`` marks a peer-tier source (:mod:`repro.cdn.peers`): the
+    ``replica`` is the lease's synthetic envelope, not a catalog entry —
+    reads from it are accounted on the :class:`~repro.cdn.peers.PeerRegistry`
+    (never :meth:`AllocationServer.record_served`, which would charge a
+    repository-partition read to a node serving from user-space cache)."""
 
     replica: Replica
     social_hops: Optional[int]
     degraded: bool = False
+    peer: bool = False
 
 
 class AllocationFabric:
@@ -94,6 +101,11 @@ class AllocationFabric:
         self.reachability: Optional[object] = None
         #: per-node (time, "online"|"offline") transitions, in record order
         self.state_log: Dict[NodeId, List[Tuple[float, str]]] = {}
+        #: peer-tier registry (:class:`repro.cdn.peers.PeerRegistry`);
+        #: ``None`` keeps discovery on the repository tier alone. Shared
+        #: across shards exactly like ``liveness``: one fabric, one peer
+        #: population.
+        self.peer_registry: Optional[object] = None
         self.rng = make_rng(seed)
         self.hop_cache_sources = hop_cache_sources
         self.hops = HopIndex(graph, max_sources=hop_cache_sources)
@@ -254,6 +266,11 @@ class AllocationServer:
         )
         self._m_transitions = obs.counter(
             "alloc.node.transitions", help="recorded online/offline state changes"
+        )
+        self._m_repo_serves = obs.counter(
+            "alloc.serves.repository",
+            help="reads recorded on repository replicas (record_served); the "
+            "denominator's repository share when computing peer offload",
         )
 
     # ------------------------------------------------------------------
@@ -426,6 +443,24 @@ class AllocationServer:
                 "reachability oracle must expose reachable(a, b) or be None"
             )
         self.fabric.reachability = model
+
+    def set_peer_registry(self, peers: Optional[object]) -> None:
+        """Install a peer-tier registry (:class:`repro.cdn.peers.PeerRegistry`).
+
+        Once set, :meth:`resolve_candidates` merges the registry's live,
+        trust-admitted serving leases into the ranking — a peer beats a
+        repository replica only when strictly socially closer (ties go to
+        the authoritative repository tier). Installed on the shared
+        fabric, so in a sharded deployment every shard (and the router's
+        degraded path excepted — see :mod:`repro.cdn.sharding`) sees one
+        peer population. Pass ``None`` to remove; with no registry the
+        resolve path is byte-identical to a peer-unaware server.
+        """
+        if peers is not None and not callable(getattr(peers, "candidates", None)):
+            raise ConfigurationError(
+                "peer registry must expose candidates(segment_id, ...) or be None"
+            )
+        self.fabric.peer_registry = peers
 
     def _is_live(self, node: NodeId) -> bool:
         """Server-side liveness: not offline, and alive per the oracle."""
@@ -783,10 +818,22 @@ class AllocationServer:
         once per distinct node before sorting — never inside the
         comparison key.
 
+        With a peer registry installed (:meth:`set_peer_registry`), the
+        registry's candidate leases join the ranking under the peer-tier
+        rank rule: a peer sorts **ahead of repository replicas only when
+        strictly socially closer**; at equal distance the repository tier
+        wins (authoritative, scrubbed, and the peer saves nothing when it
+        is no nearer). Among peers at one distance, fewest serves first,
+        then node id. Without a registry — or with one holding no
+        admissible lease for this segment — the output is byte-identical
+        to a peer-unaware server.
+
         This is a pure query — no read is recorded, no resolve counters
         move (hop-cache hit/miss accounting still applies). It is the
         failover path's source of backup replicas: when a transfer to the
-        first choice fails, callers walk the remainder of this ranking.
+        first choice fails, callers walk the remainder of this ranking —
+        which is exactly how a failed or digest-mismatched peer read
+        falls back to the repository tier.
         Returns an empty list when nothing is servable.
         """
         reps = [
@@ -799,7 +846,15 @@ class AllocationServer:
             origin = self._node_of_author.get(requester)
             if origin is not None:
                 reps = [r for r in reps if net.reachable(origin, r.node_id)]
-        if not reps:
+        peers = self.fabric.peer_registry
+        peer_leases: List[object] = []
+        if peers is not None:
+            peer_leases = peers.candidates(
+                segment_id,
+                requester_node=self._node_of_author.get(requester),
+                exclude_nodes=[r.node_id for r in reps],
+            )
+        if not reps and not peer_leases:
             return []
         hops = self._hops_from(requester)
 
@@ -814,23 +869,62 @@ class AllocationServer:
             d = hops.get(self._author_of_node[r.node_id], 10**9)
             return (d, loads[r.node_id], str(r.node_id))
 
-        reps.sort(key=sort_key)
-        if limit is not None:
-            reps = reps[:limit]
-        return [
-            ResolvedReplica(
-                replica=r, social_hops=hops.get(self._author_of_node[r.node_id])
+        if not peer_leases:
+            reps.sort(key=sort_key)
+            if limit is not None:
+                reps = reps[:limit]
+            return [
+                ResolvedReplica(
+                    replica=r, social_hops=hops.get(self._author_of_node[r.node_id])
+                )
+                for r in reps
+            ]
+
+        # Two-tier merge. Key: (hops, tier, load, node id) with tier 0 for
+        # the repository and 1 for peers — a peer outranks a repository
+        # replica iff strictly closer; ties stay with the catalog.
+        author_of = self._author_of_node
+        merged: List[Tuple[Tuple[int, int, int, str], ResolvedReplica]] = []
+        for r in reps:
+            d = hops.get(author_of[r.node_id], 10**9)
+            merged.append(
+                (
+                    (d, 0, loads[r.node_id], str(r.node_id)),
+                    ResolvedReplica(
+                        replica=r, social_hops=hops.get(author_of[r.node_id])
+                    ),
+                )
             )
-            for r in reps
-        ]
+        for lease in peer_leases:
+            node = lease.node_id
+            d = hops.get(author_of[node], 10**9)
+            merged.append(
+                (
+                    (d, 1, lease.serves, str(node)),
+                    ResolvedReplica(
+                        replica=lease.replica,
+                        social_hops=hops.get(author_of[node]),
+                        peer=True,
+                    ),
+                )
+            )
+        merged.sort(key=lambda t: t[0])
+        out = [entry for _key, entry in merged]
+        if limit is not None:
+            out = out[:limit]
+        return out
 
     def record_served(self, replica: Replica) -> None:
         """Record a read served by ``replica``: the demand signal on the
         replica plus load on its host repository. :meth:`resolve` does
         this for its chosen replica; failover callers do it for the
-        backup that actually served."""
+        backup that actually served. Repository replicas only — peer
+        serves are accounted on the
+        :class:`~repro.cdn.peers.PeerRegistry` instead (a peer holds the
+        bytes in user space, not in a replica partition)."""
         replica.touch()
         self._repos[replica.node_id].read_segment(replica.segment_id)
+        self._m_repo_serves.inc()
 
     def record_failover(
         self,
@@ -884,7 +978,10 @@ class AllocationServer:
         best = candidates[0]
         load = self._repos[best.replica.node_id].reads_served
         if record:
-            self.record_served(best.replica)
+            if best.peer:
+                self.fabric.peer_registry.record_direct_serve(best.replica)
+            else:
+                self.record_served(best.replica)
         d = best.social_hops
 
         elapsed = perf_counter() - t0
@@ -961,7 +1058,10 @@ class AllocationServer:
             best = candidates[0]
             load = self._repos[best.replica.node_id].reads_served
             if record:
-                self.record_served(best.replica)
+                if best.peer:
+                    self.fabric.peer_registry.record_direct_serve(best.replica)
+                else:
+                    self.record_served(best.replica)
             self._m_resolve_total.inc()
             self._m_chosen_load.set(load)
             if best.social_hops is not None:

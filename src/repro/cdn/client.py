@@ -15,7 +15,7 @@ the metrics layer aggregates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..errors import CapacityError, CatalogError, TransferError
 from ..ids import AuthorId, DatasetId, SegmentId
@@ -23,6 +23,9 @@ from .allocation import AllocationServer, ResolvedReplica
 from .content import DataSegment
 from .storage import StorageRepository
 from .transfer import TransferClient, TransferRequest, TransferResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .peers import PeerRegistry
 
 
 @dataclass(slots=True)
@@ -33,6 +36,9 @@ class ClientStats:
     local_hits: int = 0
     cache_hits: int = 0
     remote_fetches: int = 0
+    #: remote fetches whose serving source was a peer-tier lease rather
+    #: than a repository replica (a subset of ``remote_fetches``)
+    peer_fetches: int = 0
     failed: int = 0
     failovers: int = 0
     integrity_failovers: int = 0
@@ -81,11 +87,17 @@ class CDNClient:
         repository: StorageRepository,
         server: AllocationServer,
         transfer: TransferClient,
+        *,
+        peers: Optional["PeerRegistry"] = None,
     ) -> None:
         self.author = author
         self.repository = repository
         self.server = server
         self.transfer = transfer
+        #: peer-tier registry (:mod:`repro.cdn.peers`); when set, this
+        #: client offers freshly fetched segments as serving leases and
+        #: brackets peer reads with begin/end serve accounting
+        self.peers = peers
         self.stats = ClientStats()
 
     def _cache_name(self, segment_id: SegmentId) -> str:
@@ -134,11 +146,23 @@ class CDNClient:
             )
         self._cache_store(segment_id, segment.size_bytes)
         self.stats.remote_fetches += 1
+        if resolved.peer:
+            self.stats.peer_fetches += 1
         self.stats.bytes_fetched += segment.size_bytes
         self.stats.total_fetch_time_s += duration
         if resolved.social_hops is not None:
             h = resolved.social_hops
             self.stats.hop_histogram[h] = self.stats.hop_histogram.get(h, 0) + 1
+        # peer-tier minting: a successful fetch whose bytes actually
+        # landed in the cache makes this client an ephemeral serving peer
+        # (trust, liveness, and capacity gates live in the registry — a
+        # rejected offer is silent here). Stream-only fetches (the cache
+        # couldn't hold the segment) mint nothing: a lease must be backed
+        # by bytes the peer still has.
+        if self.peers is not None and self.repository.has_user_file(
+            self._cache_name(segment_id)
+        ):
+            self.peers.offer(self.repository.node_id, segment)
         return AccessOutcome(
             segment_id, "remote", resolved.social_hops, duration, True
         )
@@ -156,6 +180,18 @@ class CDNClient:
         was actually used, and the total duration across every source
         tried — failed attempts and backoff waits included, so the access
         outcome reflects what the failover really cost.
+
+        Peer-tier sources (``ResolvedReplica.peer``) get the same
+        treatment with different bookkeeping: the read is bracketed by
+        :meth:`PeerRegistry.begin_serve`/:meth:`end_serve` (pinning the
+        lease against mid-transfer expiry and enforcing the concurrent-
+        serve cap), a successful peer read is credited to the registry —
+        never :meth:`record_served`, which would charge a repository-
+        partition read — and a failed or digest-mismatched peer read
+        falls over to the next ranked source, i.e. back into the
+        repository tier. A lease that vanished between ranking and fetch
+        (``begin_serve`` returns ``None``) counts as a failed source
+        without burning a transfer attempt.
         """
         total = 0.0
         chosen = primary
@@ -172,17 +208,36 @@ class CDNClient:
                 expected_digest=segment.digest or None,
             )
             result: Optional[TransferResult]
-            try:
-                result = self.transfer.execute(request)
-            except TransferError:
-                result = None
+            serve = None
+            if chosen.peer and self.peers is not None:
+                serve = self.peers.begin_serve(node, segment.segment_id)
+                if serve is None:
+                    # lease expired/left between ranking and fetch
+                    result = None
+                else:
+                    try:
+                        result = self.transfer.execute(request)
+                    except TransferError:
+                        result = None
+                    else:
+                        total += result.duration_s
             else:
-                total += result.duration_s
-            if result is not None and result.ok:
+                try:
+                    result = self.transfer.execute(request)
+                except TransferError:
+                    result = None
+                else:
+                    total += result.duration_s
+            ok = result is not None and result.ok
+            if serve is not None:
+                self.peers.end_serve(serve, ok=ok)
+            if ok:
                 # the one read record for this access: resolve() ran with
-                # record=False, so only the replica that actually served
-                # is credited — exactly once, failovers included
-                self.server.record_served(chosen.replica)
+                # record=False, so only the source that actually served
+                # is credited — exactly once, failovers included; peer
+                # serves were just credited via end_serve
+                if not chosen.peer:
+                    self.server.record_served(chosen.replica)
                 return result, chosen, total
             if backups is None:
                 backups = self.server.resolve_candidates(
@@ -238,6 +293,13 @@ class CDNClient:
                 if not victims:
                     return  # user's own files occupy the space; don't evict those
                 self.repository.delete_user_file(victims[0])
+                if self.peers is not None:
+                    # the evicted bytes may back a serving lease; retract
+                    # it so discovery never offers a copy we no longer hold
+                    self.peers.evict(
+                        self.repository.node_id,
+                        SegmentId(victims[0][len("cache:"):]),
+                    )
 
     def _cache_files(self) -> List[str]:
         return [f for f in self.repository.user_files() if f.startswith("cache:")]

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set
 
 from ..errors import ConfigurationError
 from ..ids import AuthorId, SegmentId
+from ..obs import Registry
 from ..social.graph import CoauthorshipGraph
 from .allocation import AllocationServer
 
@@ -58,11 +59,21 @@ class GossipIndex:
     "social cache" model); with 0 only its own.
     """
 
-    def __init__(self, graph: CoauthorshipGraph, *, gossip_rounds: int = 1) -> None:
+    def __init__(
+        self,
+        graph: CoauthorshipGraph,
+        *,
+        gossip_rounds: int = 1,
+        registry: Optional[Registry] = None,
+    ) -> None:
         if gossip_rounds < 0:
             raise ConfigurationError("gossip_rounds must be >= 0")
         self.graph = graph
         self.gossip_rounds = gossip_rounds
+        self._m_stale = (registry if registry is not None else Registry()).counter(
+            "p2p.lookup.stale",
+            help="stale gossip entries hit (and purged) during consults",
+        )
         #: per author: the set of segments they are known (to whom?) to hold —
         #: keyed (observer, holder) -> segments
         self._known: Dict[AuthorId, Dict[AuthorId, Set[SegmentId]]] = {}
@@ -94,7 +105,7 @@ class GossipIndex:
 
     def retract(self, holder: AuthorId, segment_id: SegmentId) -> None:
         """Remove a holding (e.g. after migration); gossip entries go stale
-        and are corrected lazily on failed fetches — like real gossip."""
+        and are corrected lazily on failed consults — like real gossip."""
         self._holdings.get(holder, set()).discard(segment_id)
 
     def holds(self, author: AuthorId, segment_id: SegmentId) -> bool:
@@ -102,13 +113,30 @@ class GossipIndex:
         return segment_id in self._holdings.get(author, ())
 
     def known_holders(self, observer: AuthorId, segment_id: SegmentId) -> List[AuthorId]:
-        """Holders ``observer`` knows about (own holdings + gossip)."""
+        """Holders ``observer`` knows about (own holdings + gossip).
+
+        A gossip entry naming a holder that no longer holds the segment
+        is *stale*: it is purged here so later consults stop paying for
+        it, and counted on ``p2p.lookup.stale``.
+        """
         out = []
         if self.holds(observer, segment_id):
             out.append(observer)
-        for holder, segs in self._known.get(observer, {}).items():
-            if segment_id in segs and self.holds(holder, segment_id):
-                out.append(holder)
+        gossip = self._known.get(observer)
+        if gossip:
+            stale: List[AuthorId] = []
+            for holder, segs in gossip.items():
+                if segment_id not in segs:
+                    continue
+                if self.holds(holder, segment_id):
+                    out.append(holder)
+                else:
+                    segs.discard(segment_id)
+                    self._m_stale.inc()
+                    if not segs:
+                        stale.append(holder)
+            for holder in stale:
+                del gossip[holder]
         return out
 
     def lookup(
@@ -162,11 +190,27 @@ class GossipIndex:
 
 
 def index_from_server(
-    server: AllocationServer, *, gossip_rounds: int = 1
+    server: "AllocationServer | ShardedAllocationRouter",
+    *,
+    gossip_rounds: int = 1,
+    registry: Optional[Registry] = None,
 ) -> GossipIndex:
-    """Build a gossip index reflecting an allocation server's current
-    placements (each replica's holder announces it)."""
-    index = GossipIndex(server.graph, gossip_rounds=gossip_rounds)
+    """Build a gossip index reflecting the current placements of an
+    allocation tier (each replica's holder announces it).
+
+    Accepts a single :class:`~repro.cdn.allocation.AllocationServer` or a
+    :class:`~repro.cdn.sharding.ShardedAllocationRouter` — for the router
+    the index is built over the *federated* servable view (every shard's
+    catalog). Anything else raises :class:`ConfigurationError`.
+    """
+    from .sharding import ShardedAllocationRouter
+
+    if not isinstance(server, (AllocationServer, ShardedAllocationRouter)):
+        raise ConfigurationError(
+            "index_from_server() needs an AllocationServer or a "
+            f"ShardedAllocationRouter, got {type(server).__name__}"
+        )
+    index = GossipIndex(server.graph, gossip_rounds=gossip_rounds, registry=registry)
     for replica in server.catalog.iter_replicas():
         if not replica.servable:
             continue

@@ -531,6 +531,14 @@ class ShardedAllocationRouter:
         hinted handoff."""
         self._home.set_reachability_oracle(model)
 
+    def set_peer_registry(self, peers: Optional[object]) -> None:
+        """Install a peer-tier registry on the shared fabric (see
+        :meth:`AllocationServer.set_peer_registry`). One fabric, one peer
+        population: every shard's resolve path merges the same leases,
+        so a peer minted by a requester homed on one site serves
+        requesters homed on any site."""
+        self._home.set_peer_registry(peers)
+
     def _is_live(self, node: NodeId) -> bool:
         return self._home._is_live(node)
 
@@ -699,7 +707,10 @@ class ShardedAllocationRouter:
         if candidates and self._degraded_site(site, requester):
             candidates = [
                 ResolvedReplica(
-                    replica=c.replica, social_hops=c.social_hops, degraded=True
+                    replica=c.replica,
+                    social_hops=c.social_hops,
+                    degraded=True,
+                    peer=c.peer,
                 )
                 for c in candidates
             ]
@@ -737,7 +748,10 @@ class ShardedAllocationRouter:
         best = candidates[0]
         load = self.fabric.repos[best.replica.node_id].reads_served
         if record:
-            shard.record_served(best.replica)
+            if best.peer:
+                self.fabric.peer_registry.record_direct_serve(best.replica)
+            else:
+                shard.record_served(best.replica)
         elapsed = perf_counter() - t0
         shard._m_resolve_latency.observe(elapsed)
         shard._m_resolve_total.inc()
@@ -758,7 +772,7 @@ class ShardedAllocationRouter:
             latency_s=elapsed,
         )
         return ResolvedReplica(
-            replica=best.replica, social_hops=d, degraded=True
+            replica=best.replica, social_hops=d, degraded=True, peer=best.peer
         )
 
     def resolve(

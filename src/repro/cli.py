@@ -12,6 +12,7 @@ Subcommands::
     repro scrub     [--corrupt K] [--seed N]         bit-rot + scrubber check
     repro migrate   [--migrate-seed N]               demand-shift migration check
     repro partition [--partition-seed N]             community-split partition check
+    repro flashcrowd [--flash-seed N] [--quick]      flash-crowd peer-tier check
 
 All subcommands accept ``--corpus`` (a JSON file from ``repro generate``
 or :func:`repro.social.io.save_corpus`); without it a synthetic corpus is
@@ -230,7 +231,32 @@ def cmd_chaos(args) -> int:
         partition_rate_s=args.partition_rate,
         partition_mean_duration_s=args.partition_duration,
         partition_fraction=args.partition_fraction,
+        peer_tier=args.peer_tier,
+        peer_leave_rate_s=args.peer_leave_rate,
     )
+    if args.flash_graph:
+        # The flash-crowd topology (far origin clique bridged to a dense
+        # crowd clique) with replicas pinned on the owners is the
+        # deployment where the peer tier has social room to serve: late
+        # joiners are strictly closer to each other than to any replica.
+        from dataclasses import replace as _replace
+
+        if args.grid:
+            print(
+                "error: --flash-graph runs a single fixed deployment; "
+                "--grid is not supported",
+                file=sys.stderr,
+            )
+            return 2
+        config = _replace(
+            config,
+            members=13,
+            datasets=2,
+            segments_per_dataset=2,
+            n_replicas=3,
+            member_capacity_bytes=20_000_000,
+            publish_before_join=True,
+        )
 
     if args.grid:
         from dataclasses import asdict
@@ -295,10 +321,24 @@ def cmd_chaos(args) -> int:
         return 0 if ok else 1
 
     registry = Registry()
-    corpus, seed_author = _get_corpus(args)
-    ego = ego_corpus(corpus, seed_author, hops=2)
-    trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
-    net = SCDN(trusted.graph, config=SCDNConfig(), seed=args.seed, registry=registry)
+    if args.flash_graph:
+        from .sim.scenarios import _flash_network, flash_crowd_graph
+
+        graph = flash_crowd_graph()
+        net = SCDN(
+            graph,
+            config=SCDNConfig(proximity_hops=6),
+            seed=args.seed,
+            registry=registry,
+            network=_flash_network(graph),
+        )
+    else:
+        corpus, seed_author = _get_corpus(args)
+        ego = ego_corpus(corpus, seed_author, hops=2)
+        trusted = MinCoauthorshipTrust(2).prune(ego, seed=seed_author)
+        net = SCDN(
+            trusted.graph, config=SCDNConfig(), seed=args.seed, registry=registry
+        )
     report = run_chaos_campaign(net, config, seed=args.chaos_seed)
     for line in report.lines():
         print(line)
@@ -320,6 +360,10 @@ def cmd_chaos(args) -> int:
         and report.post_repair_redundancy >= args.min_redundancy
         and report.corrupt_servable_after_repair == 0
         and report.divergence_after_heal == 0
+        and (
+            args.min_offload is None
+            or report.peer_offload_ratio > args.min_offload
+        )
     )
     if not ok:
         print(
@@ -327,7 +371,13 @@ def cmd_chaos(args) -> int:
             f"redundancy={report.post_repair_redundancy:.4f} "
             f"corrupt_servable={report.corrupt_servable_after_repair} "
             f"divergence_after_heal={report.divergence_after_heal} "
-            f"(need 0, >= {args.min_redundancy}, 0, and 0)",
+            f"peer_offload={report.peer_offload_ratio:.4f} "
+            f"(need 0, >= {args.min_redundancy}, 0, 0"
+            + (
+                f", and > {args.min_offload})"
+                if args.min_offload is not None
+                else ")"
+            ),
             file=sys.stderr,
         )
     return 0 if ok else 1
@@ -579,6 +629,105 @@ def cmd_partition(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_flashcrowd(args) -> int:
+    """`repro flashcrowd`: run the flash-crowd scenario with the peer
+    tier off and on, print the comparison, and verify the peer-tier
+    acceptance criteria.
+
+    The scenario (:mod:`repro.sim.scenarios`) spikes the request rate on
+    one dataset by spike_factor x crowd (90x at the defaults) while every
+    repository replica sits in a far, thin-linked origin clique. Exit
+    status is 0 only if the peer tier offloaded at least
+    ``--min-offload`` of the spike's serves from the origin, improved
+    the spike p99 fetch time by at least ``--min-p99-speedup``, minted
+    peers, and kept availability at 1.0 in both runs — so the command
+    doubles as a CI smoke test for the peer-assisted delivery path.
+    """
+    import json as _json
+
+    from .sim.scenarios import FlashCrowdConfig, compare_flash_crowd
+
+    config = None
+    if args.quick:
+        # shorter phases, same shape: ~60 spike ticks instead of ~100
+        config = FlashCrowdConfig(
+            baseline_tick_interval_s=30.0,
+            spike_at_s=300.0,
+            horizon_s=480.0,
+            spike_factor=args.spike_factor,
+        )
+    elif args.spike_factor != 10:
+        config = FlashCrowdConfig(spike_factor=args.spike_factor)
+    off, on = compare_flash_crowd(seed=args.flash_seed, config=config)
+    print(
+        f"flash crowd: {on.spike.accesses} spike accesses, "
+        f"{on.spike_remote_fetches} remote fetches "
+        f"(spike_factor={args.spike_factor})"
+    )
+    for r in (off, on):
+        label = "peers on " if r.peer_tier_enabled else "peers off"
+        print(
+            f"{label}: spike p50={r.spike_fetch_p50_s * 1e3:.1f}ms "
+            f"p99={r.spike_fetch_p99_s * 1e3:.1f}ms "
+            f"offload={r.offload_ratio:.4f} "
+            f"peer_hit_rate={r.peer_hit_rate:.4f} "
+            f"admitted={r.peers_admitted} expired={r.peer_leases_expired} "
+            f"availability={r.spike.availability:.4f}"
+        )
+    speedup = (
+        off.spike_fetch_p99_s / on.spike_fetch_p99_s
+        if on.spike_fetch_p99_s
+        else float("inf")
+    )
+    print(f"spike p99 fetch time improved {speedup:.1f}x with the peer tier")
+    if args.json:
+        payload = {
+            "off": {
+                "spike_fetch_p99_s": off.spike_fetch_p99_s,
+                "spike_remote_fetches": off.spike_remote_fetches,
+                "availability": off.spike.availability,
+            },
+            "on": {
+                "spike_fetch_p99_s": on.spike_fetch_p99_s,
+                "spike_remote_fetches": on.spike_remote_fetches,
+                "offload_ratio": on.offload_ratio,
+                "peer_hit_rate": on.peer_hit_rate,
+                "peers_admitted": on.peers_admitted,
+                "peer_leases_expired": on.peer_leases_expired,
+                "availability": on.spike.availability,
+            },
+            "p99_speedup": speedup,
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(payload, fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote flash-crowd comparison to {args.json}")
+    ok = (
+        on.offload_ratio >= args.min_offload
+        and speedup >= args.min_p99_speedup
+        and on.peers_admitted > 0
+        and off.spike.availability == 1.0
+        and on.spike.availability == 1.0
+        and off.spike_remote_fetches == on.spike_remote_fetches
+    )
+    if not ok:
+        print(
+            f"FAIL: offload={on.offload_ratio:.4f} "
+            f"(need >= {args.min_offload}) speedup={speedup:.2f}x "
+            f"(need >= {args.min_p99_speedup}) "
+            f"admitted={on.peers_admitted} "
+            f"avail off={off.spike.availability:.4f} "
+            f"on={on.spike.availability:.4f} "
+            f"fetches off={off.spike_remote_fetches} "
+            f"on={on.spike_remote_fetches}",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def cmd_perf(args) -> int:
     """`repro perf`: resolve-throughput and campaign-speedup harness.
 
@@ -781,6 +930,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mean partition duration in simulated seconds")
     p.add_argument("--partition-fraction", type=float, default=0.3,
                    help="fraction of nodes on the minority side of a split")
+    p.add_argument("--peer-tier", action="store_true",
+                   help="enable the peer-assisted delivery tier")
+    p.add_argument("--peer-leave-rate", type=float, default=0.0,
+                   help="abrupt peer-departure (churn) rate per second "
+                        "(needs --peer-tier; 0 disables)")
+    p.add_argument("--min-offload", type=float, default=None,
+                   help="require a peer offload ratio strictly greater "
+                        "than this for exit status 0 (use with --peer-tier)")
+    p.add_argument("--flash-graph", action="store_true",
+                   help="deploy over the flash-crowd topology with replicas "
+                        "pinned on the owners (the deployment where the "
+                        "peer tier has social room to serve)")
     p.add_argument("--grid", type=int, default=0,
                    help="run an N-seed campaign grid (seeds derived from "
                         "--chaos-seed) instead of a single campaign")
@@ -853,6 +1014,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="majority-side acceptance required for exit status 0")
     p.add_argument("--json", help="also write the off/on comparison to this path")
     p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser(
+        "flashcrowd",
+        help="run the flash-crowd scenario and verify the peer tier",
+    )
+    p.add_argument("--flash-seed", type=int, default=7,
+                   help="seed of the scenario deployment pair")
+    p.add_argument("--quick", action="store_true",
+                   help="shorter baseline and spike phases (CI smoke)")
+    p.add_argument("--spike-factor", type=int, default=10,
+                   help="spike tick-rate multiplier (the whole crowd also "
+                        "reads every spike tick)")
+    p.add_argument("--min-offload", type=float, default=0.5,
+                   help="spike offload ratio required for exit status 0")
+    p.add_argument("--min-p99-speedup", type=float, default=2.0,
+                   help="spike p99 fetch-time improvement factor required "
+                        "for exit status 0")
+    p.add_argument("--json", help="also write the off/on comparison to this path")
+    p.set_defaults(func=cmd_flashcrowd)
 
     return parser
 

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 if TYPE_CHECKING:
     from .cdn.integrity import IntegrityScrubber
     from .cdn.migration import MigrationConfig, MigrationEngine
+    from .cdn.peers import PeerRegistry
     from .sim.failures import FailureInjector
 
 from .errors import AuthenticationError, AuthorizationError, ConfigurationError
@@ -84,6 +85,16 @@ class SCDNConfig:
         :class:`~repro.cdn.sharding.ShardedAllocationRouter` over a
         community-partitioned catalog — same interface, bit-identical
         behavior (see :mod:`repro.cdn.sharding`).
+    peer_tier:
+        Enable the peer-assisted delivery tier (:mod:`repro.cdn.peers`):
+        clients that successfully fetch a segment become time-limited,
+        trust-gated serving peers ranked ahead of repository replicas
+        when socially closer. Off by default — and when off, the
+        deployment is bit-identical to a peer-unaware one.
+    peer_lease_ttl_s / peer_cache_segments / peer_max_concurrent_serves:
+        Peer-tier knobs (lease TTL in engine time, per-node lease cap —
+        zero admits nobody — and per-lease in-flight read cap); see
+        :class:`~repro.cdn.peers.PeerRegistry`.
     """
 
     n_replicas: int = 3
@@ -92,6 +103,10 @@ class SCDNConfig:
     transfer_failure_prob: float = 0.02
     transfer_retry: RetryPolicy = RetryPolicy()
     shards: int = 1
+    peer_tier: bool = False
+    peer_lease_ttl_s: float = 600.0
+    peer_cache_segments: int = 4
+    peer_max_concurrent_serves: int = 4
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -104,6 +119,12 @@ class SCDNConfig:
             raise ConfigurationError("transfer_failure_prob must be in [0, 1)")
         if self.shards < 1:
             raise ConfigurationError("shards must be >= 1")
+        if self.peer_lease_ttl_s <= 0:
+            raise ConfigurationError("peer_lease_ttl_s must be positive")
+        if self.peer_cache_segments < 0:
+            raise ConfigurationError("peer_cache_segments must be >= 0")
+        if self.peer_max_concurrent_serves < 1:
+            raise ConfigurationError("peer_max_concurrent_serves must be >= 1")
 
 
 class SCDN:
@@ -184,6 +205,11 @@ class SCDN:
         self._credentials: Dict[AuthorId, Credential] = {}
         self._rosters: Dict[str, set] = {}
         self._policy = self._build_policy()
+        #: peer-assisted delivery tier (None until enabled — the default;
+        #: a peerless deployment is bit-identical to pre-peer builds)
+        self.peers: Optional["PeerRegistry"] = None
+        if self.config.peer_tier:
+            self.enable_peer_tier()
 
     def _build_policy(self) -> PolicyStack:
         return PolicyStack(
@@ -224,7 +250,9 @@ class SCDN:
             self.network.add_node(node, GeoPoint(0.0, 0.0))
         repo = StorageRepository(node, capacity)
         self.server.register_repository(author, repo)
-        client = CDNClient(author, repo, self.server, self.transfer)
+        client = CDNClient(
+            author, repo, self.server, self.transfer, peers=self.peers
+        )
         self.clients[author] = client
         self.collector.register_node(node, capacity_bytes=capacity, region=region)
         self.collector.record_node_state(
@@ -412,7 +440,54 @@ class SCDN:
         injector.attach_server(
             self.server, policy=self.replication, repair_delay_s=repair_delay_s
         )
+        if self.peers is not None:
+            # crashes and outage starts drop the victim's serving leases
+            # (expiry events cancelled — no phantom lease-ends)
+            self.peers.attach_injector(injector)
         return injector
+
+    # ------------------------------------------------------------------
+    # peer-assisted delivery tier
+    # ------------------------------------------------------------------
+    def enable_peer_tier(
+        self,
+        *,
+        lease_ttl_s: Optional[float] = None,
+        cache_segments: Optional[int] = None,
+        max_concurrent_serves: Optional[int] = None,
+    ) -> "PeerRegistry":
+        """Switch on the peer-assisted delivery tier (:mod:`repro.cdn.peers`).
+
+        Builds a :class:`~repro.cdn.peers.PeerRegistry` over the
+        allocation fabric and this deployment's engine, installs it on
+        the allocation tier (single server or sharded router — the
+        fabric is shared either way), and wires every current and future
+        CDN client to offer leases and bracket peer reads. Knobs default
+        to the facade config's ``peer_*`` values. Idempotent: a second
+        call returns the existing registry unchanged.
+        """
+        if self.peers is not None:
+            return self.peers
+        from .cdn.peers import PeerRegistry
+
+        self.peers = PeerRegistry(
+            self.server.fabric,
+            self.engine,
+            lease_ttl_s=lease_ttl_s
+            if lease_ttl_s is not None
+            else self.config.peer_lease_ttl_s,
+            cache_segments=cache_segments
+            if cache_segments is not None
+            else self.config.peer_cache_segments,
+            max_concurrent_serves=max_concurrent_serves
+            if max_concurrent_serves is not None
+            else self.config.peer_max_concurrent_serves,
+            registry=self.obs,
+        )
+        self.server.set_peer_registry(self.peers)
+        for client in self.clients.values():
+            client.peers = self.peers
+        return self.peers
 
     # ------------------------------------------------------------------
     # data integrity
@@ -420,11 +495,19 @@ class SCDN:
     def _stored_digest(self, node: NodeId, segment_id) -> Optional[str]:
         """Digest of the bytes ``node`` actually holds for ``segment_id``
         (the transfer client's verification source). ``None`` when the
-        node is unregistered or no longer hosts the segment."""
+        node is unregistered or no longer hosts the segment.
+
+        Peer-tier coverage: when the node's *replica partition* does not
+        host the segment but the peer registry holds a lease for it, the
+        lease digest answers — so peer reads are digest-verified exactly
+        like repository reads and a corrupt peer copy fails the transfer
+        (then fails over to the repository tier)."""
         if not self.server.has_node(node):
             return None
         repo = self.server.repository(node)
         if not repo.hosts_segment(segment_id):
+            if self.peers is not None:
+                return self.peers.stored_digest(node, segment_id)
             return None
         return repo.stored_digest(segment_id)
 

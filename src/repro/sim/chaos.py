@@ -20,7 +20,7 @@ into independent streams for the failure schedule and the workload, so a
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +48,19 @@ class ChaosConfig:
     segments_per_dataset: int = 2
     dataset_size_bytes: int = 10_000_000
     n_replicas: int = 3
+    #: per-member contributed storage (None -> the deployment default).
+    #: Tight values make user caches thrash, keeping reads on the resolve
+    #: path — the sustained fetch traffic the peer tier offloads.
+    member_capacity_bytes: Optional[int] = None
+    #: publish datasets after only the owners have joined, so replicas pin
+    #: to owner nodes; the remaining members join afterwards (with
+    #: ``member_capacity_bytes``, owners keep the deployment default).
+    #: This mirrors a flash crowd arriving at pre-existing content and
+    #: gives the peer tier social room: late joiners far from the owners
+    #: can be strictly closer to each other than to any replica.  Off by
+    #: default — the classic join-then-publish order is preserved bit for
+    #: bit.
+    publish_before_join: bool = False
     crash_rate_per_node_s: float = 2e-5
     outage_rate_per_node_s: float = 1e-4
     outage_mean_duration_s: float = 300.0
@@ -72,6 +85,15 @@ class ChaosConfig:
     partition_rate_s: float = 0.0
     partition_mean_duration_s: float = 300.0
     partition_fraction: float = 0.3
+    # Peer-assisted delivery (off by default: the registry is never
+    # built, resolve consults no peers, and a zero churn rate draws
+    # nothing from the injector stream — peer-off configs reproduce
+    # pre-peer campaigns bit for bit).
+    peer_tier: bool = False
+    peer_lease_ttl_s: float = 600.0
+    peer_cache_segments: int = 4
+    peer_max_concurrent_serves: int = 4
+    peer_leave_rate_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
@@ -84,6 +106,8 @@ class ChaosConfig:
             raise ConfigurationError("dataset_size_bytes must be positive")
         if self.n_replicas < 1:
             raise ConfigurationError("n_replicas must be >= 1")
+        if self.member_capacity_bytes is not None and self.member_capacity_bytes <= 0:
+            raise ConfigurationError("member_capacity_bytes must be positive")
         for name in (
             "crash_rate_per_node_s",
             "outage_rate_per_node_s",
@@ -117,6 +141,14 @@ class ChaosConfig:
                 "partition_fraction must be in (0, 0.5] — it sizes the "
                 "minority side of each split"
             )
+        if self.peer_lease_ttl_s <= 0:
+            raise ConfigurationError("peer_lease_ttl_s must be positive")
+        if self.peer_cache_segments < 0:
+            raise ConfigurationError("peer_cache_segments must be >= 0")
+        if self.peer_max_concurrent_serves < 1:
+            raise ConfigurationError("peer_max_concurrent_serves must be >= 1")
+        if self.peer_leave_rate_s < 0:
+            raise ConfigurationError("peer_leave_rate_s must be >= 0")
 
     @property
     def effective_request_interval_s(self) -> float:
@@ -189,6 +221,16 @@ class ChaosReport:
     #: un-replayed handoff hints plus datasets missing from the catalog
     #: at the horizon — must be 0 after reconciliation
     divergence_after_heal: int = 0
+    # --- peer-assisted delivery (all defaults when the tier is off) ------
+    peers_admitted: int = 0
+    peer_serves: int = 0
+    #: peer serves / (peer serves + repository serves) — the fraction of
+    #: read traffic the ephemeral edge absorbed (0.0 with the tier off)
+    peer_offload_ratio: float = 0.0
+    peer_leases_expired: int = 0
+    #: node-level departures from the peer population (churn events plus
+    #: crash/outage-driven evictions)
+    peer_leaves: int = 0
 
     def lines(self) -> List[str]:
         """Human-readable report, one finding per line."""
@@ -231,6 +273,10 @@ class ChaosReport:
             f"majority={self.majority_acceptance:.4f}, "
             f"time_to_reconverge={self.time_to_reconverge_s:.0f}s, "
             f"divergence_after_heal={self.divergence_after_heal}",
+            f"peer tier: {self.peers_admitted} leases admitted, "
+            f"{self.peer_serves} serves "
+            f"(offload={self.peer_offload_ratio:.4f}), "
+            f"{self.peer_leases_expired} expired, {self.peer_leaves} leaves",
             f"unhandled_exceptions={self.unhandled_exceptions}",
         ]
 
@@ -299,14 +345,29 @@ def run_chaos_campaign(
         "chaos.availability", help="served / (served + failed) at campaign end"
     )
 
+    # --- peer tier (before membership: joining clients get wired) ---------
+    peers = None
+    if config.peer_tier:
+        peers = net.enable_peer_tier(
+            lease_ttl_s=config.peer_lease_ttl_s,
+            cache_segments=config.peer_cache_segments,
+            max_concurrent_serves=config.peer_max_concurrent_serves,
+        )
+
     # --- membership and content ------------------------------------------
     authors = [AuthorId(a) for a in sorted(net.graph.nodes())[: config.members]]
     if len(authors) < 2:
         raise ConfigurationError("trusted graph too small for a campaign")
-    for author in authors:
-        net.join(author)
-    dataset_ids: List[str] = []
     owners = authors[: max(1, len(authors) // 4)]
+    if config.publish_before_join:
+        # Owners (the data hosts) join roomy first so every replica pins
+        # to an owner node; the crowd joins after publication below.
+        for author in owners:
+            net.join(author)
+    else:
+        for author in authors:
+            net.join(author, capacity_bytes=config.member_capacity_bytes)
+    dataset_ids: List[str] = []
     for i in range(config.datasets):
         owner = owners[i % len(owners)]
         ds_id = f"chaos-data-{i}"
@@ -318,6 +379,9 @@ def run_chaos_campaign(
             n_replicas=config.n_replicas,
         )
         dataset_ids.append(ds_id)
+    if config.publish_before_join:
+        for author in authors[len(owners):]:
+            net.join(author, capacity_bytes=config.member_capacity_bytes)
 
     # --- failure schedule -------------------------------------------------
     injector = net.failure_injector(
@@ -351,6 +415,14 @@ def run_chaos_campaign(
         net.network,
         fraction=config.partition_fraction,
     )
+    # peer-churn draws close the injector's stream: a disabled tier (or a
+    # zero rate) draws nothing, so peer-off configs reproduce earlier
+    # campaigns bit for bit
+    peer_churn_events = 0
+    if peers is not None:
+        peer_churn_events = injector.random_peer_leaves(
+            config.peer_leave_rate_s, config.horizon_s, peers
+        )
     scrubber = None
     if config.scrub_enabled:
         scrubber = net.integrity_scrubber(
@@ -561,6 +633,22 @@ def run_chaos_campaign(
     degraded_serves = snapshot["counters"]["alloc.resolve.degraded"]["value"]
     degraded_ratio = degraded_serves / served if served else 0.0
 
+    # --- peer tier --------------------------------------------------------
+    # peer.* counters only exist when the tier was enabled; read defensively
+    # so peer-off reports stay all-default
+    def _peer_counter(name: str) -> int:
+        entry = snapshot["counters"].get(name)
+        return int(entry["value"]) if entry else 0
+
+    peers_admitted = _peer_counter("peer.admitted")
+    peer_serves = _peer_counter("peer.serves")
+    repo_serves = _peer_counter("alloc.serves.repository")
+    peer_offload = (
+        peer_serves / (peer_serves + repo_serves)
+        if (peer_serves + repo_serves)
+        else 0.0
+    )
+
     def _acceptance(side: str) -> float:
         s = snapshot["counters"][f"chaos.partition.{side}.served"]["value"]
         f = snapshot["counters"][f"chaos.partition.{side}.failed"]["value"]
@@ -600,6 +688,10 @@ def run_chaos_campaign(
         partitions=partitions,
         degraded_serves=degraded_serves,
         divergence_after_heal=divergence,
+        peers_admitted=peers_admitted,
+        peer_serves=peer_serves,
+        peer_offload_ratio=peer_offload,
+        peer_churn_scheduled=peer_churn_events,
     )
 
     return ChaosReport(
@@ -645,4 +737,9 @@ def run_chaos_campaign(
         majority_acceptance=_acceptance("majority"),
         time_to_reconverge_s=float(np.mean(reconverge)) if reconverge else 0.0,
         divergence_after_heal=divergence,
+        peers_admitted=peers_admitted,
+        peer_serves=peer_serves,
+        peer_offload_ratio=peer_offload,
+        peer_leases_expired=_peer_counter("peer.lease.expired"),
+        peer_leaves=_peer_counter("peer.leaves"),
     )

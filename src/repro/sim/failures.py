@@ -47,6 +47,7 @@ from .network import NetworkModel
 
 if TYPE_CHECKING:  # avoid a runtime sim -> cdn import cycle
     from ..cdn.allocation import AllocationServer
+    from ..cdn.peers import PeerRegistry
     from ..cdn.replication import ReplicationPolicy
     from ..cdn.sharding import ShardedAllocationRouter
 
@@ -61,6 +62,7 @@ FailureKind = Literal[
     "corrupt",
     "partition-start",
     "partition-end",
+    "peer-leave",
 ]
 
 
@@ -446,10 +448,11 @@ class FailureInjector:
             elif event.kind == "outage-end":
                 server.node_online(event.node, at=event.time)
             else:
-                # slow links degrade, corruption rots silently, and
-                # partitions sever links without taking nodes down —
-                # none changes liveness nor triggers a repair here
-                # (post-heal recovery runs through the on_heal hook)
+                # slow links degrade, corruption rots silently, partitions
+                # sever links without taking nodes down, and peer-leaves
+                # only drop ephemeral leases — none changes liveness nor
+                # triggers a repair here (post-heal recovery runs through
+                # the on_heal hook)
                 return
             if policy is not None:
                 policy.schedule_repair(self.engine, delay_s=repair_delay_s)
@@ -641,4 +644,59 @@ class FailureInjector:
             )
             t += duration
             n += 1
+        return n
+
+    def random_peer_leaves(
+        self,
+        rate_s: float,
+        horizon_s: float,
+        registry: "PeerRegistry",
+    ) -> int:
+        """Poisson-schedule abrupt peer departures on one global timeline
+        over ``[now, now+horizon)``.
+
+        Each event picks, *at fire time*, one node currently holding at
+        least one serving lease in ``registry`` (insertion order — the
+        order nodes first became peers — so the pick is deterministic for
+        a given schedule) and drops all of that node's leases via
+        :meth:`~repro.cdn.peers.PeerRegistry.leave`. Events that fire when
+        no peers exist (or only crashed ones do) are no-ops. Returns the
+        number of events scheduled.
+
+        With ``rate_s == 0`` this draws **nothing** from the injector's
+        RNG, so peer-free campaigns reproduce their pre-peer schedules
+        bit for bit (call it after every other ``random_*`` campaign so
+        the churn draws come last in the stream).
+        """
+        if rate_s < 0 or horizon_s <= 0:
+            raise ConfigurationError("need rate >= 0 and horizon > 0")
+        if rate_s == 0:
+            return 0
+        if not callable(getattr(registry, "leave", None)) or not callable(
+            getattr(registry, "peer_nodes", None)
+        ):
+            raise ConfigurationError(
+                "random_peer_leaves() needs a peer registry exposing "
+                "leave() and peer_nodes() (see repro.cdn.peers.PeerRegistry)"
+            )
+        n = 0
+        t = self.engine.now
+        while True:
+            gap = float(self._rng.exponential(1.0 / rate_s))
+            t += gap
+            if t - self.engine.now >= horizon_s:
+                break
+            n += 1
+
+            def fire(engine: SimulationEngine) -> None:
+                pool = [nd for nd in registry.peer_nodes() if nd not in self._crashed]
+                if not pool:
+                    return  # nobody is a peer right now: churn hits air
+                victim = pool[int(self._rng.integers(len(pool)))]
+                if registry.leave(victim, reason="churn", at=engine.now):
+                    self._emit(
+                        FailureEvent(time=engine.now, node=victim, kind="peer-leave")
+                    )
+
+            self.engine.schedule(t, fire, label="peer-leave")
         return n

@@ -10,6 +10,14 @@ partition-tolerance layer (:func:`run_community_split` below), shared by
 the test suite, the ``repro partition`` CLI smoke, and
 ``benchmarks/test_bench_partition.py`` the same way.
 
+The third is the **flash crowd**: the acceptance experiment of the
+peer-assisted delivery tier (:func:`run_flash_crowd` below), shared by
+the test suite, the ``repro flashcrowd`` CLI smoke, and
+``benchmarks/test_bench_peers.py``. A conference deadline spikes the
+request rate on one dataset by 10-100x; with the peer tier on, the
+crowd's own fresh fetches become serving leases that are socially closer
+than the origin replicas, so the spike is absorbed at the edge.
+
 Shape: a two-cluster coauthorship graph — a *near* cluster around the
 data owner and a *far* cluster joined by a single bridge edge. Datasets
 publish while only the near cluster has repositories, so every replica
@@ -37,9 +45,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..errors import ConfigurationError
-from ..ids import AuthorId, NodeId
+from ..ids import AuthorId, DatasetId, NodeId
 from ..obs import Registry
 from ..social.graph import CoauthorshipGraph
 from .network import GeoPoint, NetworkModel
@@ -560,4 +569,313 @@ def compare_community_split(
     same seed) and return ``(off, on)`` — off is the convergence oracle."""
     off = run_community_split(partitions=False, seed=seed, config=config)
     on = run_community_split(partitions=True, seed=seed, config=config)
+    return off, on
+
+
+# ----------------------------------------------------------------------
+# flash crowd (peer-assisted delivery)
+# ----------------------------------------------------------------------
+#
+# Shape: an origin clique of three researchers holds every replica of one
+# "deadline-data" dataset; a crowd clique is bridged to it only through a
+# relay author (origin-2 -- relay -- crowd-1), so every crowd member is
+# >= 2 social hops from every repository replica while crowd members are
+# 1 hop from each other — the strict-inequality rank rule puts a crowd
+# peer ahead of the origin for every crowd requester. Geography mirrors
+# the social structure: the origin sits thousands of km away behind a
+# thin access link, the crowd is co-located on fat links, so an origin
+# fetch costs ~20x a peer fetch.
+#
+# Crowd repositories are tight: the user cache holds ``cache_segments``
+# of the dataset's ``n_segments`` (fewer), so round-robin reads thrash
+# the cache and every access pays a remote fetch forever — the sustained
+# fetch stream the spike amplifies. Members walk the segments with a
+# per-member offset (member i reads segment (tick + i) mod S), so at any
+# instant some *other* member's cache — and, with the tier on, its
+# serving lease — holds exactly the segment a requester wants. With the
+# tier off, every one of those fetches crosses the thin origin link.
+#
+# Timeline: a baseline phase (one crowd member per baseline tick) warms
+# nothing but the accounting, then at ``spike_at_s`` the conference
+# deadline hits: ticks accelerate by ``spike_factor`` and the whole
+# crowd reads every tick — a ``spike_factor * crowd``-fold request-rate
+# amplification on the one dataset (90x at the defaults, inside the
+# 10-100x flash-crowd band).
+
+#: The origin clique: the owner and two co-located replica holders.
+_FLASH_ORIGIN = [AuthorId("origin-owner"), AuthorId("origin-1"), AuthorId("origin-2")]
+#: Bridge author between the origin and the crowd; never joins (no
+#: repository) — it only exists to stretch the social distance so crowd
+#: peers are strictly closer to each other than to any origin replica.
+_FLASH_RELAY = AuthorId("relay")
+_FLASH_DATASET = "deadline-data"
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    """Timeline and sizing of the flash-crowd scenario; validates itself.
+
+    Defaults give a thirty-minute run: twenty minutes of baseline traffic
+    (one access per minute), then a ten-minute deadline spike at 10x the
+    tick rate with all nine crowd members reading — 90x the baseline
+    request rate on the one dataset.
+    """
+
+    segment_bytes: int = 1_000_000
+    n_segments: int = 4
+    crowd: int = 9
+    #: user-cache capacity of each crowd member, in segments; must be
+    #: smaller than ``n_segments`` so reads thrash (sustained fetches)
+    cache_segments: int = 2
+    n_replicas: int = 2
+    baseline_tick_interval_s: float = 60.0
+    #: tick-rate multiplier of the spike (the deadline crowd also reads
+    #: every tick, so the request-rate amplification is crowd x this)
+    spike_factor: int = 10
+    spike_at_s: float = 1_200.0
+    horizon_s: float = 1_800.0
+    peer_lease_ttl_s: float = 600.0
+    peer_max_concurrent_serves: int = 4
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes <= 0:
+            raise ConfigurationError("segment_bytes must be positive")
+        if self.n_segments < 3:
+            raise ConfigurationError(
+                "n_segments must be >= 3 (the cache must thrash)"
+            )
+        if self.crowd < self.n_segments:
+            raise ConfigurationError(
+                "crowd must be >= n_segments so every segment residue has "
+                "a peer holding it during the spike"
+            )
+        if not 1 <= self.cache_segments < self.n_segments:
+            raise ConfigurationError(
+                "cache_segments must be in [1, n_segments) — a cache that "
+                "fits the whole dataset never thrashes"
+            )
+        if self.n_replicas < 1 or self.n_replicas > len(_FLASH_ORIGIN):
+            raise ConfigurationError(
+                f"n_replicas must be in [1, {len(_FLASH_ORIGIN)}] — every "
+                "replica must fit in the origin clique"
+            )
+        if self.baseline_tick_interval_s <= 0:
+            raise ConfigurationError("baseline_tick_interval_s must be positive")
+        if self.spike_factor < 2:
+            raise ConfigurationError("spike_factor must be >= 2")
+        if not 0 < self.spike_at_s < self.horizon_s:
+            raise ConfigurationError("need 0 < spike_at_s < horizon_s")
+        if self.peer_lease_ttl_s <= 0:
+            raise ConfigurationError("peer_lease_ttl_s must be positive")
+        if self.peer_max_concurrent_serves < 1:
+            raise ConfigurationError("peer_max_concurrent_serves must be >= 1")
+
+
+@dataclass(frozen=True)
+class FlashCrowdResult:
+    """Outcome of one flash-crowd run (one peer-tier setting)."""
+
+    peer_tier_enabled: bool
+    baseline: PhaseStats
+    spike: PhaseStats
+    #: remote fetches made during the spike window
+    spike_remote_fetches: int
+    #: spike remote fetches served from a peer lease
+    spike_peer_fetches: int
+    spike_fetch_p50_s: float
+    #: p99 of spike remote-fetch durations — the gated number
+    spike_fetch_p99_s: float
+    #: peer serves / (peer + repository serves) over the spike window —
+    #: the fraction of spike read traffic the origin never saw
+    offload_ratio: float
+    #: spike peer fetches / spike remote fetches (client-side view)
+    peer_hit_rate: float
+    peers_admitted: int
+    peer_leases_expired: int
+
+
+def flash_crowd_graph(*, crowd: int = 9) -> CoauthorshipGraph:
+    """The flash-crowd coauthorship graph: origin clique, crowd clique,
+    and a relay author stretching the bridge to two hops."""
+    if crowd < 2:
+        raise ConfigurationError(f"crowd must be >= 2, got {crowd}")
+    g = nx.Graph()
+    members = [AuthorId(f"crowd-{i}") for i in range(1, crowd + 1)]
+    for cluster in (_FLASH_ORIGIN, members):
+        for i, a in enumerate(cluster):
+            for b in cluster[i + 1 :]:
+                g.add_edge(a, b, weight=3, pubs=())
+    g.add_edge(_FLASH_ORIGIN[2], _FLASH_RELAY, weight=1, pubs=())
+    g.add_edge(_FLASH_RELAY, members[0], weight=1, pubs=())
+    return CoauthorshipGraph(g, seed=_FLASH_ORIGIN[0])
+
+
+def _flash_network(graph: CoauthorshipGraph) -> NetworkModel:
+    """Geography matching the social shape: a far, thin origin; a
+    co-located, fat-linked crowd."""
+    net = NetworkModel()
+    for author in graph.nodes():
+        name = str(author)
+        if name.startswith("origin"):
+            net.add_node(NodeId(name), GeoPoint(40.0, 0.0), bandwidth_bps=2e7)
+        else:
+            net.add_node(NodeId(name), GeoPoint(0.0, 0.0), bandwidth_bps=1e9)
+    return net
+
+
+def run_flash_crowd(
+    *,
+    peer_tier: bool,
+    seed: int = 7,
+    config: Optional[FlashCrowdConfig] = None,
+    registry: Optional[Registry] = None,
+) -> FlashCrowdResult:
+    """Run the flash-crowd scenario once, with or without the peer tier.
+
+    Both settings build bit-identical deployments from ``seed`` (the peer
+    registry consumes no randomness), so the returned spike stats are
+    directly comparable across the pair.
+    """
+    from ..scdn import SCDN, SCDNConfig
+
+    cfg = config or FlashCrowdConfig()
+    registry = registry if registry is not None else Registry()
+    graph = flash_crowd_graph(crowd=cfg.crowd)
+    seg = cfg.segment_bytes
+    crowd = [AuthorId(f"crowd-{i}") for i in range(1, cfg.crowd + 1)]
+    net = SCDN(
+        graph,
+        network=_flash_network(graph),
+        config=SCDNConfig(
+            n_replicas=cfg.n_replicas,
+            proximity_hops=6,
+            transfer_failure_prob=0.0,
+            peer_tier=peer_tier,
+            peer_lease_ttl_s=cfg.peer_lease_ttl_s,
+            peer_cache_segments=cfg.cache_segments,
+            peer_max_concurrent_serves=cfg.peer_max_concurrent_serves,
+        ),
+        seed=seed,
+        registry=registry,
+    )
+    # origin joins with roomy repositories and publishes *before* the
+    # crowd contributes storage: every replica pins to the origin clique
+    for author in _FLASH_ORIGIN:
+        net.join(author, capacity_bytes=64 * seg)
+    net.publish(
+        _FLASH_ORIGIN[0],
+        _FLASH_DATASET,
+        seg * cfg.n_segments,
+        n_segments=cfg.n_segments,
+        n_replicas=cfg.n_replicas,
+    )
+    origin_nodes = {NodeId(str(a)) for a in _FLASH_ORIGIN}
+    for r in net.server.catalog.replicas_of_segment(
+        net.server.catalog.dataset(DatasetId(_FLASH_DATASET)).segments[0].segment_id
+    ):
+        if r.node_id not in origin_nodes:
+            raise ConfigurationError("scenario bug: replica escaped the origin")
+    # crowd repositories: the user cache fits cache_segments of the
+    # n_segments (50/50 replica/user split), so reads thrash forever
+    for author in crowd:
+        net.join(author, capacity_bytes=2 * cfg.cache_segments * seg)
+    segments = [
+        s.segment_id
+        for s in net.server.catalog.dataset(DatasetId(_FLASH_DATASET)).segments
+    ]
+    n_seg = len(segments)
+
+    base = PhaseStats()
+    spike = PhaseStats()
+    spike_durations: List[float] = []
+
+    def _access(stats: PhaseStats, author: AuthorId, sid, in_spike: bool) -> None:
+        outcome = net.clients[author].access_segment(sid)
+        stats.accesses += 1
+        if outcome.ok:
+            stats.ok += 1
+        if outcome.source in ("replica-partition", "user-cache"):
+            stats.local_hits += 1
+        stats.total_duration_s += outcome.duration_s
+        if in_spike and outcome.source == "remote" and outcome.ok:
+            spike_durations.append(outcome.duration_s)
+
+    fine = cfg.baseline_tick_interval_s / cfg.spike_factor
+
+    def tick(e) -> None:
+        idx = int(round(e.now / fine))
+        if e.now < cfg.spike_at_s:
+            if idx % cfg.spike_factor:
+                return  # between baseline ticks
+            bidx = idx // cfg.spike_factor
+            _access(base, crowd[bidx % len(crowd)], segments[bidx % n_seg], False)
+        else:
+            # the deadline crowd: everyone reads every fine tick, each
+            # member offset one segment from its neighbour so another
+            # member's lease always covers the requested segment
+            for i, author in enumerate(crowd):
+                _access(spike, author, segments[(idx + i) % n_seg], True)
+
+    net.engine.every(fine, tick, label="flash-crowd")
+
+    # spike-window deltas: mark the serve counters just before the spike
+    def _counters() -> Dict[str, int]:
+        snap = registry.snapshot()["counters"]
+
+        def val(name: str) -> int:
+            entry = snap.get(name)
+            return int(entry["value"]) if entry else 0
+
+        return {
+            "peer": val("peer.serves"),
+            "repo": val("alloc.serves.repository"),
+            "peer_fetches": sum(c.stats.peer_fetches for c in net.clients.values()),
+            "remote": sum(c.stats.remote_fetches for c in net.clients.values()),
+        }
+
+    mark: Dict[str, int] = {}
+    net.engine.schedule(
+        cfg.spike_at_s - 1e-6, lambda e: mark.update(_counters()), label="spike-mark"
+    )
+    net.engine.run(until=cfg.horizon_s)
+
+    end = _counters()
+    d_peer = end["peer"] - mark.get("peer", 0)
+    d_repo = end["repo"] - mark.get("repo", 0)
+    d_peer_fetches = end["peer_fetches"] - mark.get("peer_fetches", 0)
+    d_remote = end["remote"] - mark.get("remote", 0)
+    arr = np.asarray(spike_durations, dtype=np.float64)
+    snap = registry.snapshot()["counters"]
+
+    def _final(name: str) -> int:
+        entry = snap.get(name)
+        return int(entry["value"]) if entry else 0
+
+    return FlashCrowdResult(
+        peer_tier_enabled=peer_tier,
+        baseline=base,
+        spike=spike,
+        spike_remote_fetches=d_remote,
+        spike_peer_fetches=d_peer_fetches,
+        spike_fetch_p50_s=float(np.percentile(arr, 50)) if len(arr) else 0.0,
+        spike_fetch_p99_s=float(np.percentile(arr, 99)) if len(arr) else 0.0,
+        offload_ratio=(
+            d_peer / (d_peer + d_repo) if (d_peer + d_repo) else 0.0
+        ),
+        peer_hit_rate=d_peer_fetches / d_remote if d_remote else 0.0,
+        peers_admitted=_final("peer.admitted"),
+        peer_leases_expired=_final("peer.lease.expired"),
+    )
+
+
+def compare_flash_crowd(
+    *,
+    seed: int = 7,
+    config: Optional[FlashCrowdConfig] = None,
+) -> Tuple[FlashCrowdResult, FlashCrowdResult]:
+    """Run the scenario peers-off then peers-on (fresh registry each,
+    same seed) and return ``(off, on)`` — identical workloads, so the
+    spike-phase numbers are directly comparable."""
+    off = run_flash_crowd(peer_tier=False, seed=seed, config=config)
+    on = run_flash_crowd(peer_tier=True, seed=seed, config=config)
     return off, on

@@ -12,7 +12,9 @@ from repro.cdn.allocation import AllocationServer
 from repro.cdn.content import segment_dataset
 from repro.cdn.p2p import GossipIndex, index_from_server
 from repro.cdn.placement import RandomPlacement
+from repro.cdn.sharding import ShardedAllocationRouter
 from repro.cdn.storage import StorageRepository
+from repro.obs import Registry
 
 from ..conftest import pub
 
@@ -64,6 +66,41 @@ class TestRetract:
         index.retract(AuthorId("c"), SEG)
         # b's gossip entry survives but is filtered against ground truth
         assert index.known_holders(AuthorId("b"), SEG) == []
+
+    def test_stale_entry_purged_and_counted(self, chain_graph):
+        registry = Registry()
+        index = GossipIndex(chain_graph, gossip_rounds=1, registry=registry)
+        index.announce(AuthorId("c"), SEG)
+        index.retract(AuthorId("c"), SEG)
+
+        def stale_count() -> int:
+            entry = registry.snapshot()["counters"].get("p2p.lookup.stale")
+            return int(entry["value"]) if entry else 0
+
+        # first consult hits the stale entry: counted and purged
+        assert index.known_holders(AuthorId("b"), SEG) == []
+        assert stale_count() == 1
+        assert index._known.get(AuthorId("b"), {}) == {}
+        # second consult pays nothing: the entry is gone
+        assert index.known_holders(AuthorId("b"), SEG) == []
+        assert stale_count() == 1
+
+    def test_purge_keeps_other_segments(self, chain_graph):
+        other = SegmentId("d:seg1")
+        index = GossipIndex(chain_graph, gossip_rounds=1)
+        index.announce(AuthorId("c"), SEG)
+        index.announce(AuthorId("c"), other)
+        index.retract(AuthorId("c"), SEG)
+        index.known_holders(AuthorId("b"), SEG)  # purges only the stale seg
+        assert index.known_holders(AuthorId("b"), other) == [AuthorId("c")]
+
+    def test_reannounce_after_purge_is_found_again(self, chain_graph):
+        index = GossipIndex(chain_graph, gossip_rounds=1)
+        index.announce(AuthorId("c"), SEG)
+        index.retract(AuthorId("c"), SEG)
+        index.known_holders(AuthorId("b"), SEG)
+        index.announce(AuthorId("c"), SEG)
+        assert index.known_holders(AuthorId("b"), SEG) == [AuthorId("c")]
 
 
 class TestLookup:
@@ -133,3 +170,24 @@ class TestIndexFromServer:
         index = index_from_server(server)
         holder = server.author_of(replica.node_id)
         assert not index.holds(holder, ds.segments[0].segment_id)
+
+    def test_accepts_sharded_router(self, chain_graph):
+        router = ShardedAllocationRouter(
+            chain_graph, RandomPlacement(), n_shards=2, seed=0
+        )
+        for a in chain_graph.nodes():
+            router.register_repository(
+                AuthorId(a), StorageRepository(NodeId(f"n-{a}"), 10_000)
+            )
+        ds = segment_dataset(DatasetId("d"), AuthorId("a"), 100)
+        replicas = router.publish_dataset(ds, n_replicas=2)
+        index = index_from_server(router, gossip_rounds=1)
+        # the index reflects the *federated* servable view
+        for r in replicas:
+            assert index.holds(router.author_of(r.node_id), r.segment_id)
+        found = index.lookup(AuthorId("c"), ds.segments[0].segment_id, ttl=4)
+        assert found.found
+
+    def test_rejects_unknown_server_type(self, chain_graph):
+        with pytest.raises(ConfigurationError, match="AllocationServer"):
+            index_from_server(object())  # type: ignore[arg-type]

@@ -310,3 +310,145 @@ class TestPartitionCampaigns:
             ChaosConfig(partition_fraction=0.0)
         with pytest.raises(ConfigurationError):
             ChaosConfig(partition_fraction=0.6)
+
+
+#: peer-tier report fields and their tier-off values — a peer-off
+#: campaign must not even show the feature existing
+_PEER_DEFAULTS = {
+    "peers_admitted": 0,
+    "peer_serves": 0,
+    "peer_offload_ratio": 0.0,
+    "peer_leases_expired": 0,
+    "peer_leaves": 0,
+}
+
+
+def _flash_peer_net(seed=1):
+    from repro.scdn import SCDNConfig
+    from repro.sim.scenarios import _flash_network, flash_crowd_graph
+
+    graph = flash_crowd_graph()
+    return SCDN(
+        graph,
+        config=SCDNConfig(proximity_hops=6),
+        seed=seed,
+        registry=Registry(),
+        network=_flash_network(graph),
+    )
+
+
+_FLASH_PEERS = ChaosConfig(
+    horizon_s=1800.0,
+    members=13,
+    datasets=2,
+    segments_per_dataset=2,
+    dataset_size_bytes=10_000_000,
+    n_replicas=3,
+    member_capacity_bytes=20_000_000,
+    publish_before_join=True,
+    peer_tier=True,
+    peer_leave_rate_s=0.002,
+)
+
+
+class TestPeerCampaigns:
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_peer_off_bit_identical_to_pre_peer_baseline(self, n_shards):
+        """The frozen PR-7 gate, re-run on the peer-aware stack: with the
+        tier off, the registry is never built, resolve consults no peers,
+        churn draws nothing, and the report reproduces the pre-peer
+        baseline bit for bit with every new field at its inert default."""
+        import json
+        from pathlib import Path
+
+        from repro.scdn import SCDNConfig
+
+        baseline = json.loads(
+            (Path(__file__).parent.parent / "data" / "chaos_baseline_pr7.json")
+            .read_text()
+        )[str(n_shards)]
+        net = SCDN(
+            community_graph(),
+            config=SCDNConfig(shards=n_shards),
+            seed=1,
+            registry=Registry(),
+        )
+        report = run_chaos_campaign(net, SMALL, seed=7).to_dict()
+        assert {k: report[k] for k in baseline} == baseline
+        assert {k: report[k] for k in _PEER_DEFAULTS} == _PEER_DEFAULTS
+
+    def test_peer_campaign_admits_serves_and_churns(self):
+        """Over the flash-crowd deployment (replicas pinned on owners,
+        tight member caches) the tier admits leases, serves reads, and
+        loses peers to churn — while the campaign stays fully available
+        and integrity-clean."""
+        report = run_chaos_campaign(_flash_peer_net(), _FLASH_PEERS, seed=7)
+        assert report.peers_admitted > 0
+        assert report.peer_serves > 0
+        assert report.peer_offload_ratio > 0.0
+        assert report.peer_leaves > 0
+        assert report.unhandled_exceptions == 0
+        assert report.corrupt_servable_after_repair == 0
+
+    def test_peer_campaign_deterministic(self):
+        a = run_chaos_campaign(_flash_peer_net(), _FLASH_PEERS, seed=7)
+        b = run_chaos_campaign(_flash_peer_net(), _FLASH_PEERS, seed=7)
+        assert a == b
+
+    def test_peer_churn_rate_zero_draws_nothing(self):
+        """Enabling the tier without churn must not perturb the injector
+        stream: rate 0 schedules nothing, and with node failures also
+        silenced no leave is ever recorded (crash/outage leaves are the
+        only other source)."""
+        from dataclasses import replace
+
+        quiet = replace(
+            _FLASH_PEERS,
+            crash_rate_per_node_s=0.0,
+            outage_rate_per_node_s=0.0,
+            peer_leave_rate_s=0.0,
+        )
+        a = run_chaos_campaign(_flash_peer_net(), quiet, seed=7)
+        b = run_chaos_campaign(_flash_peer_net(), quiet, seed=7)
+        assert a == b
+        assert a.peer_leaves == 0
+
+    def test_report_lines_include_peer_tier(self):
+        report = run_chaos_campaign(_flash_peer_net(), _FLASH_PEERS, seed=7)
+        text = "\n".join(report.lines())
+        assert "peer tier:" in text
+        assert "offload=" in text
+
+    def test_publish_before_join_pins_replicas_to_owners(self):
+        """The flash recipe's precondition: with publish_before_join only
+        the owners hold repository replicas at campaign end (repair may
+        move some after owner crashes, so assert on the quiet variant)."""
+        from dataclasses import replace
+
+        net = _flash_peer_net()
+        calm = replace(
+            _FLASH_PEERS,
+            crash_rate_per_node_s=0.0,
+            outage_rate_per_node_s=0.0,
+            slowlink_rate_per_node_s=0.0,
+            peer_leave_rate_s=0.0,
+        )
+        run_chaos_campaign(net, calm, seed=7)
+        owners = {"crowd-1", "crowd-2", "crowd-3"}
+        holders = {
+            str(net.server.author_of(r.node_id))
+            for r in net.server.catalog.iter_replicas()
+        }
+        assert holders <= owners
+
+    def test_peer_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(peer_lease_ttl_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(peer_cache_segments=-1)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(peer_max_concurrent_serves=0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(peer_leave_rate_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(member_capacity_bytes=0)
