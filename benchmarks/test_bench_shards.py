@@ -40,8 +40,14 @@ SHARD_COUNTS = (1, 2, 4)
 MIN_FEDERATED_SPEEDUP = 1.5
 
 #: Routing a request to its shard must not cost more than this fraction
-#: of the unsharded path.
-MAX_ROUTING_SLOWDOWN = 0.5
+#: of the unsharded path (the owner-site memo collapsed the per-request
+#: syscat double-probe; measured ~0.97-1.03x, margin left for CI noise).
+MAX_ROUTING_SLOWDOWN = 0.90
+
+#: Single-shard routed dispatch must stay within 5% of the direct
+#: server: with one shard the router adds *only* dispatch overhead, so
+#: this isolates the memoized route lookup (measured ~1.03x).
+MAX_SINGLE_SHARD_SLOWDOWN = 0.95
 
 
 def _run_all():
@@ -96,6 +102,12 @@ def test_sharded_allocation_throughput(benchmark):
             f"routing overhead regressed at {r.n_shards} shard(s): "
             f"{r.routed_rps:,.0f} rps vs {r.unsharded_rps:,.0f} unsharded"
         )
+    # single-shard dispatch isolates the route lookup: within 5%
+    single = results[0]
+    assert single.routed_rps >= single.unsharded_rps * MAX_SINGLE_SHARD_SLOWDOWN, (
+        f"single-shard dispatch overhead regressed: "
+        f"{single.routed_rps:,.0f} rps vs {single.unsharded_rps:,.0f} direct"
+    )
     # scaling gate: the 4-shard federation must actually win
     four = results[-1]
     assert four.federated_speedup >= MIN_FEDERATED_SPEEDUP, (

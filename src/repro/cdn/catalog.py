@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..errors import CatalogError
 from ..ids import DatasetId, NodeId, ReplicaId, SegmentId
+from ..obs import Registry, get_registry
 from .content import Dataset, DataSegment, Replica, ReplicaState
 
 
@@ -50,9 +51,17 @@ class ReplicaCatalog:
     id_allocator:
         Source of replica ids; private by default. Sharded catalogs pass
         a shared :class:`ReplicaIdAllocator` for global uniqueness.
+    registry:
+        Observability registry for the ``catalog.servable_cache.*``
+        counters; defaults to the process-wide one.
     """
 
-    def __init__(self, *, id_allocator: Optional[ReplicaIdAllocator] = None) -> None:
+    def __init__(
+        self,
+        *,
+        id_allocator: Optional[ReplicaIdAllocator] = None,
+        registry: Optional[Registry] = None,
+    ) -> None:
         self._datasets: Dict[DatasetId, Dataset] = {}
         self._segments: Dict[SegmentId, DataSegment] = {}
         self._replicas: Dict[ReplicaId, Replica] = {}
@@ -63,7 +72,41 @@ class ReplicaCatalog:
         # or changes state. Every state transition flows through the catalog
         # methods below, so the cache cannot go stale.
         self._servable_cache: Dict[SegmentId, List[Replica]] = {}
+        # per-segment mutation epoch: bumped on every event that can change
+        # the servable view (the same sites that drop _servable_cache, plus
+        # dataset registration). Entries survive unregister_dataset so a
+        # re-registered segment id can never validate a plan cached against
+        # its previous life. Downstream caches (the allocation tier's
+        # resolve plan cache) validate against this.
+        self._epoch: Dict[SegmentId, int] = {}
         self._ids = id_allocator if id_allocator is not None else ReplicaIdAllocator()
+        obs = registry if registry is not None else get_registry()
+        self._m_servable_hits = obs.counter(
+            "catalog.servable_cache.hits",
+            help="servable-view lookups served from the memoized per-segment list",
+        )
+        self._m_servable_misses = obs.counter(
+            "catalog.servable_cache.misses",
+            help="servable-view lookups that had to rebuild the filtered list",
+        )
+        self._m_servable_invalidations = obs.counter(
+            "catalog.servable_cache.invalidations",
+            help="replica mutations that dropped a segment's memoized servable "
+            "view and bumped its epoch",
+        )
+
+    def _invalidate(self, segment_id: SegmentId) -> None:
+        """A replica of ``segment_id`` was created or changed state: drop
+        the memoized servable view and advance the segment epoch."""
+        self._servable_cache.pop(segment_id, None)
+        self._epoch[segment_id] = self._epoch.get(segment_id, 0) + 1
+        self._m_servable_invalidations.inc()
+
+    def epoch(self, segment_id: SegmentId) -> int:
+        """Mutation epoch of ``segment_id``'s servable view (0 if never
+        touched). Strictly monotonic per segment id, including across
+        unregister/re-register cycles."""
+        return self._epoch.get(segment_id, 0)
 
     # ------------------------------------------------------------------
     # datasets
@@ -76,6 +119,10 @@ class ReplicaCatalog:
         for seg in dataset.segments:
             self._segments[seg.segment_id] = seg
             self._by_segment.setdefault(seg.segment_id, [])
+            # epoch bump without the invalidation counter: no memoized view
+            # can exist for a segment that was not resolvable, but any plan
+            # cached against this segment id's previous life must die here
+            self._epoch[seg.segment_id] = self._epoch.get(seg.segment_id, 0) + 1
 
     def unregister_dataset(self, dataset_id: DatasetId) -> None:
         """Remove a dataset whose replicas are all retired (or absent).
@@ -99,7 +146,7 @@ class ReplicaCatalog:
         for seg in ds.segments:
             self._segments.pop(seg.segment_id, None)
             self._by_segment.pop(seg.segment_id, None)
-            self._servable_cache.pop(seg.segment_id, None)
+            self._invalidate(seg.segment_id)
         del self._datasets[dataset_id]
 
     def dataset(self, dataset_id: DatasetId) -> Dataset:
@@ -161,7 +208,7 @@ class ReplicaCatalog:
         self._replicas[replica.replica_id] = replica
         self._by_segment[segment_id].append(replica)
         self._by_node.setdefault(node_id, []).append(replica)
-        self._servable_cache.pop(segment_id, None)
+        self._invalidate(segment_id)
         return replica
 
     def replica(self, replica_id: ReplicaId) -> Replica:
@@ -196,8 +243,11 @@ class ReplicaCatalog:
         if servable_only:
             cached = self._servable_cache.get(segment_id)
             if cached is None:
+                self._m_servable_misses.inc()
                 cached = [r for r in reps if r.servable]
                 self._servable_cache[segment_id] = cached
+            else:
+                self._m_servable_hits.inc()
             return list(cached)
         return [r for r in reps if r.state is not ReplicaState.RETIRED]
 
@@ -227,7 +277,7 @@ class ReplicaCatalog:
         """Mark a replica RETIRED (kept for audit; excluded from lookups)."""
         rep = self.replica(replica_id)
         rep.state = ReplicaState.RETIRED
-        self._servable_cache.pop(rep.segment_id, None)
+        self._invalidate(rep.segment_id)
         return rep
 
     def activate(self, replica_id: ReplicaId) -> Replica:
@@ -246,7 +296,7 @@ class ReplicaCatalog:
                 f"repair from a verified source instead"
             )
         rep.state = ReplicaState.ACTIVE
-        self._servable_cache.pop(rep.segment_id, None)
+        self._invalidate(rep.segment_id)
         return rep
 
     def mark_stale(self, replica_id: ReplicaId) -> Replica:
@@ -257,7 +307,7 @@ class ReplicaCatalog:
         if rep.state is ReplicaState.QUARANTINED:
             return rep  # quarantine outranks staleness; keep the stronger state
         rep.state = ReplicaState.STALE
-        self._servable_cache.pop(rep.segment_id, None)
+        self._invalidate(rep.segment_id)
         return rep
 
     def quarantine(self, replica_id: ReplicaId) -> Replica:
@@ -270,7 +320,7 @@ class ReplicaCatalog:
         if rep.state is ReplicaState.RETIRED:
             raise CatalogError(f"cannot quarantine retired replica {replica_id}")
         rep.state = ReplicaState.QUARANTINED
-        self._servable_cache.pop(rep.segment_id, None)
+        self._invalidate(rep.segment_id)
         return rep
 
     def quarantined_replicas(self) -> List[Replica]:

@@ -1,0 +1,198 @@
+"""Resolve plan cache: memoized structural rankings for the allocation tier.
+
+Discovery's ranking (:meth:`AllocationServer.resolve_candidates`) orders
+servable replicas by ``(social hops, tier, load, node id)``. Of those
+components only **load** mutates on every serve; hops, tier and node id
+are fixed by near-static structure — the trusted graph, the catalog's
+servable view, and the peer-lease population. Salahuddin et al.
+(arXiv:1506.08348) make the same observation for socially-informed
+placement: decisions are re-evaluated far more often than the social
+structure feeding them changes.
+
+A :class:`CandidatePlan` freezes the structural prefix for one
+``(segment, requester)`` pair: the servable replicas pre-sorted by
+``(hops, node id)`` with their hop distances in a compact numpy array and
+the hop-tie spans precomputed. A cached resolve then only
+
+1. validates three epochs (catalog segment epoch, fabric plan epoch,
+   peer-registry plan epoch) — integer compares;
+2. filters by liveness/reachability *if* any such filter is active
+   (filtering a structurally sorted list preserves structural order,
+   because the sort key is independent of the filters); and
+3. re-applies the load tie-break inside hop-tie spans (usually
+   singletons) — never a full re-sort, never a hop BFS, never a dict of
+   hoisted loads.
+
+Invalidation is **epoch-based and selective**: every event that can
+change a ranking bumps exactly one of the three epoch sources (see
+DESIGN § "Resolve plan cache"), and a plan is revalidated lazily at
+lookup. The cache itself is a bounded LRU so campaign-scale workloads
+with unbounded requester sets cannot grow it without limit.
+
+This module is deliberately free of allocation-server imports — the
+server builds plans and owns the obs counters; the cache only stores,
+recalls, and evicts them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..ids import AuthorId, NodeId, SegmentId
+
+#: hop-distance sentinel for "requester has no social path to this host";
+#: matches the 10**9 used by the uncached ranking so cached and uncached
+#: sort keys are interchangeable.
+UNREACHABLE_HOPS = 10**9
+
+PlanKey = Tuple[SegmentId, AuthorId]
+
+
+class CandidatePlan:
+    """The frozen structural ranking of one ``(segment, requester)`` pair.
+
+    ``entries`` holds prebuilt result objects
+    (:class:`~repro.cdn.allocation.ResolvedReplica`) sorted by
+    ``(hops, node id)`` — the full ranking minus the volatile load
+    tie-break. Parallel arrays carry everything lookup needs without
+    touching a dict: per-entry node ids, their string forms (the
+    deterministic final tie-break), the hosting repositories (for
+    ``reads_served``), and the hop distances as an int64 vector with
+    :data:`UNREACHABLE_HOPS` standing in for "no path".
+
+    ``runs`` spans every maximal hop-tie group as ``(start, stop)``
+    half-open index pairs; ``ambiguous`` is True when any span holds more
+    than one entry (only those spans ever need the load tie-break).
+
+    The three epochs pin the structure the plan was built against:
+    ``seg_epoch`` (catalog servable view), ``fabric_epoch`` (graph /
+    membership / oracle state), ``peer_epoch`` + ``peer_raw`` (peer-lease
+    population; see :meth:`AllocationServer._plan_valid` for the exact
+    rule).
+    """
+
+    __slots__ = (
+        "entries",
+        "nodes",
+        "node_strs",
+        "repos",
+        "hop_vals",
+        "runs",
+        "ambiguous",
+        "seg_epoch",
+        "fabric_epoch",
+        "peer_epoch",
+        "peer_raw",
+    )
+
+    def __init__(
+        self,
+        *,
+        entries: Sequence[object],
+        nodes: Sequence[NodeId],
+        node_strs: Sequence[str],
+        repos: Sequence[object],
+        hop_vals: Sequence[int],
+        seg_epoch: int,
+        fabric_epoch: int,
+        peer_epoch: int,
+        peer_raw: int,
+    ) -> None:
+        self.entries: Tuple[object, ...] = tuple(entries)
+        self.nodes: Tuple[NodeId, ...] = tuple(nodes)
+        self.node_strs: Tuple[str, ...] = tuple(node_strs)
+        self.repos: Tuple[object, ...] = tuple(repos)
+        self.hop_vals = np.asarray(hop_vals, dtype=np.int64)
+        self.runs = hop_tie_runs(self.hop_vals)
+        self.ambiguous = any(stop - start > 1 for start, stop in self.runs)
+        self.seg_epoch = seg_epoch
+        self.fabric_epoch = fabric_epoch
+        self.peer_epoch = peer_epoch
+        self.peer_raw = peer_raw
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CandidatePlan(n={len(self.entries)}, runs={len(self.runs)}, "
+            f"epochs=({self.seg_epoch}, {self.fabric_epoch}, "
+            f"{self.peer_epoch}/{self.peer_raw}))"
+        )
+
+
+def hop_tie_runs(hop_vals: np.ndarray) -> Tuple[Tuple[int, int], ...]:
+    """Half-open ``(start, stop)`` spans of equal hop distance.
+
+    ``hop_vals`` must already be grouped (the plan builder sorts by
+    ``(hops, node id)``, so equal distances are always contiguous). The
+    spans cover the whole vector; singleton spans mark entries whose rank
+    is fully determined by structure alone.
+    """
+    n = int(hop_vals.shape[0])
+    if n == 0:
+        return ()
+    starts = np.flatnonzero(np.diff(hop_vals)) + 1
+    bounds = [0, *starts.tolist(), n]
+    return tuple((bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1))
+
+
+class PlanCache:
+    """Bounded LRU of :class:`CandidatePlan` keyed by ``(segment, requester)``.
+
+    Pure storage: epoch validation and rebuilds live on the allocation
+    server (which owns the obs counters); the cache tracks only its own
+    eviction count so the server can mirror it. ``max_plans`` bounds
+    resident plans — recently used plans survive, cold pairs fall off.
+    """
+
+    __slots__ = ("_plans", "max_plans", "evictions")
+
+    def __init__(self, *, max_plans: int = 4096) -> None:
+        if max_plans < 1:
+            raise ConfigurationError(
+                f"max_plans must be a positive integer, got {max_plans}"
+            )
+        self.max_plans = max_plans
+        self._plans: "OrderedDict[PlanKey, CandidatePlan]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: PlanKey) -> Optional[CandidatePlan]:
+        """The cached plan for ``key`` (refreshing its LRU position), or
+        None. Epoch validity is the caller's problem."""
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+        return plan
+
+    def put(self, key: PlanKey, plan: CandidatePlan) -> None:
+        """Store (or replace) the plan for ``key``, evicting the least
+        recently used entry when full."""
+        plans = self._plans
+        if key in plans:
+            plans[key] = plan
+            plans.move_to_end(key)
+            return
+        if len(plans) >= self.max_plans:
+            plans.popitem(last=False)
+            self.evictions += 1
+        plans[key] = plan
+
+    def drop(self, key: PlanKey) -> None:
+        """Forget ``key`` (a lookup found its plan's epochs stale)."""
+        self._plans.pop(key, None)
+
+    def clear(self) -> None:
+        """Forget everything (cache disable / tests)."""
+        self._plans.clear()
+
+    def keys(self) -> List[PlanKey]:
+        """Resident keys, least recently used first (tests/introspection)."""
+        return list(self._plans.keys())

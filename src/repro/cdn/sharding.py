@@ -93,10 +93,15 @@ class FederatedCatalog:
         syscat: SystemCatalog,
         shards: List[ReplicaCatalog],
         site_of_owner: Callable[[AuthorId], SiteId],
+        forget_segment: Optional[Callable[[SegmentId], None]] = None,
     ) -> None:
         self._syscat = syscat
         self._shards = shards
         self._site_of_owner = site_of_owner
+        # router hook: drop a segment's memoized owner-site entry when the
+        # segment leaves the federation (unregister), so a later re-register
+        # can never be routed on a stale memo
+        self._forget_segment = forget_segment
 
     # ------------------------------------------------------------------
     # routing
@@ -142,9 +147,14 @@ class FederatedCatalog:
 
     def unregister_dataset(self, dataset_id: DatasetId) -> None:
         """Unregister a dataset from its shard and drop its metadata."""
-        self.shard_of_dataset(dataset_id).unregister_dataset(dataset_id)
+        shard = self.shard_of_dataset(dataset_id)
+        segments = [seg.segment_id for seg in shard.dataset(dataset_id).segments]
+        shard.unregister_dataset(dataset_id)
         if self._syscat.has_dataset(dataset_id):
             self._syscat.drop_dataset(dataset_id)
+        if self._forget_segment is not None:
+            for seg_id in segments:
+                self._forget_segment(seg_id)
 
     def dataset(self, dataset_id: DatasetId) -> Dataset:
         """Look up a dataset on its owning shard."""
@@ -348,10 +358,17 @@ class ShardedAllocationRouter:
         ]
         self._home = self.shards[0]
         self.obs = self._home.obs
+        #: memoized segment -> owner-site map, the routed resolve path's
+        #: dispatch shortcut: one dict probe instead of two system-catalog
+        #: method calls per request. Entries are dropped when a dataset is
+        #: unregistered (via the federated catalog's forget hook); sites
+        #: never move otherwise.
+        self._site_memo: Dict[SegmentId, SiteId] = {}
         self.catalog = FederatedCatalog(
             self.syscat,
             [shard.catalog for shard in self.shards],
             self._site_of_owner,
+            self._forget_site_memo,
         )
         #: bounded hinted-handoff log: writes destined for a partitioned-
         #: away site wait here until reconcile_after_heal() drains them
@@ -386,16 +403,28 @@ class ShardedAllocationRouter:
             return site
         return self.syscat.assign_author_fallback(author)
 
+    def _forget_site_memo(self, segment_id: SegmentId) -> None:
+        self._site_memo.pop(segment_id, None)
+
     def _site_of_segment(self, segment_id: SegmentId) -> SiteId:
+        site = self._site_memo.get(segment_id)
+        if site is not None:
+            return site
         if self.syscat.has_segment(segment_id):
-            return self.syscat.site_of_segment(segment_id)
-        for i, shard in enumerate(self.shards):
-            try:
-                shard.catalog.segment(segment_id)
-            except CatalogError:
-                continue
-            return i
-        raise CatalogError(f"unknown segment {segment_id!r}")
+            site = self.syscat.site_of_segment(segment_id)
+        else:
+            site = -1
+            for i, shard in enumerate(self.shards):
+                try:
+                    shard.catalog.segment(segment_id)
+                except CatalogError:
+                    continue
+                site = i
+                break
+            if site < 0:
+                raise CatalogError(f"unknown segment {segment_id!r}")
+        self._site_memo[segment_id] = site
+        return site
 
     def _shard_of_segment(self, segment_id: SegmentId) -> AllocationServer:
         return self.shards[self._site_of_segment(segment_id)]
@@ -684,6 +713,33 @@ class ShardedAllocationRouter:
         return replicas
 
     # ------------------------------------------------------------------
+    # resolve plan cache (per-site caches over the shared fabric)
+    # ------------------------------------------------------------------
+    def enable_plan_cache(self, *, max_plans: int = 4096) -> None:
+        """Enable the resolve plan cache on every shard.
+
+        Each site keeps a private plan cache over its own catalog (a
+        segment's plans live with its owning shard) while epoch sources
+        on the shared fabric — graph swaps, registrations, oracle
+        installs, partition reconcile — invalidate across all of them at
+        once. Idempotent, like the single-server method.
+        """
+        for shard in self.shards:
+            shard.enable_plan_cache(max_plans=max_plans)
+
+    def disable_plan_cache(self) -> None:
+        """Disable the resolve plan cache on every shard."""
+        for shard in self.shards:
+            shard.disable_plan_cache()
+
+    @property
+    def plan_cache(self):
+        """The home shard's plan cache (None while disabled) — the
+        representative handle for metrics/tests; every shard holds its
+        own."""
+        return self._home.plan_cache
+
+    # ------------------------------------------------------------------
     # discovery — routed by segment
     # ------------------------------------------------------------------
     def resolve_candidates(
@@ -949,6 +1005,10 @@ class ShardedAllocationRouter:
         lost. Returns a :class:`ReconcileReport`.
         """
         self._m_reconciles.inc()
+        # the replayed writes and closing repair below rewrite catalog
+        # state wholesale; one fabric-level epoch bump retires every
+        # cached resolve plan built against the partition-era structure
+        self.fabric.plan_epoch += 1
         pending = self._handoff
         self._handoff = []
         self._handoff_repairs = set()

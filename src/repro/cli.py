@@ -233,6 +233,7 @@ def cmd_chaos(args) -> int:
         partition_fraction=args.partition_fraction,
         peer_tier=args.peer_tier,
         peer_leave_rate_s=args.peer_leave_rate,
+        plan_cache=args.plan_cache,
     )
     if args.flash_graph:
         # The flash-crowd topology (far origin clique bridged to a dense
@@ -751,12 +752,30 @@ def cmd_perf(args) -> int:
     The shard bench runs even under ``--quick`` (capped like the resolve
     bench), which is what the CI shard-equivalence gate uses; a
     ``--shards`` run is shard-focused and skips the campaign bench.
+
+    ``--plan-cache`` additionally runs the resolve-plan-cache bench
+    (indexed path vs. cold-cache vs. warm-cache on twin deployments)
+    and extends the exit gate with its own differential check (planned
+    rankings bit-identical to the indexed path and the reference) plus
+    a warm-over-indexed speed gate: ``--min-plan-speedup`` (default
+    3.0, or 1.2 under ``--quick`` where the capped graph is small
+    enough that the indexed path is already cheap). Like the shard
+    bench it runs under ``--quick``, which is what the CI plan-cache
+    differential gate uses.
+
+    ``--profile N`` runs the resolve loop (and, unless ``--quick`` or
+    ``--shards``, a short campaign) under :mod:`cProfile` and prints
+    the top-N entries by cumulative time; with ``--json`` the entries
+    land in the report under ``"profile"``.
     """
     import json as _json
 
     from .perf import (
         bench_to_dict,
         campaign_speedup,
+        plan_cache_throughput,
+        profile_campaign,
+        profile_resolve,
         resolve_throughput,
         shard_throughput,
     )
@@ -788,6 +807,47 @@ def cmd_perf(args) -> int:
         shard_results.append(sb)
         shards_ok = shards_ok and sb.identical
 
+    plan = None
+    plan_ok = True
+    if args.plan_cache:
+        plan = plan_cache_throughput(far_clusters=scale, requests=requests)
+        print()
+        for line in plan.lines():
+            print(line)
+        # Quick mode caps the graph at 20 clusters, where the indexed
+        # path is already cheap enough that the warm-cache win is small;
+        # the full default (3.0x) only makes sense at real scale.
+        min_plan = args.min_plan_speedup
+        if min_plan is None:
+            min_plan = 1.2 if args.quick else 3.0
+        plan_speed_ok = plan.speedup >= min_plan
+        verdict = "ok" if plan_speed_ok else "FAIL"
+        print(
+            f"plan-cache gate: {plan.speedup:.2f}x >= "
+            f"{min_plan:.2f}x required ... {verdict}"
+        )
+        plan_ok = plan.identical and plan_speed_ok
+
+    profile = None
+    if args.profile:
+        profile = {
+            "resolve": profile_resolve(
+                far_clusters=scale,
+                requests=requests,
+                plan_cache=args.plan_cache,
+                top_n=args.profile,
+            )
+        }
+        if not args.quick and not args.shards:
+            profile["campaign"] = profile_campaign(top_n=args.profile)
+        for section, entries in profile.items():
+            print(f"\nprofile: {section} (top {args.profile} by cumulative time)")
+            for e in entries:
+                print(
+                    f"  {e['cumtime_s']:9.4f}s cum  {e['tottime_s']:9.4f}s tot  "
+                    f"{e['ncalls']:>9} calls  {e['function']}"
+                )
+
     campaign = None
     speedup_ok = True
     if not args.quick and not args.shards:
@@ -818,7 +878,13 @@ def cmd_perf(args) -> int:
         try:
             with open(args.json, "w", encoding="utf-8") as fh:
                 _json.dump(
-                    bench_to_dict(resolve, campaign, shard_results or None),
+                    bench_to_dict(
+                        resolve,
+                        campaign,
+                        shard_results or None,
+                        plan_cache=plan,
+                        profile=profile,
+                    ),
                     fh,
                     indent=2,
                 )
@@ -830,6 +896,7 @@ def cmd_perf(args) -> int:
     ok = (
         resolve.identical
         and shards_ok
+        and plan_ok
         and (campaign is None or campaign.identical)
         and speedup_ok
     )
@@ -837,6 +904,7 @@ def cmd_perf(args) -> int:
         print(
             f"FAIL: resolve_identical={resolve.identical} "
             f"shards_identical={shards_ok if shard_results else 'n/a'} "
+            f"plan_ok={plan_ok if plan else 'n/a'} "
             f"campaign_identical={campaign.identical if campaign else 'n/a'} "
             f"speedup_ok={speedup_ok}",
             file=sys.stderr,
@@ -935,6 +1003,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--peer-leave-rate", type=float, default=0.0,
                    help="abrupt peer-departure (churn) rate per second "
                         "(needs --peer-tier; 0 disables)")
+    p.add_argument("--plan-cache", action="store_true",
+                   help="resolve reads through the epoch-invalidated "
+                        "plan cache (off: bit-identical to the uncached "
+                        "path)")
     p.add_argument("--min-offload", type=float, default=None,
                    help="require a peer offload ratio strictly greater "
                         "than this for exit status 0 (use with --peer-tier)")
@@ -992,6 +1064,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail if campaign speedup falls below this when the "
                         "machine has at least --workers usable cores "
                         "(0 disables the gate)")
+    p.add_argument("--plan-cache", action="store_true",
+                   help="also run the resolve-plan-cache bench (indexed vs "
+                        "cold vs warm cache) and gate on its differential "
+                        "check and warm speedup")
+    p.add_argument("--min-plan-speedup", type=float, default=None,
+                   help="warm-cache-over-indexed speedup required by the "
+                        "--plan-cache gate (default 3.0, or 1.2 under "
+                        "--quick where the capped graph is small)")
+    p.add_argument("--profile", type=int, metavar="N", default=None,
+                   help="profile the resolve loop (and the campaign unless "
+                        "--quick/--shards) under cProfile and print the "
+                        "top-N cumulative entries")
     p.add_argument("--json", help="also write the perf report to this path")
     p.set_defaults(func=cmd_perf)
 

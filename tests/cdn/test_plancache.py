@@ -1,0 +1,809 @@
+"""Resolve plan cache tests (repro.cdn.plancache + allocation wiring).
+
+The tentpole contract: with the plan cache enabled, every
+``resolve_candidates`` ranking is byte-identical to the uncached path —
+through load skew, catalog mutations, liveness flips, graph swaps, peer
+lease churn, partitions, and sharded routing — because every event that
+can change a ranking bumps one of the three epoch sources (catalog
+segment epoch, fabric plan epoch, peer-registry plan epoch) and stale
+plans rebuild lazily at lookup.
+
+Includes the satellite regressions: servable-view counter coverage for
+every catalog mutation site, the sharded router's owner-site memo, and
+the property-style random interleaving against an uncached twin.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ids import AuthorId, DatasetId, NodeId
+from repro.obs import Registry
+from repro.perf import (
+    _request_workload,
+    build_resolve_deployment,
+    build_sharded_deployment,
+    plan_cache_throughput,
+)
+from repro.scdn import SCDN, SCDNConfig
+from repro.social.graph import build_coauthorship_graph
+from repro.social.records import Corpus
+from repro.cdn.allocation import resolve_candidates_reference
+from repro.cdn.content import segment_dataset
+from repro.cdn.plancache import (
+    UNREACHABLE_HOPS,
+    CandidatePlan,
+    PlanCache,
+    hop_tie_runs,
+)
+from repro.cdn.storage import StorageRepository
+
+from ..conftest import pub
+from .test_allocation_bugfixes import graph_of, make_server
+
+
+def ranking(candidates):
+    """Comparable projection of a candidate list."""
+    return [
+        (c.replica.replica_id, c.replica.node_id, c.social_hops, c.peer)
+        for c in candidates
+    ]
+
+
+def counter(registry, name) -> int:
+    entry = registry.snapshot()["counters"].get(name)
+    return int(entry["value"]) if entry else 0
+
+
+# ----------------------------------------------------------------------
+# plancache.py units
+# ----------------------------------------------------------------------
+class TestHopTieRuns:
+    def test_empty(self):
+        assert hop_tie_runs(np.asarray([], dtype=np.int64)) == ()
+
+    def test_all_singletons(self):
+        runs = hop_tie_runs(np.asarray([1, 2, 5], dtype=np.int64))
+        assert runs == ((0, 1), (1, 2), (2, 3))
+
+    def test_mixed_spans_cover_vector(self):
+        vals = np.asarray([0, 0, 1, 1, 1, 7, UNREACHABLE_HOPS], dtype=np.int64)
+        runs = hop_tie_runs(vals)
+        assert runs == ((0, 2), (2, 5), (5, 6), (6, 7))
+        assert runs[0][0] == 0 and runs[-1][1] == len(vals)
+
+    def test_single_run(self):
+        assert hop_tie_runs(np.asarray([3, 3, 3], dtype=np.int64)) == ((0, 3),)
+
+
+class TestPlanCacheLRU:
+    def _plan(self):
+        return CandidatePlan(
+            entries=(), nodes=(), node_strs=(), repos=(), hop_vals=(),
+            seg_epoch=0, fabric_epoch=0, peer_epoch=0, peer_raw=0,
+        )
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlanCache(max_plans=0)
+
+    def test_eviction_is_lru(self):
+        cache = PlanCache(max_plans=2)
+        a, b, c = ("s1", "r"), ("s2", "r"), ("s3", "r")
+        cache.put(a, self._plan())
+        cache.put(b, self._plan())
+        assert cache.get(a) is not None  # refresh a: b is now LRU
+        cache.put(c, self._plan())
+        assert cache.evictions == 1
+        assert cache.get(b) is None
+        assert cache.get(a) is not None and cache.get(c) is not None
+
+    def test_replace_does_not_evict(self):
+        cache = PlanCache(max_plans=1)
+        key = ("s", "r")
+        cache.put(key, self._plan())
+        cache.put(key, self._plan())
+        assert len(cache) == 1 and cache.evictions == 0
+
+    def test_drop_and_clear(self):
+        cache = PlanCache(max_plans=4)
+        key = ("s", "r")
+        cache.put(key, self._plan())
+        cache.drop(key)
+        cache.drop(key)  # idempotent
+        assert cache.get(key) is None
+        cache.put(key, self._plan())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_ambiguity_flag(self):
+        unambiguous = CandidatePlan(
+            entries=(1, 2), nodes=("a", "b"), node_strs=("a", "b"),
+            repos=(None, None), hop_vals=(1, 2),
+            seg_epoch=0, fabric_epoch=0, peer_epoch=0, peer_raw=0,
+        )
+        tied = CandidatePlan(
+            entries=(1, 2), nodes=("a", "b"), node_strs=("a", "b"),
+            repos=(None, None), hop_vals=(1, 1),
+            seg_epoch=0, fabric_epoch=0, peer_epoch=0, peer_raw=0,
+        )
+        assert not unambiguous.ambiguous
+        assert tied.ambiguous
+
+
+# ----------------------------------------------------------------------
+# differential: planned path vs reference / uncached twin
+# ----------------------------------------------------------------------
+def planned_deployment(**kwargs):
+    server, segments, authors = build_resolve_deployment(
+        registry=Registry(), **kwargs
+    )
+    server.enable_plan_cache()
+    return server, segments, authors
+
+
+class TestDifferentialPlanned:
+    def test_matches_reference_on_scenario_deployment(self):
+        server, segments, authors = planned_deployment(far_clusters=4, datasets=3)
+        for seg, req in _request_workload(segments, authors, 200):
+            assert ranking(server.resolve_candidates(seg, req)) == ranking(
+                resolve_candidates_reference(server, seg, req)
+            )
+
+    def test_matches_reference_after_load_skew(self):
+        """Cached plans must still track mutable load exactly: the load
+        tie-break is re-applied per lookup, never frozen into the plan."""
+        server, segments, authors = planned_deployment(far_clusters=2)
+        for seg, req in _request_workload(segments, authors, 50):
+            server.resolve(seg, req)
+        for seg in segments:
+            for req in authors[:5]:
+                assert ranking(server.resolve_candidates(seg, req)) == ranking(
+                    resolve_candidates_reference(server, seg, req)
+                )
+
+    def test_matches_reference_for_outside_requester(self):
+        server, segments, _ = planned_deployment(far_clusters=2)
+        ghost = AuthorId("nobody-knows-me")
+        for seg in segments:
+            fast = server.resolve_candidates(seg, ghost)
+            assert ranking(fast) == ranking(
+                resolve_candidates_reference(server, seg, ghost)
+            )
+            assert all(c.social_hops is None for c in fast)
+
+    def test_limit_respected(self):
+        server, segments, authors = planned_deployment(far_clusters=2)
+        full = server.resolve_candidates(segments[0], authors[0])
+        head = server.resolve_candidates(segments[0], authors[0], limit=2)
+        assert ranking(head) == ranking(full)[:2]
+
+    def test_resolve_and_resolve_many_match_uncached_twin(self):
+        build = dict(far_clusters=3)
+        s1, segments, authors = build_resolve_deployment(
+            registry=Registry(), **build
+        )
+        s2, _, _ = planned_deployment(**build)
+        workload = _request_workload(segments, authors, 150)
+        sequential = [s1.resolve(seg, req) for seg, req in workload]
+        batched = s2.resolve_many(workload)
+        assert [(r.replica.replica_id, r.social_hops) for r in sequential] == [
+            (r.replica.replica_id, r.social_hops) for r in batched
+        ]
+
+    def test_enable_disable_round_trip(self):
+        server, segments, authors = build_resolve_deployment(
+            registry=Registry(), far_clusters=2
+        )
+        assert server.plan_cache is None
+        cache = server.enable_plan_cache(max_plans=8)
+        assert server.enable_plan_cache() is cache  # idempotent
+        server.resolve_candidates(segments[0], authors[0])
+        assert len(cache) == 1
+        server.disable_plan_cache()
+        assert server.plan_cache is None
+        # back on the uncached path, still correct
+        assert ranking(server.resolve_candidates(segments[0], authors[0])) == (
+            ranking(resolve_candidates_reference(server, segments[0], authors[0]))
+        )
+
+    def test_bad_capacity_rejected_at_server(self):
+        server, _, _ = build_resolve_deployment(registry=Registry(), far_clusters=2)
+        with pytest.raises(ConfigurationError):
+            server.enable_plan_cache(max_plans=0)
+
+
+class TestPlanCacheMetrics:
+    def test_hit_miss_invalidation_size(self):
+        reg = Registry()
+        server, segments, authors = build_resolve_deployment(
+            registry=reg, far_clusters=2
+        )
+        server.enable_plan_cache()
+        seg, req = segments[0], authors[0]
+        server.resolve_candidates(seg, req)
+        assert counter(reg, "alloc.plan_cache.misses") == 1
+        assert counter(reg, "alloc.plan_cache.hits") == 0
+        server.resolve_candidates(seg, req)
+        assert counter(reg, "alloc.plan_cache.hits") == 1
+        assert reg.gauge("alloc.plan_cache.size").value == 1
+        # a catalog mutation invalidates at the next lookup
+        rid = next(iter(server.catalog.replicas_of_segment(seg))).replica_id
+        server.catalog.retire(rid)
+        server.resolve_candidates(seg, req)
+        assert counter(reg, "alloc.plan_cache.invalidations") == 1
+        assert counter(reg, "alloc.plan_cache.misses") == 2
+
+    def test_lru_bound_enforced(self):
+        server, segments, authors = build_resolve_deployment(
+            registry=Registry(), far_clusters=2, datasets=2
+        )
+        cache = server.enable_plan_cache(max_plans=3)
+        for seg, req in _request_workload(segments, authors, 40):
+            server.resolve_candidates(seg, req)
+        assert len(cache) <= 3
+        assert cache.evictions > 0
+
+
+# ----------------------------------------------------------------------
+# epoch sites: every event that can change a ranking invalidates
+# ----------------------------------------------------------------------
+class TestEpochInvalidation:
+    def _deploy(self):
+        g = graph_of(
+            pub("p1", 2009, "a", "b"),
+            pub("p2", 2010, "b", "c"),
+            pub("p3", 2010, "c", "d"),
+        )
+        server = make_server(g, ["a", "b", "c", "d"], capacity=100_000)
+        ds = segment_dataset(DatasetId("d1"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=3)
+        server.enable_plan_cache()
+        return server, ds.segments[0].segment_id
+
+    def _check(self, server, seg, requesters=("a", "b", "c", "d")):
+        for r in requesters:
+            assert ranking(server.resolve_candidates(seg, AuthorId(r))) == (
+                ranking(resolve_candidates_reference(server, seg, AuthorId(r)))
+            ), r
+
+    def test_retire_stale_activate(self):
+        server, seg = self._deploy()
+        self._check(server, seg)
+        reps = iter(server.catalog.replicas_of_segment(seg))
+        server.catalog.retire(next(reps).replica_id)
+        self._check(server, seg)
+        rid = next(reps).replica_id
+        server.catalog.mark_stale(rid)
+        self._check(server, seg)
+        server.catalog.activate(rid)
+        self._check(server, seg)
+
+    def test_quarantine(self):
+        server, seg = self._deploy()
+        self._check(server, seg)
+        rid = next(iter(server.catalog.replicas_of_segment(seg))).replica_id
+        server.catalog.quarantine(rid)
+        self._check(server, seg)
+
+    def test_node_offline_online(self):
+        server, seg = self._deploy()
+        self._check(server, seg)
+        host = next(iter(server.catalog.replicas_of_segment(seg))).node_id
+        server.node_offline(host, at=1.0)
+        self._check(server, seg)
+        server.node_online(host, at=2.0)
+        self._check(server, seg)
+
+    def test_repair_after_loss(self):
+        server, seg = self._deploy()
+        self._check(server, seg)
+        host = next(iter(server.catalog.replicas_of_segment(seg))).node_id
+        server.node_offline(host, at=1.0)
+        server.repair(at=2.0)
+        self._check(server, seg)
+
+    def test_graph_swap(self):
+        server, seg = self._deploy()
+        assert server.resolve_candidates(seg, AuthorId("zz"))[0].social_hops is None
+        server.graph = graph_of(
+            pub("p1", 2009, "a", "b"),
+            pub("p2", 2010, "b", "c"),
+            pub("p3", 2010, "c", "d"),
+            pub("p4", 2011, "d", "zz"),
+        )
+        # the cached unreachable plan must not survive the swap
+        fast = server.resolve_candidates(seg, AuthorId("zz"))
+        assert fast[0].social_hops is not None
+        self._check(server, seg, requesters=("a", "zz"))
+
+    def test_register_repository(self):
+        server, seg = self._deploy()
+        self._check(server, seg)
+        server.graph = graph_of(
+            pub("p1", 2009, "a", "b"),
+            pub("p2", 2010, "b", "c"),
+            pub("p3", 2010, "c", "d"),
+            pub("p4", 2011, "a", "e"),
+        )
+        server.register_repository(
+            AuthorId("e"), StorageRepository(NodeId("node-e"), 100_000)
+        )
+        self._check(server, seg, requesters=("a", "b", "e"))
+
+    def test_migrate_node(self):
+        server, seg = self._deploy()
+        self._check(server, seg)
+        host = next(iter(server.catalog.replicas_of_segment(seg))).node_id
+        server.migrate_node(host, at=1.0)
+        self._check(server, seg)
+
+    def test_oracle_installs_bump_fabric_epoch(self):
+        server, _ = self._deploy()
+        before = server.fabric.plan_epoch
+        server.set_liveness_oracle(lambda node: True)
+        server.set_reachability_oracle(None)
+        server.set_peer_registry(None)
+        assert server.fabric.plan_epoch == before + 3
+
+    def test_liveness_oracle_flip(self):
+        server, seg = self._deploy()
+        self._check(server, seg)
+        dead = {next(iter(server.catalog.replicas_of_segment(seg))).node_id}
+        server.set_liveness_oracle(lambda node: node not in dead)
+        self._check(server, seg)
+        # membership of the *same* oracle changes without an epoch bump:
+        # liveness is read live at lookup, so this must still be exact
+        dead.add(sorted(server.catalog.nodes_hosting(seg), key=str)[-1])
+        self._check(server, seg)
+
+
+# ----------------------------------------------------------------------
+# peer tier: lease churn through the planned path
+# ----------------------------------------------------------------------
+def crowd_graph():
+    pubs = [
+        pub("p1", 2009, "o-1", "o-2"),
+        pub("p2", 2010, "o-1", "relay"),
+        pub("p3", 2010, "relay", "c-1"),
+        pub("p4", 2010, "c-1", "c-2", "c-3"),
+        pub("p5", 2011, "c-1", "c-2"),
+        pub("p6", 2011, "c-2", "c-3"),
+    ]
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+SEG_BYTES = 100_000
+TIGHT = 2 * SEG_BYTES
+
+
+def crowd_net(plan_cache: bool, seed=3, **overrides):
+    """The peer-tier flash-crowd deployment from the peers test suite."""
+    defaults = dict(
+        n_replicas=2,
+        proximity_hops=6,
+        transfer_failure_prob=0.0,
+        peer_tier=True,
+        peer_lease_ttl_s=10.0,
+        plan_cache=plan_cache,
+    )
+    defaults.update(overrides)
+    net = SCDN(
+        crowd_graph(), config=SCDNConfig(**defaults), seed=seed,
+        registry=Registry(),
+    )
+    for a in ("o-1", "o-2"):
+        net.join(AuthorId(a))
+    net.publish(AuthorId("o-1"), "ds", 2 * SEG_BYTES, n_segments=2)
+    for a in ("relay", "c-1", "c-2", "c-3"):
+        net.join(AuthorId(a), capacity_bytes=TIGHT)
+    return net
+
+
+def crowd_seg(net):
+    ds = next(iter(net.server.catalog.datasets()))
+    return ds.segments[0].segment_id
+
+
+class TestPeerPathPlanned:
+    def test_lease_lifecycle_matches_uncached_twin(self):
+        on, off = crowd_net(True), crowd_net(False)
+        seg_on, seg_off = crowd_seg(on), crowd_seg(off)
+        all_authors = [AuthorId(a) for a in
+                       ("o-1", "o-2", "relay", "c-1", "c-2", "c-3")]
+
+        def check():
+            for req in all_authors:
+                assert ranking(on.server.resolve_candidates(seg_on, req)) == (
+                    ranking(off.server.resolve_candidates(seg_off, req))
+                ), req
+
+        check()  # no leases yet
+        # c-3 fetches: a lease is minted on c-3
+        out_on = on.clients[AuthorId("c-3")].access_segment(seg_on)
+        out_off = off.clients[AuthorId("c-3")].access_segment(seg_off)
+        assert out_on.ok and out_off.ok
+        assert on.peers.has_active_lease(NodeId("c-3"), seg_on)
+        check()  # mint invalidated the cached plans
+        # a crowd neighbour now resolves to the peer first
+        top = on.server.resolve_candidates(seg_on, AuthorId("c-2"))[0]
+        assert top.peer and top.social_hops == 1
+        # expiry closes the lease: back to the repository tier
+        on.engine.run(until=11.0)
+        off.engine.run(until=11.0)
+        check()
+        assert not on.server.resolve_candidates(seg_on, AuthorId("c-2"))[0].peer
+
+    def test_peer_serve_counters_identical(self):
+        on, off = crowd_net(True), crowd_net(False)
+        seg_on, seg_off = crowd_seg(on), crowd_seg(off)
+        for a in ("c-3", "c-2", "c-1", "relay"):
+            assert on.clients[AuthorId(a)].access_segment(seg_on).ok
+            assert off.clients[AuthorId(a)].access_segment(seg_off).ok
+        for name in ("peer.serves", "peer.leases.active"):
+            assert counter(on.obs, name) == counter(off.obs, name), name
+
+    def test_eviction_and_leave_invalidate(self):
+        on, off = crowd_net(True), crowd_net(False)
+        seg_on, seg_off = crowd_seg(on), crowd_seg(off)
+        on.clients[AuthorId("c-3")].access_segment(seg_on)
+        off.clients[AuthorId("c-3")].access_segment(seg_off)
+        assert on.server.resolve_candidates(seg_on, AuthorId("c-2"))[0].peer
+        on.peers.leave(NodeId("c-3"))
+        off.peers.leave(NodeId("c-3"))
+        for req in (AuthorId("c-2"), AuthorId("c-1")):
+            got = on.server.resolve_candidates(seg_on, req)
+            assert ranking(got) == ranking(
+                off.server.resolve_candidates(seg_off, req)
+            )
+            assert not got[0].peer
+
+
+# ----------------------------------------------------------------------
+# partitions: reachability filtering over cached plans
+# ----------------------------------------------------------------------
+class TestPartitionPlanned:
+    def _nets(self):
+        on, off = crowd_net(True, peer_tier=False), crowd_net(False, peer_tier=False)
+        return on, off, crowd_seg(on), crowd_seg(off)
+
+    def test_partition_filtering_matches_uncached_twin(self):
+        on, off, seg_on, seg_off = self._nets()
+        authors = [AuthorId(a) for a in
+                   ("o-1", "o-2", "relay", "c-1", "c-2", "c-3")]
+        for net in (on, off):  # warm the cache pre-partition
+            for req in authors:
+                net.server.resolve_candidates(
+                    seg_on if net is on else seg_off, req
+                )
+        minority = [NodeId(a) for a in ("c-1", "c-2", "c-3")]
+        on.network.partition([minority])
+        off.network.partition([minority])
+        for req in authors:
+            got = on.server.resolve_candidates(seg_on, req)
+            assert ranking(got) == ranking(
+                off.server.resolve_candidates(seg_off, req)
+            ), req
+        # crowd members are cut off from the origin-side replicas
+        assert on.server.resolve_candidates(seg_on, AuthorId("c-2")) == []
+        on.network.heal()
+        off.network.heal()
+        for req in authors:
+            assert ranking(on.server.resolve_candidates(seg_on, req)) == (
+                ranking(off.server.resolve_candidates(seg_off, req))
+            ), req
+            assert on.server.resolve_candidates(seg_on, req), req
+
+
+# ----------------------------------------------------------------------
+# sharded routing: per-site plan caches + owner-site memo (satellite)
+# ----------------------------------------------------------------------
+class TestShardedPlanned:
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_resolution_identical_to_uncached_flat(self, n_shards):
+        build = dict(far_clusters=6, datasets=4, spread_owners=True)
+        flat, segments, authors = build_resolve_deployment(
+            registry=Registry(), **build
+        )
+        router, _, _ = build_sharded_deployment(
+            registry=Registry(), n_shards=n_shards, **build
+        )
+        router.enable_plan_cache()
+        for seg, req in _request_workload(segments, authors, 200):
+            assert ranking(router.resolve_candidates(seg, req)) == ranking(
+                flat.resolve_candidates(seg, req)
+            )
+
+    def test_enable_disable_covers_every_shard(self):
+        router, segments, authors = build_sharded_deployment(
+            registry=Registry(), n_shards=3, far_clusters=4, spread_owners=True
+        )
+        router.enable_plan_cache(max_plans=16)
+        for shard in router.shards:
+            assert shard.plan_cache is not None
+            assert shard.plan_cache.max_plans == 16
+        assert router.plan_cache is not None
+        router.disable_plan_cache()
+        assert all(s.plan_cache is None for s in router.shards)
+
+    def test_site_memo_hits_after_first_route(self):
+        router, segments, authors = build_sharded_deployment(
+            registry=Registry(), n_shards=2, far_clusters=4, spread_owners=True
+        )
+        router.resolve_candidates(segments[0], authors[0])
+        assert segments[0] in router._site_memo
+        # memoized route still resolves identically
+        assert ranking(router.resolve_candidates(segments[0], authors[0])) == (
+            ranking(router.resolve_candidates(segments[0], authors[0]))
+        )
+
+    def test_site_memo_forgotten_on_unregister(self):
+        router, segments, authors = build_sharded_deployment(
+            registry=Registry(), n_shards=2, far_clusters=4, spread_owners=True
+        )
+        router.resolve_candidates(segments[0], authors[0])
+        ds_id = next(
+            ds.dataset_id
+            for ds in router.catalog.datasets()
+            if any(s.segment_id == segments[0] for s in ds.segments)
+        )
+        for rep in router.catalog.replicas_of_dataset(ds_id):
+            router.catalog.retire(rep.replica_id)
+        router.catalog.unregister_dataset(ds_id)
+        assert segments[0] not in router._site_memo
+
+
+# ----------------------------------------------------------------------
+# satellite: servable-view counters cover every mutation site
+# ----------------------------------------------------------------------
+class TestServableCacheCounters:
+    def _deploy(self):
+        reg = Registry()
+        g = graph_of(
+            pub("p1", 2009, "a", "b"),
+            pub("p2", 2010, "b", "c"),
+            pub("p3", 2010, "c", "d"),
+        )
+        server = make_server(
+            g, ["a", "b", "c", "d"], capacity=100_000, registry=reg
+        )
+        ds = segment_dataset(DatasetId("d1"), AuthorId("a"), 100)
+        server.publish_dataset(ds, n_replicas=3)
+        return server, ds.segments[0].segment_id, reg
+
+    def _invalidations(self, reg):
+        return counter(reg, "catalog.servable_cache.invalidations")
+
+    def test_hits_and_misses_counted(self):
+        server, seg, reg = self._deploy()
+        server.catalog.replicas_of_segment(seg, servable_only=True)
+        misses = counter(reg, "catalog.servable_cache.misses")
+        assert misses >= 1
+        server.catalog.replicas_of_segment(seg, servable_only=True)
+        assert counter(reg, "catalog.servable_cache.hits") >= 1
+        assert counter(reg, "catalog.servable_cache.misses") == misses
+
+    def test_every_mutation_site_bumps_invalidations(self):
+        server, seg, reg = self._deploy()
+        cat = server.catalog
+        reps = iter(cat.replicas_of_segment(seg))
+        first = next(reps).replica_id
+        second = next(reps).replica_id
+
+        before = self._invalidations(reg)
+        cat.retire(first)
+        assert self._invalidations(reg) > before, "retire"
+
+        before = self._invalidations(reg)
+        cat.mark_stale(second)
+        assert self._invalidations(reg) > before, "mark_stale"
+
+        before = self._invalidations(reg)
+        cat.activate(second)
+        assert self._invalidations(reg) > before, "activate"
+
+        before = self._invalidations(reg)
+        cat.quarantine(second)
+        assert self._invalidations(reg) > before, "quarantine (corrupt path)"
+
+        before = self._invalidations(reg)
+        server.repair(at=1.0)  # re-creates the quarantined copy elsewhere
+        assert self._invalidations(reg) > before, "create_replica (add)"
+
+        host = next(iter(cat.replicas_of_segment(seg))).node_id
+        before = self._invalidations(reg)
+        server.migrate_node(host, at=2.0)
+        assert self._invalidations(reg) > before, "migrate"
+
+        ds2 = segment_dataset(DatasetId("d2"), AuthorId("b"), 100)
+        server.publish_dataset(ds2, n_replicas=2)
+        for rep in cat.replicas_of_dataset(DatasetId("d2")):
+            cat.retire(rep.replica_id)
+        before = self._invalidations(reg)
+        cat.unregister_dataset(DatasetId("d2"))
+        assert self._invalidations(reg) > before, "unregister (rollback path)"
+
+    def test_epoch_survives_unregister(self):
+        """A re-registered segment id must not resurrect old plans."""
+        server, seg, reg = self._deploy()
+        for rep in server.catalog.replicas_of_dataset(DatasetId("d1")):
+            server.catalog.retire(rep.replica_id)
+        e1 = server.catalog.epoch(seg)
+        server.catalog.unregister_dataset(DatasetId("d1"))
+        assert server.catalog.epoch(seg) > e1
+
+
+# ----------------------------------------------------------------------
+# satellite: property-style random interleaving vs an uncached twin
+# ----------------------------------------------------------------------
+def _prop_graph(extra_pub=False):
+    pubs = [
+        pub("p1", 2009, "a1", "a2", "a3"),
+        pub("p2", 2010, "a3", "a4"),
+        pub("p3", 2010, "a4", "b1"),
+        pub("p4", 2010, "b1", "b2", "b3"),
+        pub("p5", 2011, "b2", "b3"),
+        pub("p6", 2011, "a1", "a4"),
+    ]
+    if extra_pub:
+        pubs.append(pub("p7", 2012, "a2", "b3"))
+    return build_coauthorship_graph(Corpus(pubs))
+
+
+AUTHORS = ("a1", "a2", "a3", "a4", "b1", "b2", "b3")
+
+
+def _prop_net(plan_cache: bool):
+    net = SCDN(
+        _prop_graph(),
+        config=SCDNConfig(
+            n_replicas=2,
+            proximity_hops=6,
+            transfer_failure_prob=0.0,
+            peer_tier=True,
+            peer_lease_ttl_s=40.0,
+            plan_cache=plan_cache,
+            plan_cache_plans=64,
+        ),
+        seed=5,
+        registry=Registry(),
+    )
+    for a in AUTHORS:
+        net.join(AuthorId(a), capacity_bytes=10 * SEG_BYTES)
+    for i, owner in enumerate(("a1", "b1", "a4")):
+        net.publish(AuthorId(owner), f"ds-{i}", SEG_BYTES, n_segments=1)
+    return net
+
+
+class TestPropertyInvalidation:
+    """Random interleavings of every invalidation source.
+
+    Two identically seeded deployments — one with the plan cache on —
+    receive the exact same operation script. After *every* step, every
+    live ``(segment, requester)`` pair must rank identically on both;
+    and whenever no partition or peer lease is active, both must also
+    match the retained pre-index reference oracle.
+    """
+
+    STEPS = 120
+
+    def _segments(self, net):
+        return sorted(
+            (s.segment_id for ds in net.server.catalog.datasets()
+             for s in ds.segments),
+            key=str,
+        )
+
+    def _check_all_pairs(self, on, off):
+        segs = self._segments(on)
+        assert segs == self._segments(off)
+        for seg in segs:
+            for a in AUTHORS:
+                req = AuthorId(a)
+                got = ranking(on.server.resolve_candidates(seg, req))
+                want = ranking(off.server.resolve_candidates(seg, req))
+                assert got == want, (seg, req)
+                if (not off.network.partitioned
+                        and off.peers.n_active_leases == 0):
+                    assert got == ranking(
+                        resolve_candidates_reference(off.server, seg, req)
+                    ), (seg, req, "reference")
+
+    def test_random_interleaving(self):
+        rng = random.Random(20260808)
+        on, off = _prop_net(True), _prop_net(False)
+        swapped = False
+        offline = set()
+
+        for step in range(self.STEPS):
+            op = rng.choice(
+                ["access", "retire", "quarantine", "flip", "partition",
+                 "advance", "swap", "access", "access", "repair"]
+            )
+            segs = self._segments(on)
+            if op == "access":
+                a = rng.choice(AUTHORS)
+                seg = rng.choice(segs)
+                if a not in offline and on.server.resolve_candidates(
+                        seg, AuthorId(a)):
+                    r_on = on.clients[AuthorId(a)].access_segment(seg)
+                    r_off = off.clients[AuthorId(a)].access_segment(seg)
+                    assert (r_on.ok, r_on.source) == (r_off.ok, r_off.source)
+            elif op in ("retire", "quarantine"):
+                seg = rng.choice(segs)
+                active = sorted(
+                    (r.replica_id for r in
+                     on.server.catalog.replicas_of_segment(
+                         seg, servable_only=True)),
+                    key=str,
+                )
+                if active:
+                    rid = rng.choice(active)
+                    mutate = (on.server.catalog.retire if op == "retire"
+                              else on.server.catalog.quarantine)
+                    mirror = (off.server.catalog.retire if op == "retire"
+                              else off.server.catalog.quarantine)
+                    mutate(rid)
+                    mirror(rid)
+            elif op == "flip":
+                a = rng.choice(AUTHORS)
+                node = NodeId(a)
+                now = on.engine.now
+                if a in offline:
+                    on.server.node_online(node, at=now)
+                    off.server.node_online(node, at=now)
+                    offline.discard(a)
+                else:
+                    on.server.node_offline(node, at=now)
+                    off.server.node_offline(node, at=now)
+                    offline.add(a)
+            elif op == "partition":
+                if on.network.partitioned:
+                    on.network.heal()
+                    off.network.heal()
+                else:
+                    side = [NodeId(a) for a in AUTHORS if a.startswith("b")]
+                    on.network.partition([side])
+                    off.network.partition([side])
+            elif op == "advance":
+                until = on.engine.now + rng.choice([5.0, 20.0, 60.0])
+                on.engine.run(until=until)
+                off.engine.run(until=until)
+            elif op == "repair":
+                now = on.engine.now
+                on.server.repair(at=now)
+                off.server.repair(at=now)
+            elif op == "swap":
+                swapped = not swapped
+                g = _prop_graph(extra_pub=swapped)
+                on.server.graph = g
+                off.server.graph = g
+            self._check_all_pairs(on, off)
+
+        # the cache actually took traffic over the run
+        assert counter(on.obs, "alloc.plan_cache.hits") > 0
+        assert counter(on.obs, "alloc.plan_cache.invalidations") > 0
+        assert counter(off.obs, "alloc.plan_cache.hits") == 0
+
+
+# ----------------------------------------------------------------------
+# bench harness smoke (the full-scale numbers live in benchmarks/)
+# ----------------------------------------------------------------------
+class TestBenchHarness:
+    def test_plan_cache_throughput_small_is_identical(self):
+        result = plan_cache_throughput(far_clusters=2, requests=200)
+        assert result.identical
+        assert result.plan_warm_rps > 0 and result.indexed_rps > 0
+        assert result.misses > 0
+        d_keys = {"far_clusters", "graph_nodes", "requests", "max_plans",
+                  "indexed_rps", "plan_cold_rps", "plan_warm_rps", "speedup",
+                  "hits", "misses", "invalidations", "plans_resident",
+                  "identical"}
+        from repro.perf import bench_to_dict, resolve_throughput
+        small = resolve_throughput(far_clusters=2, requests=100)
+        out = bench_to_dict(small, plan_cache=result)
+        assert set(out["plan_cache"].keys()) == d_keys
